@@ -1,0 +1,41 @@
+#include "bench_common.hpp"
+
+#include <cstdio>
+
+namespace bench {
+
+std::vector<const DeviceConfig*> devices_from_cli(const Cli& cli) {
+  const std::string which = cli.get_string("device", "both");
+  if (which == "both" || which == "all") return tilesim::all_devices();
+  return {&tilesim::device_by_name(which)};
+}
+
+std::vector<std::size_t> pow2_sizes(std::size_t lo, std::size_t hi) {
+  std::vector<std::size_t> out;
+  for (std::size_t s = lo; s <= hi; s *= 2) out.push_back(s);
+  return out;
+}
+
+std::vector<int> collective_tile_counts() { return {2, 4, 8, 16, 24, 32, 36}; }
+
+void print_checks(const std::string& experiment,
+                  const std::vector<PaperCheck>& checks) {
+  std::cout << "\n--- reproduction check: " << experiment << " ---\n";
+  Table t({"quantity", "measured", "paper", "unit", "ratio"});
+  for (const auto& c : checks) {
+    t.add_row({c.what, Table::num(c.measured, 2), Table::num(c.paper, 2),
+               c.unit,
+               c.paper != 0.0 ? Table::num(c.measured / c.paper, 2) : "-"});
+  }
+  t.print(std::cout);
+}
+
+void emit(const Cli& cli, const Table& table) {
+  if (cli.get_flag("csv")) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+}
+
+}  // namespace bench

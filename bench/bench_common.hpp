@@ -1,0 +1,47 @@
+// Shared helpers for the figure/table reproduction benches: device
+// selection, size sweeps, and the paper-vs-measured summary block each
+// bench prints (the numbers EXPERIMENTS.md records).
+#pragma once
+
+#include <cstddef>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "sim/config.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace bench {
+
+using tilesim::DeviceConfig;
+using tshmem_util::Cli;
+using tshmem_util::Table;
+
+/// Devices selected by --device (gx36|pro64|both; default both).
+std::vector<const DeviceConfig*> devices_from_cli(const Cli& cli);
+
+/// Power-of-two byte sizes in [lo, hi].
+std::vector<std::size_t> pow2_sizes(std::size_t lo, std::size_t hi);
+
+/// Tile counts used by the collective figures (2..36).
+std::vector<int> collective_tile_counts();
+
+/// One paper-anchor comparison line; `tolerance` is relative.
+struct PaperCheck {
+  std::string what;
+  double measured;
+  double paper;
+  std::string unit;
+};
+
+/// Prints the "reproduction check" block: measured vs paper value and the
+/// ratio. These rows are what EXPERIMENTS.md records per experiment.
+void print_checks(const std::string& experiment,
+                  const std::vector<PaperCheck>& checks);
+
+/// Prints a table in text or CSV per the --csv flag.
+void emit(const Cli& cli, const Table& table);
+
+}  // namespace bench

@@ -1,0 +1,87 @@
+// Shared measurement harness for the collective-communication figures
+// (Figs 9-12): runs one collective across `tiles` PEs with synchronized
+// virtual clocks and reports the aggregate effective bandwidth
+// (total bytes moved / slowest participant's elapsed virtual time).
+#pragma once
+
+#include <mutex>
+
+#include "tshmem/context.hpp"
+#include "tshmem/runtime.hpp"
+#include "util/units.hpp"
+
+namespace bench {
+
+enum class CollectiveOp { kBroadcastPush, kBroadcastPull, kFcollect, kReduce };
+
+/// Bytes accounted as "moved" by one operation (drives aggregate BW).
+inline std::uint64_t moved_bytes(CollectiveOp op, int tiles,
+                                 std::size_t bytes_per_tile) {
+  const auto n = static_cast<std::uint64_t>(tiles);
+  const auto m = static_cast<std::uint64_t>(bytes_per_tile);
+  switch (op) {
+    case CollectiveOp::kBroadcastPush:
+    case CollectiveOp::kBroadcastPull:
+      return (n - 1) * m;  // each non-root receives M
+    case CollectiveOp::kFcollect:
+      // Stage 1: n-1 blocks into the root; stage 2: n*M out to each member.
+      return (n - 1) * m + (n - 1) * n * m;
+    case CollectiveOp::kReduce:
+      return n * m;  // each tile's M elements enter the reduction
+  }
+  return 0;
+}
+
+/// Runs the op once (after a warm-up round) and returns aggregate MB/s.
+inline double aggregate_mbps(tshmem::Runtime& rt, CollectiveOp op, int tiles,
+                             std::size_t bytes_per_tile) {
+  std::mutex mu;
+  tilesim::ps_t slowest = 0;
+  rt.run(tiles, [&](tshmem::Context& ctx) {
+    const tshmem::ActiveSet world = ctx.world();
+    const auto n = static_cast<std::size_t>(tiles);
+    std::byte* src = nullptr;
+    std::byte* dst = nullptr;
+    auto run_once = [&] {
+      switch (op) {
+        case CollectiveOp::kBroadcastPush:
+          ctx.broadcast(dst, src, bytes_per_tile, 0, world,
+                        tshmem::BcastAlgo::kPush);
+          break;
+        case CollectiveOp::kBroadcastPull:
+          ctx.broadcast(dst, src, bytes_per_tile, 0, world,
+                        tshmem::BcastAlgo::kPull);
+          break;
+        case CollectiveOp::kFcollect:
+          ctx.fcollect(dst, src, bytes_per_tile, world);
+          break;
+        case CollectiveOp::kReduce:
+          ctx.reduce(reinterpret_cast<int*>(dst),
+                     reinterpret_cast<const int*>(src),
+                     bytes_per_tile / sizeof(int), tshmem::RedOp::kSum, world);
+          break;
+      }
+    };
+    const std::size_t dst_bytes =
+        op == CollectiveOp::kFcollect ? n * bytes_per_tile : bytes_per_tile;
+    src = static_cast<std::byte*>(ctx.shmalloc(bytes_per_tile));
+    dst = static_cast<std::byte*>(ctx.shmalloc(dst_bytes));
+    ctx.barrier_all();
+    run_once();  // warm-up (collective sequence numbers, bounce paths)
+    ctx.harness_sync_reset();
+    const auto t0 = ctx.clock().now();
+    run_once();
+    const auto dt = ctx.clock().now() - t0;
+    {
+      std::scoped_lock lk(mu);
+      slowest = std::max(slowest, dt);
+    }
+    ctx.harness_sync();
+    ctx.shfree(dst);
+    ctx.shfree(src);
+  });
+  return tshmem_util::bandwidth_mbps(moved_bytes(op, tiles, bytes_per_tile),
+                                     slowest);
+}
+
+}  // namespace bench

@@ -1,0 +1,47 @@
+// Figure 9 — push-based broadcast aggregate bandwidth versus transfer size
+// and tile count, on both devices.
+//
+// Reproduces: the scalability failure — aggregate bandwidth does not grow
+// as tiles are added (all work serializes on the root), and the size of
+// peak performance does not shift with the tile count.
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "collective_bench.hpp"
+
+int main(int argc, char** argv) {
+  const tshmem_util::Cli cli(argc, argv, {"csv"});
+  const auto max_bytes =
+      static_cast<std::size_t>(cli.get_int("max-bytes", 1 << 20));
+  tshmem_util::print_banner(std::cout, "Figure 9",
+                            "Push-based broadcast aggregate bandwidth");
+
+  tshmem_util::Table table({"size/tile", "tiles", "device", "agg MB/s"});
+  std::vector<bench::PaperCheck> checks;
+
+  for (const auto* cfg : bench::devices_from_cli(cli)) {
+    tshmem::RuntimeOptions opts;
+    opts.heap_per_pe = 4 * max_bytes + (1 << 20);
+    tshmem::Runtime rt(*cfg, opts);
+    double at8 = 0, at36 = 0;
+    for (const int tiles : bench::collective_tile_counts()) {
+      for (const std::size_t size : bench::pow2_sizes(256, max_bytes)) {
+        const double mbps = bench::aggregate_mbps(
+            rt, bench::CollectiveOp::kBroadcastPush, tiles, size);
+        table.add_row({tshmem_util::Table::bytes(size),
+                       tshmem_util::Table::integer(tiles), cfg->short_name,
+                       tshmem_util::Table::num(mbps, 1)});
+        if (size == 32 * 1024 && tiles == 8) at8 = mbps;
+        if (size == 32 * 1024 && tiles == 36) at36 = mbps;
+      }
+    }
+    checks.push_back({std::string(cfg->short_name) +
+                          " agg @36 / @8 tiles (no scaling)",
+                      at36 / at8, 1.0, "x"});
+  }
+
+  bench::emit(cli, table);
+  bench::print_checks("Figure 9", checks);
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Content-based image retrieval case study (paper §V-B).
+//
+// A color-feature-extraction CBIR application based on the autocorrelogram
+// of Huang et al. (CVPR'97): each image is characterized by, for each
+// quantized color bin and each distance d in {1,3,5,7}, the probability
+// that a pixel at distance d from a bin-b pixel is also bin-b. The image
+// database is block-distributed across PEs; each PE extracts features for
+// its block and scores them against the query; PE 0 then gathers features,
+// merges the candidate rankings, and re-ranks the best candidates — the
+// serial tail that keeps speedup at 25 (Gx) / 27 (Pro) at 32 tiles.
+//
+// The paper's 22,000-image database is proprietary; a seeded synthetic
+// generator produces 128 x 128 8-bit images with comparable smooth color
+// statistics (DESIGN.md §2).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tshmem/context.hpp"
+
+namespace apps::cbir {
+
+inline constexpr int kBins = 16;
+inline constexpr std::array<int, 4> kDistances{1, 3, 5, 7};
+inline constexpr int kFeatureLen = kBins * static_cast<int>(kDistances.size());
+
+using Feature = std::array<float, kFeatureLen>;
+
+struct Params {
+  int images = 5500;       ///< paper scale is 22,000; default is quarter scale
+  int width = 128;
+  int height = 128;
+  std::uint64_t seed = 0x7351u;
+  int query_index = 4242;  ///< database image used as the query
+  double rescan_fraction = 0.005;  ///< share of DB re-ranked serially on PE 0
+};
+
+/// Deterministic synthetic image: smooth random gradients + speckle.
+void generate_image(std::span<std::uint8_t> out, int width, int height,
+                    std::uint64_t image_seed);
+
+/// Autocorrelogram feature; charges the device compute model when
+/// `charge_to` is non-null (quantization + neighbor comparisons).
+[[nodiscard]] Feature autocorrelogram(std::span<const std::uint8_t> img,
+                                      int width, int height,
+                                      tshmem::Context* charge_to = nullptr);
+
+/// L1 feature distance; charges ~3 ops per component when `charge_to` set.
+[[nodiscard]] float feature_distance(const Feature& a, const Feature& b,
+                                     tshmem::Context* charge_to = nullptr);
+
+struct QueryResult {
+  tilesim::ps_t elapsed_ps = 0;       ///< whole query, measured on PE 0
+  tilesim::ps_t extract_ps = 0;       ///< parallel feature extraction phase
+  tilesim::ps_t rank_ps = 0;          ///< serial gather + merge + re-rank
+  int best_image = -1;                ///< global index of the best match
+  float best_distance = 0.0f;
+  std::vector<int> top(std::size_t k) const;
+  std::vector<std::pair<float, int>> ranking;  ///< PE 0 only, ascending
+};
+
+/// SPMD body: run one retrieval query over the synthetic database.
+QueryResult run_query(tshmem::Context& ctx, const Params& p);
+
+}  // namespace apps::cbir

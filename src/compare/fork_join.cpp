@@ -1,0 +1,42 @@
+#include "compare/fork_join.hpp"
+
+#include <stdexcept>
+
+namespace compare {
+
+ForkJoin::ForkJoin(Device& device, int nthreads, ForkJoinConfig cfg)
+    : device_(&device),
+      nthreads_(nthreads),
+      cfg_(cfg),
+      join_(device, nthreads),
+      fork_(nthreads, [](ps_t max_arrival, int) { return max_arrival; }) {
+  if (nthreads < 1 || nthreads > device.tile_count()) {
+    throw std::invalid_argument("ForkJoin nthreads out of range");
+  }
+}
+
+void ForkJoin::parallel_for(
+    Tile& self, std::size_t n,
+    const std::function<void(std::size_t, std::size_t, Tile&)>& body) {
+  // Fork: the master wakes workers one after another, so worker i starts
+  // only after i sequential wake-ups; the rendezvous pins every thread's
+  // clock to the region entry first.
+  fork_.wait(self);
+  const int tid = self.id();
+  if (tid > 0) {
+    self.clock().advance(static_cast<ps_t>(tid) * cfg_.wake_per_worker_ps +
+                         cfg_.worker_entry_ps);
+  }
+  // Static schedule: contiguous chunks.
+  const auto nt = static_cast<std::size_t>(nthreads_);
+  const std::size_t chunk = (n + nt - 1) / nt;
+  const std::size_t begin =
+      std::min(n, static_cast<std::size_t>(tid) * chunk);
+  const std::size_t end = std::min(n, begin + chunk);
+  if (begin < end) body(begin, end, self);
+  // Join: scheduler-assisted barrier (what pthread/OpenMP barriers cost on
+  // the Tilera Linux stack — Fig 5's sync barrier).
+  join_.wait(self);
+}
+
+}  // namespace compare

@@ -1,0 +1,55 @@
+// Fork-join baseline (the "OpenMP" side of the paper's §VI comparison
+// plan). Models the costs of an OpenMP-style runtime on the Tilera Linux
+// stack: a sequential worker wake-up at region entry (futex wake per
+// thread, paid by the master) and a scheduler-assisted join barrier (the
+// TMC *sync* barrier — what a pthread/OpenMP barrier maps to), versus
+// TSHMEM's UDN token barrier and the TMC spin barrier.
+#pragma once
+
+#include <functional>
+
+#include "sim/device.hpp"
+#include "tmc/barrier.hpp"
+
+namespace compare {
+
+using tilesim::Device;
+using tilesim::ps_t;
+using tilesim::Tile;
+
+struct ForkJoinConfig {
+  /// Master-side cost to wake one worker (futex + scheduler dispatch).
+  ps_t wake_per_worker_ps = 6'000'000;  // ~6 us
+  /// Region entry bookkeeping on each worker.
+  ps_t worker_entry_ps = 1'500'000;
+};
+
+class ForkJoin {
+ public:
+  ForkJoin(Device& device, int nthreads, ForkJoinConfig cfg = {});
+
+  ForkJoin(const ForkJoin&) = delete;
+  ForkJoin& operator=(const ForkJoin&) = delete;
+
+  [[nodiscard]] int nthreads() const noexcept { return nthreads_; }
+
+  /// Executes `body(begin, end, tile)` over [0, n) with static scheduling.
+  /// Call from every participating tile inside a Device::run() region.
+  /// Charges the fork cost (sequential wake from the master) at entry and
+  /// joins through the sync barrier.
+  void parallel_for(Tile& self, std::size_t n,
+                    const std::function<void(std::size_t, std::size_t,
+                                             Tile&)>& body);
+
+  /// The join barrier alone (an OpenMP `#pragma omp barrier`).
+  void barrier(Tile& self) { join_.wait(self); }
+
+ private:
+  Device* device_;
+  int nthreads_;
+  ForkJoinConfig cfg_;
+  tmc::SyncBarrier join_;
+  tmc::VtBarrier fork_;
+};
+
+}  // namespace compare

@@ -1,0 +1,86 @@
+// Two-sided message-passing baseline (the "MPI" side of the paper's §VI
+// comparison plan: "Benchmarking will be expanded to include TSHMEM
+// comparisons with other libraries such as OpenMP and MPI").
+//
+// Built on the same substrate as TSHMEM — UDN control messages plus
+// shared-memory staging buffers — but with MPI-style semantics: every
+// transfer requires a matching send/recv pair, and the payload moves
+// through an intermediate staging buffer (sender copy-in, receiver
+// copy-out). The extra copy and the rendezvous handshake are precisely the
+// costs the PGAS one-sided model avoids, which is what the ext_libraries
+// bench quantifies.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "sim/device.hpp"
+#include "tmc/common_memory.hpp"
+#include "tmc/udn.hpp"
+
+namespace compare {
+
+using tilesim::Device;
+using tilesim::ps_t;
+using tilesim::Tile;
+
+class MsgPassing {
+ public:
+  /// `ranks` communicating peers on `device`; staging space is carved from
+  /// `cmem` (one slot per ordered rank pair).
+  MsgPassing(Device& device, tmc::CommonMemory& cmem, int ranks,
+             std::size_t max_message_bytes);
+  ~MsgPassing();
+
+  MsgPassing(const MsgPassing&) = delete;
+  MsgPassing& operator=(const MsgPassing&) = delete;
+
+  [[nodiscard]] int ranks() const noexcept { return ranks_; }
+  [[nodiscard]] std::size_t max_message_bytes() const noexcept {
+    return max_bytes_;
+  }
+
+  /// Blocking standard-mode send: stages the payload, notifies the
+  /// receiver over the UDN, and waits for the receiver's completion ack
+  /// (rendezvous, as unbuffered MPI_Send behaves for large messages).
+  void send(Tile& self, int dst, int tag, std::span<const std::byte> data);
+
+  /// Blocking receive with (source, tag) matching. Returns the payload
+  /// size; throws std::length_error if `out` is too small.
+  std::size_t recv(Tile& self, int src, int tag, std::span<std::byte> out);
+
+  /// Binomial-tree broadcast from `root` (in-place in `data`).
+  void bcast(Tile& self, int root, std::span<std::byte> data);
+
+  /// Binomial-tree long-sum reduction to `root`; every rank passes its
+  /// contribution in `values`, the root's buffer receives the totals.
+  void reduce_sum(Tile& self, int root, std::span<long> values);
+
+  /// Dissemination barrier over the UDN.
+  void barrier(Tile& self);
+
+ private:
+  Device* device_;
+  tmc::CommonMemory* cmem_;
+  tmc::UdnFabric udn_;
+  int ranks_;
+  std::size_t max_bytes_;
+  std::byte* staging_ = nullptr;  // ranks*ranks slots of max_bytes_
+  // Per-rank barrier state: epoch counter plus a stash for tokens of a
+  // *later* barrier that arrive while this rank still waits in an earlier
+  // one (fast neighbors may race ahead).
+  std::vector<std::uint32_t> barrier_epoch_;
+  std::vector<std::vector<std::pair<std::uint64_t, ps_t>>> barrier_stash_;
+  // Per-rank stash for data notifications that arrived ahead of the recv
+  // that matches them (children of a reduction tree race, for example).
+  std::vector<std::vector<tmc::UdnPacket>> data_stash_;
+
+  [[nodiscard]] std::byte* slot(int src, int dst) const;
+  [[nodiscard]] static std::uint64_t pack_header(int tag,
+                                                 std::size_t bytes) noexcept;
+};
+
+}  // namespace compare

@@ -1,0 +1,70 @@
+// Per-tile virtual device clock.
+//
+// Every tile thread owns one SimClock; all reported latencies/bandwidths in
+// the benchmark harnesses are differences of these clocks. The clock is
+// atomic because the UDN-interrupt emulation charges handler time to a
+// *remote* tile's clock from the requesting thread (see tmc/interrupt.hpp).
+// All cross-tile time exchange is via advance_to() (monotone max), so
+// results are independent of host scheduling.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "util/units.hpp"
+
+namespace tilesim {
+
+using tshmem_util::ps_t;
+
+class SimClock {
+ public:
+  SimClock() = default;
+
+  SimClock(const SimClock&) = delete;
+  SimClock& operator=(const SimClock&) = delete;
+
+  [[nodiscard]] ps_t now() const noexcept {
+    return now_ps_.load(std::memory_order_acquire);
+  }
+
+  /// Advance by a modeled duration.
+  void advance(ps_t delta) noexcept {
+    now_ps_.fetch_add(delta, std::memory_order_acq_rel);
+  }
+
+  /// Advance to at least `t` (no-op if already past). Used when a message
+  /// or released barrier carries a timestamp from another tile.
+  void advance_to(ps_t t) noexcept {
+    ps_t cur = now_ps_.load(std::memory_order_acquire);
+    while (cur < t && !now_ps_.compare_exchange_weak(
+                          cur, t, std::memory_order_acq_rel,
+                          std::memory_order_acquire)) {
+    }
+  }
+
+  /// Reset to zero — only valid between benchmark phases when no other
+  /// thread can be charging this clock.
+  void reset() noexcept { now_ps_.store(0, std::memory_order_release); }
+
+ private:
+  std::atomic<ps_t> now_ps_{0};
+};
+
+/// RAII helper measuring virtual elapsed time over a scope.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(const SimClock& clock, ps_t& out)
+      : clock_(clock), out_(out), start_(clock.now()) {}
+  ~ScopedTimer() { out_ = clock_.now() - start_; }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  const SimClock& clock_;
+  ps_t& out_;
+  ps_t start_;
+};
+
+}  // namespace tilesim

@@ -1,0 +1,301 @@
+#include "sim/config.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace tilesim {
+
+BandwidthCurve::BandwidthCurve(std::vector<Anchor> anchors)
+    : anchors_(std::move(anchors)) {
+  if (anchors_.empty()) {
+    throw std::invalid_argument("BandwidthCurve needs at least one anchor");
+  }
+  for (std::size_t i = 1; i < anchors_.size(); ++i) {
+    if (anchors_[i].size_bytes <= anchors_[i - 1].size_bytes) {
+      throw std::invalid_argument("BandwidthCurve anchors must be increasing");
+    }
+  }
+  for (const auto& a : anchors_) {
+    if (a.mbps <= 0.0) {
+      throw std::invalid_argument("BandwidthCurve anchors must be positive");
+    }
+  }
+}
+
+double BandwidthCurve::mbps(std::size_t size) const noexcept {
+  if (anchors_.empty()) return 0.0;
+  if (size <= anchors_.front().size_bytes) return anchors_.front().mbps;
+  if (size >= anchors_.back().size_bytes) return anchors_.back().mbps;
+  // Find the bracketing anchors and interpolate linearly in log2(size):
+  // cache-transition behaviour is close to linear on a log-size axis, which
+  // matches how Fig 3 is plotted.
+  auto it = std::upper_bound(
+      anchors_.begin(), anchors_.end(), size,
+      [](std::size_t s, const Anchor& a) { return s < a.size_bytes; });
+  const Anchor& hi = *it;
+  const Anchor& lo = *(it - 1);
+  const double x = std::log2(static_cast<double>(size));
+  const double x0 = std::log2(static_cast<double>(lo.size_bytes));
+  const double x1 = std::log2(static_cast<double>(hi.size_bytes));
+  const double t = (x - x0) / (x1 - x0);
+  return lo.mbps + t * (hi.mbps - lo.mbps);
+}
+
+ContentionCurve::ContentionCurve(std::vector<Point> points)
+    : points_(std::move(points)) {
+  if (points_.empty()) {
+    throw std::invalid_argument("ContentionCurve needs at least one point");
+  }
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    if (points_[i].concurrency <= points_[i - 1].concurrency) {
+      throw std::invalid_argument("ContentionCurve points must be increasing");
+    }
+  }
+  for (const auto& p : points_) {
+    if (p.efficiency <= 0.0 || p.efficiency > 1.0) {
+      throw std::invalid_argument("ContentionCurve efficiency must be (0, 1]");
+    }
+  }
+}
+
+double ContentionCurve::efficiency(int concurrency) const noexcept {
+  if (points_.empty()) return 1.0;
+  if (concurrency <= points_.front().concurrency) {
+    return points_.front().efficiency;
+  }
+  if (concurrency >= points_.back().concurrency) {
+    return points_.back().efficiency;
+  }
+  auto it = std::upper_bound(
+      points_.begin(), points_.end(), concurrency,
+      [](int c, const Point& p) { return c < p.concurrency; });
+  const Point& hi = *it;
+  const Point& lo = *(it - 1);
+  const double t = static_cast<double>(concurrency - lo.concurrency) /
+                   static_cast<double>(hi.concurrency - lo.concurrency);
+  return lo.efficiency + t * (hi.efficiency - lo.efficiency);
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// TILE-Gx8036 calibration.
+//
+// Bandwidth anchors follow Fig 3's description: ~3100 MB/s plateau through
+// the 32 kB L1d, 1900–2700 MB/s through the 256 kB L2, a DDC region falling
+// from ~1000 MB/s past 1 MB, converging at 320 MB/s memory-to-memory.
+// ---------------------------------------------------------------------------
+DeviceConfig make_gx36() {
+  DeviceConfig c;
+  c.name = "TILE-Gx8036";
+  c.short_name = "gx36";
+  c.mesh_width = 6;
+  c.mesh_height = 6;
+  c.word_bytes = 8;
+  c.clock_ghz = 1.0;
+  c.l1i_bytes = 32 * 1024;
+  c.l1d_bytes = 32 * 1024;
+  c.l2_bytes = 256 * 1024;
+  c.ddr_controllers = 2;
+  c.mem_bw_gbps = 500.0;
+  c.mesh_bw_tbps = 60.0;
+  c.power_watts_lo = 10.0;
+  c.power_watts_hi = 55.0;
+  c.has_mpipe = true;
+  c.has_mica = true;
+  c.supports_udn_interrupts = true;
+  c.has_stn = false;  // the Gx replaced the STN with a fifth dynamic network
+
+  c.udn_setup_teardown_ps = 21'000;  // ~21 ns derived in paper §III-C
+  c.udn_rx_overhead_ps = 0;
+
+  c.bw_shared_to_shared = BandwidthCurve({
+      {8, 95},          {32, 350},        {128, 1000},
+      {512, 2000},      {2048, 2700},     {8192, 3050},
+      {32768, 3100},    // L1d capacity: first transition
+      {65536, 2700},    {131072, 2400},
+      {262144, 1900},   // L2 capacity: second transition
+      {524288, 1400},
+      {1048576, 1000},  // DDC region: third transition
+      {2097152, 700},   {4194304, 500},   {8388608, 390},
+      {16777216, 340},  {67108864, 320},  // memory-to-memory limit
+  });
+  // Private heap pages are locally homed by default: marginally better hit
+  // latency at cache-resident sizes, identical once DRAM-bound.
+  c.bw_private_to_shared = BandwidthCurve({
+      {8, 100},         {32, 370},        {128, 1050},
+      {512, 2100},      {2048, 2850},     {8192, 3200},
+      {32768, 3250},    {65536, 2800},    {131072, 2480},
+      {262144, 1950},   {524288, 1430},   {1048576, 1010},
+      {2097152, 700},   {4194304, 500},   {8388608, 390},
+      {16777216, 340},  {67108864, 320},
+  });
+  c.bw_shared_to_private = c.bw_private_to_shared;
+  c.bw_private_to_private = BandwidthCurve({
+      {8, 110},         {32, 400},        {128, 1150},
+      {512, 2300},      {2048, 3000},     {8192, 3400},
+      {32768, 3450},    {65536, 2950},    {131072, 2600},
+      {262144, 2050},   {524288, 1500},   {1048576, 1050},
+      {2097152, 720},   {4194304, 510},   {8388608, 395},
+      {16777216, 345},  {67108864, 325},
+  });
+  c.copy_call_overhead_ps = 60'000;  // 60 ns fixed memcpy entry cost
+
+  c.local_homing_small_boost = 1.12;
+  c.local_homing_large_penalty = 0.55;  // local homing loses the DDC
+  c.remote_homing_factor = 0.92;
+
+  // Read contention calibrated against Fig 10: aggregate pull-broadcast
+  // bandwidth peaks at 46 GB/s @ 29 tiles and drops to 37 GB/s @ 36.
+  c.read_contention = ContentionCurve({
+      {1, 1.00}, {2, 0.95}, {4, 0.88}, {8, 0.78}, {16, 0.62},
+      {24, 0.55}, {29, 0.51}, {32, 0.40}, {36, 0.33},
+  });
+  c.write_contention = ContentionCurve({
+      {1, 1.00}, {2, 0.92}, {4, 0.82}, {8, 0.70}, {16, 0.55},
+      {24, 0.47}, {29, 0.42}, {32, 0.35}, {36, 0.30},
+  });
+
+  // Fig 5 anchors: spin 1.5 us @ 36 tiles, sync 321 us @ 36 tiles.
+  c.barrier.spin_base_ps = 150'000;
+  c.barrier.spin_per_tile_ps = 37'500;
+  c.barrier.sync_base_ps = 500'000;
+  c.barrier.sync_per_tile_ps = 8'900'000;
+
+  c.shmem_call_overhead_ps = 40'000;
+  c.interrupt_dispatch_ps = 1'500'000;
+  c.interrupt_service_ps = 800'000;
+  c.bounce_alloc_ps = 2'000'000;
+  c.barrier_forward_ps = 30'000;
+
+  c.compute.int_op_ps = 1'000;   // 1 cycle @ 1 GHz
+  c.compute.fp_op_ps = 9'000;    // assisted soft-float: ~9 cycles per flop
+  c.compute.mem_op_ps = 2'000;
+  c.compute.call_ps = 5'000;
+  return c;
+}
+
+// ---------------------------------------------------------------------------
+// TILEPro64 calibration.
+//
+// Fig 3: ~500 MB/s through the cache-resident sizes, decreasing to a
+// 370 MB/s memory-to-memory limit (faster than the Gx's 320 MB/s — the one
+// crossover the paper calls out).
+// ---------------------------------------------------------------------------
+DeviceConfig make_pro64() {
+  DeviceConfig c;
+  c.name = "TILEPro64";
+  c.short_name = "pro64";
+  c.mesh_width = 8;
+  c.mesh_height = 8;
+  c.word_bytes = 4;
+  c.clock_ghz = 0.7;
+  c.l1i_bytes = 16 * 1024;
+  c.l1d_bytes = 8 * 1024;
+  c.l2_bytes = 64 * 1024;
+  c.ddr_controllers = 4;
+  c.mem_bw_gbps = 200.0;
+  c.mesh_bw_tbps = 37.0;
+  c.power_watts_lo = 19.0;
+  c.power_watts_hi = 23.0;
+  c.has_mpipe = false;
+  c.has_mica = false;
+  c.supports_udn_interrupts = false;  // paper §IV-B2: no UDN interrupts
+  c.has_stn = true;          // one developer-defined static network (§II-C)
+  c.stn_setup_ps = 4'300;    // ~3 cycles: no per-packet route computation
+
+  c.udn_setup_teardown_ps = 18'000;  // ~18 ns derived in paper §III-C
+  c.udn_rx_overhead_ps = 0;
+  c.udn_dir_bias_ps[2] = -1'000;  // up: Table III shows vertical ~1 ns faster
+  c.udn_dir_bias_ps[3] = -1'000;  // down
+  c.udn_turn_ps = 1'000;          // corner routes land at ~33 ns
+
+  c.bw_shared_to_shared = BandwidthCurve({
+      {8, 45},         {32, 160},       {128, 320},
+      {512, 430},      {2048, 490},     {8192, 510},   // L1d (8 kB)
+      {65536, 500},    // L2 capacity (64 kB)
+      {262144, 490},   {524288, 470},   {1048576, 450},
+      {2097152, 420},  {4194304, 400},  {8388608, 385},
+      {16777216, 375}, {67108864, 370},  // memory-to-memory limit
+  });
+  c.bw_private_to_shared = BandwidthCurve({
+      {8, 48},         {32, 170},       {128, 335},
+      {512, 450},      {2048, 505},     {8192, 525},
+      {65536, 512},    {262144, 498},   {524288, 476},
+      {1048576, 455},  {2097152, 424},  {4194304, 403},
+      {8388608, 388},  {16777216, 377}, {67108864, 371},
+  });
+  c.bw_shared_to_private = c.bw_private_to_shared;
+  c.bw_private_to_private = BandwidthCurve({
+      {8, 52},         {32, 180},       {128, 350},
+      {512, 465},      {2048, 520},     {8192, 540},
+      {65536, 525},    {262144, 505},   {524288, 480},
+      {1048576, 460},  {2097152, 428},  {4194304, 405},
+      {8388608, 390},  {16777216, 378}, {67108864, 372},
+  });
+  c.copy_call_overhead_ps = 80'000;
+
+  c.local_homing_small_boost = 1.08;
+  c.local_homing_large_penalty = 0.70;
+  c.remote_homing_factor = 0.90;
+
+  // Fig 10: pull-broadcast aggregate peaks at 5.1 GB/s @ 36 tiles.
+  c.read_contention = ContentionCurve({
+      {1, 1.00}, {2, 0.95}, {4, 0.85}, {8, 0.70}, {16, 0.50},
+      {32, 0.30}, {36, 0.28}, {64, 0.20},
+  });
+  c.write_contention = ContentionCurve({
+      {1, 1.00}, {2, 0.90}, {4, 0.78}, {8, 0.62}, {16, 0.44},
+      {32, 0.27}, {36, 0.25}, {64, 0.18},
+  });
+
+  // Fig 5 anchors: spin 47.2 us @ 36 tiles, sync 786 us @ 36 tiles.
+  c.barrier.spin_base_ps = 400'000;
+  c.barrier.spin_per_tile_ps = 1'300'000;
+  c.barrier.sync_base_ps = 4'600'000;
+  c.barrier.sync_per_tile_ps = 21'700'000;
+
+  c.shmem_call_overhead_ps = 55'000;
+  c.interrupt_dispatch_ps = 0;  // unsupported
+  c.interrupt_service_ps = 0;
+  c.bounce_alloc_ps = 2'800'000;
+  c.barrier_forward_ps = 24'000;
+
+  c.compute.int_op_ps = 1'429;   // 1 cycle @ 700 MHz
+  c.compute.fp_op_ps = 90'000;   // pure software floating point: ~10x Gx
+  c.compute.mem_op_ps = 2'857;
+  c.compute.call_ps = 7'143;
+  return c;
+}
+
+}  // namespace
+
+const DeviceConfig& tile_gx36() {
+  static const DeviceConfig cfg = make_gx36();
+  return cfg;
+}
+
+const DeviceConfig& tile_pro64() {
+  static const DeviceConfig cfg = make_pro64();
+  return cfg;
+}
+
+const DeviceConfig& device_by_name(const std::string& short_name) {
+  if (short_name == "gx36" || short_name == "gx" ||
+      short_name == "tile-gx8036") {
+    return tile_gx36();
+  }
+  if (short_name == "pro64" || short_name == "pro" ||
+      short_name == "tilepro64") {
+    return tile_pro64();
+  }
+  throw std::invalid_argument("unknown device '" + short_name +
+                              "' (expected gx36 or pro64)");
+}
+
+std::vector<const DeviceConfig*> all_devices() {
+  return {&tile_gx36(), &tile_pro64()};
+}
+
+}  // namespace tilesim

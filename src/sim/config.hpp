@@ -1,0 +1,179 @@
+// Device configurations for the simulated Tilera processors.
+//
+// The real TILE-Gx8036 and TILEPro64 are unobtainable; every quantity here
+// is taken from Table II of the paper or derived in its Section III device
+// studies (clock rate, mesh dimensions, word width, cache capacities, UDN
+// setup/teardown costs, barrier latency anchors, bandwidth-curve anchors).
+// See DESIGN.md §2 and §5 for the calibration table.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace tilesim {
+
+using tshmem_util::ps_t;
+
+/// Which kind of memory an address lives in, from the point of view of the
+/// SHMEM process model. Private = a process's own heap/stack (static
+/// symmetric objects); Shared = the TMC common-memory segment.
+enum class MemSpace : std::uint8_t { kPrivate, kShared };
+
+/// Tilera memory-homing strategy for a page (paper §III-A).
+enum class Homing : std::uint8_t { kLocal, kRemote, kHashForHome };
+
+/// A bandwidth-vs-size curve: piecewise log-linear interpolation between
+/// (transfer size, MB/s) anchor points. Sizes must be strictly increasing.
+class BandwidthCurve {
+ public:
+  struct Anchor {
+    std::size_t size_bytes;
+    double mbps;
+  };
+
+  BandwidthCurve() = default;
+  explicit BandwidthCurve(std::vector<Anchor> anchors);
+
+  /// Effective bandwidth (MB/s) for a transfer of `size` bytes. Clamps to
+  /// the first/last anchor outside the covered range.
+  [[nodiscard]] double mbps(std::size_t size) const noexcept;
+
+  [[nodiscard]] bool empty() const noexcept { return anchors_.empty(); }
+  [[nodiscard]] const std::vector<Anchor>& anchors() const noexcept {
+    return anchors_;
+  }
+
+ private:
+  std::vector<Anchor> anchors_;
+};
+
+/// Parameters of the TMC barrier latency models (see tmc/barrier.hpp).
+struct BarrierModel {
+  ps_t spin_base_ps;      ///< fixed entry/exit cost of the spin barrier
+  ps_t spin_per_tile_ps;  ///< incremental cost per participating tile
+  ps_t sync_base_ps;      ///< fixed cost of the scheduler-assisted barrier
+  ps_t sync_per_tile_ps;  ///< per-tile scheduler round-trip cost
+};
+
+/// Concurrency-efficiency curve for simultaneous readers/writers against a
+/// single PE's partition (drives Fig 10/11 aggregate-bandwidth saturation).
+class ContentionCurve {
+ public:
+  struct Point {
+    int concurrency;
+    double efficiency;  ///< per-stream fraction of solo bandwidth
+  };
+
+  ContentionCurve() = default;
+  explicit ContentionCurve(std::vector<Point> points);
+
+  [[nodiscard]] double efficiency(int concurrency) const noexcept;
+
+ private:
+  std::vector<Point> points_;
+};
+
+/// Per-device compute cost model (drives the Fig 13/14 application studies).
+struct ComputeModel {
+  ps_t int_op_ps;    ///< simple integer ALU op
+  ps_t fp_op_ps;     ///< floating-point op (TILEPro has no FPU: ~10x TILE-Gx)
+  ps_t mem_op_ps;    ///< cache-resident load/store not covered by copy model
+  ps_t call_ps;      ///< function-call / loop bookkeeping quantum
+};
+
+/// Full description of one simulated device.
+struct DeviceConfig {
+  std::string name;        ///< "TILE-Gx8036" / "TILEPro64"
+  std::string short_name;  ///< "gx36" / "pro64"
+
+  // --- Table II characteristics -------------------------------------------
+  int mesh_width = 0;
+  int mesh_height = 0;
+  int word_bytes = 0;          ///< UDN word width: 8 on Gx, 4 on Pro
+  double clock_ghz = 0.0;
+  std::size_t l1i_bytes = 0;
+  std::size_t l1d_bytes = 0;
+  std::size_t l2_bytes = 0;
+  int ddr_controllers = 0;
+  double mem_bw_gbps = 0.0;    ///< headline memory bandwidth
+  double mesh_bw_tbps = 0.0;   ///< headline on-chip interconnect bandwidth
+  double power_watts_lo = 0.0;
+  double power_watts_hi = 0.0;
+  bool has_mpipe = false;
+  bool has_mica = false;
+  bool supports_udn_interrupts = false;  ///< TILEPro lacks them (paper §IV-B2)
+  /// TILEPro carries one developer-defined statically routed network (STN)
+  /// alongside its four dynamic networks (paper §II-C); the TILE-Gx
+  /// replaced it with a fifth dynamic network.
+  bool has_stn = false;
+  ps_t stn_setup_ps = 0;  ///< per-message cost on the static network
+
+  // --- UDN timing (paper §III-C) ------------------------------------------
+  int udn_demux_queues = 4;
+  int udn_max_payload_words = 127;
+  ps_t udn_setup_teardown_ps = 0;  ///< ~21 ns Gx / ~18 ns Pro
+  ps_t udn_rx_overhead_ps = 0;     ///< receive-side demux cost
+  /// Signed adjustment by the route's first-leg direction, indexed
+  /// left/right/up/down (matches sim::Dir). Captures the small directional
+  /// asymmetries Table III reports (e.g. vertical routes are ~1 ns faster
+  /// on the TILEPro64).
+  std::int64_t udn_dir_bias_ps[4] = {0, 0, 0, 0};
+  /// Extra switch re-arbitration cost when the dimension-order route turns
+  /// from the X to the Y dimension.
+  ps_t udn_turn_ps = 0;
+
+  /// Cycle time in ps (1000 for 1 GHz, ~1429 for 700 MHz).
+  [[nodiscard]] ps_t cycle_ps() const noexcept {
+    return static_cast<ps_t>(1000.0 / clock_ghz + 0.5);
+  }
+
+  [[nodiscard]] int tile_count() const noexcept {
+    return mesh_width * mesh_height;
+  }
+
+  // --- Memory system (paper §III-A/B, Fig 3) ------------------------------
+  BandwidthCurve bw_shared_to_shared;
+  BandwidthCurve bw_private_to_shared;
+  BandwidthCurve bw_shared_to_private;
+  BandwidthCurve bw_private_to_private;
+  ps_t copy_call_overhead_ps = 0;  ///< fixed per-memcpy cost
+
+  /// Multiplier applied to the hash-for-home curve for other homings.
+  double local_homing_small_boost = 1.0;   ///< <= L2-resident sizes
+  double local_homing_large_penalty = 1.0; ///< beyond L2 (loses DDC)
+  double remote_homing_factor = 1.0;
+
+  // --- Contention ----------------------------------------------------------
+  ContentionCurve read_contention;   ///< concurrent gets from one partition
+  ContentionCurve write_contention;  ///< concurrent puts into one partition
+
+  // --- Barriers (Fig 5 anchors) -------------------------------------------
+  BarrierModel barrier;
+
+  // --- TSHMEM library costs ------------------------------------------------
+  ps_t shmem_call_overhead_ps = 0;    ///< address classification + dispatch
+  ps_t interrupt_dispatch_ps = 0;     ///< raise + vector a UDN interrupt
+  ps_t interrupt_service_ps = 0;      ///< remote handler entry/exit
+  ps_t bounce_alloc_ps = 0;           ///< temp shared buffer setup (static-static)
+  ps_t barrier_forward_ps = 0;        ///< per-tile token-forwarding cost
+
+  // --- Compute -------------------------------------------------------------
+  ComputeModel compute;
+};
+
+/// The two devices evaluated in the paper.
+[[nodiscard]] const DeviceConfig& tile_gx36();
+[[nodiscard]] const DeviceConfig& tile_pro64();
+
+/// Lookup by short name ("gx36", "pro64"); throws std::invalid_argument on
+/// unknown names.
+[[nodiscard]] const DeviceConfig& device_by_name(const std::string& short_name);
+
+/// All known device configurations (for sweeping benches).
+[[nodiscard]] std::vector<const DeviceConfig*> all_devices();
+
+}  // namespace tilesim

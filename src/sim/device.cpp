@@ -1,0 +1,139 @@
+#include "sim/device.hpp"
+
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+namespace tilesim {
+
+namespace {
+thread_local Tile* g_current_tile = nullptr;
+}  // namespace
+
+namespace {
+// Records a charge interval against the device tracer when one is attached.
+void trace_charge(Device& device, int tile, TraceKind kind, ps_t begin,
+                  ps_t end) {
+  if (TraceRecorder* tracer = device.tracer(); tracer != nullptr) {
+    tracer->record(tile, kind, begin, end);
+  }
+}
+}  // namespace
+
+void Tile::charge_int_ops(std::uint64_t n) {
+  const ps_t t0 = clock_.now();
+  clock_.advance(n * device_->config().compute.int_op_ps);
+  trace_charge(*device_, id_, TraceKind::kCompute, t0, clock_.now());
+}
+
+void Tile::charge_fp_ops(std::uint64_t n) {
+  const ps_t t0 = clock_.now();
+  clock_.advance(n * device_->config().compute.fp_op_ps);
+  trace_charge(*device_, id_, TraceKind::kCompute, t0, clock_.now());
+}
+
+void Tile::charge_mem_ops(std::uint64_t n) {
+  const ps_t t0 = clock_.now();
+  clock_.advance(n * device_->config().compute.mem_op_ps);
+  trace_charge(*device_, id_, TraceKind::kCompute, t0, clock_.now());
+}
+
+void Tile::charge_calls(std::uint64_t n) {
+  clock_.advance(n * device_->config().compute.call_ps);
+}
+
+void Tile::charge_copy(const CopyRequest& req) {
+  const ps_t t0 = clock_.now();
+  clock_.advance(device_->mem_model().copy_cost_ps(req));
+  trace_charge(*device_, id_, TraceKind::kCopy, t0, clock_.now());
+}
+
+Device::Device(const DeviceConfig& cfg)
+    : cfg_(&cfg), topo_(cfg), mem_(cfg) {
+  tiles_.reserve(static_cast<std::size_t>(cfg.tile_count()));
+  for (int i = 0; i < cfg.tile_count(); ++i) {
+    tiles_.push_back(std::make_unique<Tile>(*this, i));
+  }
+}
+
+Device::~Device() = default;
+
+Tile& Device::tile(int id) {
+  if (id < 0 || id >= tile_count()) {
+    throw std::out_of_range("tile id out of range");
+  }
+  return *tiles_[static_cast<std::size_t>(id)];
+}
+
+const Tile& Device::tile(int id) const {
+  if (id < 0 || id >= tile_count()) {
+    throw std::out_of_range("tile id out of range");
+  }
+  return *tiles_[static_cast<std::size_t>(id)];
+}
+
+Tile* Device::current() noexcept { return g_current_tile; }
+
+void Device::reset_clocks() {
+  for (auto& t : tiles_) t->clock().reset();
+}
+
+void Device::host_sync() {
+  if (!host_barrier_) {
+    throw std::logic_error("host_sync called outside Device::run");
+  }
+  host_barrier_->arrive_and_wait();
+}
+
+void Device::sync_and_reset_clocks() {
+  Tile* self = current();
+  if (self == nullptr) {
+    throw std::logic_error("sync_and_reset_clocks called outside run()");
+  }
+  host_sync();
+  if (self->id() == 0) reset_clocks();
+  host_sync();
+}
+
+void Device::run(int active_tiles, const std::function<void(Tile&)>& fn) {
+  if (active_tiles < 1 || active_tiles > tile_count()) {
+    throw std::invalid_argument("active_tiles must be in [1, tile_count]");
+  }
+  if (host_barrier_) {
+    throw std::logic_error("Device::run is not reentrant");
+  }
+  active_tiles_ = active_tiles;
+  host_barrier_ = std::make_unique<std::barrier<>>(active_tiles);
+  reset_clocks();
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(active_tiles));
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+
+  for (int i = 0; i < active_tiles; ++i) {
+    threads.emplace_back([this, i, &fn, &first_error, &error_mu] {
+      Tile& self = *tiles_[static_cast<std::size_t>(i)];
+      g_current_tile = &self;
+      try {
+        fn(self);
+      } catch (...) {
+        std::scoped_lock lk(error_mu);
+        if (!first_error) first_error = std::current_exception();
+        // A dead tile must not deadlock the others on the host barrier; we
+        // cannot cleanly cancel std::barrier waits, so a throwing tile drops
+        // its participation. Benchmarks/tests treat any exception as fatal
+        // and the rethrow below surfaces it.
+        host_barrier_->arrive_and_drop();
+      }
+      g_current_tile = nullptr;
+    });
+  }
+  for (auto& t : threads) t.join();
+  host_barrier_.reset();
+  active_tiles_ = 0;
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace tilesim

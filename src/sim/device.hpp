@@ -1,0 +1,108 @@
+// Simulated device runtime: a mesh of tiles, each driven by one host
+// thread. Real data lives in ordinary process memory; the Tile's SimClock
+// carries the modeled device time.
+#pragma once
+
+#include <barrier>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/clock.hpp"
+#include "sim/config.hpp"
+#include "sim/mem_model.hpp"
+#include "sim/topology.hpp"
+#include "sim/trace.hpp"
+
+namespace tilesim {
+
+class Device;
+
+/// One tile of the mesh. Owned by Device; bound 1:1 to a host thread for
+/// the duration of a Device::run() call.
+class Tile {
+ public:
+  Tile(Device& device, int id) : device_(&device), id_(id) {}
+
+  Tile(const Tile&) = delete;
+  Tile& operator=(const Tile&) = delete;
+
+  [[nodiscard]] int id() const noexcept { return id_; }
+  [[nodiscard]] Device& device() const noexcept { return *device_; }
+  [[nodiscard]] SimClock& clock() noexcept { return clock_; }
+  [[nodiscard]] const SimClock& clock() const noexcept { return clock_; }
+
+  /// Charge compute-model costs to this tile's clock.
+  void charge_int_ops(std::uint64_t n);
+  void charge_fp_ops(std::uint64_t n);
+  void charge_mem_ops(std::uint64_t n);
+  void charge_calls(std::uint64_t n);
+
+  /// Charge a modeled memory copy.
+  void charge_copy(const CopyRequest& req);
+
+ private:
+  Device* device_;
+  int id_;
+  SimClock clock_;
+};
+
+/// The whole simulated processor. Construct once per device config; call
+/// run() to execute a SPMD function across `active_tiles` tiles.
+class Device {
+ public:
+  explicit Device(const DeviceConfig& cfg);
+  ~Device();
+
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  [[nodiscard]] const DeviceConfig& config() const noexcept { return *cfg_; }
+  [[nodiscard]] const Topology& topology() const noexcept { return topo_; }
+  [[nodiscard]] const MemModel& mem_model() const noexcept { return mem_; }
+
+  [[nodiscard]] int tile_count() const noexcept { return cfg_->tile_count(); }
+  [[nodiscard]] int active_tiles() const noexcept { return active_tiles_; }
+
+  [[nodiscard]] Tile& tile(int id);
+  [[nodiscard]] const Tile& tile(int id) const;
+
+  /// Runs `fn(tile)` on `active_tiles` host threads, one per tile (tiles
+  /// 0..active_tiles-1 in *virtual* CPU numbering). Joins all threads and
+  /// rethrows the first exception any tile raised. Clocks reset at entry.
+  void run(int active_tiles, const std::function<void(Tile&)>& fn);
+
+  /// Harness-level (zero virtual cost) rendezvous of all active tiles.
+  /// Valid only inside run().
+  void host_sync();
+
+  /// Tile bound to the calling thread, or nullptr outside run().
+  [[nodiscard]] static Tile* current() noexcept;
+
+  /// Resets every tile clock to zero. Call only between run()s or from a
+  /// single tile after host_sync() (the helper sync_and_reset_clocks does
+  /// this safely from inside a run).
+  void reset_clocks();
+
+  /// host_sync(); tile 0 resets all clocks; host_sync() again. Benchmarks
+  /// use this between measurement phases.
+  void sync_and_reset_clocks();
+
+  /// Attach (or detach with nullptr) a virtual-time tracer; compute/copy
+  /// charges on every tile are recorded while attached. The recorder must
+  /// outlive its attachment and cover tile_count() tiles.
+  void attach_tracer(TraceRecorder* tracer) noexcept { tracer_ = tracer; }
+  [[nodiscard]] TraceRecorder* tracer() const noexcept { return tracer_; }
+
+ private:
+  const DeviceConfig* cfg_;
+  Topology topo_;
+  MemModel mem_;
+  std::vector<std::unique_ptr<Tile>> tiles_;
+  std::unique_ptr<std::barrier<>> host_barrier_;
+  int active_tiles_ = 0;
+  TraceRecorder* tracer_ = nullptr;
+};
+
+}  // namespace tilesim

@@ -1,0 +1,55 @@
+#include "sim/mem_model.hpp"
+
+#include <algorithm>
+
+#include "util/units.hpp"
+
+namespace tilesim {
+
+const BandwidthCurve& MemModel::curve_for(MemSpace src, MemSpace dst) const {
+  if (src == MemSpace::kPrivate && dst == MemSpace::kPrivate) {
+    return cfg_->bw_private_to_private;
+  }
+  if (src == MemSpace::kPrivate) return cfg_->bw_private_to_shared;
+  if (dst == MemSpace::kPrivate) return cfg_->bw_shared_to_private;
+  return cfg_->bw_shared_to_shared;
+}
+
+double MemModel::homing_factor(std::size_t bytes, Homing homing) const {
+  switch (homing) {
+    case Homing::kHashForHome:
+      return 1.0;  // the default strategy the curves are calibrated for
+    case Homing::kLocal:
+      // Faster hit latency while the working set fits the local L2, but the
+      // page cannot be distributed into other tiles' caches (loses DDC).
+      return bytes <= cfg_->l2_bytes ? cfg_->local_homing_small_boost
+                                     : cfg_->local_homing_large_penalty;
+    case Homing::kRemote:
+      return cfg_->remote_homing_factor;
+  }
+  return 1.0;
+}
+
+double MemModel::effective_mbps(const CopyRequest& req) const {
+  const BandwidthCurve& curve = curve_for(req.src, req.dst);
+  double mbps = curve.mbps(req.bytes);
+  mbps *= homing_factor(req.bytes, req.homing);
+  // Contention applies only to shared-segment endpoints: multiple streams
+  // hammering the same partition's home tiles share its cache/mesh ports.
+  if (req.src == MemSpace::kShared && req.concurrent_readers > 1) {
+    mbps *= cfg_->read_contention.efficiency(req.concurrent_readers);
+  }
+  if (req.dst == MemSpace::kShared && req.concurrent_writers > 1) {
+    mbps *= cfg_->write_contention.efficiency(req.concurrent_writers);
+  }
+  return std::max(mbps, 1.0);
+}
+
+ps_t MemModel::copy_cost_ps(const CopyRequest& req) const {
+  if (req.bytes == 0) return cfg_->copy_call_overhead_ps;
+  const double mbps = effective_mbps(req);
+  return cfg_->copy_call_overhead_ps +
+         tshmem_util::transfer_time_ps(req.bytes, mbps);
+}
+
+}  // namespace tilesim

@@ -1,0 +1,101 @@
+#include "sim/topology.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace tilesim {
+
+std::string to_string(Dir d) {
+  switch (d) {
+    case Dir::kLeft: return "left";
+    case Dir::kRight: return "right";
+    case Dir::kUp: return "up";
+    case Dir::kDown: return "down";
+  }
+  return "?";
+}
+
+Topology::Topology(int width, int height) : width_(width), height_(height) {
+  if (width <= 0 || height <= 0) {
+    throw std::invalid_argument("Topology dimensions must be positive");
+  }
+}
+
+void Topology::check_tile(int tile) const {
+  if (tile < 0 || tile >= tile_count()) {
+    throw std::out_of_range("tile index " + std::to_string(tile) +
+                            " outside mesh of " + std::to_string(tile_count()));
+  }
+}
+
+Coord Topology::coord_of(int tile) const {
+  check_tile(tile);
+  return Coord{tile % width_, tile / width_};
+}
+
+int Topology::tile_at(Coord c) const {
+  if (!contains(c)) {
+    throw std::out_of_range("coordinate outside mesh");
+  }
+  return c.y * width_ + c.x;
+}
+
+bool Topology::contains(Coord c) const noexcept {
+  return c.x >= 0 && c.x < width_ && c.y >= 0 && c.y < height_;
+}
+
+int Topology::hops(int from, int to) const {
+  const Coord a = coord_of(from);
+  const Coord b = coord_of(to);
+  return std::abs(a.x - b.x) + std::abs(a.y - b.y);
+}
+
+std::vector<Dir> Topology::route(int from, int to) const {
+  const Coord a = coord_of(from);
+  const Coord b = coord_of(to);
+  std::vector<Dir> steps;
+  steps.reserve(static_cast<std::size_t>(hops(from, to)));
+  // Dimension-order: resolve X first, then Y, one unit step per hop.
+  for (int x = a.x; x < b.x; ++x) steps.push_back(Dir::kRight);
+  for (int x = a.x; x > b.x; --x) steps.push_back(Dir::kLeft);
+  for (int y = a.y; y < b.y; ++y) steps.push_back(Dir::kDown);
+  for (int y = a.y; y > b.y; --y) steps.push_back(Dir::kUp);
+  return steps;
+}
+
+bool Topology::route_turns(int from, int to) const {
+  const Coord a = coord_of(from);
+  const Coord b = coord_of(to);
+  return a.x != b.x && a.y != b.y;
+}
+
+Dir Topology::first_direction(int from, int to) const {
+  const Coord a = coord_of(from);
+  const Coord b = coord_of(to);
+  if (b.x > a.x) return Dir::kRight;
+  if (b.x < a.x) return Dir::kLeft;
+  if (b.y > a.y) return Dir::kDown;
+  if (b.y < a.y) return Dir::kUp;
+  throw std::invalid_argument("first_direction requires from != to");
+}
+
+int virtual_to_physical(int virtual_tile, int area_w, int mesh_width) {
+  if (virtual_tile < 0 || area_w <= 0 || mesh_width < area_w) {
+    throw std::invalid_argument("bad virtual tile mapping arguments");
+  }
+  return (virtual_tile / area_w) * mesh_width + (virtual_tile % area_w);
+}
+
+int physical_to_virtual(int physical_tile, int area_w, int mesh_width) {
+  if (physical_tile < 0 || area_w <= 0 || mesh_width < area_w) {
+    throw std::invalid_argument("bad virtual tile mapping arguments");
+  }
+  const int row = physical_tile / mesh_width;
+  const int col = physical_tile % mesh_width;
+  if (col >= area_w) {
+    throw std::out_of_range("physical tile outside the virtual test area");
+  }
+  return row * area_w + col;
+}
+
+}  // namespace tilesim

@@ -1,0 +1,69 @@
+// 2D mesh topology and dimension-order (X-then-Y) routing, matching the
+// Tilera iMesh. Also provides the paper's "virtual CPU number" mapping: the
+// benchmark test area is 6x6 on both devices; on the 8x8 TILEPro64 virtual
+// tile v maps to physical tile (v / 6) * 8 + (v % 6) (paper §III-C).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/config.hpp"
+
+namespace tilesim {
+
+/// Tile coordinate in the physical mesh, (0,0) at the top-left.
+struct Coord {
+  int x = 0;
+  int y = 0;
+
+  friend bool operator==(const Coord&, const Coord&) = default;
+};
+
+/// One hop of a route, as a unit step in the mesh.
+enum class Dir : std::uint8_t { kLeft, kRight, kUp, kDown };
+
+[[nodiscard]] std::string to_string(Dir d);
+
+class Topology {
+ public:
+  Topology(int width, int height);
+  explicit Topology(const DeviceConfig& cfg)
+      : Topology(cfg.mesh_width, cfg.mesh_height) {}
+
+  [[nodiscard]] int width() const noexcept { return width_; }
+  [[nodiscard]] int height() const noexcept { return height_; }
+  [[nodiscard]] int tile_count() const noexcept { return width_ * height_; }
+
+  [[nodiscard]] Coord coord_of(int tile) const;
+  [[nodiscard]] int tile_at(Coord c) const;
+  [[nodiscard]] bool contains(Coord c) const noexcept;
+
+  /// Manhattan hop count of the dimension-order route between two tiles.
+  [[nodiscard]] int hops(int from, int to) const;
+
+  /// Full dimension-order route (X first, then Y) as a sequence of steps.
+  [[nodiscard]] std::vector<Dir> route(int from, int to) const;
+
+  /// True if the dimension-order route includes an X->Y turn.
+  [[nodiscard]] bool route_turns(int from, int to) const;
+
+  /// First-leg direction of the route; meaningful only when from != to.
+  [[nodiscard]] Dir first_direction(int from, int to) const;
+
+ private:
+  int width_;
+  int height_;
+  void check_tile(int tile) const;
+};
+
+/// The paper's virtual-CPU mapping: virtual tiles index a `area_w x area_h`
+/// test area embedded at the top-left of a physical mesh of width
+/// `mesh_width`. On the TILE-Gx36 the area equals the chip so the mapping is
+/// the identity; on the TILEPro64 virtual tile 6 is physical tile 8, etc.
+[[nodiscard]] int virtual_to_physical(int virtual_tile, int area_w,
+                                      int mesh_width);
+[[nodiscard]] int physical_to_virtual(int physical_tile, int area_w,
+                                      int mesh_width);
+
+}  // namespace tilesim

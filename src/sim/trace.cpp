@@ -1,0 +1,95 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <stdexcept>
+
+#include "sim/clock.hpp"
+
+namespace tilesim {
+
+const char* to_string(TraceKind kind) noexcept {
+  switch (kind) {
+    case TraceKind::kCompute: return "compute";
+    case TraceKind::kCopy: return "copy";
+    case TraceKind::kMessage: return "message";
+    case TraceKind::kBarrier: return "barrier";
+    case TraceKind::kCollective: return "collective";
+    case TraceKind::kCustom: return "custom";
+  }
+  return "?";
+}
+
+TraceRecorder::TraceRecorder(int tiles) {
+  if (tiles < 1) throw std::invalid_argument("TraceRecorder needs >= 1 tile");
+  tiles_.reserve(static_cast<std::size_t>(tiles));
+  for (int i = 0; i < tiles; ++i) {
+    tiles_.push_back(std::make_unique<PerTile>());
+  }
+}
+
+void TraceRecorder::record(int tile, TraceKind kind, ps_t begin, ps_t end,
+                           std::string label) {
+  if (tile < 0 || tile >= static_cast<int>(tiles_.size())) {
+    throw std::out_of_range("TraceRecorder: tile out of range");
+  }
+  PerTile& pt = *tiles_[static_cast<std::size_t>(tile)];
+  std::scoped_lock lk(pt.mu);
+  pt.events.push_back(TraceEvent{tile, kind, begin, end, std::move(label)});
+}
+
+std::vector<TraceEvent> TraceRecorder::events() const {
+  std::vector<TraceEvent> out;
+  for (const auto& pt : tiles_) {
+    std::scoped_lock lk(pt->mu);
+    out.insert(out.end(), pt->events.begin(), pt->events.end());
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.begin_ps != b.begin_ps ? a.begin_ps < b.begin_ps
+                                              : a.tile < b.tile;
+            });
+  return out;
+}
+
+std::size_t TraceRecorder::event_count() const {
+  std::size_t n = 0;
+  for (const auto& pt : tiles_) {
+    std::scoped_lock lk(pt->mu);
+    n += pt->events.size();
+  }
+  return n;
+}
+
+void TraceRecorder::clear() {
+  for (const auto& pt : tiles_) {
+    std::scoped_lock lk(pt->mu);
+    pt->events.clear();
+  }
+}
+
+void TraceRecorder::dump_csv(std::ostream& os) const {
+  os << "tile,kind,begin_ps,end_ps,duration_ps,label\n";
+  for (const TraceEvent& e : events()) {
+    os << e.tile << ',' << to_string(e.kind) << ',' << e.begin_ps << ','
+       << e.end_ps << ',' << (e.end_ps - e.begin_ps) << ',' << e.label
+       << '\n';
+  }
+}
+
+TraceSpan::TraceSpan(TraceRecorder* recorder, int tile, const SimClock& clock,
+                     TraceKind kind, std::string label)
+    : recorder_(recorder),
+      tile_(tile),
+      clock_(&clock),
+      kind_(kind),
+      label_(std::move(label)),
+      begin_(clock.now()) {}
+
+TraceSpan::~TraceSpan() {
+  if (recorder_ != nullptr) {
+    recorder_->record(tile_, kind_, begin_, clock_->now(), std::move(label_));
+  }
+}
+
+}  // namespace tilesim

@@ -1,0 +1,88 @@
+// Virtual-time event tracing.
+//
+// A TraceRecorder attached to a Device collects per-tile timeline events
+// (compute charges, modeled copies, message receives, and custom spans in
+// application code) in virtual device time. Benches and examples can dump
+// the merged timeline as CSV for offline visualization — the equivalent of
+// the per-tile state trackers Tilera's Eclipse IDE provided (paper §III).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace tilesim {
+
+using tshmem_util::ps_t;
+
+enum class TraceKind : std::uint8_t {
+  kCompute,
+  kCopy,
+  kMessage,
+  kBarrier,
+  kCollective,
+  kCustom,
+};
+
+[[nodiscard]] const char* to_string(TraceKind kind) noexcept;
+
+struct TraceEvent {
+  int tile = 0;
+  TraceKind kind = TraceKind::kCustom;
+  ps_t begin_ps = 0;
+  ps_t end_ps = 0;
+  std::string label;
+};
+
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(int tiles);
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  void record(int tile, TraceKind kind, ps_t begin, ps_t end,
+              std::string label = {});
+
+  /// All events across tiles, sorted by (begin, tile).
+  [[nodiscard]] std::vector<TraceEvent> events() const;
+  [[nodiscard]] std::size_t event_count() const;
+  void clear();
+
+  /// CSV: tile,kind,begin_ps,end_ps,duration_ps,label
+  void dump_csv(std::ostream& os) const;
+
+ private:
+  struct PerTile {
+    mutable std::mutex mu;
+    std::vector<TraceEvent> events;
+  };
+  std::vector<std::unique_ptr<PerTile>> tiles_;
+};
+
+/// RAII span: records [entry clock, exit clock] of a scope against a
+/// recorder (used by application code for phase annotation).
+class TraceSpan {
+ public:
+  TraceSpan(TraceRecorder* recorder, int tile, const class SimClock& clock,
+            TraceKind kind, std::string label);
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  TraceRecorder* recorder_;
+  int tile_;
+  const SimClock* clock_;
+  TraceKind kind_;
+  std::string label_;
+  ps_t begin_;
+};
+
+}  // namespace tilesim

@@ -1,0 +1,54 @@
+#include "tmc/alloc.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace tmc {
+
+Allocator::~Allocator() {
+  std::scoped_lock lk(mu_);
+  for (void* p : private_allocs_) ::operator delete(p);
+}
+
+void* Allocator::alloc(const AllocAttr& attr, std::size_t bytes, int tile) {
+  if (bytes == 0) throw std::invalid_argument("alloc of zero bytes");
+  std::scoped_lock lk(mu_);
+  if (attr.shared) {
+    const std::string name = "tmc_alloc_" + std::to_string(next_id_++);
+    void* p = cmem_->map(name, bytes, attr.homing, tile);
+    shared_names_.insert(name);
+    shared_by_ptr_.emplace(p, name);
+    return p;
+  }
+  void* p = ::operator new(bytes, std::align_val_t{attr.alignment});
+  // operator new with alignment must be paired with the aligned delete;
+  // store the alignment implicitly by always using 64 in free().
+  if (attr.alignment != 64) {
+    ::operator delete(p, std::align_val_t{attr.alignment});
+    throw std::invalid_argument("private allocations support 64-byte alignment");
+  }
+  private_allocs_.insert(p);
+  return p;
+}
+
+void Allocator::free(void* p) {
+  if (p == nullptr) return;
+  std::scoped_lock lk(mu_);
+  if (auto it = shared_by_ptr_.find(p); it != shared_by_ptr_.end()) {
+    cmem_->unmap(it->second);
+    shared_names_.erase(it->second);
+    shared_by_ptr_.erase(it);
+    return;
+  }
+  if (private_allocs_.erase(p) == 0) {
+    throw std::invalid_argument("free of pointer not owned by Allocator");
+  }
+  ::operator delete(p, std::align_val_t{64});
+}
+
+std::size_t Allocator::live_allocations() const {
+  std::scoped_lock lk(mu_);
+  return private_allocs_.size() + shared_by_ptr_.size();
+}
+
+}  // namespace tmc

@@ -1,0 +1,53 @@
+// tmc_alloc-style attribute allocation: pick the memory space and homing
+// strategy for an allocation, mirroring tmc_alloc_set_home() and
+// tmc_alloc_map(). Shared allocations are carved from CommonMemory; private
+// ones from the process heap (tracked so they can be classified).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+
+#include "tmc/common_memory.hpp"
+
+namespace tmc {
+
+struct AllocAttr {
+  bool shared = true;
+  Homing homing = Homing::kHashForHome;
+  std::size_t alignment = 64;
+};
+
+/// Allocator facade over CommonMemory + the heap.
+class Allocator {
+ public:
+  explicit Allocator(CommonMemory& cmem) : cmem_(&cmem) {}
+
+  Allocator(const Allocator&) = delete;
+  Allocator& operator=(const Allocator&) = delete;
+
+  ~Allocator();
+
+  /// Allocates `bytes` with the given attributes, on behalf of `tile`.
+  void* alloc(const AllocAttr& attr, std::size_t bytes, int tile);
+  void free(void* p);
+
+  [[nodiscard]] bool is_shared(const void* p) const noexcept {
+    return cmem_->contains(p);
+  }
+  [[nodiscard]] std::size_t live_allocations() const;
+
+ private:
+  CommonMemory* cmem_;
+  mutable std::mutex mu_;
+  std::set<void*> private_allocs_;
+  std::set<std::string> shared_names_;
+  std::uint64_t next_id_ = 0;
+
+  // Reverse map from pointer to the CommonMemory mapping name.
+  std::map<const void*, std::string> shared_by_ptr_;
+};
+
+}  // namespace tmc

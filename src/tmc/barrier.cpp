@@ -1,0 +1,70 @@
+#include "tmc/barrier.hpp"
+
+#include <atomic>
+#include <stdexcept>
+
+namespace tmc {
+
+VtBarrier::VtBarrier(int parties, ReleaseFn release_fn)
+    : parties_(parties), release_fn_(std::move(release_fn)) {
+  if (parties < 1) {
+    throw std::invalid_argument("VtBarrier needs at least one party");
+  }
+  if (!release_fn_) {
+    throw std::invalid_argument("VtBarrier needs a release function");
+  }
+}
+
+void VtBarrier::wait(Tile& self) {
+  const ps_t arrival = self.clock().now();
+  std::unique_lock lk(mu_);
+  max_arrival_ = std::max(max_arrival_, arrival);
+  if (++arrived_ == parties_) {
+    release_time_ = release_fn_(max_arrival_, parties_);
+    arrived_ = 0;
+    max_arrival_ = 0;
+    ++generation_;
+    lk.unlock();
+    cv_.notify_all();
+    self.clock().advance_to(release_time_);
+    return;
+  }
+  const std::uint64_t my_generation = generation_;
+  cv_.wait(lk, [&] { return generation_ != my_generation; });
+  const ps_t release = release_time_;
+  lk.unlock();
+  self.clock().advance_to(release);
+}
+
+SpinBarrier::SpinBarrier(Device& device, int parties)
+    : barrier_(parties, [cfg = &device.config()](ps_t max_arrival,
+                                                 int n) -> ps_t {
+        return max_arrival + model_latency_ps(*cfg, n);
+      }) {}
+
+ps_t SpinBarrier::model_latency_ps(const tilesim::DeviceConfig& cfg,
+                                   int parties) {
+  return cfg.barrier.spin_base_ps +
+         static_cast<ps_t>(parties) * cfg.barrier.spin_per_tile_ps;
+}
+
+SyncBarrier::SyncBarrier(Device& device, int parties)
+    : barrier_(parties, [cfg = &device.config()](ps_t max_arrival,
+                                                 int n) -> ps_t {
+        return max_arrival + model_latency_ps(*cfg, n);
+      }) {}
+
+ps_t SyncBarrier::model_latency_ps(const tilesim::DeviceConfig& cfg,
+                                   int parties) {
+  return cfg.barrier.sync_base_ps +
+         static_cast<ps_t>(parties) * cfg.barrier.sync_per_tile_ps;
+}
+
+void mem_fence(Tile& self) {
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  // Draining the store buffer costs a handful of cycles when no DMA is
+  // outstanding; all TSHMEM copies complete synchronously in this model.
+  self.clock().advance(self.device().config().cycle_ps() * 8);
+}
+
+}  // namespace tmc

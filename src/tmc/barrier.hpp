@@ -1,0 +1,87 @@
+// TMC spin and sync barriers (paper §III-D).
+//
+// Functionally both are real rendezvous barriers over mutex/condvar. Their
+// virtual-time models differ:
+//   - the spin barrier polls a shared counter: low overhead, cost grows
+//     with the number of participating tiles (coherence traffic on the
+//     counter line);
+//   - the sync barrier round-trips through the Linux scheduler and pays a
+//     large per-tile penalty (Fig 5: 321 us / 786 us at 36 tiles).
+// Every participant leaves with clock = max(arrival clocks) + model(n).
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+
+#include "sim/device.hpp"
+
+namespace tmc {
+
+using tilesim::Device;
+using tilesim::ps_t;
+using tilesim::Tile;
+
+/// Reusable rendezvous that gathers the participants' virtual arrival times
+/// and releases everyone at `release_fn(max_arrival, parties)`.
+class VtBarrier {
+ public:
+  using ReleaseFn = std::function<ps_t(ps_t max_arrival, int parties)>;
+
+  VtBarrier(int parties, ReleaseFn release_fn);
+
+  VtBarrier(const VtBarrier&) = delete;
+  VtBarrier& operator=(const VtBarrier&) = delete;
+
+  /// Blocks until all parties arrive; advances the caller's clock to the
+  /// computed release time. Reusable across generations.
+  void wait(Tile& self);
+
+  [[nodiscard]] int parties() const noexcept { return parties_; }
+
+ private:
+  int parties_;
+  ReleaseFn release_fn_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int arrived_ = 0;
+  std::uint64_t generation_ = 0;
+  ps_t max_arrival_ = 0;
+  ps_t release_time_ = 0;
+};
+
+/// TMC spin barrier: use only with one task per tile (paper §III-D).
+class SpinBarrier {
+ public:
+  SpinBarrier(Device& device, int parties);
+  void wait(Tile& self) { barrier_.wait(self); }
+  [[nodiscard]] int parties() const noexcept { return barrier_.parties(); }
+
+  /// Modeled one-shot latency for `parties` tiles (for Fig 5 tables).
+  [[nodiscard]] static ps_t model_latency_ps(const tilesim::DeviceConfig& cfg,
+                                             int parties);
+
+ private:
+  VtBarrier barrier_;
+};
+
+/// TMC sync barrier: interacts with the scheduler; usable when tiles are
+/// oversubscribed, at a large latency cost.
+class SyncBarrier {
+ public:
+  SyncBarrier(Device& device, int parties);
+  void wait(Tile& self) { barrier_.wait(self); }
+  [[nodiscard]] int parties() const noexcept { return barrier_.parties(); }
+
+  [[nodiscard]] static ps_t model_latency_ps(const tilesim::DeviceConfig& cfg,
+                                             int parties);
+
+ private:
+  VtBarrier barrier_;
+};
+
+/// tmc_mem_fence(): blocks until all outstanding stores are visible.
+/// Real fence plus a small modeled drain cost.
+void mem_fence(Tile& self);
+
+}  // namespace tmc

@@ -1,0 +1,133 @@
+#include "tmc/common_memory.hpp"
+
+#include <algorithm>
+#include <new>
+#include <stdexcept>
+
+namespace tmc {
+
+namespace {
+constexpr std::size_t kAlign = 64;
+
+std::size_t align_up(std::size_t v) { return (v + kAlign - 1) & ~(kAlign - 1); }
+}  // namespace
+
+CommonMemory::CommonMemory(std::size_t bytes) {
+  if (bytes == 0) {
+    throw std::invalid_argument("CommonMemory needs a non-empty arena");
+  }
+  arena_bytes_ = align_up(bytes);
+  arena_.reset(static_cast<std::byte*>(
+      ::operator new[](arena_bytes_, std::align_val_t{64})));
+  free_list_.push_back(FreeBlock{0, arena_bytes_});
+}
+
+CommonMemory::~CommonMemory() = default;
+
+std::size_t CommonMemory::offset_of(const void* p) const noexcept {
+  return static_cast<std::size_t>(static_cast<const std::byte*>(p) -
+                                  arena_.get());
+}
+
+void* CommonMemory::map(const std::string& name, std::size_t bytes,
+                        Homing homing, int creator_tile) {
+  if (bytes == 0) throw std::invalid_argument("cannot map zero bytes");
+  std::scoped_lock lk(mu_);
+  if (mappings_.count(name) != 0) {
+    throw std::invalid_argument("duplicate common-memory mapping '" + name +
+                                "'");
+  }
+  const std::size_t want = align_up(bytes);
+  // First-fit over the sorted free list.
+  for (std::size_t i = 0; i < free_list_.size(); ++i) {
+    FreeBlock& blk = free_list_[i];
+    if (blk.bytes >= want) {
+      const std::size_t offset = blk.offset;
+      blk.offset += want;
+      blk.bytes -= want;
+      if (blk.bytes == 0) {
+        free_list_.erase(free_list_.begin() + static_cast<std::ptrdiff_t>(i));
+      }
+      Mapping m;
+      m.name = name;
+      m.addr = arena_.get() + offset;
+      m.bytes = want;
+      m.homing = homing;
+      m.creator_tile = creator_tile;
+      mappings_.emplace(name, m);
+      by_offset_.emplace(offset, name);
+      return m.addr;
+    }
+  }
+  throw std::bad_alloc();
+}
+
+void CommonMemory::unmap(const std::string& name) {
+  std::scoped_lock lk(mu_);
+  const auto it = mappings_.find(name);
+  if (it == mappings_.end()) {
+    throw std::invalid_argument("unmap of unknown mapping '" + name + "'");
+  }
+  const std::size_t offset = offset_of(it->second.addr);
+  free_list_.push_back(FreeBlock{offset, it->second.bytes});
+  by_offset_.erase(offset);
+  mappings_.erase(it);
+  coalesce();
+}
+
+void CommonMemory::coalesce() {
+  std::sort(free_list_.begin(), free_list_.end(),
+            [](const FreeBlock& a, const FreeBlock& b) {
+              return a.offset < b.offset;
+            });
+  std::vector<FreeBlock> merged;
+  for (const FreeBlock& blk : free_list_) {
+    if (!merged.empty() &&
+        merged.back().offset + merged.back().bytes == blk.offset) {
+      merged.back().bytes += blk.bytes;
+    } else {
+      merged.push_back(blk);
+    }
+  }
+  free_list_ = std::move(merged);
+}
+
+std::optional<CommonMemory::Mapping> CommonMemory::lookup(
+    const std::string& name) const {
+  std::scoped_lock lk(mu_);
+  const auto it = mappings_.find(name);
+  if (it == mappings_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool CommonMemory::contains(const void* p) const noexcept {
+  const auto* b = static_cast<const std::byte*>(p);
+  return b >= arena_.get() && b < arena_.get() + arena_bytes_;
+}
+
+Homing CommonMemory::homing_of(const void* p) const {
+  if (!contains(p)) return Homing::kHashForHome;
+  std::scoped_lock lk(mu_);
+  const std::size_t off = offset_of(p);
+  auto it = by_offset_.upper_bound(off);
+  if (it == by_offset_.begin()) return Homing::kHashForHome;
+  --it;
+  const Mapping& m = mappings_.at(it->second);
+  const std::size_t start = offset_of(m.addr);
+  if (off < start + m.bytes) return m.homing;
+  return Homing::kHashForHome;
+}
+
+std::size_t CommonMemory::bytes_mapped() const {
+  std::scoped_lock lk(mu_);
+  std::size_t total = 0;
+  for (const auto& [name, m] : mappings_) total += m.bytes;
+  return total;
+}
+
+std::size_t CommonMemory::mapping_count() const {
+  std::scoped_lock lk(mu_);
+  return mappings_.size();
+}
+
+}  // namespace tmc

@@ -1,0 +1,94 @@
+// TMC "common memory" equivalent (paper §III-B).
+//
+// Tilera's tmc_cmem gives cooperating processes a shared-memory region
+// mapped at the same virtual address in every process, so pointers can be
+// shared directly, and lets *any* process create new mappings that become
+// visible to the others. With tiles as threads both properties are native;
+// this class provides the allocation/mapping API, the address classifier
+// (shared vs private) TSHMEM's put/get paths depend on, and per-mapping
+// homing attributes.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/config.hpp"
+
+namespace tmc {
+
+using tilesim::Homing;
+
+class CommonMemory {
+ public:
+  /// One backing arena of `bytes`. All mappings are carved from it, so the
+  /// classifier is a simple range check.
+  explicit CommonMemory(std::size_t bytes);
+  ~CommonMemory();
+
+  CommonMemory(const CommonMemory&) = delete;
+  CommonMemory& operator=(const CommonMemory&) = delete;
+
+  struct Mapping {
+    std::string name;
+    void* addr = nullptr;
+    std::size_t bytes = 0;
+    Homing homing = Homing::kHashForHome;
+    int creator_tile = -1;
+  };
+
+  /// Creates a new named mapping visible to every tile; returns its base.
+  /// Alignment is at least 64 bytes. Throws std::bad_alloc when the arena
+  /// is exhausted and std::invalid_argument on duplicate names.
+  void* map(const std::string& name, std::size_t bytes, Homing homing,
+            int creator_tile);
+
+  /// Removes a mapping and returns its space to the arena.
+  void unmap(const std::string& name);
+
+  [[nodiscard]] std::optional<Mapping> lookup(const std::string& name) const;
+
+  /// True if `p` points into the common-memory arena (i.e. is shared).
+  [[nodiscard]] bool contains(const void* p) const noexcept;
+
+  /// Homing attribute of the mapping containing `p`; kHashForHome when the
+  /// pointer is not in any mapping (the device default).
+  [[nodiscard]] Homing homing_of(const void* p) const;
+
+  [[nodiscard]] void* base() const noexcept {
+    return static_cast<void*>(arena_.get());
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return arena_bytes_; }
+  [[nodiscard]] std::size_t bytes_mapped() const;
+  [[nodiscard]] std::size_t mapping_count() const;
+
+ private:
+  struct FreeBlock {
+    std::size_t offset;
+    std::size_t bytes;
+  };
+
+  mutable std::mutex mu_;
+  // Deliberately uninitialized backing storage (no value-init): arenas can
+  // be gigabytes and zero-filling them would dominate Runtime startup.
+  // Allocated with 64-byte alignment so mapped segments stay line-aligned.
+  struct ArenaDeleter {
+    void operator()(std::byte* p) const noexcept {
+      ::operator delete[](p, std::align_val_t{64});
+    }
+  };
+  std::unique_ptr<std::byte[], ArenaDeleter> arena_;
+  std::size_t arena_bytes_ = 0;
+  std::vector<FreeBlock> free_list_;              // sorted by offset
+  std::map<std::string, Mapping> mappings_;       // by name
+  std::map<std::size_t, std::string> by_offset_;  // mapping start -> name
+
+  [[nodiscard]] std::size_t offset_of(const void* p) const noexcept;
+  void coalesce();
+};
+
+}  // namespace tmc

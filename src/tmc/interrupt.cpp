@@ -1,0 +1,59 @@
+#include "tmc/interrupt.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tmc {
+
+InterruptController::InterruptController(Device& device) : device_(&device) {
+  per_tile_.reserve(static_cast<std::size_t>(device.tile_count()));
+  for (int i = 0; i < device.tile_count(); ++i) {
+    per_tile_.push_back(std::make_unique<PerTile>());
+  }
+}
+
+void InterruptController::raise(Tile& requester, int target_tile,
+                                const std::function<void(Tile&)>& handler) {
+  if (!supported()) {
+    throw std::runtime_error(
+        "UDN interrupts are not supported on " + device_->config().name +
+        " (static symmetric transfers unavailable, paper SIV-B2)");
+  }
+  if (target_tile < 0 || target_tile >= device_->tile_count()) {
+    throw std::invalid_argument("interrupt target tile out of range");
+  }
+  if (target_tile == requester.id()) {
+    throw std::invalid_argument("a tile cannot interrupt itself");
+  }
+  const auto& cfg = device_->config();
+  Tile& target = device_->tile(target_tile);
+  PerTile& state = *per_tile_[static_cast<std::size_t>(target_tile)];
+
+  // Dispatch: the requester pays to form and route the interrupt packet.
+  requester.clock().advance(cfg.interrupt_dispatch_ps);
+  const ps_t raise_time = requester.clock().now();
+
+  ps_t completion;
+  {
+    std::scoped_lock lk(state.mu);
+    // The handler cannot start before the interrupt arrives at the target,
+    // nor before the target finishes whatever its clock says it is doing.
+    target.clock().advance_to(raise_time);
+    target.clock().advance(cfg.interrupt_service_ps);
+    handler(target);
+    completion = target.clock().now();
+    ++state.serviced;
+  }
+  // The requester learns of completion (an acknowledgment over the UDN).
+  requester.clock().advance_to(completion);
+}
+
+std::uint64_t InterruptController::serviced(int tile) const {
+  if (tile < 0 || tile >= device_->tile_count()) {
+    throw std::invalid_argument("tile out of range");
+  }
+  std::scoped_lock lk(per_tile_[static_cast<std::size_t>(tile)]->mu);
+  return per_tile_[static_cast<std::size_t>(tile)]->serviced;
+}
+
+}  // namespace tmc

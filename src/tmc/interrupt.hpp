@@ -1,0 +1,62 @@
+// UDN interrupt emulation (paper §IV-B2).
+//
+// On the TILE-Gx a tile can raise an interrupt on a remote tile over the
+// UDN, forcing it to service an operation it alone can perform (access to
+// its private static symmetric variables). The TILEPro lacks this feature,
+// which is why TSHMEM does not support static-variable transfers there.
+//
+// Emulation: the requesting thread executes the handler on the remote
+// tile's *behalf* (all memory is reachable in-process), while the timing
+// model charges the dispatch cost to the requester and the service cost to
+// the remote tile's clock; the requester then waits (in virtual time) for
+// the handler completion. A per-tile mutex serializes handlers, as a real
+// tile services one interrupt at a time.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "sim/device.hpp"
+
+namespace tmc {
+
+using tilesim::Device;
+using tilesim::ps_t;
+using tilesim::Tile;
+
+class InterruptController {
+ public:
+  explicit InterruptController(Device& device);
+
+  InterruptController(const InterruptController&) = delete;
+  InterruptController& operator=(const InterruptController&) = delete;
+
+  [[nodiscard]] bool supported() const noexcept {
+    return device_->config().supports_udn_interrupts;
+  }
+
+  /// Raises an interrupt on `target_tile` and runs `handler(target)` under
+  /// its identity. `handler` receives the target Tile and may charge
+  /// additional costs (e.g. the serviced copy) to its clock. Returns after
+  /// the handler completes; the requester's clock advances to the service
+  /// completion time. Throws std::runtime_error when the device lacks UDN
+  /// interrupts (TILEPro64).
+  void raise(Tile& requester, int target_tile,
+             const std::function<void(Tile&)>& handler);
+
+  /// Count of interrupts serviced per tile (for tests/diagnostics).
+  [[nodiscard]] std::uint64_t serviced(int tile) const;
+
+ private:
+  struct PerTile {
+    std::mutex mu;
+    std::uint64_t serviced = 0;
+  };
+
+  Device* device_;
+  std::vector<std::unique_ptr<PerTile>> per_tile_;
+};
+
+}  // namespace tmc

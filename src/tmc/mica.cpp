@@ -1,0 +1,139 @@
+#include "tmc/mica.hpp"
+
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace tmc {
+
+MicaEngine::MicaEngine(Device& device, MicaConfig cfg)
+    : device_(&device), cfg_(cfg) {
+  if (!device.config().has_mica) {
+    throw std::invalid_argument(device.config().name +
+                                " has no MiCA accelerator (paper Table II)");
+  }
+}
+
+ps_t MicaEngine::offload_ps(std::size_t bytes, double gbps) const {
+  const double secs = static_cast<double>(bytes) * 8.0 / (gbps * 1e9);
+  return cfg_.setup_ps + static_cast<ps_t>(secs * 1e12 + 0.5);
+}
+
+void MicaEngine::charge_offload(Tile& tile, std::size_t bytes, double gbps) {
+  // The engine is a shared resource: an operation starts when both the
+  // caller has issued it and the engine is free, and the caller blocks
+  // until completion (synchronous offload).
+  const ps_t issue = tile.clock().now();
+  ps_t complete;
+  {
+    std::scoped_lock lk(engine_mu_);
+    const ps_t start = std::max(issue, engine_free_);
+    complete = start + offload_ps(bytes, gbps);
+    engine_free_ = complete;
+  }
+  tile.clock().advance_to(complete);
+  completed_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void MicaEngine::reset() noexcept {
+  std::scoped_lock lk(engine_mu_);
+  engine_free_ = 0;
+}
+
+std::uint32_t MicaEngine::crc32_impl(
+    std::span<const std::byte> data) noexcept {
+  // Standard CRC-32 (IEEE 802.3) bitwise, reflected.
+  std::uint32_t crc = 0xffffffffu;
+  for (const std::byte b : data) {
+    crc ^= static_cast<std::uint32_t>(b);
+    for (int k = 0; k < 8; ++k) {
+      crc = (crc >> 1) ^ (0xedb88320u & (0u - (crc & 1u)));
+    }
+  }
+  return ~crc;
+}
+
+void MicaEngine::cipher_impl(std::span<std::byte> data,
+                             std::uint64_t key) noexcept {
+  tshmem_util::Xoshiro256 keystream(key);
+  std::size_t i = 0;
+  while (i + 8 <= data.size()) {
+    const std::uint64_t ks = keystream.next();
+    for (int k = 0; k < 8; ++k) {
+      data[i + static_cast<std::size_t>(k)] ^=
+          static_cast<std::byte>(ks >> (8 * k));
+    }
+    i += 8;
+  }
+  if (i < data.size()) {
+    const std::uint64_t ks = keystream.next();
+    for (int k = 0; i < data.size(); ++i, ++k) {
+      data[i] ^= static_cast<std::byte>(ks >> (8 * k));
+    }
+  }
+}
+
+std::uint32_t MicaEngine::crc32(Tile& tile, std::span<const std::byte> data) {
+  charge_offload(tile, data.size(), cfg_.crc_gbps);
+  return crc32_impl(data);
+}
+
+void MicaEngine::cipher(Tile& tile, std::span<std::byte> data,
+                        std::uint64_t key) {
+  charge_offload(tile, data.size(), cfg_.crypto_gbps);
+  cipher_impl(data, key);
+}
+
+std::size_t MicaEngine::compress(Tile& tile, std::span<const std::byte> in,
+                                 std::span<std::byte> out) {
+  charge_offload(tile, in.size(), cfg_.comp_gbps);
+  std::size_t o = 0;
+  std::size_t i = 0;
+  while (i < in.size()) {
+    const std::byte value = in[i];
+    std::size_t run = 1;
+    while (i + run < in.size() && in[i + run] == value && run < 255) ++run;
+    if (o + 2 > out.size()) {
+      throw std::length_error("MiCA compress: output buffer too small");
+    }
+    out[o++] = static_cast<std::byte>(run);
+    out[o++] = value;
+    i += run;
+  }
+  return o;
+}
+
+std::size_t MicaEngine::decompress(Tile& tile, std::span<const std::byte> in,
+                                   std::span<std::byte> out) {
+  charge_offload(tile, in.size(), cfg_.comp_gbps);
+  if (in.size() % 2 != 0) {
+    throw std::invalid_argument("MiCA decompress: truncated RLE stream");
+  }
+  std::size_t o = 0;
+  for (std::size_t i = 0; i < in.size(); i += 2) {
+    const auto run = static_cast<std::size_t>(in[i]);
+    if (run == 0) {
+      throw std::invalid_argument("MiCA decompress: zero-length run");
+    }
+    if (o + run > out.size()) {
+      throw std::invalid_argument("MiCA decompress: output overflow");
+    }
+    for (std::size_t k = 0; k < run; ++k) out[o++] = in[i + 1];
+  }
+  return o;
+}
+
+std::uint32_t MicaEngine::crc32_software(Tile& tile,
+                                         std::span<const std::byte> data,
+                                         MicaSoftwareCosts costs) {
+  tile.charge_int_ops(data.size() * costs.crc_ops_per_byte);
+  return crc32_impl(data);
+}
+
+void MicaEngine::cipher_software(Tile& tile, std::span<std::byte> data,
+                                 std::uint64_t key, MicaSoftwareCosts costs) {
+  tile.charge_int_ops(data.size() * costs.cipher_ops_per_byte);
+  cipher_impl(data, key);
+}
+
+}  // namespace tmc

@@ -1,0 +1,101 @@
+// MiCA (Multicore iMesh Coprocessing Accelerator) model.
+//
+// The TILE-Gx ships a crypto/compression offload engine (paper Table II);
+// the TILEPro does not. This module provides functional implementations of
+// representative operations — CRC32, a keystream cipher (stand-in for the
+// engine's AES modes), and RLE compression — plus the offload timing model:
+// the accelerator is a shared resource, so an operation completes at
+//
+//   max(caller_now, engine_free) + setup + bytes / engine_rate
+//
+// and `engine_free` advances, modeling queuing when multiple tiles offload
+// concurrently. A software fallback path charges the tile's own compute
+// model instead, so benches can report the offload speedup.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <span>
+
+#include "sim/device.hpp"
+
+namespace tmc {
+
+using tilesim::Device;
+using tilesim::ps_t;
+using tilesim::Tile;
+
+struct MicaConfig {
+  double crypto_gbps = 40.0;   ///< keystream/AES-class throughput
+  double crc_gbps = 60.0;      ///< checksum pipeline
+  double comp_gbps = 20.0;     ///< compression/decompression
+  ps_t setup_ps = 600'000;     ///< descriptor post + context acquire
+};
+
+/// Software-path per-byte op counts (charged to the tile's compute model
+/// when offload is bypassed).
+struct MicaSoftwareCosts {
+  std::uint64_t crc_ops_per_byte = 6;
+  std::uint64_t cipher_ops_per_byte = 14;
+  std::uint64_t rle_ops_per_byte = 5;
+};
+
+class MicaEngine {
+ public:
+  explicit MicaEngine(Device& device, MicaConfig cfg = {});
+
+  MicaEngine(const MicaEngine&) = delete;
+  MicaEngine& operator=(const MicaEngine&) = delete;
+
+  [[nodiscard]] const MicaConfig& config() const noexcept { return cfg_; }
+
+  // --- offloaded operations (charged via the accelerator model) -----------
+  [[nodiscard]] std::uint32_t crc32(Tile& tile,
+                                    std::span<const std::byte> data);
+  /// In-place xoshiro-keystream cipher; applying twice with the same key
+  /// restores the plaintext.
+  void cipher(Tile& tile, std::span<std::byte> data, std::uint64_t key);
+  /// Byte-level RLE: emits (count, value) pairs. Returns compressed size;
+  /// throws std::length_error when `out` is too small (worst case 2x).
+  std::size_t compress(Tile& tile, std::span<const std::byte> in,
+                       std::span<std::byte> out);
+  /// Inverse of compress(); returns decompressed size; throws
+  /// std::invalid_argument on malformed input or overflow.
+  std::size_t decompress(Tile& tile, std::span<const std::byte> in,
+                         std::span<std::byte> out);
+
+  // --- software fallback (same results, tile compute-model cost) ----------
+  [[nodiscard]] std::uint32_t crc32_software(Tile& tile,
+                                             std::span<const std::byte> data,
+                                             MicaSoftwareCosts costs = {});
+  void cipher_software(Tile& tile, std::span<std::byte> data,
+                       std::uint64_t key, MicaSoftwareCosts costs = {});
+
+  /// Modeled offload latency for `bytes` at `gbps` when the engine is idle.
+  [[nodiscard]] ps_t offload_ps(std::size_t bytes, double gbps) const;
+
+  [[nodiscard]] std::uint64_t operations_completed() const noexcept {
+    return completed_.load(std::memory_order_relaxed);
+  }
+
+  /// Clears the engine's queuing state. Call whenever the device's virtual
+  /// clocks are reset (e.g. between benchmark phases) — the engine-free
+  /// timestamp lives on the same timeline as the tile clocks.
+  void reset() noexcept;
+
+ private:
+  Device* device_;
+  MicaConfig cfg_;
+  std::mutex engine_mu_;
+  ps_t engine_free_ = 0;  ///< virtual time the engine next becomes idle
+  std::atomic<std::uint64_t> completed_{0};
+
+  void charge_offload(Tile& tile, std::size_t bytes, double gbps);
+
+  static std::uint32_t crc32_impl(std::span<const std::byte> data) noexcept;
+  static void cipher_impl(std::span<std::byte> data,
+                          std::uint64_t key) noexcept;
+};
+
+}  // namespace tmc

@@ -1,0 +1,121 @@
+// User Dynamic Network (UDN) model (paper §III-C).
+//
+// Real Tilera tiles exchange packets over a dimension-order-routed dynamic
+// network: a 1-word header carrying the destination plus up to 127 payload
+// words land in one of four demultiplexing queues at the destination tile.
+// Here packets travel through blocking inter-thread queues (functional
+// behaviour) and carry a virtual arrival timestamp computed from the wire
+// model (timing behaviour):
+//
+//   arrival = departure + setup_teardown + hops*cycle + (words-1)*cycle
+//             + turn_cost + first_leg_direction_bias
+//
+// The receiver's clock advances to max(now, arrival) + rx_overhead, so the
+// halved round-trip measurement of Fig 4 / Table III reproduces the paper's
+// derivation exactly.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "sim/device.hpp"
+
+namespace tmc {
+
+using tilesim::Device;
+using tilesim::ps_t;
+using tilesim::Tile;
+
+/// Demux queue identifiers. TSHMEM reserves queue 3 for barrier tokens and
+/// queue 2 for collective control so application traffic on 0/1 cannot
+/// stall synchronization.
+inline constexpr int kUdnQueue0 = 0;
+inline constexpr int kUdnQueue1 = 1;
+inline constexpr int kUdnCollectiveQueue = 2;
+inline constexpr int kUdnBarrierQueue = 3;
+
+/// The 1-word UDN header: destination tile, demux queue tag, payload words.
+struct UdnHeader {
+  int dest_tile = 0;
+  int demux_queue = 0;
+  int payload_words = 0;
+
+  [[nodiscard]] std::uint64_t encode() const noexcept;
+  static UdnHeader decode(std::uint64_t word) noexcept;
+
+  friend bool operator==(const UdnHeader&, const UdnHeader&) = default;
+};
+
+struct UdnPacket {
+  int src_tile = 0;
+  UdnHeader header;
+  ps_t arrival_ps = 0;
+  std::vector<std::uint64_t> payload;
+};
+
+class UdnFabric {
+ public:
+  explicit UdnFabric(Device& device);
+
+  UdnFabric(const UdnFabric&) = delete;
+  UdnFabric& operator=(const UdnFabric&) = delete;
+
+  /// Sends `words` from `sender` to demux queue `queue` on `dst_tile`.
+  /// Blocks while the destination queue lacks buffer space (each queue can
+  /// hold udn_max_payload_words words, as on hardware). Throws
+  /// std::invalid_argument for oversized payloads or bad destinations.
+  void send(Tile& sender, int dst_tile, int queue,
+            std::span<const std::uint64_t> words);
+
+  /// Convenience: single-word message.
+  void send1(Tile& sender, int dst_tile, int queue, std::uint64_t word);
+
+  /// Blocking receive from one of the caller's demux queues. Advances the
+  /// receiving tile's clock to the packet arrival time.
+  UdnPacket recv(Tile& receiver, int queue);
+
+  /// Non-blocking receive; std::nullopt when the queue is empty. On success
+  /// the clock advances exactly as in recv().
+  std::optional<UdnPacket> try_recv(Tile& receiver, int queue);
+
+  /// Blocking receive that does NOT advance the receiver's clock. For
+  /// protocol layers that match packets out of order: a packet that gets
+  /// stashed for later must not drag the clock to its arrival time (that
+  /// would make virtual time depend on host scheduling). The caller
+  /// advances to pkt.arrival_ps when it actually consumes a packet.
+  UdnPacket recv_raw(Tile& receiver, int queue);
+
+  /// Pure wire-latency query (no state change): virtual time for a packet
+  /// of `words` payload words from src to dst.
+  [[nodiscard]] ps_t wire_latency_ps(int src_tile, int dst_tile,
+                                     int words) const;
+
+  /// Total words currently buffered in a destination queue (for tests).
+  [[nodiscard]] std::size_t queued_words(int tile, int queue) const;
+
+  [[nodiscard]] Device& device() const noexcept { return *device_; }
+
+ private:
+  struct Queue {
+    mutable std::mutex mu;
+    std::condition_variable cv_data;   // signaled when a packet arrives
+    std::condition_variable cv_space;  // signaled when space frees up
+    std::deque<UdnPacket> packets;
+    std::size_t buffered_words = 0;
+  };
+
+  Device* device_;
+  int queues_per_tile_;
+  std::vector<std::unique_ptr<Queue>> queues_;  // tile * queues_per_tile_
+
+  [[nodiscard]] Queue& queue_at(int tile, int queue) const;
+  void check_queue_args(int tile, int queue) const;
+};
+
+}  // namespace tmc

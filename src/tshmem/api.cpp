@@ -1,0 +1,444 @@
+#include "tshmem/api.hpp"
+
+#include <stdexcept>
+
+namespace tshmem::api {
+
+namespace {
+
+ActiveSet make_set(int pe_start, int log_pe_stride, int pe_size) {
+  if (pe_start < 0 || log_pe_stride < 0 || pe_size < 1) {
+    throw std::invalid_argument("bad active-set triplet");
+  }
+  return ActiveSet{pe_start, log_pe_stride, pe_size};
+}
+
+Cmp to_cmp(int cmp) {
+  switch (cmp) {
+    case SHMEM_CMP_EQ: return Cmp::kEq;
+    case SHMEM_CMP_NE: return Cmp::kNe;
+    case SHMEM_CMP_GT: return Cmp::kGt;
+    case SHMEM_CMP_LE: return Cmp::kLe;
+    case SHMEM_CMP_LT: return Cmp::kLt;
+    case SHMEM_CMP_GE: return Cmp::kGe;
+    default:
+      throw std::invalid_argument("unknown shmem comparison operator");
+  }
+}
+
+void require_psync(const long* pSync) {
+  if (pSync == nullptr) {
+    throw std::invalid_argument("pSync must be a symmetric work array");
+  }
+}
+
+}  // namespace
+
+Context& ctx() {
+  Context* c = Runtime::current();
+  if (c == nullptr) {
+    throw std::logic_error(
+        "TSHMEM API called outside a running SPMD job (no PE context)");
+  }
+  return *c;
+}
+
+// --- environment ------------------------------------------------------------
+
+void start_pes(int /*npes*/) {
+  // The launcher (Runtime::run) already set up common memory, the UDN and
+  // the symmetric partitions; start_pes only reports partition addresses,
+  // which the Runtime did collectively. A barrier matches the rendezvous
+  // the paper's implementation performs over the UDN.
+  ctx().barrier_all();
+}
+
+int _my_pe() { return ctx().my_pe(); }
+int _num_pes() { return ctx().num_pes(); }
+int shmem_my_pe() { return ctx().my_pe(); }
+int shmem_n_pes() { return ctx().num_pes(); }
+
+int shmem_pe_accessible(int pe) { return ctx().pe_accessible(pe) ? 1 : 0; }
+int shmem_addr_accessible(const void* addr, int pe) {
+  return ctx().addr_accessible(addr, pe) ? 1 : 0;
+}
+void* shmem_ptr(const void* target, int pe) { return ctx().ptr(target, pe); }
+void shmem_finalize() { ctx().finalize(); }
+
+// --- symmetric heap -----------------------------------------------------------
+
+void* shmalloc(std::size_t size) { return ctx().shmalloc(size); }
+void shfree(void* ptr) { ctx().shfree(ptr); }
+void* shrealloc(void* ptr, std::size_t size) {
+  return ctx().shrealloc(ptr, size);
+}
+void* shmemalign(std::size_t alignment, std::size_t size) {
+  return ctx().shmemalign(alignment, size);
+}
+
+// --- elemental put/get ----------------------------------------------------------
+
+#define TSHMEM_DEF_P_G(T, NAME)                                   \
+  void shmem_##NAME##_p(T* addr, T value, int pe) {               \
+    ctx().p(addr, value, pe);                                     \
+  }                                                               \
+  T shmem_##NAME##_g(const T* addr, int pe) {                     \
+    return ctx().g(addr, pe);                                     \
+  }
+TSHMEM_DEF_P_G(char, char)
+TSHMEM_DEF_P_G(short, short)
+TSHMEM_DEF_P_G(int, int)
+TSHMEM_DEF_P_G(long, long)
+TSHMEM_DEF_P_G(long long, longlong)
+TSHMEM_DEF_P_G(float, float)
+TSHMEM_DEF_P_G(double, double)
+TSHMEM_DEF_P_G(long double, longdouble)
+#undef TSHMEM_DEF_P_G
+
+// --- block put/get ----------------------------------------------------------------
+
+#define TSHMEM_DEF_PUT_GET(T, NAME)                                        \
+  void shmem_##NAME##_put(T* target, const T* source, std::size_t nelems,  \
+                          int pe) {                                        \
+    ctx().put(target, source, nelems * sizeof(T), pe);                     \
+  }                                                                        \
+  void shmem_##NAME##_get(T* target, const T* source, std::size_t nelems,  \
+                          int pe) {                                        \
+    ctx().get(target, source, nelems * sizeof(T), pe);                     \
+  }
+TSHMEM_DEF_PUT_GET(char, char)
+TSHMEM_DEF_PUT_GET(short, short)
+TSHMEM_DEF_PUT_GET(int, int)
+TSHMEM_DEF_PUT_GET(long, long)
+TSHMEM_DEF_PUT_GET(long long, longlong)
+TSHMEM_DEF_PUT_GET(float, float)
+TSHMEM_DEF_PUT_GET(double, double)
+TSHMEM_DEF_PUT_GET(long double, longdouble)
+#undef TSHMEM_DEF_PUT_GET
+
+void shmem_put32(void* target, const void* source, std::size_t nelems,
+                 int pe) {
+  ctx().put(target, source, nelems * 4, pe);
+}
+void shmem_put64(void* target, const void* source, std::size_t nelems,
+                 int pe) {
+  ctx().put(target, source, nelems * 8, pe);
+}
+void shmem_put128(void* target, const void* source, std::size_t nelems,
+                  int pe) {
+  ctx().put(target, source, nelems * 16, pe);
+}
+void shmem_putmem(void* target, const void* source, std::size_t bytes,
+                  int pe) {
+  ctx().put(target, source, bytes, pe);
+}
+void shmem_get32(void* target, const void* source, std::size_t nelems,
+                 int pe) {
+  ctx().get(target, source, nelems * 4, pe);
+}
+void shmem_get64(void* target, const void* source, std::size_t nelems,
+                 int pe) {
+  ctx().get(target, source, nelems * 8, pe);
+}
+void shmem_get128(void* target, const void* source, std::size_t nelems,
+                  int pe) {
+  ctx().get(target, source, nelems * 16, pe);
+}
+void shmem_getmem(void* target, const void* source, std::size_t bytes,
+                  int pe) {
+  ctx().get(target, source, bytes, pe);
+}
+
+// --- strided ----------------------------------------------------------------------
+
+#define TSHMEM_DEF_IPUT_IGET(T, NAME)                                       \
+  void shmem_##NAME##_iput(T* target, const T* source, std::ptrdiff_t tst,  \
+                           std::ptrdiff_t sst, std::size_t nelems, int pe) { \
+    ctx().iput(target, source, tst, sst, nelems, pe);                       \
+  }                                                                         \
+  void shmem_##NAME##_iget(T* target, const T* source, std::ptrdiff_t tst,  \
+                           std::ptrdiff_t sst, std::size_t nelems, int pe) { \
+    ctx().iget(target, source, tst, sst, nelems, pe);                       \
+  }
+TSHMEM_DEF_IPUT_IGET(short, short)
+TSHMEM_DEF_IPUT_IGET(int, int)
+TSHMEM_DEF_IPUT_IGET(long, long)
+TSHMEM_DEF_IPUT_IGET(long long, longlong)
+TSHMEM_DEF_IPUT_IGET(float, float)
+TSHMEM_DEF_IPUT_IGET(double, double)
+TSHMEM_DEF_IPUT_IGET(long double, longdouble)
+#undef TSHMEM_DEF_IPUT_IGET
+
+namespace {
+template <typename Word>
+void sized_iput(void* target, const void* source, std::ptrdiff_t tst,
+                std::ptrdiff_t sst, std::size_t nelems, int pe) {
+  ctx().iput(static_cast<Word*>(target), static_cast<const Word*>(source),
+             tst, sst, nelems, pe);
+}
+template <typename Word>
+void sized_iget(void* target, const void* source, std::ptrdiff_t tst,
+                std::ptrdiff_t sst, std::size_t nelems, int pe) {
+  ctx().iget(static_cast<Word*>(target), static_cast<const Word*>(source),
+             tst, sst, nelems, pe);
+}
+struct alignas(16) Word128 {
+  std::uint64_t lo, hi;
+};
+}  // namespace
+
+void shmem_iput32(void* target, const void* source, std::ptrdiff_t tst,
+                  std::ptrdiff_t sst, std::size_t nelems, int pe) {
+  sized_iput<std::uint32_t>(target, source, tst, sst, nelems, pe);
+}
+void shmem_iput64(void* target, const void* source, std::ptrdiff_t tst,
+                  std::ptrdiff_t sst, std::size_t nelems, int pe) {
+  sized_iput<std::uint64_t>(target, source, tst, sst, nelems, pe);
+}
+void shmem_iput128(void* target, const void* source, std::ptrdiff_t tst,
+                   std::ptrdiff_t sst, std::size_t nelems, int pe) {
+  sized_iput<Word128>(target, source, tst, sst, nelems, pe);
+}
+void shmem_iget32(void* target, const void* source, std::ptrdiff_t tst,
+                  std::ptrdiff_t sst, std::size_t nelems, int pe) {
+  sized_iget<std::uint32_t>(target, source, tst, sst, nelems, pe);
+}
+void shmem_iget64(void* target, const void* source, std::ptrdiff_t tst,
+                  std::ptrdiff_t sst, std::size_t nelems, int pe) {
+  sized_iget<std::uint64_t>(target, source, tst, sst, nelems, pe);
+}
+void shmem_iget128(void* target, const void* source, std::ptrdiff_t tst,
+                   std::ptrdiff_t sst, std::size_t nelems, int pe) {
+  sized_iget<Word128>(target, source, tst, sst, nelems, pe);
+}
+
+// --- synchronization -----------------------------------------------------------
+
+void shmem_barrier_all() { ctx().barrier_all(); }
+
+void shmem_barrier(int PE_start, int logPE_stride, int PE_size, long* pSync) {
+  require_psync(pSync);
+  ctx().barrier(make_set(PE_start, logPE_stride, PE_size));
+}
+
+void shmem_fence() { ctx().fence(); }
+void shmem_quiet() { ctx().quiet(); }
+
+#define TSHMEM_DEF_WAIT(T, NAME)                                         \
+  void shmem_##NAME##_wait(volatile T* ivar, T cmp_value) {              \
+    ctx().wait(ivar, cmp_value);                                         \
+  }                                                                      \
+  void shmem_##NAME##_wait_until(volatile T* ivar, int cmp, T value) {   \
+    ctx().wait_until(ivar, to_cmp(cmp), value);                          \
+  }
+TSHMEM_DEF_WAIT(short, short)
+TSHMEM_DEF_WAIT(int, int)
+TSHMEM_DEF_WAIT(long, long)
+TSHMEM_DEF_WAIT(long long, longlong)
+#undef TSHMEM_DEF_WAIT
+void shmem_wait(volatile long* ivar, long cmp_value) {
+  ctx().wait(ivar, cmp_value);
+}
+void shmem_wait_until(volatile long* ivar, int cmp, long cmp_value) {
+  ctx().wait_until(ivar, to_cmp(cmp), cmp_value);
+}
+
+// --- collectives ------------------------------------------------------------------
+
+namespace {
+void bcast_sized(void* target, const void* source, std::size_t bytes,
+                 int PE_root, int PE_start, int logPE_stride, int PE_size,
+                 long* pSync) {
+  require_psync(pSync);
+  ctx().broadcast(target, source, bytes, PE_root,
+                  make_set(PE_start, logPE_stride, PE_size));
+}
+}  // namespace
+
+void shmem_broadcast32(void* target, const void* source, std::size_t nelems,
+                       int PE_root, int PE_start, int logPE_stride,
+                       int PE_size, long* pSync) {
+  bcast_sized(target, source, nelems * 4, PE_root, PE_start, logPE_stride,
+              PE_size, pSync);
+}
+void shmem_broadcast64(void* target, const void* source, std::size_t nelems,
+                       int PE_root, int PE_start, int logPE_stride,
+                       int PE_size, long* pSync) {
+  bcast_sized(target, source, nelems * 8, PE_root, PE_start, logPE_stride,
+              PE_size, pSync);
+}
+void shmem_collect32(void* target, const void* source, std::size_t nelems,
+                     int PE_start, int logPE_stride, int PE_size,
+                     long* pSync) {
+  require_psync(pSync);
+  ctx().collect(target, source, nelems * 4,
+                make_set(PE_start, logPE_stride, PE_size));
+}
+void shmem_collect64(void* target, const void* source, std::size_t nelems,
+                     int PE_start, int logPE_stride, int PE_size,
+                     long* pSync) {
+  require_psync(pSync);
+  ctx().collect(target, source, nelems * 8,
+                make_set(PE_start, logPE_stride, PE_size));
+}
+void shmem_fcollect32(void* target, const void* source, std::size_t nelems,
+                      int PE_start, int logPE_stride, int PE_size,
+                      long* pSync) {
+  require_psync(pSync);
+  ctx().fcollect(target, source, nelems * 4,
+                 make_set(PE_start, logPE_stride, PE_size));
+}
+void shmem_fcollect64(void* target, const void* source, std::size_t nelems,
+                      int PE_start, int logPE_stride, int PE_size,
+                      long* pSync) {
+  require_psync(pSync);
+  ctx().fcollect(target, source, nelems * 8,
+                 make_set(PE_start, logPE_stride, PE_size));
+}
+
+// --- reductions --------------------------------------------------------------------
+
+#define TSHMEM_DEF_REDUCE(T, NAME, OPNAME, OP)                                \
+  void shmem_##NAME##_##OPNAME##_to_all(T* target, T* source, int nreduce,    \
+                                        int PE_start, int logPE_stride,       \
+                                        int PE_size, T* pWrk, long* pSync) {  \
+    require_psync(pSync);                                                     \
+    if (pWrk == nullptr) {                                                    \
+      throw std::invalid_argument("pWrk must be a symmetric work array");     \
+    }                                                                         \
+    if (nreduce < 0) throw std::invalid_argument("nreduce must be >= 0");     \
+    ctx().reduce(target, source, static_cast<std::size_t>(nreduce), OP,       \
+                 make_set(PE_start, logPE_stride, PE_size));                  \
+  }
+
+#define TSHMEM_DEF_REDUCE_BITWISE(T, NAME)          \
+  TSHMEM_DEF_REDUCE(T, NAME, and, RedOp::kAnd)      \
+  TSHMEM_DEF_REDUCE(T, NAME, or, RedOp::kOr)        \
+  TSHMEM_DEF_REDUCE(T, NAME, xor, RedOp::kXor)
+#define TSHMEM_DEF_REDUCE_ARITH(T, NAME)            \
+  TSHMEM_DEF_REDUCE(T, NAME, min, RedOp::kMin)      \
+  TSHMEM_DEF_REDUCE(T, NAME, max, RedOp::kMax)      \
+  TSHMEM_DEF_REDUCE(T, NAME, sum, RedOp::kSum)      \
+  TSHMEM_DEF_REDUCE(T, NAME, prod, RedOp::kProd)
+
+TSHMEM_DEF_REDUCE_BITWISE(short, short)
+TSHMEM_DEF_REDUCE_BITWISE(int, int)
+TSHMEM_DEF_REDUCE_BITWISE(long, long)
+TSHMEM_DEF_REDUCE_BITWISE(long long, longlong)
+TSHMEM_DEF_REDUCE_ARITH(short, short)
+TSHMEM_DEF_REDUCE_ARITH(int, int)
+TSHMEM_DEF_REDUCE_ARITH(long, long)
+TSHMEM_DEF_REDUCE_ARITH(long long, longlong)
+TSHMEM_DEF_REDUCE_ARITH(float, float)
+TSHMEM_DEF_REDUCE_ARITH(double, double)
+TSHMEM_DEF_REDUCE_ARITH(long double, longdouble)
+#undef TSHMEM_DEF_REDUCE
+#undef TSHMEM_DEF_REDUCE_BITWISE
+#undef TSHMEM_DEF_REDUCE_ARITH
+
+namespace {
+template <typename C>
+void complex_reduce(C* target, C* source, int nreduce, int PE_start,
+                    int logPE_stride, int PE_size, C* pWrk, long* pSync,
+                    bool product) {
+  require_psync(pSync);
+  if (pWrk == nullptr) {
+    throw std::invalid_argument("pWrk must be a symmetric work array");
+  }
+  if (nreduce < 0) throw std::invalid_argument("nreduce must be >= 0");
+  Context::ReduceApply apply =
+      product ? +[](void* acc, const void* in, std::size_t n) {
+        auto* a = static_cast<C*>(acc);
+        const auto* b = static_cast<const C*>(in);
+        for (std::size_t i = 0; i < n; ++i) a[i] *= b[i];
+      }
+              : +[](void* acc, const void* in, std::size_t n) {
+        auto* a = static_cast<C*>(acc);
+        const auto* b = static_cast<const C*>(in);
+        for (std::size_t i = 0; i < n; ++i) a[i] += b[i];
+      };
+  ctx().reduce_custom(target, source, static_cast<std::size_t>(nreduce),
+                      sizeof(C), apply, /*is_fp=*/true,
+                      make_set(PE_start, logPE_stride, PE_size));
+}
+}  // namespace
+
+void shmem_complexf_sum_to_all(std::complex<float>* target,
+                               std::complex<float>* source, int nreduce,
+                               int PE_start, int logPE_stride, int PE_size,
+                               std::complex<float>* pWrk, long* pSync) {
+  complex_reduce(target, source, nreduce, PE_start, logPE_stride, PE_size,
+                 pWrk, pSync, /*product=*/false);
+}
+void shmem_complexd_sum_to_all(std::complex<double>* target,
+                               std::complex<double>* source, int nreduce,
+                               int PE_start, int logPE_stride, int PE_size,
+                               std::complex<double>* pWrk, long* pSync) {
+  complex_reduce(target, source, nreduce, PE_start, logPE_stride, PE_size,
+                 pWrk, pSync, /*product=*/false);
+}
+void shmem_complexf_prod_to_all(std::complex<float>* target,
+                                std::complex<float>* source, int nreduce,
+                                int PE_start, int logPE_stride, int PE_size,
+                                std::complex<float>* pWrk, long* pSync) {
+  complex_reduce(target, source, nreduce, PE_start, logPE_stride, PE_size,
+                 pWrk, pSync, /*product=*/true);
+}
+void shmem_complexd_prod_to_all(std::complex<double>* target,
+                                std::complex<double>* source, int nreduce,
+                                int PE_start, int logPE_stride, int PE_size,
+                                std::complex<double>* pWrk, long* pSync) {
+  complex_reduce(target, source, nreduce, PE_start, logPE_stride, PE_size,
+                 pWrk, pSync, /*product=*/true);
+}
+
+// --- atomics ------------------------------------------------------------------------
+
+#define TSHMEM_DEF_ATOMIC_INT(T, NAME)                              \
+  T shmem_##NAME##_swap(T* target, T value, int pe) {               \
+    return ctx().swap(target, value, pe);                           \
+  }                                                                 \
+  T shmem_##NAME##_cswap(T* target, T cond, T value, int pe) {      \
+    return ctx().cswap(target, cond, value, pe);                    \
+  }                                                                 \
+  T shmem_##NAME##_fadd(T* target, T value, int pe) {               \
+    return ctx().fadd(target, value, pe);                           \
+  }                                                                 \
+  T shmem_##NAME##_finc(T* target, int pe) {                        \
+    return ctx().finc(target, pe);                                  \
+  }                                                                 \
+  void shmem_##NAME##_add(T* target, T value, int pe) {             \
+    ctx().add(target, value, pe);                                   \
+  }                                                                 \
+  void shmem_##NAME##_inc(T* target, int pe) { ctx().inc(target, pe); }
+TSHMEM_DEF_ATOMIC_INT(int, int)
+TSHMEM_DEF_ATOMIC_INT(long, long)
+TSHMEM_DEF_ATOMIC_INT(long long, longlong)
+#undef TSHMEM_DEF_ATOMIC_INT
+
+float shmem_float_swap(float* target, float value, int pe) {
+  return ctx().swap(target, value, pe);
+}
+double shmem_double_swap(double* target, double value, int pe) {
+  return ctx().swap(target, value, pe);
+}
+long shmem_swap(long* target, long value, int pe) {
+  return ctx().swap(target, value, pe);
+}
+
+// --- locks --------------------------------------------------------------------------
+
+void shmem_set_lock(long* lock) { ctx().set_lock(lock); }
+void shmem_clear_lock(long* lock) { ctx().clear_lock(lock); }
+int shmem_test_lock(long* lock) { return ctx().test_lock(lock); }
+
+// --- cache control (deprecated; Tilera devices are cache-coherent) ------------------
+
+void shmem_clear_cache_inv() {}
+void shmem_set_cache_inv() {}
+void shmem_clear_cache_line_inv(void* /*target*/) {}
+void shmem_set_cache_line_inv(void* /*target*/) {}
+void shmem_udcflush() {}
+void shmem_udcflush_line(void* /*target*/) {}
+
+}  // namespace tshmem::api

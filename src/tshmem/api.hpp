@@ -1,0 +1,248 @@
+// The OpenSHMEM v1.0 API surface of TSHMEM.
+//
+// Function names and signatures mirror the specification (Table I of the
+// paper lists the basic subset) so SHMEM application code ports with a
+// namespace qualifier at most. Every routine forwards to the Context bound
+// to the calling tile thread (established by tshmem::Runtime::run).
+//
+// Usage:
+//   tshmem::run_spmd(cfg, npes, [](tshmem::Context&) {
+//     using namespace tshmem::api;
+//     start_pes(0);
+//     int* x = (int*)shmalloc(sizeof(int));
+//     shmem_int_p(x, 42, (_my_pe() + 1) % _num_pes());
+//     shmem_barrier_all();
+//     ...
+//   });
+#pragma once
+
+#include <complex>
+#include <cstddef>
+
+#include "tshmem/context.hpp"
+
+namespace tshmem::api {
+
+/// Context of the calling PE; throws std::logic_error outside a job.
+[[nodiscard]] Context& ctx();
+
+// --- environment / setup (spec §8.1) ---------------------------------------
+void start_pes(int npes);  ///< npes argument is ignored per the spec
+[[nodiscard]] int _my_pe();
+[[nodiscard]] int _num_pes();
+[[nodiscard]] int shmem_my_pe();
+[[nodiscard]] int shmem_n_pes();
+[[nodiscard]] int shmem_pe_accessible(int pe);
+[[nodiscard]] int shmem_addr_accessible(const void* addr, int pe);
+[[nodiscard]] void* shmem_ptr(const void* target, int pe);
+/// Proposed extension (paper §IV-E).
+void shmem_finalize();
+
+// --- symmetric heap (spec §8.2) ---------------------------------------------
+[[nodiscard]] void* shmalloc(std::size_t size);
+void shfree(void* ptr);
+[[nodiscard]] void* shrealloc(void* ptr, std::size_t size);
+[[nodiscard]] void* shmemalign(std::size_t alignment, std::size_t size);
+
+// --- elemental put/get (spec §8.3) -------------------------------------------
+#define TSHMEM_DECL_P_G(T, NAME)                 \
+  void shmem_##NAME##_p(T* addr, T value, int pe); \
+  [[nodiscard]] T shmem_##NAME##_g(const T* addr, int pe);
+TSHMEM_DECL_P_G(char, char)
+TSHMEM_DECL_P_G(short, short)
+TSHMEM_DECL_P_G(int, int)
+TSHMEM_DECL_P_G(long, long)
+TSHMEM_DECL_P_G(long long, longlong)
+TSHMEM_DECL_P_G(float, float)
+TSHMEM_DECL_P_G(double, double)
+TSHMEM_DECL_P_G(long double, longdouble)
+#undef TSHMEM_DECL_P_G
+
+// --- block put/get ------------------------------------------------------------
+#define TSHMEM_DECL_PUT_GET(T, NAME)                                          \
+  void shmem_##NAME##_put(T* target, const T* source, std::size_t nelems,     \
+                          int pe);                                            \
+  void shmem_##NAME##_get(T* target, const T* source, std::size_t nelems,     \
+                          int pe);
+TSHMEM_DECL_PUT_GET(char, char)
+TSHMEM_DECL_PUT_GET(short, short)
+TSHMEM_DECL_PUT_GET(int, int)
+TSHMEM_DECL_PUT_GET(long, long)
+TSHMEM_DECL_PUT_GET(long long, longlong)
+TSHMEM_DECL_PUT_GET(float, float)
+TSHMEM_DECL_PUT_GET(double, double)
+TSHMEM_DECL_PUT_GET(long double, longdouble)
+#undef TSHMEM_DECL_PUT_GET
+
+void shmem_put32(void* target, const void* source, std::size_t nelems, int pe);
+void shmem_put64(void* target, const void* source, std::size_t nelems, int pe);
+void shmem_put128(void* target, const void* source, std::size_t nelems,
+                  int pe);
+void shmem_putmem(void* target, const void* source, std::size_t bytes, int pe);
+void shmem_get32(void* target, const void* source, std::size_t nelems, int pe);
+void shmem_get64(void* target, const void* source, std::size_t nelems, int pe);
+void shmem_get128(void* target, const void* source, std::size_t nelems,
+                  int pe);
+void shmem_getmem(void* target, const void* source, std::size_t bytes, int pe);
+
+// --- strided put/get -----------------------------------------------------------
+#define TSHMEM_DECL_IPUT_IGET(T, NAME)                                      \
+  void shmem_##NAME##_iput(T* target, const T* source, std::ptrdiff_t tst,  \
+                           std::ptrdiff_t sst, std::size_t nelems, int pe); \
+  void shmem_##NAME##_iget(T* target, const T* source, std::ptrdiff_t tst,  \
+                           std::ptrdiff_t sst, std::size_t nelems, int pe);
+TSHMEM_DECL_IPUT_IGET(short, short)
+TSHMEM_DECL_IPUT_IGET(int, int)
+TSHMEM_DECL_IPUT_IGET(long, long)
+TSHMEM_DECL_IPUT_IGET(long long, longlong)
+TSHMEM_DECL_IPUT_IGET(float, float)
+TSHMEM_DECL_IPUT_IGET(double, double)
+TSHMEM_DECL_IPUT_IGET(long double, longdouble)
+#undef TSHMEM_DECL_IPUT_IGET
+
+void shmem_iput32(void* target, const void* source, std::ptrdiff_t tst,
+                  std::ptrdiff_t sst, std::size_t nelems, int pe);
+void shmem_iput64(void* target, const void* source, std::ptrdiff_t tst,
+                  std::ptrdiff_t sst, std::size_t nelems, int pe);
+void shmem_iput128(void* target, const void* source, std::ptrdiff_t tst,
+                   std::ptrdiff_t sst, std::size_t nelems, int pe);
+void shmem_iget32(void* target, const void* source, std::ptrdiff_t tst,
+                  std::ptrdiff_t sst, std::size_t nelems, int pe);
+void shmem_iget64(void* target, const void* source, std::ptrdiff_t tst,
+                  std::ptrdiff_t sst, std::size_t nelems, int pe);
+void shmem_iget128(void* target, const void* source, std::ptrdiff_t tst,
+                   std::ptrdiff_t sst, std::size_t nelems, int pe);
+
+// --- synchronization (spec §8.4/§8.6) ---------------------------------------
+void shmem_barrier_all();
+void shmem_barrier(int PE_start, int logPE_stride, int PE_size, long* pSync);
+void shmem_fence();
+void shmem_quiet();
+
+#define TSHMEM_DECL_WAIT(T, NAME)                               \
+  void shmem_##NAME##_wait(volatile T* ivar, T cmp_value);      \
+  void shmem_##NAME##_wait_until(volatile T* ivar, int cmp, T cmp_value);
+TSHMEM_DECL_WAIT(short, short)
+TSHMEM_DECL_WAIT(int, int)
+TSHMEM_DECL_WAIT(long, long)
+TSHMEM_DECL_WAIT(long long, longlong)
+#undef TSHMEM_DECL_WAIT
+void shmem_wait(volatile long* ivar, long cmp_value);
+void shmem_wait_until(volatile long* ivar, int cmp, long cmp_value);
+
+/// shmem_wait_until comparison constants (spec values).
+inline constexpr int SHMEM_CMP_EQ = 0;
+inline constexpr int SHMEM_CMP_NE = 1;
+inline constexpr int SHMEM_CMP_GT = 2;
+inline constexpr int SHMEM_CMP_LE = 3;
+inline constexpr int SHMEM_CMP_LT = 4;
+inline constexpr int SHMEM_CMP_GE = 5;
+
+/// Work-array constants (spec names keep a leading underscore; these are
+/// the same values under identifiers valid in C++).
+inline constexpr long SHMEM_SYNC_VALUE = kSyncValue;
+inline constexpr std::size_t SHMEM_BCAST_SYNC_SIZE = kBcastSyncSize;
+inline constexpr std::size_t SHMEM_COLLECT_SYNC_SIZE = kCollectSyncSize;
+inline constexpr std::size_t SHMEM_REDUCE_SYNC_SIZE = kReduceSyncSize;
+inline constexpr std::size_t SHMEM_BARRIER_SYNC_SIZE = kBarrierSyncSize;
+inline constexpr std::size_t SHMEM_REDUCE_MIN_WRKDATA_SIZE =
+    kReduceMinWrkDataSize;
+
+// --- collectives (spec §8.5) -------------------------------------------------
+void shmem_broadcast32(void* target, const void* source, std::size_t nelems,
+                       int PE_root, int PE_start, int logPE_stride,
+                       int PE_size, long* pSync);
+void shmem_broadcast64(void* target, const void* source, std::size_t nelems,
+                       int PE_root, int PE_start, int logPE_stride,
+                       int PE_size, long* pSync);
+void shmem_collect32(void* target, const void* source, std::size_t nelems,
+                     int PE_start, int logPE_stride, int PE_size, long* pSync);
+void shmem_collect64(void* target, const void* source, std::size_t nelems,
+                     int PE_start, int logPE_stride, int PE_size, long* pSync);
+void shmem_fcollect32(void* target, const void* source, std::size_t nelems,
+                      int PE_start, int logPE_stride, int PE_size,
+                      long* pSync);
+void shmem_fcollect64(void* target, const void* source, std::size_t nelems,
+                      int PE_start, int logPE_stride, int PE_size,
+                      long* pSync);
+
+// Reductions: bitwise ops over integral types; min/max/sum/prod over all
+// arithmetic types; sum/prod additionally over complex floats/doubles.
+#define TSHMEM_DECL_REDUCE(T, NAME, OP)                                   \
+  void shmem_##NAME##_##OP##_to_all(T* target, T* source, int nreduce,    \
+                                    int PE_start, int logPE_stride,       \
+                                    int PE_size, T* pWrk, long* pSync);
+#define TSHMEM_DECL_REDUCE_BITWISE(T, NAME) \
+  TSHMEM_DECL_REDUCE(T, NAME, and)          \
+  TSHMEM_DECL_REDUCE(T, NAME, or)           \
+  TSHMEM_DECL_REDUCE(T, NAME, xor)
+#define TSHMEM_DECL_REDUCE_ARITH(T, NAME) \
+  TSHMEM_DECL_REDUCE(T, NAME, min)        \
+  TSHMEM_DECL_REDUCE(T, NAME, max)        \
+  TSHMEM_DECL_REDUCE(T, NAME, sum)        \
+  TSHMEM_DECL_REDUCE(T, NAME, prod)
+
+TSHMEM_DECL_REDUCE_BITWISE(short, short)
+TSHMEM_DECL_REDUCE_BITWISE(int, int)
+TSHMEM_DECL_REDUCE_BITWISE(long, long)
+TSHMEM_DECL_REDUCE_BITWISE(long long, longlong)
+TSHMEM_DECL_REDUCE_ARITH(short, short)
+TSHMEM_DECL_REDUCE_ARITH(int, int)
+TSHMEM_DECL_REDUCE_ARITH(long, long)
+TSHMEM_DECL_REDUCE_ARITH(long long, longlong)
+TSHMEM_DECL_REDUCE_ARITH(float, float)
+TSHMEM_DECL_REDUCE_ARITH(double, double)
+TSHMEM_DECL_REDUCE_ARITH(long double, longdouble)
+
+void shmem_complexf_sum_to_all(std::complex<float>* target,
+                               std::complex<float>* source, int nreduce,
+                               int PE_start, int logPE_stride, int PE_size,
+                               std::complex<float>* pWrk, long* pSync);
+void shmem_complexd_sum_to_all(std::complex<double>* target,
+                               std::complex<double>* source, int nreduce,
+                               int PE_start, int logPE_stride, int PE_size,
+                               std::complex<double>* pWrk, long* pSync);
+void shmem_complexf_prod_to_all(std::complex<float>* target,
+                                std::complex<float>* source, int nreduce,
+                                int PE_start, int logPE_stride, int PE_size,
+                                std::complex<float>* pWrk, long* pSync);
+void shmem_complexd_prod_to_all(std::complex<double>* target,
+                                std::complex<double>* source, int nreduce,
+                                int PE_start, int logPE_stride, int PE_size,
+                                std::complex<double>* pWrk, long* pSync);
+
+#undef TSHMEM_DECL_REDUCE
+#undef TSHMEM_DECL_REDUCE_BITWISE
+#undef TSHMEM_DECL_REDUCE_ARITH
+
+// --- atomics (spec §8.6) -------------------------------------------------------
+#define TSHMEM_DECL_ATOMIC_INT(T, NAME)                                \
+  [[nodiscard]] T shmem_##NAME##_swap(T* target, T value, int pe);     \
+  [[nodiscard]] T shmem_##NAME##_cswap(T* target, T cond, T value,     \
+                                       int pe);                        \
+  [[nodiscard]] T shmem_##NAME##_fadd(T* target, T value, int pe);     \
+  [[nodiscard]] T shmem_##NAME##_finc(T* target, int pe);              \
+  void shmem_##NAME##_add(T* target, T value, int pe);                 \
+  void shmem_##NAME##_inc(T* target, int pe);
+TSHMEM_DECL_ATOMIC_INT(int, int)
+TSHMEM_DECL_ATOMIC_INT(long, long)
+TSHMEM_DECL_ATOMIC_INT(long long, longlong)
+#undef TSHMEM_DECL_ATOMIC_INT
+[[nodiscard]] float shmem_float_swap(float* target, float value, int pe);
+[[nodiscard]] double shmem_double_swap(double* target, double value, int pe);
+[[nodiscard]] long shmem_swap(long* target, long value, int pe);
+
+// --- locks (spec §8.7) ----------------------------------------------------------
+void shmem_set_lock(long* lock);
+void shmem_clear_lock(long* lock);
+[[nodiscard]] int shmem_test_lock(long* lock);
+
+// --- cache control (spec §8.8, deprecated no-ops on cache-coherent Tilera) ----
+void shmem_clear_cache_inv();
+void shmem_set_cache_inv();
+void shmem_clear_cache_line_inv(void* target);
+void shmem_set_cache_line_inv(void* target);
+void shmem_udcflush();
+void shmem_udcflush_line(void* target);
+
+}  // namespace tshmem::api

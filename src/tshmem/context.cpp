@@ -1,0 +1,594 @@
+#include "tshmem/context.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "sim/mem_model.hpp"
+#include "tmc/barrier.hpp"
+
+namespace tshmem {
+
+using tilesim::CopyRequest;
+using tilesim::MemSpace;
+
+Context::Context(Runtime& rt, int pe, Tile& tile, std::byte* partition,
+                 std::size_t partition_bytes, std::byte* private_arena,
+                 std::size_t private_bytes)
+    : rt_(&rt),
+      pe_(pe),
+      tile_(&tile),
+      partition_base_(partition),
+      partition_bytes_(partition_bytes),
+      private_base_(private_arena),
+      private_bytes_(private_bytes),
+      heap_(partition, partition_bytes),
+      barrier_algo_(rt.barrier_algo()) {}
+
+// ===========================================================================
+// Address classification & translation (paper §IV-B)
+// ===========================================================================
+
+AddrClass Context::classify(const void* p) const noexcept {
+  const auto* b = static_cast<const std::byte*>(p);
+  if (b >= partition_base_ && b < partition_base_ + partition_bytes_) {
+    return AddrClass::kDynamic;
+  }
+  if (b >= private_base_ && b < private_base_ + private_bytes_) {
+    return AddrClass::kStatic;
+  }
+  return AddrClass::kOther;
+}
+
+void* Context::remote_addr(const void* my_sym, int pe) const {
+  if (pe < 0 || pe >= num_pes()) {
+    throw std::out_of_range("remote_addr: PE out of range");
+  }
+  const auto* b = static_cast<const std::byte*>(my_sym);
+  switch (classify(my_sym)) {
+    case AddrClass::kDynamic: {
+      // Offset from my partition base + target partition base (§IV-B1).
+      const std::size_t offset =
+          static_cast<std::size_t>(b - partition_base_);
+      return rt_->partition_base(pe) + offset;
+    }
+    case AddrClass::kStatic: {
+      const std::size_t offset = static_cast<std::size_t>(b - private_base_);
+      return rt_->private_base(pe) + offset;
+    }
+    case AddrClass::kOther:
+      throw std::invalid_argument(
+          "remote_addr: address is not a symmetric object");
+  }
+  return nullptr;
+}
+
+void* Context::ptr(const void* target, int pe) const {
+  if (pe < 0 || pe >= num_pes()) return nullptr;
+  // Only dynamic symmetric objects are directly addressable across PEs:
+  // static objects live in another process's private memory on hardware.
+  if (classify(target) != AddrClass::kDynamic) return nullptr;
+  return remote_addr(target, pe);
+}
+
+bool Context::pe_accessible(int pe) const noexcept {
+  return pe >= 0 && pe < num_pes();
+}
+
+bool Context::addr_accessible(const void* addr, int pe) const noexcept {
+  if (!pe_accessible(pe)) return false;
+  return classify(addr) != AddrClass::kOther;
+}
+
+// ===========================================================================
+// Symmetric memory (paper §IV-A)
+// ===========================================================================
+
+void* Context::shmalloc(std::size_t bytes) {
+  // All PEs call with the same size at the same point, keeping the heaps
+  // implicitly symmetric; the implicit barrier enforces the rendezvous.
+  tile_->charge_calls(1);
+  if (rt_->options().validate_symmetry) {
+    rt_->check_symmetric_arg(pe_, bytes, "shmalloc(size)");
+  }
+  void* p = heap_.alloc(bytes);
+  barrier_all();
+  return p;
+}
+
+void Context::shfree(void* p) {
+  tile_->charge_calls(1);
+  if (rt_->options().validate_symmetry) {
+    const std::uint64_t offset =
+        p == nullptr ? ~0ull
+                     : static_cast<std::uint64_t>(
+                           static_cast<const std::byte*>(p) - partition_base_);
+    rt_->check_symmetric_arg(pe_, offset, "shfree(offset)");
+  }
+  heap_.free(p);
+  barrier_all();
+}
+
+void* Context::shrealloc(void* p, std::size_t bytes) {
+  tile_->charge_calls(1);
+  void* out = heap_.realloc(p, bytes);
+  barrier_all();
+  return out;
+}
+
+void* Context::shmemalign(std::size_t alignment, std::size_t bytes) {
+  tile_->charge_calls(1);
+  void* p = heap_.memalign(alignment, bytes);
+  barrier_all();
+  return p;
+}
+
+// ===========================================================================
+// Data movement engine (paper §IV-B)
+// ===========================================================================
+
+void Context::do_memcpy_visible(void* dst, const void* src,
+                                std::size_t bytes) {
+  // Elemental-size stores are made atomic so shmem_wait pollers never see
+  // torn values; larger copies use plain memcpy.
+  const auto addr = reinterpret_cast<std::uintptr_t>(dst);
+  switch (bytes) {
+    case 4:
+      if (addr % 4 == 0) {
+        std::uint32_t v;
+        std::memcpy(&v, src, 4);
+        std::atomic_ref<std::uint32_t>(*static_cast<std::uint32_t*>(dst))
+            .store(v, std::memory_order_release);
+        return;
+      }
+      break;
+    case 8:
+      if (addr % 8 == 0) {
+        std::uint64_t v;
+        std::memcpy(&v, src, 8);
+        std::atomic_ref<std::uint64_t>(*static_cast<std::uint64_t*>(dst))
+            .store(v, std::memory_order_release);
+        return;
+      }
+      break;
+    default:
+      break;
+  }
+  std::memcpy(dst, src, bytes);
+  std::atomic_thread_fence(std::memory_order_release);
+}
+
+void Context::charge_local_copy(std::size_t bytes, MemSpace dst, MemSpace src,
+                                CopyHints hints) {
+  CopyRequest req;
+  req.bytes = bytes;
+  req.src = src;
+  req.dst = dst;
+  req.homing = rt_->options().partition_homing;
+  req.concurrent_readers = hints.readers;
+  req.concurrent_writers = hints.writers;
+  tile_->charge_copy(req);
+}
+
+void Context::transfer(void* target, const void* source, std::size_t bytes,
+                       int pe, bool is_put, CopyHints hints) {
+  if (pe < 0 || pe >= num_pes()) {
+    throw std::out_of_range("put/get: PE out of range");
+  }
+  tile_->clock().advance(rt_->config().shmem_call_overhead_ps);
+  if (bytes == 0) return;
+
+  // `target` is the destination *on PE pe* for puts / locally for gets;
+  // `source` is local for puts / on PE pe for gets. Classification always
+  // happens with the caller's own addresses (SHMEM symmetric semantics).
+  const AddrClass remote_cls = classify(is_put ? target : source);
+  const AddrClass local_cls = classify(is_put ? source : target);
+
+  if (remote_cls == AddrClass::kOther) {
+    throw std::invalid_argument(
+        is_put ? "shmem put: target is not a symmetric object"
+               : "shmem get: source is not a symmetric object");
+  }
+
+  const bool remote_is_dynamic = remote_cls == AddrClass::kDynamic;
+  const bool local_is_dynamic = local_cls == AddrClass::kDynamic;
+
+  auto space_of = [](AddrClass c) {
+    return c == AddrClass::kDynamic ? MemSpace::kShared : MemSpace::kPrivate;
+  };
+
+  if (pe == pe_ || remote_is_dynamic) {
+    // The local tile can service the whole operation itself: the remote
+    // side of the transfer is directly addressable (dynamic symmetric), or
+    // the "remote" PE is us (§IV-B1 and the dynamic-* rows of Fig 7).
+    void* dst = is_put ? remote_addr(target, pe) : target;
+    const void* src =
+        is_put ? source
+               : static_cast<const void*>(remote_addr(source, pe));
+    const MemSpace dst_space =
+        is_put ? space_of(remote_cls) : space_of(local_cls);
+    const MemSpace src_space =
+        is_put ? space_of(local_cls) : space_of(remote_cls);
+    charge_local_copy(bytes, dst_space, src_space, hints);
+    do_memcpy_visible(dst, src, bytes);
+    if (is_put && pe != pe_) {
+      rt_->note_delivery(pe, tile_->clock().now());
+    }
+    return;
+  }
+
+  // Remote side is a static symmetric object on another PE: the local tile
+  // cannot touch it. The remote tile must service the operation via a UDN
+  // interrupt (§IV-B2) — unsupported on the TILEPro.
+  if (local_is_dynamic) {
+    // One side is dynamic: the interrupted remote tile services the request
+    // with a single copy (static-dynamic put / dynamic-static get paths;
+    // "minor performance degradation").
+    void* dst = is_put ? remote_addr(target, pe) : target;
+    const void* src =
+        is_put ? source
+               : static_cast<const void*>(remote_addr(source, pe));
+    rt_->interrupts().raise(*tile_, pe, [&](Tile& remote) {
+      CopyRequest req;
+      req.bytes = bytes;
+      req.src = is_put ? MemSpace::kShared : MemSpace::kPrivate;
+      req.dst = is_put ? MemSpace::kPrivate : MemSpace::kShared;
+      req.homing = rt_->options().partition_homing;
+      req.concurrent_readers = hints.readers;
+      req.concurrent_writers = hints.writers;
+      remote.charge_copy(req);
+      do_memcpy_visible(dst, src, bytes);
+    });
+    // Wait: for a put with a *dynamic local source*, the local source is in
+    // shared memory, so the remote can read it directly — handled above.
+    if (is_put) rt_->note_delivery(pe, tile_->clock().now());
+    return;
+  }
+
+  // Both sides are static (or local non-symmetric with a static remote):
+  // neither tile can address the other's private memory directly, so a
+  // temporary shared bounce buffer bridges the transfer at the cost of an
+  // extra copy (§IV-B2: "major performance penalty ... static-static").
+  tile_->clock().advance(rt_->config().bounce_alloc_ps);
+  void* bounce = rt_->alloc_bounce(bytes, pe_);
+  if (is_put) {
+    // Local: private source -> shared bounce; remote: bounce -> its static.
+    charge_local_copy(bytes, MemSpace::kShared, MemSpace::kPrivate, hints);
+    std::memcpy(bounce, source, bytes);
+    void* dst = remote_addr(target, pe);
+    rt_->interrupts().raise(*tile_, pe, [&](Tile& remote) {
+      CopyRequest req;
+      req.bytes = bytes;
+      req.src = MemSpace::kShared;
+      req.dst = MemSpace::kPrivate;
+      req.homing = tilesim::Homing::kHashForHome;
+      remote.charge_copy(req);
+      do_memcpy_visible(dst, bounce, bytes);
+    });
+    rt_->note_delivery(pe, tile_->clock().now());
+  } else {
+    // Remote: its static source -> shared bounce; local: bounce -> target.
+    const void* src = remote_addr(source, pe);
+    rt_->interrupts().raise(*tile_, pe, [&](Tile& remote) {
+      CopyRequest req;
+      req.bytes = bytes;
+      req.src = MemSpace::kPrivate;
+      req.dst = MemSpace::kShared;
+      req.homing = tilesim::Homing::kHashForHome;
+      remote.charge_copy(req);
+      std::memcpy(bounce, src, bytes);
+    });
+    charge_local_copy(bytes, MemSpace::kPrivate, MemSpace::kShared, hints);
+    do_memcpy_visible(target, bounce, bytes);
+  }
+  rt_->free_bounce(bounce);
+}
+
+void Context::put(void* target, const void* source, std::size_t bytes, int pe,
+                  CopyHints hints) {
+  transfer(target, source, bytes, pe, /*is_put=*/true, hints);
+}
+
+void Context::get(void* target, const void* source, std::size_t bytes, int pe,
+                  CopyHints hints) {
+  transfer(target, source, bytes, pe, /*is_put=*/false, hints);
+}
+
+// ===========================================================================
+// Fence / quiet (paper §IV-C2)
+// ===========================================================================
+
+void Context::quiet() {
+  // tmc_mem_fence(): blocks until all memory stores are visible. Our copies
+  // complete synchronously, so this is a fence plus its modeled drain cost.
+  tmc::mem_fence(*tile_);
+}
+
+void Context::fence() {
+  // §IV-C2: shmem_fence() is an alias of shmem_quiet(), giving it the
+  // stronger semantics.
+  quiet();
+}
+
+// ===========================================================================
+// Control messaging
+// ===========================================================================
+
+void Context::send_ctrl(int dst_pe, int queue, const CtrlMsg& msg) {
+  const std::uint64_t words[2] = {msg.word0(), msg.aux};
+  rt_->udn().send(*tile_, dst_pe, queue, words);
+}
+
+CtrlMsg Context::recv_ctrl(int queue, MsgTag tag, int src_pe,
+                           int* actual_src) {
+  // The clock advances only when the *matching* message is consumed; a
+  // message stashed for later must not drag this PE's clock to its own
+  // arrival time (virtual time would then depend on host scheduling).
+  const tilesim::ps_t wait_begin = tile_->clock().now();
+  auto consume = [&](int src, tilesim::ps_t arrival) {
+    tile_->clock().advance_to(arrival);
+    if (tilesim::TraceRecorder* tracer = tile_->device().tracer();
+        tracer != nullptr) {
+      tracer->record(pe_, tilesim::TraceKind::kMessage, wait_begin,
+                     tile_->clock().now(),
+                     "ctrl q" + std::to_string(queue) + " from " +
+                         std::to_string(src));
+    }
+  };
+  auto& stash = ctrl_stash_[queue];
+  for (std::size_t i = 0; i < stash.size(); ++i) {
+    if (stash[i].msg.tag == tag &&
+        (src_pe < 0 || stash[i].src_pe == src_pe)) {
+      const CtrlMsg msg = stash[i].msg;
+      if (actual_src != nullptr) *actual_src = stash[i].src_pe;
+      consume(stash[i].src_pe, stash[i].arrival_ps);
+      stash.erase(stash.begin() + static_cast<std::ptrdiff_t>(i));
+      return msg;
+    }
+  }
+  for (;;) {
+    tmc::UdnPacket pkt = rt_->udn().recv_raw(*tile_, queue);
+    if (pkt.payload.size() != 2) {
+      throw std::runtime_error("malformed TSHMEM control message");
+    }
+    const CtrlMsg msg = CtrlMsg::decode(pkt.payload[0], pkt.payload[1]);
+    if (msg.tag == tag && (src_pe < 0 || pkt.src_tile == src_pe)) {
+      if (actual_src != nullptr) *actual_src = pkt.src_tile;
+      consume(pkt.src_tile, pkt.arrival_ps);
+      return msg;
+    }
+    stash.push_back(StashedCtrl{pkt.src_tile, pkt.arrival_ps, msg});
+  }
+}
+
+// ===========================================================================
+// Barriers (paper §IV-C1)
+// ===========================================================================
+
+std::uint32_t Context::next_barrier_seq(const ActiveSet& as) {
+  return barrier_seq_[as.id()]++;
+}
+
+std::uint32_t Context::next_collective_seq(const ActiveSet& as) {
+  return collective_seq_[as.id()]++;
+}
+
+void Context::barrier_all() { barrier(world()); }
+
+void Context::barrier(const ActiveSet& as) { barrier(as, barrier_algo_); }
+
+void Context::barrier(const ActiveSet& as, BarrierAlgo algo) {
+  if (!as.contains(pe_)) {
+    throw std::invalid_argument("barrier: calling PE not in active set");
+  }
+  // A barrier also completes outstanding puts (OpenSHMEM semantics).
+  quiet();
+  if (as.pe_size == 1) return;
+  const std::uint32_t seq = next_barrier_seq(as);
+  switch (algo) {
+    case BarrierAlgo::kLinearToken:
+      barrier_linear(as, seq);
+      break;
+    case BarrierAlgo::kBroadcastRelease:
+      barrier_broadcast_release(as, seq);
+      break;
+    case BarrierAlgo::kTmcSpin:
+      barrier_tmc_spin(as);
+      break;
+  }
+}
+
+void Context::barrier_linear(const ActiveSet& as, std::uint32_t seq) {
+  // The start tile generates a token identifying this barrier instance; a
+  // WAIT signal circulates linearly through the active set and back to the
+  // start, then a RELEASE signal makes the same loop. Tokens travel on the
+  // dedicated barrier demux queue.
+  const int idx = as.index_of(pe_);
+  const int n = as.pe_size;
+  const int next = as.pe_at((idx + 1) % n);
+  const int prev = as.pe_at((idx + n - 1) % n);
+  const auto forward_cost = rt_->config().barrier_forward_ps;
+
+  auto expect = [&](MsgTag tag) {
+    const CtrlMsg msg = recv_ctrl(tmc::kUdnBarrierQueue, tag, prev);
+    if (msg.set_id != (as.id() & 0xffffff) || msg.seq != seq) {
+      throw std::runtime_error(
+          "TSHMEM barrier token mismatch (overlapping barriers?)");
+    }
+  };
+  auto token = [&](MsgTag tag) {
+    return CtrlMsg{tag, as.id() & 0xffffff, seq, 0};
+  };
+
+  if (idx == 0) {
+    tile_->clock().advance(forward_cost);
+    send_ctrl(next, tmc::kUdnBarrierQueue, token(MsgTag::kBarrierWait));
+    expect(MsgTag::kBarrierWait);  // everyone has arrived
+    tile_->clock().advance(forward_cost);
+    send_ctrl(next, tmc::kUdnBarrierQueue, token(MsgTag::kBarrierRelease));
+    expect(MsgTag::kBarrierRelease);  // start tile exits last
+  } else {
+    expect(MsgTag::kBarrierWait);
+    tile_->clock().advance(forward_cost);
+    send_ctrl(next, tmc::kUdnBarrierQueue, token(MsgTag::kBarrierWait));
+    expect(MsgTag::kBarrierRelease);
+    tile_->clock().advance(forward_cost);
+    send_ctrl(next, tmc::kUdnBarrierQueue, token(MsgTag::kBarrierRelease));
+    // Non-start tiles resume as soon as they forwarded the release.
+  }
+}
+
+void Context::barrier_broadcast_release(const ActiveSet& as,
+                                        std::uint32_t seq) {
+  // The §IV-C1 alternative the paper measured 2x slower: the WAIT phase is
+  // the same linear loop, but the start tile then broadcasts the RELEASE
+  // individually, requiring an acknowledgment per tile before its UDN
+  // resources can be reused — serializing a round trip per member.
+  const int idx = as.index_of(pe_);
+  const int n = as.pe_size;
+  const int next = as.pe_at((idx + 1) % n);
+  const int prev = as.pe_at((idx + n - 1) % n);
+  const int start = as.pe_at(0);
+  const auto forward_cost = rt_->config().barrier_forward_ps;
+  auto token = [&](MsgTag tag) {
+    return CtrlMsg{tag, as.id() & 0xffffff, seq, 0};
+  };
+
+  if (idx == 0) {
+    tile_->clock().advance(forward_cost);
+    send_ctrl(next, tmc::kUdnBarrierQueue, token(MsgTag::kBarrierWait));
+    recv_ctrl(tmc::kUdnBarrierQueue, MsgTag::kBarrierWait, prev);
+    for (int i = 1; i < n; ++i) {
+      tile_->clock().advance(forward_cost);
+      send_ctrl(as.pe_at(i), tmc::kUdnBarrierQueue,
+                token(MsgTag::kBarrierRelease));
+      recv_ctrl(tmc::kUdnBarrierQueue, MsgTag::kBarrierAck, as.pe_at(i));
+      // Draining each acknowledgment from the demux queue costs the root a
+      // software-loop iteration, further serializing the release phase.
+      tile_->clock().advance(forward_cost);
+    }
+  } else {
+    recv_ctrl(tmc::kUdnBarrierQueue, MsgTag::kBarrierWait, prev);
+    tile_->clock().advance(forward_cost);
+    send_ctrl(next, tmc::kUdnBarrierQueue, token(MsgTag::kBarrierWait));
+    recv_ctrl(tmc::kUdnBarrierQueue, MsgTag::kBarrierRelease, start);
+    tile_->clock().advance(forward_cost);
+    send_ctrl(start, tmc::kUdnBarrierQueue, token(MsgTag::kBarrierAck));
+  }
+}
+
+void Context::barrier_tmc_spin(const ActiveSet& as) {
+  // §IV-E: on the TILE-Gx the TMC spin barrier beats the UDN token design;
+  // this variant adopts it (usable only when each PE owns its tile, which
+  // is always true under this runtime).
+  rt_->spin_barrier_for(as).wait(*tile_);
+}
+
+// ===========================================================================
+// Atomics
+// ===========================================================================
+
+void Context::charge_atomic(int pe) {
+  const auto& cfg = rt_->config();
+  // Round trip to the target line's home tile. Hash-for-home scatters lines
+  // pseudo-randomly, so charge the mean mesh distance.
+  const int avg_hops = (cfg.mesh_width + cfg.mesh_height) / 3;
+  ps_t cost = cfg.shmem_call_overhead_ps + cfg.udn_setup_teardown_ps +
+              2 * static_cast<ps_t>(avg_hops) * cfg.cycle_ps();
+  if (pe == pe_) cost = cfg.shmem_call_overhead_ps + 4 * cfg.cycle_ps();
+  tile_->clock().advance(cost);
+}
+
+void Context::atomic_engine(void* target, int pe,
+                            const std::function<void(void*)>& op) {
+  if (pe < 0 || pe >= num_pes()) {
+    throw std::out_of_range("atomic: PE out of range");
+  }
+  const AddrClass cls = classify(target);
+  if (cls == AddrClass::kOther) {
+    throw std::invalid_argument("atomic: target is not a symmetric object");
+  }
+  charge_atomic(pe);
+  if (cls == AddrClass::kDynamic || pe == pe_) {
+    op(remote_addr(target, pe));
+    if (pe != pe_) rt_->note_delivery(pe, tile_->clock().now());
+    return;
+  }
+  // Static symmetric object on a remote PE: service via UDN interrupt.
+  void* addr = remote_addr(target, pe);
+  rt_->interrupts().raise(*tile_, pe, [&](Tile& remote) {
+    remote.clock().advance(rt_->config().cycle_ps() * 8);
+    op(addr);
+  });
+  rt_->note_delivery(pe, tile_->clock().now());
+}
+
+// ===========================================================================
+// Locks (OpenSHMEM §8.7): the lock lives on PE 0's copy of the symmetric
+// variable; value 0 = unlocked, 1 + owner = locked.
+// ===========================================================================
+
+void Context::set_lock(long* lock) {
+  for (;;) {
+    long prev = 0;
+    atomic_engine(lock, 0, [&](void* addr) {
+      std::atomic_ref<long> ref(*static_cast<long*>(addr));
+      long expected = 0;
+      if (ref.compare_exchange_strong(expected, 1 + pe_,
+                                      std::memory_order_acq_rel)) {
+        prev = 0;
+      } else {
+        prev = expected;
+      }
+    });
+    if (prev == 0) return;
+    std::this_thread::yield();
+  }
+}
+
+void Context::clear_lock(long* lock) {
+  quiet();  // spec: releases after outstanding stores complete
+  atomic_engine(lock, 0, [&](void* addr) {
+    std::atomic_ref<long> ref(*static_cast<long*>(addr));
+    const long cur = ref.load(std::memory_order_acquire);
+    if (cur != 1 + pe_) {
+      throw std::logic_error("clear_lock by non-owner PE");
+    }
+    ref.store(0, std::memory_order_release);
+  });
+}
+
+int Context::test_lock(long* lock) {
+  long prev = 0;
+  atomic_engine(lock, 0, [&](void* addr) {
+    std::atomic_ref<long> ref(*static_cast<long*>(addr));
+    long expected = 0;
+    if (!ref.compare_exchange_strong(expected, 1 + pe_,
+                                     std::memory_order_acq_rel)) {
+      prev = expected;
+    }
+  });
+  return prev == 0 ? 0 : 1;
+}
+
+// ===========================================================================
+// Finalize (proposed extension, paper §IV-E)
+// ===========================================================================
+
+void Context::finalize() {
+  if (finalized_) {
+    throw std::logic_error("shmem_finalize called twice");
+  }
+  // Proper teardown requires the UDN to be fully disengaged: any packet
+  // still queued here indicates a protocol bug that would lock up a real
+  // Tilera device.
+  for (int q = 0; q < rt_->config().udn_demux_queues; ++q) {
+    if (rt_->udn().queued_words(pe_, q) != 0 || !ctrl_stash_[q].empty()) {
+      throw std::runtime_error(
+          "shmem_finalize: UDN demux queue not drained on PE " +
+          std::to_string(pe_));
+    }
+  }
+  finalized_ = true;
+}
+
+}  // namespace tshmem

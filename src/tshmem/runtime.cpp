@@ -1,0 +1,235 @@
+#include "tshmem/runtime.hpp"
+
+#include <stdexcept>
+
+#include "tshmem/context.hpp"
+
+namespace tshmem {
+
+namespace {
+thread_local Context* g_current_context = nullptr;
+
+std::size_t align_up(std::size_t v, std::size_t a) {
+  return (v + a - 1) & ~(a - 1);
+}
+}  // namespace
+
+StaticRegistry::StaticRegistry(std::size_t arena_bytes)
+    : arena_bytes_(arena_bytes) {}
+
+StaticRegistry::Entry StaticRegistry::reserve(const std::string& name,
+                                              std::size_t bytes,
+                                              std::size_t alignment) {
+  if (bytes == 0) throw std::invalid_argument("static object of zero bytes");
+  if (alignment == 0 || (alignment & (alignment - 1)) != 0) {
+    throw std::invalid_argument("static object alignment must be power of 2");
+  }
+  std::scoped_lock lk(mu_);
+  if (const auto it = entries_.find(name); it != entries_.end()) {
+    if (it->second.bytes != bytes) {
+      throw std::invalid_argument("static symmetric object '" + name +
+                                  "' re-registered with a different size");
+    }
+    return it->second;
+  }
+  const std::size_t offset = align_up(next_offset_, alignment);
+  if (offset + bytes > arena_bytes_) {
+    throw std::runtime_error("static symmetric arena exhausted");
+  }
+  next_offset_ = offset + bytes;
+  const Entry e{offset, bytes};
+  entries_.emplace(name, e);
+  return e;
+}
+
+std::size_t StaticRegistry::bytes_used() const {
+  std::scoped_lock lk(mu_);
+  return next_offset_;
+}
+
+std::size_t StaticRegistry::object_count() const {
+  std::scoped_lock lk(mu_);
+  return entries_.size();
+}
+
+Runtime::Runtime(const DeviceConfig& cfg, RuntimeOptions opts)
+    : opts_(opts),
+      device_(cfg),
+      // Size the arena for the largest possible job plus collective bounce
+      // buffers and user tmc allocations.
+      cmem_(static_cast<std::size_t>(cfg.tile_count()) * opts.heap_per_pe +
+            (std::size_t{64} << 20)),
+      udn_(device_),
+      intc_(device_),
+      statics_(opts.private_per_pe) {
+  if (opts.heap_per_pe < (std::size_t{1} << 16)) {
+    throw std::invalid_argument("heap_per_pe too small");
+  }
+}
+
+Runtime::~Runtime() = default;
+
+Context* Runtime::current() noexcept { return g_current_context; }
+
+std::byte* Runtime::partition_base(int pe) const {
+  if (pe < 0 || pe >= npes_ || partitions_ == nullptr) {
+    throw std::out_of_range("partition_base: PE out of range or not running");
+  }
+  return partitions_ + static_cast<std::size_t>(pe) * opts_.heap_per_pe;
+}
+
+std::byte* Runtime::private_base(int pe) const {
+  if (pe < 0 || pe >= npes_) {
+    throw std::out_of_range("private_base: PE out of range");
+  }
+  return private_arenas_[static_cast<std::size_t>(pe)]->data();
+}
+
+Context& Runtime::context(int pe) const {
+  if (pe < 0 || pe >= npes_) {
+    throw std::out_of_range("context: PE out of range");
+  }
+  return *contexts_[static_cast<std::size_t>(pe)];
+}
+
+void Runtime::note_delivery(int pe, ps_t completion) {
+  auto& slot = *delivery_[static_cast<std::size_t>(pe)];
+  ps_t cur = slot.load(std::memory_order_acquire);
+  while (cur < completion &&
+         !slot.compare_exchange_weak(cur, completion,
+                                     std::memory_order_acq_rel,
+                                     std::memory_order_acquire)) {
+  }
+}
+
+ps_t Runtime::last_delivery(int pe) const {
+  return delivery_[static_cast<std::size_t>(pe)]->load(
+      std::memory_order_acquire);
+}
+
+void* Runtime::alloc_bounce(std::size_t bytes, int tile) {
+  std::scoped_lock lk(bounce_mu_);
+  const std::string name = "tshmem_bounce_" + std::to_string(next_bounce_id_++);
+  void* p = cmem_.map(name, bytes, tilesim::Homing::kHashForHome, tile);
+  bounce_names_.emplace(p, name);
+  return p;
+}
+
+void Runtime::free_bounce(void* p) {
+  std::scoped_lock lk(bounce_mu_);
+  const auto it = bounce_names_.find(p);
+  if (it == bounce_names_.end()) {
+    throw std::invalid_argument("free_bounce of unknown buffer");
+  }
+  cmem_.unmap(it->second);
+  bounce_names_.erase(it);
+}
+
+tmc::SpinBarrier& Runtime::spin_barrier_for(const ActiveSet& as) {
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(as.pe_start) << 40) |
+      (static_cast<std::uint64_t>(as.log_pe_stride) << 32) |
+      static_cast<std::uint64_t>(as.pe_size);
+  std::scoped_lock lk(spin_mu_);
+  auto it = spin_barriers_.find(key);
+  if (it == spin_barriers_.end()) {
+    it = spin_barriers_
+             .emplace(key,
+                      std::make_unique<tmc::SpinBarrier>(device_, as.pe_size))
+             .first;
+  }
+  return *it->second;
+}
+
+void Runtime::setup_job(int npes) {
+  npes_ = npes;
+  partitions_ = static_cast<std::byte*>(
+      cmem_.map("tshmem_partitions",
+                static_cast<std::size_t>(npes) * opts_.heap_per_pe,
+                opts_.partition_homing, /*creator_tile=*/0));
+  private_arenas_.clear();
+  contexts_.clear();
+  delivery_.clear();
+  symmetry_slots_.assign(static_cast<std::size_t>(npes), 0);
+  for (int pe = 0; pe < npes; ++pe) {
+    private_arenas_.push_back(
+        std::make_unique<std::vector<std::byte>>(opts_.private_per_pe));
+    delivery_.push_back(std::make_unique<std::atomic<ps_t>>(0));
+  }
+  for (int pe = 0; pe < npes; ++pe) {
+    contexts_.push_back(std::make_unique<Context>(
+        *this, pe, device_.tile(pe), partition_base(pe), opts_.heap_per_pe,
+        private_arenas_[static_cast<std::size_t>(pe)]->data(),
+        opts_.private_per_pe));
+  }
+}
+
+void Runtime::teardown_job() {
+  contexts_.clear();
+  private_arenas_.clear();
+  delivery_.clear();
+  {
+    std::scoped_lock lk(bounce_mu_);
+    for (const auto& [p, name] : bounce_names_) cmem_.unmap(name);
+    bounce_names_.clear();
+  }
+  {
+    std::scoped_lock lk(spin_mu_);
+    spin_barriers_.clear();
+  }
+  cmem_.unmap("tshmem_partitions");
+  partitions_ = nullptr;
+  npes_ = 0;
+}
+
+void Runtime::run(int npes, const std::function<void(Context&)>& fn) {
+  if (npes < 1 || npes > device_.tile_count()) {
+    throw std::invalid_argument("npes must be in [1, tile_count]");
+  }
+  if (npes_ != 0) {
+    throw std::logic_error("Runtime::run is not reentrant");
+  }
+  setup_job(npes);
+  try {
+    device_.run(npes, [this, &fn](Tile& tile) {
+      Context& ctx = *contexts_[static_cast<std::size_t>(tile.id())];
+      g_current_context = &ctx;
+      try {
+        fn(ctx);
+      } catch (...) {
+        g_current_context = nullptr;
+        throw;
+      }
+      g_current_context = nullptr;
+    });
+  } catch (...) {
+    teardown_job();
+    throw;
+  }
+  teardown_job();
+}
+
+void Runtime::check_symmetric_arg(int pe, std::uint64_t value,
+                                  const char* what) {
+  symmetry_slots_[static_cast<std::size_t>(pe)] = value;
+  device_.host_sync();
+  bool mismatch = false;
+  for (const std::uint64_t v : symmetry_slots_) {
+    if (v != symmetry_slots_[0]) mismatch = true;
+  }
+  device_.host_sync();  // everyone read before slots are reused
+  if (mismatch) {
+    throw std::logic_error(
+        std::string("symmetric-allocation mismatch in ") + what +
+        ": PEs passed different arguments (paper SIV-A requires identical "
+        "calls on every PE)");
+  }
+}
+
+void run_spmd(const DeviceConfig& cfg, int npes,
+              const std::function<void(Context&)>& fn, RuntimeOptions opts) {
+  Runtime rt(cfg, opts);
+  rt.run(npes, fn);
+}
+
+}  // namespace tshmem

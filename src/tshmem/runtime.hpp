@@ -1,0 +1,175 @@
+// TSHMEM runtime: the library's equivalent of the executable launcher plus
+// per-PE environment (paper §IV-A).
+//
+// The paper's launcher creates TMC common memory, sets up the UDN, forks
+// one process per tile and exec()s the application; start_pes() then
+// partitions the shared space symmetrically. Here Runtime::run() spawns one
+// tile thread per PE, carves the symmetric partitions out of CommonMemory,
+// and hands each thread a Context. Static symmetric objects (link-time
+// layout in the paper) are emulated by a StaticRegistry handing out stable
+// offsets into per-PE private arenas.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "sim/device.hpp"
+#include "tmc/barrier.hpp"
+#include "tmc/common_memory.hpp"
+#include "tmc/interrupt.hpp"
+#include "tmc/udn.hpp"
+#include "tshmem/types.hpp"
+
+namespace tshmem {
+
+using tilesim::Device;
+using tilesim::DeviceConfig;
+using tilesim::ps_t;
+using tilesim::Tile;
+
+class Context;
+
+/// Emulates the link-time layout of static symmetric variables: every
+/// registered name receives a stable offset; each PE's copy lives at that
+/// offset inside its private arena (same device virtual address, private
+/// physical storage — see DESIGN.md §2).
+class StaticRegistry {
+ public:
+  explicit StaticRegistry(std::size_t arena_bytes);
+
+  struct Entry {
+    std::size_t offset;
+    std::size_t bytes;
+  };
+
+  /// Registers (or looks up) a named object. Re-registration with a
+  /// different size throws — the "executable" can only have one layout.
+  Entry reserve(const std::string& name, std::size_t bytes,
+                std::size_t alignment);
+
+  [[nodiscard]] std::size_t arena_bytes() const noexcept {
+    return arena_bytes_;
+  }
+  [[nodiscard]] std::size_t bytes_used() const;
+  [[nodiscard]] std::size_t object_count() const;
+
+ private:
+  std::size_t arena_bytes_;
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;
+  std::size_t next_offset_ = 0;
+};
+
+struct RuntimeOptions {
+  std::size_t heap_per_pe = std::size_t{32} << 20;    ///< symmetric partition
+  std::size_t private_per_pe = std::size_t{8} << 20;  ///< static arena
+  tilesim::Homing partition_homing = tilesim::Homing::kHashForHome;
+  BarrierAlgo barrier_algo = BarrierAlgo::kLinearToken;
+  /// Debug aid: verify collectively at every shmalloc/shfree that all PEs
+  /// passed matching arguments (the symmetry precondition of paper SIV-A).
+  /// Uses host-level synchronization only — zero virtual-time cost — so it
+  /// can stay on during benchmarking without perturbing results.
+  bool validate_symmetry = false;
+};
+
+class Runtime {
+ public:
+  explicit Runtime(const DeviceConfig& cfg, RuntimeOptions opts = {});
+  ~Runtime();
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  /// Launch `npes` PEs (bound 1:1 to tiles 0..npes-1) and run `fn` on each.
+  /// Blocks until all PEs return; rethrows the first PE exception.
+  void run(int npes, const std::function<void(Context&)>& fn);
+
+  // --- topology of the running job ----------------------------------------
+  [[nodiscard]] Device& device() noexcept { return device_; }
+  [[nodiscard]] const DeviceConfig& config() const noexcept {
+    return device_.config();
+  }
+  [[nodiscard]] tmc::CommonMemory& cmem() noexcept { return cmem_; }
+  [[nodiscard]] tmc::UdnFabric& udn() noexcept { return udn_; }
+  [[nodiscard]] tmc::InterruptController& interrupts() noexcept {
+    return intc_;
+  }
+  [[nodiscard]] StaticRegistry& statics() noexcept { return statics_; }
+  [[nodiscard]] const RuntimeOptions& options() const noexcept {
+    return opts_;
+  }
+
+  [[nodiscard]] int npes() const noexcept { return npes_; }
+
+  /// Base of PE `pe`'s symmetric partition (valid during run()).
+  [[nodiscard]] std::byte* partition_base(int pe) const;
+  /// Base of PE `pe`'s private (static symmetric) arena.
+  [[nodiscard]] std::byte* private_base(int pe) const;
+
+  [[nodiscard]] Context& context(int pe) const;
+
+  /// Context bound to the calling thread, or nullptr outside run().
+  [[nodiscard]] static Context* current() noexcept;
+
+  // --- services used by Context -------------------------------------------
+  /// Timestamp (atomic max) of the last completed remote store delivered
+  /// into PE `pe`'s memory; shmem_wait uses it to order virtual time.
+  void note_delivery(int pe, ps_t completion);
+  [[nodiscard]] ps_t last_delivery(int pe) const;
+
+  /// Temporary shared bounce buffer for static-static transfers.
+  void* alloc_bounce(std::size_t bytes, int tile);
+  void free_bounce(void* p);
+
+  /// Cached TMC spin barrier for an active set (BarrierAlgo::kTmcSpin).
+  tmc::SpinBarrier& spin_barrier_for(const ActiveSet& as);
+
+  /// Symmetry validation (validate_symmetry option): every PE posts the
+  /// argument of its collective allocation call; after a host rendezvous
+  /// each PE checks agreement and throws std::logic_error on divergence.
+  void check_symmetric_arg(int pe, std::uint64_t value, const char* what);
+
+  /// Runtime-wide default barrier algorithm (settable per Context too).
+  [[nodiscard]] BarrierAlgo barrier_algo() const noexcept {
+    return opts_.barrier_algo;
+  }
+
+ private:
+  RuntimeOptions opts_;
+  Device device_;
+  tmc::CommonMemory cmem_;
+  tmc::UdnFabric udn_;
+  tmc::InterruptController intc_;
+  StaticRegistry statics_;
+
+  int npes_ = 0;
+  std::byte* partitions_ = nullptr;  // npes_ * heap_per_pe, in cmem_
+  std::vector<std::unique_ptr<std::vector<std::byte>>> private_arenas_;
+  std::vector<std::unique_ptr<Context>> contexts_;
+
+  std::vector<std::unique_ptr<std::atomic<ps_t>>> delivery_;
+  std::vector<std::uint64_t> symmetry_slots_;
+
+  std::mutex bounce_mu_;
+  std::map<void*, std::string> bounce_names_;
+  std::uint64_t next_bounce_id_ = 0;
+
+  std::mutex spin_mu_;
+  std::map<std::uint64_t, std::unique_ptr<tmc::SpinBarrier>> spin_barriers_;
+
+  void setup_job(int npes);
+  void teardown_job();
+};
+
+/// Convenience: build a runtime for a named device and run one SPMD job.
+void run_spmd(const DeviceConfig& cfg, int npes,
+              const std::function<void(Context&)>& fn,
+              RuntimeOptions opts = {});
+
+}  // namespace tshmem

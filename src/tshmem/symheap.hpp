@@ -1,0 +1,83 @@
+// Symmetric-heap allocator (paper §IV-A).
+//
+// TSHMEM manages each PE's symmetric partition with a doubly-linked list of
+// segment headers embedded in the partition itself — the classic boundary-
+// tag allocator. Symmetry across PEs is implicit: shmalloc() is collective
+// and every PE performs the identical allocation sequence, so a block's
+// offset from the partition base is the same on every PE.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace tshmem {
+
+class SymHeap {
+ public:
+  /// Manages `bytes` of memory at `base`. The region must stay alive for
+  /// the heap's lifetime; headers are stored in-band.
+  SymHeap(std::byte* base, std::size_t bytes);
+
+  SymHeap(const SymHeap&) = delete;
+  SymHeap& operator=(const SymHeap&) = delete;
+
+  /// First-fit allocation; returns nullptr when no block fits (matching
+  /// shmalloc's null-on-failure contract). Payload is 16-byte aligned.
+  [[nodiscard]] void* alloc(std::size_t bytes);
+
+  /// Aligned allocation (shmemalign). `alignment` must be a power of two
+  /// and at least 16.
+  [[nodiscard]] void* memalign(std::size_t alignment, std::size_t bytes);
+
+  /// Frees a block previously returned by alloc/memalign/realloc; nullptr
+  /// is a no-op. Coalesces with free neighbors. Throws std::invalid_argument
+  /// for pointers this heap does not own.
+  void free(void* p);
+
+  /// shrealloc semantics: grow/shrink preserving contents; nullptr acts as
+  /// alloc, size 0 acts as free (returning nullptr).
+  [[nodiscard]] void* realloc(void* p, std::size_t bytes);
+
+  // --- introspection (tests, diagnostics) ---------------------------------
+  [[nodiscard]] std::size_t bytes_in_use() const noexcept;
+  [[nodiscard]] std::size_t bytes_free() const noexcept;
+  [[nodiscard]] std::size_t block_count() const noexcept;
+  [[nodiscard]] std::size_t largest_free_block() const noexcept;
+  [[nodiscard]] bool owns(const void* p) const noexcept;
+  [[nodiscard]] std::size_t allocation_size(const void* p) const;
+
+  /// Walks the block list verifying every invariant (link symmetry, size
+  /// accounting, no adjacent free blocks). Returns true when consistent.
+  [[nodiscard]] bool validate() const noexcept;
+
+  [[nodiscard]] std::byte* base() const noexcept { return base_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  struct Block {
+    std::size_t size;  ///< payload bytes (excluding the header)
+    Block* prev;
+    Block* next;
+    bool free;
+    std::uint32_t magic;  ///< corruption canary
+  };
+
+  static constexpr std::uint32_t kMagic = 0x7355e3au;
+  static constexpr std::size_t kAlign = 16;
+
+  std::byte* base_;
+  std::size_t capacity_;
+  Block* head_;
+
+  [[nodiscard]] static std::size_t align_up(std::size_t v) noexcept {
+    return (v + kAlign - 1) & ~(kAlign - 1);
+  }
+  [[nodiscard]] Block* block_of(void* p) const;
+  [[nodiscard]] static void* payload_of(Block* b) noexcept {
+    return reinterpret_cast<std::byte*>(b) + sizeof(Block);
+  }
+  void split(Block* b, std::size_t payload);
+  void coalesce(Block* b);
+};
+
+}  // namespace tshmem

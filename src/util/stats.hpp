@@ -1,0 +1,66 @@
+// Small online/offline statistics helpers used by benchmark harnesses and
+// property tests (min/max/mean/stddev/percentiles over samples).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace tshmem_util {
+
+/// Welford online accumulator: numerically stable mean/variance without
+/// storing samples. Suitable for long benchmark loops.
+class OnlineStats {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+
+  void merge(const OnlineStats& other) noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Sample container with percentile queries (sorts lazily on demand).
+class SampleSet {
+ public:
+  void add(double x) { samples_.push_back(x); sorted_ = false; }
+  void reserve(std::size_t n) { samples_.reserve(n); }
+  void clear() { samples_.clear(); sorted_ = false; }
+
+  [[nodiscard]] std::size_t count() const noexcept { return samples_.size(); }
+  [[nodiscard]] double mean() const noexcept;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  /// Linear-interpolated percentile, p in [0, 100].
+  [[nodiscard]] double percentile(double p) const;
+  [[nodiscard]] double median() const { return percentile(50.0); }
+
+  [[nodiscard]] const std::vector<double>& raw() const noexcept {
+    return samples_;
+  }
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+  void ensure_sorted() const;
+};
+
+/// Least-squares slope of y over x; used by shape tests (e.g. "latency is
+/// linear in tile count", "stage-2 collect volume grows quadratically").
+double linear_slope(const std::vector<double>& x, const std::vector<double>& y);
+
+/// Pearson correlation coefficient.
+double correlation(const std::vector<double>& x, const std::vector<double>& y);
+
+}  // namespace tshmem_util

@@ -1,0 +1,39 @@
+// Fixed-width console table / CSV emitters used by every benchmark binary
+// so figure reproductions print uniform, diff-friendly rows.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace tshmem_util {
+
+/// Column-aligned text table. Rows are strings; numeric helpers format with
+/// sensible precision. Call print() once all rows are added.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  Table& add_row(std::vector<std::string> cells);
+
+  /// Format helpers producing cells.
+  static std::string num(double v, int precision = 2);
+  static std::string integer(long long v);
+  static std::string bytes(std::size_t n);  ///< "8 B", "64 kB", "2 MB"
+
+  void print(std::ostream& os) const;
+  void print_csv(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a "Figure N"-style banner so bench output maps 1:1 to the paper.
+void print_banner(std::ostream& os, const std::string& experiment_id,
+                  const std::string& caption);
+
+}  // namespace tshmem_util

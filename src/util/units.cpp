@@ -1,0 +1,21 @@
+#include "util/units.hpp"
+
+namespace tshmem_util {
+
+double bandwidth_mbps(std::uint64_t bytes, ps_t elapsed) noexcept {
+  if (elapsed == 0) return 0.0;
+  // bytes / (elapsed_ps * 1e-12) seconds, scaled to 1e6 bytes.
+  return static_cast<double>(bytes) * 1e6 / static_cast<double>(elapsed);
+}
+
+double bandwidth_gbps(std::uint64_t bytes, ps_t elapsed) noexcept {
+  return bandwidth_mbps(bytes, elapsed) / 1e3;
+}
+
+ps_t transfer_time_ps(std::uint64_t bytes, double mbps) noexcept {
+  if (mbps <= 0.0) return 0;
+  // seconds = bytes / (mbps * 1e6); ps = seconds * 1e12.
+  return static_cast<ps_t>(static_cast<double>(bytes) / mbps * 1e6 + 0.5);
+}
+
+}  // namespace tshmem_util

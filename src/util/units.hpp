@@ -1,0 +1,48 @@
+// Unit conversions shared by the simulator and benchmark harnesses.
+// Virtual device time is kept in integer picoseconds (ps) to represent both
+// a 1 GHz (1000 ps) and a 700 MHz (1428.57… ps ≈ 1429 ps) clock without
+// floating-point drift in long accumulations.
+#pragma once
+
+#include <cstdint>
+
+namespace tshmem_util {
+
+using ps_t = std::uint64_t;  ///< virtual device time, picoseconds
+
+inline constexpr ps_t kPsPerNs = 1'000;
+inline constexpr ps_t kPsPerUs = 1'000'000;
+inline constexpr ps_t kPsPerMs = 1'000'000'000;
+inline constexpr ps_t kPsPerSec = 1'000'000'000'000ULL;
+
+[[nodiscard]] constexpr double ps_to_ns(ps_t ps) noexcept {
+  return static_cast<double>(ps) / static_cast<double>(kPsPerNs);
+}
+[[nodiscard]] constexpr double ps_to_us(ps_t ps) noexcept {
+  return static_cast<double>(ps) / static_cast<double>(kPsPerUs);
+}
+[[nodiscard]] constexpr double ps_to_ms(ps_t ps) noexcept {
+  return static_cast<double>(ps) / static_cast<double>(kPsPerMs);
+}
+[[nodiscard]] constexpr double ps_to_sec(ps_t ps) noexcept {
+  return static_cast<double>(ps) / static_cast<double>(kPsPerSec);
+}
+
+[[nodiscard]] constexpr ps_t ns_to_ps(double ns) noexcept {
+  return static_cast<ps_t>(ns * static_cast<double>(kPsPerNs) + 0.5);
+}
+[[nodiscard]] constexpr ps_t us_to_ps(double us) noexcept {
+  return static_cast<ps_t>(us * static_cast<double>(kPsPerUs) + 0.5);
+}
+
+/// Effective bandwidth in MB/s (decimal MB, as plotted in the paper) for
+/// `bytes` moved in `elapsed` virtual time.
+[[nodiscard]] double bandwidth_mbps(std::uint64_t bytes, ps_t elapsed) noexcept;
+
+/// Effective bandwidth in GB/s.
+[[nodiscard]] double bandwidth_gbps(std::uint64_t bytes, ps_t elapsed) noexcept;
+
+/// Picoseconds to move `bytes` at `mbps` (decimal megabytes per second).
+[[nodiscard]] ps_t transfer_time_ps(std::uint64_t bytes, double mbps) noexcept;
+
+}  // namespace tshmem_util

@@ -1,0 +1,362 @@
+// Tests for the OpenSHMEM v1.0 C-style API surface (tshmem/api.hpp): the
+// portability layer SHMEM applications program against (paper Table I).
+#include <gtest/gtest.h>
+
+#include <complex>
+#include <vector>
+
+#include "tshmem/api.hpp"
+#include "tshmem/runtime.hpp"
+
+namespace {
+
+using tshmem::Context;
+using tshmem::Runtime;
+namespace api = tshmem::api;
+
+long* alloc_psync(Context& ctx, std::size_t n) {
+  auto* p = ctx.shmalloc_n<long>(n);
+  for (std::size_t i = 0; i < n; ++i) p[i] = api::SHMEM_SYNC_VALUE;
+  ctx.barrier_all();
+  return p;
+}
+
+TEST(Api, OutsideJobThrows) {
+  EXPECT_THROW((void)api::_my_pe(), std::logic_error);
+  EXPECT_THROW((void)api::shmalloc(8), std::logic_error);
+}
+
+TEST(Api, EnvironmentQueries) {
+  tshmem::run_spmd(tilesim::tile_gx36(), 5, [](Context&) {
+    api::start_pes(0);
+    EXPECT_EQ(api::_num_pes(), 5);
+    EXPECT_EQ(api::shmem_n_pes(), 5);
+    EXPECT_EQ(api::_my_pe(), api::shmem_my_pe());
+    EXPECT_EQ(api::shmem_pe_accessible(4), 1);
+    EXPECT_EQ(api::shmem_pe_accessible(5), 0);
+  });
+}
+
+TEST(Api, TypedPutGetFamilies) {
+  tshmem::run_spmd(tilesim::tile_gx36(), 2, [](Context&) {
+    api::start_pes(0);
+    const int me = api::_my_pe();
+    const int other = 1 - me;
+    auto* s = static_cast<short*>(api::shmalloc(8 * sizeof(short)));
+    auto* f = static_cast<float*>(api::shmalloc(8 * sizeof(float)));
+    auto* ld =
+        static_cast<long double*>(api::shmalloc(4 * sizeof(long double)));
+    short ssrc[8];
+    float fsrc[8];
+    long double ldsrc[4];
+    for (int i = 0; i < 8; ++i) {
+      ssrc[i] = static_cast<short>(me * 10 + i);
+      fsrc[i] = me + i * 0.5f;
+    }
+    for (int i = 0; i < 4; ++i) ldsrc[i] = me + i * 0.25L;
+    api::shmem_barrier_all();
+    api::shmem_short_put(s, ssrc, 8, other);
+    api::shmem_float_put(f, fsrc, 8, other);
+    api::shmem_longdouble_put(ld, ldsrc, 4, other);
+    api::shmem_barrier_all();
+    EXPECT_EQ(s[3], other * 10 + 3);
+    EXPECT_EQ(f[5], other + 2.5f);
+    EXPECT_EQ(ld[2], other + 0.5L);
+    // Typed gets.
+    short sback[8];
+    api::shmem_short_get(sback, s, 8, me);
+    EXPECT_EQ(sback[3], s[3]);
+    api::shmem_barrier_all();
+    api::shfree(ld);
+    api::shfree(f);
+    api::shfree(s);
+  });
+}
+
+TEST(Api, SizedPutGetAndMem) {
+  tshmem::run_spmd(tilesim::tile_gx36(), 2, [](Context&) {
+    api::start_pes(0);
+    const int other = 1 - api::_my_pe();
+    auto* buf = static_cast<std::uint32_t*>(api::shmalloc(64));
+    std::uint32_t src32[4] = {1, 2, 3, 4};
+    std::uint64_t src64[2] = {10, 20};
+    api::shmem_barrier_all();
+    api::shmem_put32(buf, src32, 4, other);
+    api::shmem_barrier_all();
+    EXPECT_EQ(buf[2], 3u);
+    api::shmem_barrier_all();
+    api::shmem_put64(buf, src64, 2, other);
+    api::shmem_barrier_all();
+    EXPECT_EQ(reinterpret_cast<std::uint64_t*>(buf)[1], 20u);
+    api::shmem_barrier_all();
+    char bytes[5] = {'a', 'b', 'c', 'd', 'e'};
+    api::shmem_putmem(buf, bytes, 5, other);
+    api::shmem_barrier_all();
+    EXPECT_EQ(reinterpret_cast<char*>(buf)[4], 'e');
+    char back[5];
+    api::shmem_getmem(back, buf, 5, other);
+    EXPECT_EQ(back[0], 'a');
+    api::shmem_barrier_all();
+    api::shfree(buf);
+  });
+}
+
+TEST(Api, ElementalPG) {
+  tshmem::run_spmd(tilesim::tile_pro64(), 2, [](Context&) {
+    api::start_pes(0);
+    const int other = 1 - api::_my_pe();
+    auto* c = static_cast<char*>(api::shmalloc(1));
+    auto* d = static_cast<double*>(api::shmalloc(8));
+    api::shmem_barrier_all();
+    api::shmem_char_p(c, 'x', other);
+    api::shmem_double_p(d, 6.5, other);
+    api::shmem_barrier_all();
+    EXPECT_EQ(*c, 'x');
+    EXPECT_EQ(api::shmem_double_g(d, other), 6.5);
+    api::shmem_barrier_all();
+    api::shfree(d);
+    api::shfree(c);
+  });
+}
+
+TEST(Api, StridedIputIget) {
+  tshmem::run_spmd(tilesim::tile_gx36(), 2, [](Context&) {
+    api::start_pes(0);
+    auto* buf = static_cast<long*>(api::shmalloc(16 * sizeof(long)));
+    for (int i = 0; i < 16; ++i) buf[i] = -1;
+    api::shmem_barrier_all();
+    if (api::_my_pe() == 0) {
+      long src[4] = {100, 101, 102, 103};
+      api::shmem_long_iput(buf, src, 4, 1, 4, 1);
+    }
+    api::shmem_barrier_all();
+    if (api::_my_pe() == 1) {
+      EXPECT_EQ(buf[0], 100);
+      EXPECT_EQ(buf[4], 101);
+      EXPECT_EQ(buf[8], 102);
+      EXPECT_EQ(buf[12], 103);
+      EXPECT_EQ(buf[1], -1);
+    }
+    api::shmem_barrier_all();
+    api::shfree(buf);
+  });
+}
+
+TEST(Api, BroadcastCollectFcollect) {
+  tshmem::run_spmd(tilesim::tile_gx36(), 4, [](Context& ctx) {
+    api::start_pes(0);
+    const int me = api::_my_pe();
+    long* psync = alloc_psync(ctx, api::SHMEM_COLLECT_SYNC_SIZE);
+    auto* src = static_cast<std::int32_t*>(api::shmalloc(4 * 4));
+    auto* dst = static_cast<std::int32_t*>(api::shmalloc(4 * 4 * 4));
+    for (int i = 0; i < 4; ++i) src[i] = me * 10 + i;
+    api::shmem_barrier_all();
+
+    api::shmem_broadcast32(dst, src, 4, 0, 0, 0, 4, psync);
+    api::shmem_barrier_all();
+    if (me != 0) {
+      for (int i = 0; i < 4; ++i) EXPECT_EQ(dst[i], i);  // root 0's data
+    }
+    api::shmem_barrier_all();
+
+    api::shmem_fcollect32(dst, src, 4, 0, 0, 4, psync);
+    api::shmem_barrier_all();
+    for (int pe = 0; pe < 4; ++pe) {
+      for (int i = 0; i < 4; ++i) EXPECT_EQ(dst[pe * 4 + i], pe * 10 + i);
+    }
+    api::shmem_barrier_all();
+
+    api::shmem_collect32(dst, src, 2, 0, 0, 4, psync);
+    api::shmem_barrier_all();
+    for (int pe = 0; pe < 4; ++pe) {
+      EXPECT_EQ(dst[pe * 2], pe * 10);
+      EXPECT_EQ(dst[pe * 2 + 1], pe * 10 + 1);
+    }
+    api::shmem_barrier_all();
+    api::shfree(dst);
+    api::shfree(src);
+    api::shfree(psync);
+  });
+}
+
+TEST(Api, ReductionFamilies) {
+  tshmem::run_spmd(tilesim::tile_gx36(), 4, [](Context& ctx) {
+    api::start_pes(0);
+    const int me = api::_my_pe();
+    long* psync = alloc_psync(ctx, api::SHMEM_REDUCE_SYNC_SIZE);
+    auto* isrc = static_cast<int*>(api::shmalloc(8 * sizeof(int)));
+    auto* idst = static_cast<int*>(api::shmalloc(8 * sizeof(int)));
+    auto* iwrk = static_cast<int*>(
+        api::shmalloc(api::SHMEM_REDUCE_MIN_WRKDATA_SIZE * sizeof(int)));
+    for (int i = 0; i < 8; ++i) isrc[i] = me + 1;
+    api::shmem_barrier_all();
+
+    api::shmem_int_sum_to_all(idst, isrc, 8, 0, 0, 4, iwrk, psync);
+    api::shmem_barrier_all();
+    for (int i = 0; i < 8; ++i) EXPECT_EQ(idst[i], 10);  // 1+2+3+4
+    api::shmem_barrier_all();
+
+    api::shmem_int_max_to_all(idst, isrc, 8, 0, 0, 4, iwrk, psync);
+    api::shmem_barrier_all();
+    for (int i = 0; i < 8; ++i) EXPECT_EQ(idst[i], 4);
+    api::shmem_barrier_all();
+
+    api::shmem_int_prod_to_all(idst, isrc, 8, 0, 0, 4, iwrk, psync);
+    api::shmem_barrier_all();
+    for (int i = 0; i < 8; ++i) EXPECT_EQ(idst[i], 24);
+    api::shmem_barrier_all();
+
+    // Double reduction.
+    auto* dsrc = static_cast<double*>(api::shmalloc(4 * sizeof(double)));
+    auto* ddst = static_cast<double*>(api::shmalloc(4 * sizeof(double)));
+    auto* dwrk = static_cast<double*>(
+        api::shmalloc(api::SHMEM_REDUCE_MIN_WRKDATA_SIZE * sizeof(double)));
+    for (int i = 0; i < 4; ++i) dsrc[i] = 0.5 * (me + 1);
+    api::shmem_barrier_all();
+    api::shmem_double_min_to_all(ddst, dsrc, 4, 0, 0, 4, dwrk, psync);
+    api::shmem_barrier_all();
+    for (int i = 0; i < 4; ++i) EXPECT_EQ(ddst[i], 0.5);
+    api::shmem_barrier_all();
+
+    api::shfree(dwrk);
+    api::shfree(ddst);
+    api::shfree(dsrc);
+    api::shfree(iwrk);
+    api::shfree(idst);
+    api::shfree(isrc);
+    api::shfree(psync);
+  });
+}
+
+TEST(Api, ComplexReductions) {
+  tshmem::run_spmd(tilesim::tile_gx36(), 3, [](Context& ctx) {
+    api::start_pes(0);
+    using cf = std::complex<float>;
+    long* psync = alloc_psync(ctx, api::SHMEM_REDUCE_SYNC_SIZE);
+    auto* src = static_cast<cf*>(api::shmalloc(2 * sizeof(cf)));
+    auto* dst = static_cast<cf*>(api::shmalloc(2 * sizeof(cf)));
+    auto* wrk = static_cast<cf*>(
+        api::shmalloc(api::SHMEM_REDUCE_MIN_WRKDATA_SIZE * sizeof(cf)));
+    src[0] = cf(1.0f, static_cast<float>(api::_my_pe()));
+    src[1] = cf(2.0f, 0.0f);
+    api::shmem_barrier_all();
+    api::shmem_complexf_sum_to_all(dst, src, 2, 0, 0, 3, wrk, psync);
+    api::shmem_barrier_all();
+    EXPECT_EQ(dst[0], cf(3.0f, 3.0f));  // imag: 0+1+2
+    EXPECT_EQ(dst[1], cf(6.0f, 0.0f));
+    api::shmem_barrier_all();
+    api::shmem_complexf_prod_to_all(dst, src, 2, 0, 0, 3, wrk, psync);
+    api::shmem_barrier_all();
+    EXPECT_EQ(dst[1], cf(8.0f, 0.0f));  // 2^3
+    api::shmem_barrier_all();
+    api::shfree(wrk);
+    api::shfree(dst);
+    api::shfree(src);
+    api::shfree(psync);
+  });
+}
+
+TEST(Api, AtomicsAndLocks) {
+  tshmem::run_spmd(tilesim::tile_gx36(), 4, [](Context&) {
+    api::start_pes(0);
+    auto* counter = static_cast<long*>(api::shmalloc(sizeof(long)));
+    auto* lock = static_cast<long*>(api::shmalloc(sizeof(long)));
+    if (api::_my_pe() == 0) {
+      *counter = 0;
+      *lock = 0;
+    }
+    api::shmem_barrier_all();
+    (void)api::shmem_long_finc(counter, 0);
+    api::shmem_long_add(counter, 10, 0);
+    api::shmem_set_lock(lock);
+    api::shmem_clear_lock(lock);
+    api::shmem_barrier_all();
+    if (api::_my_pe() == 0) {
+      EXPECT_EQ(*counter, 4 * 11);
+    }
+    api::shmem_barrier_all();
+    api::shfree(lock);
+    api::shfree(counter);
+  });
+}
+
+TEST(Api, WaitFamilies) {
+  tshmem::run_spmd(tilesim::tile_gx36(), 2, [](Context&) {
+    api::start_pes(0);
+    auto* flag = static_cast<long*>(api::shmalloc(sizeof(long)));
+    auto* iflag = static_cast<int*>(api::shmalloc(sizeof(int)));
+    *flag = 0;
+    *iflag = 0;
+    api::shmem_barrier_all();
+    if (api::_my_pe() == 0) {
+      api::shmem_long_p(flag, 5, 1);
+      api::shmem_int_p(iflag, -3, 1);
+    } else {
+      api::shmem_wait(flag, 0);
+      EXPECT_EQ(*flag, 5);
+      api::shmem_int_wait_until(iflag, api::SHMEM_CMP_LT, 0);
+      EXPECT_EQ(*iflag, -3);
+    }
+    api::shmem_barrier_all();
+    api::shfree(iflag);
+    api::shfree(flag);
+  });
+}
+
+TEST(Api, ActiveSetBarrier) {
+  tshmem::run_spmd(tilesim::tile_gx36(), 6, [](Context& ctx) {
+    api::start_pes(0);
+    long* psync = alloc_psync(ctx, api::SHMEM_BARRIER_SYNC_SIZE);
+    if (api::_my_pe() % 2 == 0) {
+      api::shmem_barrier(0, 1, 3, psync);  // PEs 0, 2, 4
+    }
+    api::shmem_barrier_all();
+    EXPECT_THROW(api::shmem_barrier(0, 1, 3, nullptr), std::invalid_argument);
+    api::shmem_barrier_all();
+    api::shfree(psync);
+  });
+}
+
+TEST(Api, PtrAndAccessibility) {
+  tshmem::run_spmd(tilesim::tile_gx36(), 2, [](Context&) {
+    api::start_pes(0);
+    auto* v = static_cast<int*>(api::shmalloc(sizeof(int)));
+    *v = api::_my_pe() + 400;
+    api::shmem_barrier_all();
+    const int other = 1 - api::_my_pe();
+    EXPECT_EQ(api::shmem_addr_accessible(v, other), 1);
+    auto* remote = static_cast<int*>(api::shmem_ptr(v, other));
+    ASSERT_NE(remote, nullptr);
+    EXPECT_EQ(*remote, other + 400);
+    api::shmem_barrier_all();
+    api::shfree(v);
+  });
+}
+
+TEST(Api, CacheRoutinesAreNoops) {
+  tshmem::run_spmd(tilesim::tile_gx36(), 1, [](Context&) {
+    api::start_pes(0);
+    api::shmem_clear_cache_inv();
+    api::shmem_set_cache_inv();
+    api::shmem_udcflush();
+    int x = 0;
+    api::shmem_clear_cache_line_inv(&x);
+    api::shmem_set_cache_line_inv(&x);
+    api::shmem_udcflush_line(&x);
+  });
+}
+
+TEST(Api, FenceQuietAndFinalize) {
+  tshmem::run_spmd(tilesim::tile_gx36(), 2, [](Context&) {
+    api::start_pes(0);
+    auto* v = static_cast<long*>(api::shmalloc(sizeof(long)));
+    api::shmem_long_p(v, 1, 1 - api::_my_pe());
+    api::shmem_fence();
+    api::shmem_quiet();
+    api::shmem_barrier_all();
+    api::shfree(v);
+    api::shmem_finalize();
+  });
+}
+
+}  // namespace

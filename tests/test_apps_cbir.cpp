@@ -1,0 +1,203 @@
+// Tests for the CBIR case study (paper §V-B): deterministic synthetic
+// database, autocorrelogram properties, query self-retrieval, and PE-count
+// invariance of the retrieval result.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "apps/cbir.hpp"
+#include "tshmem/runtime.hpp"
+
+namespace {
+
+namespace cbir = apps::cbir;
+using tshmem::Context;
+using tshmem::Runtime;
+
+TEST(CbirImages, GeneratorIsDeterministic) {
+  std::vector<std::uint8_t> a(128 * 128), b(128 * 128);
+  cbir::generate_image(a, 128, 128, 77);
+  cbir::generate_image(b, 128, 128, 77);
+  EXPECT_EQ(a, b);
+  cbir::generate_image(b, 128, 128, 78);
+  EXPECT_NE(a, b);
+}
+
+TEST(CbirImages, SizeMismatchThrows) {
+  std::vector<std::uint8_t> buf(10);
+  EXPECT_THROW(cbir::generate_image(buf, 128, 128, 1), std::invalid_argument);
+}
+
+TEST(CbirFeature, ProbabilitiesAreNormalized) {
+  std::vector<std::uint8_t> img(128 * 128);
+  cbir::generate_image(img, 128, 128, 5);
+  const auto f = cbir::autocorrelogram(img, 128, 128);
+  for (const float v : f) {
+    EXPECT_GE(v, 0.0f);
+    EXPECT_LE(v, 1.0f);
+  }
+}
+
+TEST(CbirFeature, UniformImageHasPerfectAutocorrelation) {
+  // A constant image: every in-bounds neighbor shares the bin, so the
+  // occupied bin's correlogram entries approach 1 (boundary samples count
+  // as misses, keeping values just under 1).
+  std::vector<std::uint8_t> img(64 * 64, 200);
+  const auto f = cbir::autocorrelogram(img, 64, 64);
+  const int bin = 200 >> 4;
+  for (std::size_t d = 0; d < cbir::kDistances.size(); ++d) {
+    EXPECT_GT(f[d * cbir::kBins + bin], 0.85f);
+  }
+  // Unoccupied bins contribute zero.
+  EXPECT_EQ(f[0], 0.0f);
+}
+
+TEST(CbirFeature, CheckerboardDecorrelatesAtOddDistances) {
+  // A 1-pixel checkerboard: axial neighbors at odd distances always land on
+  // the other color, at even distances on the same color. Distances {1,3,5,7}
+  // are all odd, so same-bin hits vanish away from the border.
+  std::vector<std::uint8_t> img(64 * 64);
+  for (int y = 0; y < 64; ++y) {
+    for (int x = 0; x < 64; ++x) {
+      img[y * 64 + x] = ((x + y) & 1) ? 240 : 0;
+    }
+  }
+  const auto f = cbir::autocorrelogram(img, 64, 64);
+  for (std::size_t d = 0; d < cbir::kDistances.size(); ++d) {
+    EXPECT_EQ(f[d * cbir::kBins + 0], 0.0f);
+    EXPECT_EQ(f[d * cbir::kBins + 15], 0.0f);
+  }
+}
+
+TEST(CbirFeature, DistanceIsAMetricOnIdenticalInputs) {
+  std::vector<std::uint8_t> img(128 * 128);
+  cbir::generate_image(img, 128, 128, 9);
+  const auto f = cbir::autocorrelogram(img, 128, 128);
+  EXPECT_EQ(cbir::feature_distance(f, f), 0.0f);
+  std::vector<std::uint8_t> other(128 * 128);
+  cbir::generate_image(other, 128, 128, 10);
+  const auto g = cbir::autocorrelogram(other, 128, 128);
+  EXPECT_GT(cbir::feature_distance(f, g), 0.0f);
+  EXPECT_EQ(cbir::feature_distance(f, g), cbir::feature_distance(g, f));
+}
+
+TEST(CbirFeature, ChargesComputeModel) {
+  Runtime rt(tilesim::tile_gx36());
+  rt.run(1, [](Context& ctx) {
+    std::vector<std::uint8_t> img(128 * 128);
+    cbir::generate_image(img, 128, 128, 3);
+    const auto t0 = ctx.clock().now();
+    (void)cbir::autocorrelogram(img, 128, 128, &ctx);
+    const auto dt = ctx.clock().now() - t0;
+    // ~18 ops/pixel at 1 ns: roughly 0.3 ms of device time per image.
+    EXPECT_GT(dt, 100'000'000u);   // > 0.1 ms
+    EXPECT_LT(dt, 1'000'000'000u); // < 1 ms
+  });
+}
+
+class CbirQueryTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CbirQueryTest, QueryRetrievesItselfAtAnyPeCount) {
+  const int npes = GetParam();
+  cbir::Params p;
+  p.images = 60;
+  p.query_index = 17;
+  Runtime rt(tilesim::tile_gx36());
+  int best = -1;
+  rt.run(npes, [&](Context& ctx) {
+    const auto result = cbir::run_query(ctx, p);
+    if (ctx.my_pe() == 0) best = result.best_image;
+    // The broadcast verdict is visible on all PEs.
+    EXPECT_EQ(result.best_image % p.images, 17 % p.images);
+  });
+  EXPECT_EQ(best, 17);
+}
+
+INSTANTIATE_TEST_SUITE_P(PeSweep, CbirQueryTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 16));
+
+TEST(CbirQuery, RankingIsCompleteAndSorted) {
+  cbir::Params p;
+  p.images = 40;
+  p.query_index = 8;
+  Runtime rt(tilesim::tile_gx36());
+  rt.run(4, [&](Context& ctx) {
+    const auto r = cbir::run_query(ctx, p);
+    if (ctx.my_pe() == 0) {
+      ASSERT_EQ(r.ranking.size(), 40u);
+      EXPECT_EQ(r.best_image, 8);
+      EXPECT_EQ(r.best_distance, 0.0f);
+      const auto top = r.top(5);
+      EXPECT_EQ(top.front(), 8);
+      // Rescanned head is sorted.
+      EXPECT_LE(r.ranking[0].first, r.ranking[1].first);
+    }
+  });
+}
+
+TEST(CbirQuery, TimingsArePopulatedOnRoot) {
+  cbir::Params p;
+  p.images = 30;
+  Runtime rt(tilesim::tile_pro64());
+  rt.run(3, [&](Context& ctx) {
+    const auto r = cbir::run_query(ctx, p);
+    if (ctx.my_pe() == 0) {
+      EXPECT_GT(r.extract_ps, 0u);
+      EXPECT_GT(r.rank_ps, 0u);
+      EXPECT_EQ(r.elapsed_ps, r.extract_ps + r.rank_ps);
+    }
+  });
+}
+
+TEST(CbirQuery, ResultIndependentOfPeCount) {
+  cbir::Params p;
+  p.images = 50;
+  p.query_index = 31;
+  p.seed = 1234;
+  std::vector<int> results;
+  Runtime rt(tilesim::tile_gx36());
+  for (int npes : {1, 4, 8}) {
+    rt.run(npes, [&](Context& ctx) {
+      const auto r = cbir::run_query(ctx, p);
+      if (ctx.my_pe() == 0) results.push_back(r.best_image);
+    });
+  }
+  EXPECT_EQ(results[0], results[1]);
+  EXPECT_EQ(results[1], results[2]);
+}
+
+TEST(CbirQuery, ExtractPhaseScalesRankPhaseDoesNot) {
+  // The mechanism behind Fig 14's speedup ceiling: the parallel phase
+  // shrinks with PEs, the serial gather/merge/re-rank phase does not.
+  cbir::Params p;
+  p.images = 160;
+  Runtime rt(tilesim::tile_gx36());
+  tilesim::ps_t extract2 = 0, extract8 = 0, rank2 = 0, rank8 = 0;
+  rt.run(2, [&](Context& ctx) {
+    const auto r = cbir::run_query(ctx, p);
+    if (ctx.my_pe() == 0) {
+      extract2 = r.extract_ps;
+      rank2 = r.rank_ps;
+    }
+  });
+  rt.run(8, [&](Context& ctx) {
+    const auto r = cbir::run_query(ctx, p);
+    if (ctx.my_pe() == 0) {
+      extract8 = r.extract_ps;
+      rank8 = r.rank_ps;
+    }
+  });
+  EXPECT_LT(extract8 * 3, extract2);                 // ~4x fewer images each
+  EXPECT_GT(rank8 * 3, rank2);                       // roughly constant
+}
+
+TEST(CbirQuery, ValidatesParams) {
+  Runtime rt(tilesim::tile_gx36());
+  rt.run(1, [](Context& ctx) {
+    cbir::Params p;
+    p.images = 0;
+    EXPECT_THROW((void)cbir::run_query(ctx, p), std::invalid_argument);
+  });
+}
+
+}  // namespace

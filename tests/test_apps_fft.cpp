@@ -1,0 +1,219 @@
+// Tests for the 2D-FFT case study (paper §V-A): numerical correctness of
+// the 1D kernel, equivalence of the parallel transform with the serial
+// reference at any PE count, and the serialization property behind Fig 13.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "apps/fft.hpp"
+#include "tshmem/runtime.hpp"
+
+namespace {
+
+using apps::cfloat;
+using tshmem::Context;
+using tshmem::Runtime;
+
+TEST(Fft1d, DeltaTransformsToConstant) {
+  std::vector<cfloat> data(16, cfloat(0, 0));
+  data[0] = cfloat(1, 0);
+  apps::fft1d(data);
+  for (const auto& v : data) {
+    EXPECT_NEAR(v.real(), 1.0f, 1e-5);
+    EXPECT_NEAR(v.imag(), 0.0f, 1e-5);
+  }
+}
+
+TEST(Fft1d, SingleToneLandsInOneBin) {
+  constexpr std::size_t n = 64;
+  constexpr int k = 5;
+  std::vector<cfloat> data(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const float ang = 2.0f * std::numbers::pi_v<float> * k *
+                      static_cast<float>(i) / n;
+    data[i] = cfloat(std::cos(ang), std::sin(ang));
+  }
+  apps::fft1d(data);
+  for (std::size_t bin = 0; bin < n; ++bin) {
+    const float mag = std::abs(data[bin]);
+    if (bin == k) {
+      EXPECT_NEAR(mag, static_cast<float>(n), 1e-2);
+    } else {
+      EXPECT_LT(mag, 1e-2) << "bin " << bin;
+    }
+  }
+}
+
+TEST(Fft1d, ForwardInverseRoundTrip) {
+  std::vector<cfloat> data(128), orig(128);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = apps::fft2d_input(0, i, 42);
+    orig[i] = data[i];
+  }
+  apps::fft1d(data, false);
+  apps::fft1d(data, true);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_NEAR(data[i].real(), orig[i].real(), 1e-4);
+    EXPECT_NEAR(data[i].imag(), orig[i].imag(), 1e-4);
+  }
+}
+
+TEST(Fft1d, ParsevalEnergyConservation) {
+  constexpr std::size_t n = 256;
+  std::vector<cfloat> data(n);
+  double time_energy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    data[i] = apps::fft2d_input(3, i, 7);
+    time_energy += std::norm(data[i]);
+  }
+  apps::fft1d(data);
+  double freq_energy = 0;
+  for (const auto& v : data) freq_energy += std::norm(v);
+  EXPECT_NEAR(freq_energy / n, time_energy, time_energy * 1e-4);
+}
+
+TEST(Fft1d, RejectsNonPowerOfTwo) {
+  std::vector<cfloat> data(12);
+  EXPECT_THROW(apps::fft1d(data), std::invalid_argument);
+}
+
+TEST(Fft1d, FlopModel) {
+  EXPECT_EQ(apps::fft1d_flops(1024), 10u * 512 * 10);
+  EXPECT_EQ(apps::fft1d_flops(2), 10u);
+  EXPECT_EQ(apps::fft1d_flops(1), 0u);
+  EXPECT_EQ(apps::fft1d_flops(16, true), apps::fft1d_flops(16) + 32);
+}
+
+TEST(Fft2dReference, MatchesNaiveDft) {
+  // Cross-check the 2D reference against a direct O(n^4) DFT at n = 8.
+  constexpr std::size_t n = 8;
+  std::vector<cfloat> m(n * n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) {
+      m[r * n + c] = apps::fft2d_input(r, c, 11);
+    }
+  }
+  std::vector<cfloat> naive(n * n);
+  for (std::size_t u = 0; u < n; ++u) {
+    for (std::size_t v = 0; v < n; ++v) {
+      std::complex<double> acc(0, 0);
+      for (std::size_t r = 0; r < n; ++r) {
+        for (std::size_t c = 0; c < n; ++c) {
+          const double ang = -2.0 * std::numbers::pi *
+                             (static_cast<double>(u * r) / n +
+                              static_cast<double>(v * c) / n);
+          acc += std::complex<double>(m[r * n + c]) *
+                 std::polar(1.0, ang);
+        }
+      }
+      naive[u * n + v] = cfloat(acc);
+    }
+  }
+  apps::fft2d_reference(m, n);
+  for (std::size_t i = 0; i < n * n; ++i) {
+    EXPECT_NEAR(m[i].real(), naive[i].real(), 1e-3) << i;
+    EXPECT_NEAR(m[i].imag(), naive[i].imag(), 1e-3) << i;
+  }
+}
+
+class Fft2dParallelTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(Fft2dParallelTest, MatchesSerialReferenceAtAnyPeCount) {
+  const int npes = GetParam();
+  constexpr std::size_t n = 64;
+  constexpr std::uint64_t seed = 99;
+  std::vector<cfloat> reference(n * n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) {
+      reference[r * n + c] = apps::fft2d_input(r, c, seed);
+    }
+  }
+  apps::fft2d_reference(reference, n);
+
+  Runtime rt(tilesim::tile_gx36());
+  std::vector<cfloat> parallel;
+  rt.run(npes, [&](Context& ctx) {
+    auto result = apps::fft2d_run(ctx, n, seed);
+    if (ctx.my_pe() == 0) parallel = std::move(result.output);
+  });
+  ASSERT_EQ(parallel.size(), n * n);
+  double max_err = 0;
+  for (std::size_t i = 0; i < n * n; ++i) {
+    max_err = std::max<double>(max_err, std::abs(parallel[i] - reference[i]));
+  }
+  EXPECT_LT(max_err, 1e-2) << "npes=" << npes;
+}
+
+INSTANTIATE_TEST_SUITE_P(PeSweep, Fft2dParallelTest,
+                         ::testing::Values(1, 2, 3, 4, 7, 8, 16, 32));
+
+TEST(Fft2dParallel, TimingPhasesArePopulated) {
+  Runtime rt(tilesim::tile_gx36());
+  rt.run(4, [](Context& ctx) {
+    const auto result = apps::fft2d_run(ctx, 64, 5);
+    if (ctx.my_pe() == 0) {
+      const auto& t = result.timing;
+      EXPECT_GT(t.row_fft_ps, 0u);
+      EXPECT_GT(t.transpose_ps, 0u);
+      EXPECT_GT(t.col_fft_ps, 0u);
+      EXPECT_GT(t.final_transpose_ps, 0u);
+      EXPECT_EQ(t.total_ps, t.row_fft_ps + t.transpose_ps + t.col_fft_ps +
+                                t.final_transpose_ps);
+    }
+  });
+}
+
+TEST(Fft2dParallel, FinalTransposeSerializesOnRoot) {
+  // The Fig 13 bottleneck: the final-transpose phase does not shrink as
+  // tiles are added, while the FFT phases do.
+  Runtime rt(tilesim::tile_gx36());
+  apps::Fft2dTiming t4{}, t16{};
+  rt.run(4, [&](Context& ctx) {
+    const auto r = apps::fft2d_run(ctx, 256, 5);
+    if (ctx.my_pe() == 0) t4 = r.timing;
+  });
+  rt.run(16, [&](Context& ctx) {
+    const auto r = apps::fft2d_run(ctx, 256, 5);
+    if (ctx.my_pe() == 0) t16 = r.timing;
+  });
+  EXPECT_LT(t16.row_fft_ps * 3, t4.row_fft_ps);      // ~4x fewer rows each
+  EXPECT_NEAR(static_cast<double>(t16.final_transpose_ps),
+              static_cast<double>(t4.final_transpose_ps),
+              0.15 * static_cast<double>(t4.final_transpose_ps));
+}
+
+TEST(Fft2dParallel, ValidatesArguments) {
+  Runtime rt(tilesim::tile_gx36());
+  rt.run(2, [](Context& ctx) {
+    EXPECT_THROW((void)apps::fft2d_run(ctx, 100, 1), std::invalid_argument);
+    EXPECT_THROW((void)apps::fft2d_run(ctx, 1, 1), std::invalid_argument);
+    ctx.barrier_all();
+  });
+}
+
+TEST(Fft2dParallel, ProSlowerThanGxByRoughlyTenfold) {
+  // Fig 13: "TILE-Gx36 execution times are much faster (roughly an order of
+  // magnitude) than those on TILEPro64".
+  apps::Fft2dTiming gx{}, pro{};
+  {
+    Runtime rt(tilesim::tile_gx36());
+    rt.run(1, [&](Context& ctx) {
+      const auto r = apps::fft2d_run(ctx, 128, 3);
+      if (ctx.my_pe() == 0) gx = r.timing;
+    });
+  }
+  {
+    Runtime rt(tilesim::tile_pro64());
+    rt.run(1, [&](Context& ctx) {
+      const auto r = apps::fft2d_run(ctx, 128, 3);
+      if (ctx.my_pe() == 0) pro = r.timing;
+    });
+  }
+  const double ratio = static_cast<double>(pro.total_ps) /
+                       static_cast<double>(gx.total_ps);
+  EXPECT_GT(ratio, 5.0);
+  EXPECT_LT(ratio, 15.0);
+}
+
+}  // namespace

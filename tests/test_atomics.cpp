@@ -1,0 +1,238 @@
+// Tests for TSHMEM atomics: swap/cswap/fadd/finc/add/inc on dynamic and
+// static symmetric objects, concurrency correctness, and cost behaviour.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "tshmem/context.hpp"
+#include "tshmem/runtime.hpp"
+
+namespace {
+
+using tshmem::Context;
+using tshmem::Runtime;
+
+TEST(Atomics, SwapReturnsPrevious) {
+  Runtime rt(tilesim::tile_gx36());
+  rt.run(2, [](Context& ctx) {
+    long* v = ctx.shmalloc_n<long>(1);
+    *v = 111;
+    ctx.barrier_all();
+    if (ctx.my_pe() == 0) {
+      const long old = ctx.swap(v, 222L, 1);
+      EXPECT_EQ(old, 111);
+    }
+    ctx.barrier_all();
+    if (ctx.my_pe() == 1) {
+      EXPECT_EQ(*v, 222);
+    }
+    ctx.barrier_all();
+    ctx.shfree(v);
+  });
+}
+
+TEST(Atomics, FloatAndDoubleSwapBitExact) {
+  Runtime rt(tilesim::tile_gx36());
+  rt.run(2, [](Context& ctx) {
+    float* f = ctx.shmalloc_n<float>(1);
+    double* d = ctx.shmalloc_n<double>(1);
+    *f = 1.25f;
+    *d = -8.5;
+    ctx.barrier_all();
+    if (ctx.my_pe() == 0) {
+      EXPECT_EQ(ctx.swap(f, 9.75f, 1), 1.25f);
+      EXPECT_EQ(ctx.swap(d, 3.5, 1), -8.5);
+    }
+    ctx.barrier_all();
+    if (ctx.my_pe() == 1) {
+      EXPECT_EQ(*f, 9.75f);
+      EXPECT_EQ(*d, 3.5);
+    }
+    ctx.barrier_all();
+    ctx.shfree(d);
+    ctx.shfree(f);
+  });
+}
+
+TEST(Atomics, CswapOnlyOnMatch) {
+  Runtime rt(tilesim::tile_gx36());
+  rt.run(2, [](Context& ctx) {
+    int* v = ctx.shmalloc_n<int>(1);
+    *v = 10;
+    ctx.barrier_all();
+    if (ctx.my_pe() == 0) {
+      EXPECT_EQ(ctx.cswap(v, 99, 20, 1), 10);  // mismatch: returns current
+      EXPECT_EQ(ctx.cswap(v, 10, 20, 1), 10);  // match: swaps
+      EXPECT_EQ(ctx.cswap(v, 10, 30, 1), 20);  // now mismatch again
+    }
+    ctx.barrier_all();
+    if (ctx.my_pe() == 1) {
+      EXPECT_EQ(*v, 20);
+    }
+    ctx.barrier_all();
+    ctx.shfree(v);
+  });
+}
+
+TEST(Atomics, FaddFincReturnOldValues) {
+  Runtime rt(tilesim::tile_gx36());
+  rt.run(2, [](Context& ctx) {
+    long long* v = ctx.shmalloc_n<long long>(1);
+    *v = 5;
+    ctx.barrier_all();
+    if (ctx.my_pe() == 0) {
+      EXPECT_EQ(ctx.fadd(v, 10LL, 1), 5);
+      EXPECT_EQ(ctx.finc(v, 1), 15);
+      ctx.add(v, 100LL, 1);
+      ctx.inc(v, 1);
+    }
+    ctx.barrier_all();
+    if (ctx.my_pe() == 1) {
+      EXPECT_EQ(*v, 117);
+    }
+    ctx.barrier_all();
+    ctx.shfree(v);
+  });
+}
+
+TEST(Atomics, ConcurrentFincsProduceUniqueTickets) {
+  // The classic SHMEM idiom: a shared ticket counter.
+  Runtime rt(tilesim::tile_gx36());
+  std::mutex mu;
+  std::set<long> tickets;
+  rt.run(12, [&](Context& ctx) {
+    long* counter = ctx.shmalloc_n<long>(1);
+    if (ctx.my_pe() == 0) *counter = 0;
+    ctx.barrier_all();
+    for (int i = 0; i < 50; ++i) {
+      const long t = ctx.finc(counter, 0);
+      std::scoped_lock lk(mu);
+      EXPECT_TRUE(tickets.insert(t).second) << "duplicate ticket " << t;
+    }
+    ctx.barrier_all();
+    if (ctx.my_pe() == 0) {
+      EXPECT_EQ(*counter, 600);
+    }
+    ctx.barrier_all();
+    ctx.shfree(counter);
+  });
+  EXPECT_EQ(tickets.size(), 600u);
+}
+
+TEST(Atomics, ConcurrentAddsSumExactly) {
+  Runtime rt(tilesim::tile_pro64());
+  rt.run(16, [](Context& ctx) {
+    long* acc = ctx.shmalloc_n<long>(1);
+    if (ctx.my_pe() == 0) *acc = 0;
+    ctx.barrier_all();
+    for (int i = 0; i < 100; ++i) ctx.add(acc, 1L + ctx.my_pe(), 0);
+    ctx.barrier_all();
+    if (ctx.my_pe() == 0) {
+      EXPECT_EQ(*acc, 100L * (16 + 15 * 16 / 2));  // 100 * sum(1..16)
+    }
+    ctx.barrier_all();
+    ctx.shfree(acc);
+  });
+}
+
+TEST(Atomics, OnStaticSymmetricViaInterrupt) {
+  Runtime rt(tilesim::tile_gx36());
+  rt.run(2, [](Context& ctx) {
+    long* stat = ctx.static_sym<long>("atomic_static");
+    *stat = 7;
+    ctx.barrier_all();
+    if (ctx.my_pe() == 0) {
+      EXPECT_EQ(ctx.fadd(stat, 3L, 1), 7);
+      EXPECT_GE(ctx.runtime().interrupts().serviced(1), 1u);
+    }
+    ctx.barrier_all();
+    if (ctx.my_pe() == 1) {
+      EXPECT_EQ(*stat, 10);
+    }
+    EXPECT_EQ(*ctx.static_sym<long>("atomic_static"), ctx.my_pe() == 1 ? 10 : 7);
+    ctx.barrier_all();
+  });
+}
+
+TEST(Atomics, StaticOnProThrows) {
+  Runtime rt(tilesim::tile_pro64());
+  rt.run(2, [](Context& ctx) {
+    long* stat = ctx.static_sym<long>("pro_atomic");
+    *stat = 0;
+    ctx.barrier_all();
+    if (ctx.my_pe() == 0) {
+      EXPECT_THROW((void)ctx.fadd(stat, 1L, 1), std::runtime_error);
+      (void)ctx.fadd(stat, 1L, 0);  // local static is fine
+      EXPECT_EQ(*stat, 1);
+    }
+    ctx.barrier_all();
+  });
+}
+
+TEST(Atomics, NonSymmetricTargetThrows) {
+  Runtime rt(tilesim::tile_gx36());
+  rt.run(2, [](Context& ctx) {
+    long on_stack = 0;
+    EXPECT_THROW((void)ctx.fadd(&on_stack, 1L, 1 - ctx.my_pe()),
+                 std::invalid_argument);
+    EXPECT_THROW((void)ctx.swap(&on_stack, 1L, 1 - ctx.my_pe()),
+                 std::invalid_argument);
+    ctx.barrier_all();
+  });
+}
+
+TEST(Atomics, PeRangeValidated) {
+  Runtime rt(tilesim::tile_gx36());
+  rt.run(2, [](Context& ctx) {
+    long* v = ctx.shmalloc_n<long>(1);
+    EXPECT_THROW((void)ctx.fadd(v, 1L, 5), std::out_of_range);
+    EXPECT_THROW((void)ctx.swap(v, 1L, -1), std::out_of_range);
+    ctx.barrier_all();
+    ctx.shfree(v);
+  });
+}
+
+TEST(Atomics, RemoteCostsMoreThanLocal) {
+  Runtime rt(tilesim::tile_gx36());
+  rt.run(2, [](Context& ctx) {
+    long* v = ctx.shmalloc_n<long>(1);
+    *v = 0;
+    ctx.barrier_all();
+    if (ctx.my_pe() == 0) {
+      const auto t0 = ctx.clock().now();
+      ctx.add(v, 1L, 0);
+      const auto local = ctx.clock().now() - t0;
+      const auto t1 = ctx.clock().now();
+      ctx.add(v, 1L, 1);
+      const auto remote = ctx.clock().now() - t1;
+      EXPECT_GT(remote, local);
+    }
+    ctx.barrier_all();
+    ctx.shfree(v);
+  });
+}
+
+TEST(Atomics, MixedSwapAndCswapRace) {
+  // cswap-based lock-free stack push counter: verify linearizability of
+  // outcome (total = pushes) under contention.
+  Runtime rt(tilesim::tile_gx36());
+  rt.run(8, [](Context& ctx) {
+    int* top = ctx.shmalloc_n<int>(1);
+    if (ctx.my_pe() == 0) *top = 0;
+    ctx.barrier_all();
+    int done = 0;
+    while (done < 20) {
+      const int cur = ctx.g(top, 0);
+      if (ctx.cswap(top, cur, cur + 1, 0) == cur) ++done;
+    }
+    ctx.barrier_all();
+    if (ctx.my_pe() == 0) {
+      EXPECT_EQ(*top, 160);
+    }
+    ctx.barrier_all();
+    ctx.shfree(top);
+  });
+}
+
+}  // namespace

@@ -1,0 +1,363 @@
+// Tests for TSHMEM synchronization: the linear UDN token barrier (all
+// algorithms), active sets, fence/quiet, wait/wait_until, and locks.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "tshmem/context.hpp"
+#include "tshmem/runtime.hpp"
+
+namespace {
+
+using tshmem::ActiveSet;
+using tshmem::BarrierAlgo;
+using tshmem::Cmp;
+using tshmem::Context;
+using tshmem::Runtime;
+
+TEST(ActiveSet, MembershipAndIndexing) {
+  const ActiveSet as{2, 1, 4};  // PEs 2, 4, 6, 8
+  EXPECT_TRUE(as.contains(2));
+  EXPECT_TRUE(as.contains(8));
+  EXPECT_FALSE(as.contains(3));
+  EXPECT_FALSE(as.contains(10));
+  EXPECT_FALSE(as.contains(0));
+  EXPECT_EQ(as.index_of(6), 2);
+  EXPECT_EQ(as.pe_at(3), 8);
+  EXPECT_THROW((void)as.index_of(5), std::invalid_argument);
+  EXPECT_THROW((void)as.pe_at(4), std::out_of_range);
+  EXPECT_EQ(as.members(), (std::vector<int>{2, 4, 6, 8}));
+}
+
+TEST(ActiveSet, IdsDifferAcrossShapes) {
+  EXPECT_NE((ActiveSet{0, 0, 4}).id(), (ActiveSet{0, 0, 8}).id());
+  EXPECT_NE((ActiveSet{0, 1, 4}).id(), (ActiveSet{0, 0, 4}).id());
+  EXPECT_NE((ActiveSet{1, 0, 4}).id(), (ActiveSet{0, 0, 4}).id());
+}
+
+class BarrierAlgoTest : public ::testing::TestWithParam<BarrierAlgo> {};
+
+TEST_P(BarrierAlgoTest, BarrierAllIsARealRendezvous) {
+  Runtime rt(tilesim::tile_gx36());
+  std::atomic<int> phase_count{0};
+  rt.run(8, [&](Context& ctx) {
+    ctx.set_barrier_algo(GetParam());
+    for (int round = 1; round <= 10; ++round) {
+      phase_count.fetch_add(1);
+      ctx.barrier_all();
+      EXPECT_GE(phase_count.load(), round * 8);
+    }
+  });
+  EXPECT_EQ(phase_count.load(), 80);
+}
+
+TEST_P(BarrierAlgoTest, OrdersPutsBeforeReads) {
+  Runtime rt(tilesim::tile_gx36());
+  rt.run(6, [&](Context& ctx) {
+    ctx.set_barrier_algo(GetParam());
+    long* data = ctx.shmalloc_n<long>(1);
+    *data = -1;
+    ctx.barrier_all();
+    for (long round = 0; round < 20; ++round) {
+      ctx.p(data, round * 100 + ctx.my_pe(), (ctx.my_pe() + 1) % 6);
+      ctx.barrier_all();
+      EXPECT_EQ(*data, round * 100 + (ctx.my_pe() + 5) % 6);
+      ctx.barrier_all();
+    }
+    ctx.shfree(data);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgos, BarrierAlgoTest,
+                         ::testing::Values(BarrierAlgo::kLinearToken,
+                                           BarrierAlgo::kBroadcastRelease,
+                                           BarrierAlgo::kTmcSpin));
+
+TEST(Barrier, ActiveSetSubsetOnlySyncsMembers) {
+  Runtime rt(tilesim::tile_gx36());
+  std::atomic<int> inside{0};
+  rt.run(8, [&](Context& ctx) {
+    const ActiveSet evens{0, 1, 4};  // PEs 0, 2, 4, 6
+    if (evens.contains(ctx.my_pe())) {
+      inside.fetch_add(1);
+      ctx.barrier(evens);
+      EXPECT_GE(inside.load(), 4);
+    }
+    // Odd PEs proceed without ever entering the barrier.
+    ctx.harness_sync();
+  });
+}
+
+TEST(Barrier, StridedActiveSet) {
+  Runtime rt(tilesim::tile_gx36());
+  rt.run(9, [&](Context& ctx) {
+    const ActiveSet quads{0, 2, 3};  // PEs 0, 4, 8
+    if (quads.contains(ctx.my_pe())) {
+      for (int i = 0; i < 5; ++i) ctx.barrier(quads);
+    }
+    ctx.harness_sync();
+  });
+}
+
+TEST(Barrier, NonMemberCallThrows) {
+  Runtime rt(tilesim::tile_gx36());
+  EXPECT_THROW(rt.run(4,
+                      [](Context& ctx) {
+                        const ActiveSet as{0, 0, 2};
+                        ctx.barrier(as);  // PEs 2 and 3 are not members
+                      }),
+               std::invalid_argument);
+}
+
+TEST(Barrier, SinglePeBarrierIsLocal) {
+  Runtime rt(tilesim::tile_gx36());
+  rt.run(3, [](Context& ctx) {
+    const ActiveSet self{ctx.my_pe(), 0, 1};
+    ctx.barrier(self);  // must not deadlock or message anyone
+    ctx.barrier_all();
+  });
+}
+
+TEST(Barrier, VirtualLatencyBestWorstSpread) {
+  // Fig 8 shape: the start tile exits last (worst case ~ 2(n-1) links), a
+  // mid-chain tile exits earlier (best case), with roughly 2x spread.
+  Runtime rt(tilesim::tile_gx36());
+  std::vector<tilesim::ps_t> elapsed(16);
+  rt.run(16, [&](Context& ctx) {
+    ctx.barrier_all();  // warm
+    ctx.harness_sync_reset();
+    const auto t0 = ctx.clock().now();
+    ctx.barrier_all();
+    elapsed[static_cast<std::size_t>(ctx.my_pe())] = ctx.clock().now() - t0;
+    ctx.harness_sync();
+  });
+  const auto [mn, mx] = std::minmax_element(elapsed.begin(), elapsed.end());
+  EXPECT_GT(*mx, *mn);
+  EXPECT_EQ(elapsed[0], *mx);  // the start tile leaves last
+  EXPECT_NEAR(static_cast<double>(*mx) / static_cast<double>(*mn), 2.0, 0.6);
+}
+
+TEST(Barrier, TshmemBeatsTmcSpinOnProButNotOnGx) {
+  // Fig 8: on the TILEPro the UDN token barrier (~3 us @ 36 tiles) crushes
+  // the TMC spin barrier (47.2 us); on the Gx, TMC spin stays faster.
+  auto worst_latency = [](const tilesim::DeviceConfig& cfg, BarrierAlgo algo) {
+    Runtime rt(cfg);
+    tilesim::ps_t worst = 0;
+    std::mutex mu;
+    const int npes = 36;
+    rt.run(npes, [&](Context& ctx) {
+      ctx.set_barrier_algo(algo);
+      ctx.barrier_all();
+      ctx.harness_sync_reset();
+      const auto t0 = ctx.clock().now();
+      ctx.barrier_all();
+      const auto dt = ctx.clock().now() - t0;
+      std::scoped_lock lk(mu);
+      worst = std::max(worst, dt);
+    });
+    return worst;
+  };
+  const auto pro_token =
+      worst_latency(tilesim::tile_pro64(), BarrierAlgo::kLinearToken);
+  const auto pro_spin =
+      worst_latency(tilesim::tile_pro64(), BarrierAlgo::kTmcSpin);
+  EXPECT_LT(pro_token * 5, pro_spin);
+  const auto gx_token =
+      worst_latency(tilesim::tile_gx36(), BarrierAlgo::kLinearToken);
+  const auto gx_spin =
+      worst_latency(tilesim::tile_gx36(), BarrierAlgo::kTmcSpin);
+  EXPECT_LT(gx_spin, gx_token);
+  // Anchor: Pro token barrier ~3 us at 36 tiles.
+  EXPECT_NEAR(static_cast<double>(pro_token) / 1e6, 3.0, 1.0);
+}
+
+TEST(Barrier, BroadcastReleaseIsRoughlyTwiceSlower) {
+  // §IV-C1: "Another design was evaluated whereby the start tile broadcasts
+  // the release signal; however, latencies were two times slower."
+  Runtime rt(tilesim::tile_gx36());
+  tilesim::ps_t linear = 0, bcast = 0;
+  rt.run(36, [&](Context& ctx) {
+    for (const auto algo :
+         {BarrierAlgo::kLinearToken, BarrierAlgo::kBroadcastRelease}) {
+      ctx.set_barrier_algo(algo);
+      ctx.barrier_all();  // warm
+      ctx.harness_sync_reset();
+      const auto t0 = ctx.clock().now();
+      ctx.barrier_all();
+      const auto dt = ctx.clock().now() - t0;
+      if (ctx.my_pe() == 0) {
+        (algo == BarrierAlgo::kLinearToken ? linear : bcast) = dt;
+      }
+      ctx.harness_sync();
+    }
+  });
+  EXPECT_NEAR(static_cast<double>(bcast) / static_cast<double>(linear), 2.0,
+              0.7);
+}
+
+// --- fence / quiet -------------------------------------------------------------
+
+TEST(FenceQuiet, AdvanceClockAndKeepSemantics) {
+  Runtime rt(tilesim::tile_gx36());
+  rt.run(2, [](Context& ctx) {
+    long* flag = ctx.shmalloc_n<long>(1);
+    long* data = ctx.shmalloc_n<long>(1);
+    *flag = 0;
+    *data = 0;
+    ctx.barrier_all();
+    if (ctx.my_pe() == 0) {
+      ctx.p(data, 42L, 1);
+      ctx.fence();  // data must arrive before flag
+      ctx.p(flag, 1L, 1);
+    } else {
+      ctx.wait(flag, 0L);       // block while flag == 0
+      EXPECT_EQ(*data, 42L);    // fence ordered the puts
+    }
+    ctx.barrier_all();
+    ctx.shfree(data);
+    ctx.shfree(flag);
+  });
+}
+
+// --- wait / wait_until ----------------------------------------------------------
+
+TEST(WaitUntil, AllComparisons) {
+  Runtime rt(tilesim::tile_gx36());
+  rt.run(2, [](Context& ctx) {
+    int* v = ctx.shmalloc_n<int>(6);
+    for (int i = 0; i < 6; ++i) v[i] = 0;
+    ctx.barrier_all();
+    if (ctx.my_pe() == 0) {
+      ctx.p(&v[0], 5, 1);   // EQ 5
+      ctx.p(&v[1], 9, 1);   // NE 0
+      ctx.p(&v[2], 7, 1);   // GT 3
+      ctx.p(&v[3], -2, 1);  // LE 0 (already true? starts 0 -> LE 0 true)
+      ctx.p(&v[4], -1, 1);  // LT 0
+      ctx.p(&v[5], 3, 1);   // GE 3
+    } else {
+      ctx.wait_until(&v[0], Cmp::kEq, 5);
+      ctx.wait_until(&v[1], Cmp::kNe, 0);
+      ctx.wait_until(&v[2], Cmp::kGt, 3);
+      ctx.wait_until(&v[3], Cmp::kLe, 0);
+      ctx.wait_until(&v[4], Cmp::kLt, 0);
+      ctx.wait_until(&v[5], Cmp::kGe, 3);
+      EXPECT_EQ(v[0], 5);
+      EXPECT_EQ(v[4], -1);
+    }
+    ctx.barrier_all();
+    ctx.shfree(v);
+  });
+}
+
+TEST(WaitUntil, VirtualClockOrdersAfterDelivery) {
+  Runtime rt(tilesim::tile_gx36());
+  rt.run(2, [](Context& ctx) {
+    long* flag = ctx.shmalloc_n<long>(1);
+    *flag = 0;
+    ctx.barrier_all();
+    ctx.harness_sync_reset();
+    if (ctx.my_pe() == 0) {
+      ctx.clock().advance(10'000'000);  // writer is 10 us into its work
+      ctx.p(flag, 1L, 1);
+      ctx.harness_sync();
+    } else {
+      ctx.wait(flag, 0L);
+      // The waiter cannot observe the flag "before" it was written.
+      EXPECT_GE(ctx.clock().now(), 10'000'000u);
+      ctx.harness_sync();
+    }
+    ctx.barrier_all();
+    ctx.shfree(flag);
+  });
+}
+
+TEST(WaitUntil, LongLongAndShortVariants) {
+  Runtime rt(tilesim::tile_gx36());
+  rt.run(2, [](Context& ctx) {
+    long long* a = ctx.shmalloc_n<long long>(1);
+    *a = 0;
+    ctx.barrier_all();
+    if (ctx.my_pe() == 0) {
+      ctx.p(a, 0x1234567890LL, 1);
+    } else {
+      ctx.wait_until(a, Cmp::kEq, 0x1234567890LL);
+    }
+    ctx.barrier_all();
+    ctx.shfree(a);
+  });
+}
+
+// --- locks ----------------------------------------------------------------------
+
+TEST(Locks, MutualExclusionUnderContention) {
+  Runtime rt(tilesim::tile_gx36());
+  rt.run(8, [](Context& ctx) {
+    long* lock = ctx.shmalloc_n<long>(1);
+    long* counter = ctx.shmalloc_n<long>(1);
+    if (ctx.my_pe() == 0) {
+      *lock = 0;
+      *counter = 0;
+    }
+    ctx.barrier_all();
+    for (int i = 0; i < 25; ++i) {
+      ctx.set_lock(lock);
+      // Unprotected read-modify-write on PE 0's counter: correct only if
+      // the lock really excludes.
+      const long v = ctx.g(counter, 0);
+      ctx.p(counter, v + 1, 0);
+      ctx.quiet();
+      ctx.clear_lock(lock);
+    }
+    ctx.barrier_all();
+    if (ctx.my_pe() == 0) {
+      EXPECT_EQ(*counter, 8 * 25);
+    }
+    ctx.barrier_all();
+    ctx.shfree(counter);
+    ctx.shfree(lock);
+  });
+}
+
+TEST(Locks, TestLockReportsState) {
+  Runtime rt(tilesim::tile_gx36());
+  rt.run(2, [](Context& ctx) {
+    long* lock = ctx.shmalloc_n<long>(1);
+    if (ctx.my_pe() == 0) *lock = 0;
+    ctx.barrier_all();
+    if (ctx.my_pe() == 0) {
+      EXPECT_EQ(ctx.test_lock(lock), 0);  // acquired
+      ctx.harness_sync();
+      ctx.harness_sync();
+      ctx.clear_lock(lock);
+    } else {
+      ctx.harness_sync();
+      EXPECT_EQ(ctx.test_lock(lock), 1);  // busy
+      ctx.harness_sync();
+    }
+    ctx.barrier_all();
+    ctx.shfree(lock);
+  });
+}
+
+TEST(Locks, ClearByNonOwnerThrows) {
+  Runtime rt(tilesim::tile_gx36());
+  rt.run(2, [](Context& ctx) {
+    long* lock = ctx.shmalloc_n<long>(1);
+    if (ctx.my_pe() == 0) *lock = 0;
+    ctx.barrier_all();
+    if (ctx.my_pe() == 0) {
+      ctx.set_lock(lock);
+      ctx.harness_sync();
+      ctx.harness_sync();
+      ctx.clear_lock(lock);
+    } else {
+      ctx.harness_sync();
+      EXPECT_THROW(ctx.clear_lock(lock), std::logic_error);
+      ctx.harness_sync();
+    }
+    ctx.barrier_all();
+    ctx.shfree(lock);
+  });
+}
+
+}  // namespace

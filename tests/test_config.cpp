@@ -1,0 +1,150 @@
+// Tests for the device configurations: Table II characteristics, bandwidth
+// curve interpolation, and contention curves.
+#include <gtest/gtest.h>
+
+#include "sim/config.hpp"
+
+namespace {
+
+using tilesim::BandwidthCurve;
+using tilesim::ContentionCurve;
+
+TEST(DeviceConfig, TableIICharacteristicsGx36) {
+  const auto& c = tilesim::tile_gx36();
+  EXPECT_EQ(c.name, "TILE-Gx8036");
+  EXPECT_EQ(c.tile_count(), 36);
+  EXPECT_EQ(c.word_bytes, 8);
+  EXPECT_DOUBLE_EQ(c.clock_ghz, 1.0);
+  EXPECT_EQ(c.l1i_bytes, 32u * 1024);
+  EXPECT_EQ(c.l1d_bytes, 32u * 1024);
+  EXPECT_EQ(c.l2_bytes, 256u * 1024);
+  EXPECT_EQ(c.ddr_controllers, 2);
+  EXPECT_TRUE(c.has_mpipe);
+  EXPECT_TRUE(c.has_mica);
+  EXPECT_TRUE(c.supports_udn_interrupts);
+  EXPECT_EQ(c.cycle_ps(), 1000u);
+}
+
+TEST(DeviceConfig, TableIICharacteristicsPro64) {
+  const auto& c = tilesim::tile_pro64();
+  EXPECT_EQ(c.name, "TILEPro64");
+  EXPECT_EQ(c.tile_count(), 64);
+  EXPECT_EQ(c.word_bytes, 4);
+  EXPECT_DOUBLE_EQ(c.clock_ghz, 0.7);
+  EXPECT_EQ(c.l1d_bytes, 8u * 1024);
+  EXPECT_EQ(c.l2_bytes, 64u * 1024);
+  EXPECT_EQ(c.ddr_controllers, 4);
+  EXPECT_FALSE(c.has_mpipe);
+  EXPECT_FALSE(c.supports_udn_interrupts);
+  EXPECT_EQ(c.cycle_ps(), 1429u);  // 700 MHz
+}
+
+TEST(DeviceConfig, LookupByName) {
+  EXPECT_EQ(&tilesim::device_by_name("gx36"), &tilesim::tile_gx36());
+  EXPECT_EQ(&tilesim::device_by_name("gx"), &tilesim::tile_gx36());
+  EXPECT_EQ(&tilesim::device_by_name("pro64"), &tilesim::tile_pro64());
+  EXPECT_EQ(&tilesim::device_by_name("pro"), &tilesim::tile_pro64());
+  EXPECT_THROW((void)tilesim::device_by_name("tile-mx"), std::invalid_argument);
+  EXPECT_EQ(tilesim::all_devices().size(), 2u);
+}
+
+TEST(BandwidthCurve, ClampsOutsideRange) {
+  BandwidthCurve c({{64, 100.0}, {1024, 400.0}});
+  EXPECT_DOUBLE_EQ(c.mbps(1), 100.0);
+  EXPECT_DOUBLE_EQ(c.mbps(64), 100.0);
+  EXPECT_DOUBLE_EQ(c.mbps(1024), 400.0);
+  EXPECT_DOUBLE_EQ(c.mbps(1 << 20), 400.0);
+}
+
+TEST(BandwidthCurve, LogLinearInterpolation) {
+  BandwidthCurve c({{64, 100.0}, {256, 300.0}});
+  // Midpoint in log2 space (128) -> midpoint bandwidth (200).
+  EXPECT_NEAR(c.mbps(128), 200.0, 1e-9);
+}
+
+TEST(BandwidthCurve, ValidatesAnchors) {
+  EXPECT_THROW(BandwidthCurve(std::vector<BandwidthCurve::Anchor>{}),
+               std::invalid_argument);
+  EXPECT_THROW(BandwidthCurve({{64, 100.0}, {64, 200.0}}),
+               std::invalid_argument);
+  EXPECT_THROW(BandwidthCurve({{64, 100.0}, {32, 200.0}}),
+               std::invalid_argument);
+  EXPECT_THROW(BandwidthCurve({{64, 0.0}}), std::invalid_argument);
+}
+
+TEST(BandwidthCurve, Gx36PaperAnchors) {
+  // Fig 3 anchors: ~3100 MB/s L1d plateau; 1900 MB/s at the L2 capacity;
+  // 1000 MB/s at 1 MB; 320 MB/s memory-to-memory.
+  const auto& c = tilesim::tile_gx36().bw_shared_to_shared;
+  EXPECT_NEAR(c.mbps(32 * 1024), 3100, 1);
+  EXPECT_NEAR(c.mbps(256 * 1024), 1900, 1);
+  EXPECT_NEAR(c.mbps(1 << 20), 1000, 1);
+  EXPECT_NEAR(c.mbps(64 << 20), 320, 1);
+}
+
+TEST(BandwidthCurve, Pro64PaperAnchorsAndCrossover) {
+  const auto& gx = tilesim::tile_gx36().bw_shared_to_shared;
+  const auto& pro = tilesim::tile_pro64().bw_shared_to_shared;
+  // Pro: ~500 MB/s through cache-resident sizes, 370 MB/s at memory.
+  EXPECT_NEAR(pro.mbps(8 * 1024), 510, 1);
+  EXPECT_NEAR(pro.mbps(64 << 20), 370, 1);
+  // The paper's one crossover: Pro beats Gx for memory-to-memory copies...
+  EXPECT_GT(pro.mbps(64 << 20), gx.mbps(64 << 20));
+  // ...but loses everywhere in the cache-resident region.
+  EXPECT_LT(pro.mbps(32 * 1024), gx.mbps(32 * 1024));
+  EXPECT_LT(pro.mbps(1024), gx.mbps(1024));
+}
+
+TEST(ContentionCurve, InterpolatesAndClamps) {
+  ContentionCurve c({{1, 1.0}, {8, 0.5}, {16, 0.25}});
+  EXPECT_DOUBLE_EQ(c.efficiency(1), 1.0);
+  EXPECT_DOUBLE_EQ(c.efficiency(0), 1.0);   // clamp below
+  EXPECT_DOUBLE_EQ(c.efficiency(16), 0.25);
+  EXPECT_DOUBLE_EQ(c.efficiency(64), 0.25);  // clamp above
+  EXPECT_NEAR(c.efficiency(12), 0.375, 1e-12);  // midpoint
+}
+
+TEST(ContentionCurve, Validation) {
+  EXPECT_THROW(ContentionCurve(std::vector<ContentionCurve::Point>{}),
+               std::invalid_argument);
+  EXPECT_THROW(ContentionCurve({{1, 1.0}, {1, 0.5}}), std::invalid_argument);
+  EXPECT_THROW(ContentionCurve({{1, 1.5}}), std::invalid_argument);
+  EXPECT_THROW(ContentionCurve({{1, 0.0}}), std::invalid_argument);
+}
+
+TEST(ContentionCurve, Gx36PullBroadcastPeaksAt29Tiles) {
+  // Fig 10: aggregate = n * solo_bw * eff(n) peaks at 29 tiles (~46 GB/s)
+  // and falls to ~37 GB/s at 36.
+  const auto& cfg = tilesim::tile_gx36();
+  const double solo = cfg.bw_shared_to_shared.mbps(32 * 1024);
+  auto aggregate = [&](int n) {
+    return n * solo * cfg.read_contention.efficiency(n) / 1000.0;  // GB/s
+  };
+  EXPECT_NEAR(aggregate(29), 46.0, 3.0);
+  EXPECT_NEAR(aggregate(36), 37.0, 3.0);
+  EXPECT_GT(aggregate(29), aggregate(36));
+  EXPECT_GT(aggregate(29), aggregate(16));
+  EXPECT_GT(aggregate(16), aggregate(8));
+}
+
+TEST(UdnTiming, SetupTeardownMatchesPaperDerivation) {
+  // §III-C: ~21 ns on TILE-Gx (1 ns/hop at 1 GHz), ~18 ns on TILEPro
+  // (1.43 ns/hop at 700 MHz).
+  EXPECT_EQ(tilesim::tile_gx36().udn_setup_teardown_ps, 21'000u);
+  EXPECT_EQ(tilesim::tile_pro64().udn_setup_teardown_ps, 18'000u);
+}
+
+TEST(BarrierModel, Fig5AnchorsAt36Tiles) {
+  const auto& gx = tilesim::tile_gx36().barrier;
+  const auto& pro = tilesim::tile_pro64().barrier;
+  const auto at36 = [](const tilesim::BarrierModel& m, bool spin) {
+    return spin ? m.spin_base_ps + 36 * m.spin_per_tile_ps
+                : m.sync_base_ps + 36 * m.sync_per_tile_ps;
+  };
+  EXPECT_NEAR(at36(gx, true) / 1e6, 1.5, 0.1);     // 1.5 us
+  EXPECT_NEAR(at36(pro, true) / 1e6, 47.2, 1.0);   // 47.2 us
+  EXPECT_NEAR(at36(gx, false) / 1e6, 321.0, 5.0);  // 321 us
+  EXPECT_NEAR(at36(pro, false) / 1e6, 786.0, 8.0); // 786 us
+}
+
+}  // namespace

@@ -1,0 +1,144 @@
+// Tests for the Device/Tile runtime itself: thread binding, clock
+// lifecycle, host synchronization primitives, reentrancy guards, and the
+// ScopedTimer helper.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+
+#include "sim/clock.hpp"
+#include "sim/device.hpp"
+
+namespace {
+
+using tilesim::Device;
+using tilesim::ScopedTimer;
+using tilesim::SimClock;
+using tilesim::Tile;
+
+TEST(SimClock, AdvanceAndAdvanceTo) {
+  SimClock c;
+  EXPECT_EQ(c.now(), 0u);
+  c.advance(100);
+  EXPECT_EQ(c.now(), 100u);
+  c.advance_to(50);  // never goes backwards
+  EXPECT_EQ(c.now(), 100u);
+  c.advance_to(250);
+  EXPECT_EQ(c.now(), 250u);
+  c.reset();
+  EXPECT_EQ(c.now(), 0u);
+}
+
+TEST(SimClock, ConcurrentAdvanceToIsMaxMonotone) {
+  SimClock c;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&c, t] {
+      for (int i = 0; i < 1000; ++i) {
+        c.advance_to(static_cast<tilesim::ps_t>(t * 1000 + i));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.now(), 7999u);
+}
+
+TEST(ScopedTimerTest, MeasuresScope) {
+  SimClock c;
+  tilesim::ps_t elapsed = 0;
+  {
+    ScopedTimer timer(c, elapsed);
+    c.advance(12345);
+  }
+  EXPECT_EQ(elapsed, 12345u);
+}
+
+TEST(DeviceRuntime, BindsOneThreadPerTileWithCurrent) {
+  Device device(tilesim::tile_gx36());
+  std::mutex mu;
+  std::set<std::thread::id> thread_ids;
+  device.run(6, [&](Tile& tile) {
+    EXPECT_EQ(Device::current(), &tile);
+    EXPECT_EQ(&tile.device(), &device);
+    std::scoped_lock lk(mu);
+    thread_ids.insert(std::this_thread::get_id());
+  });
+  EXPECT_EQ(thread_ids.size(), 6u);
+  EXPECT_EQ(Device::current(), nullptr);
+}
+
+TEST(DeviceRuntime, ClocksResetOnEveryRun) {
+  Device device(tilesim::tile_gx36());
+  device.run(2, [](Tile& tile) { tile.clock().advance(999); });
+  device.run(2, [](Tile& tile) { EXPECT_EQ(tile.clock().now(), 0u); });
+}
+
+TEST(DeviceRuntime, RejectsBadActiveCounts) {
+  Device device(tilesim::tile_gx36());
+  EXPECT_THROW(device.run(0, [](Tile&) {}), std::invalid_argument);
+  EXPECT_THROW(device.run(37, [](Tile&) {}), std::invalid_argument);
+  device.run(36, [](Tile&) {});  // full mesh is fine
+}
+
+TEST(DeviceRuntime, TileAccessorBounds) {
+  Device device(tilesim::tile_pro64());
+  EXPECT_NO_THROW((void)device.tile(63));
+  EXPECT_THROW((void)device.tile(64), std::out_of_range);
+  EXPECT_THROW((void)device.tile(-1), std::out_of_range);
+}
+
+TEST(DeviceRuntime, HostSyncOutsideRunThrows) {
+  Device device(tilesim::tile_gx36());
+  EXPECT_THROW(device.host_sync(), std::logic_error);
+}
+
+TEST(DeviceRuntime, SyncAndResetClocksMidRun) {
+  Device device(tilesim::tile_gx36());
+  device.run(4, [&](Tile& tile) {
+    tile.clock().advance(1'000'000 + static_cast<tilesim::ps_t>(tile.id()));
+    device.sync_and_reset_clocks();
+    EXPECT_EQ(tile.clock().now(), 0u);
+  });
+}
+
+TEST(DeviceRuntime, ExceptionDoesNotDeadlockHostBarrierUsers) {
+  // One tile dies before a host_sync; arrive_and_drop in the runtime keeps
+  // the survivors' rendezvous functional.
+  Device device(tilesim::tile_gx36());
+  EXPECT_THROW(device.run(3,
+                          [&](Tile& tile) {
+                            if (tile.id() == 1) {
+                              throw std::runtime_error("dead tile");
+                            }
+                            device.host_sync();
+                          }),
+               std::runtime_error);
+  // And the device remains usable.
+  std::atomic<int> ran{0};
+  device.run(3, [&](Tile&) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 3);
+}
+
+TEST(DeviceRuntime, ChargesUseConfiguredCosts) {
+  Device device(tilesim::tile_gx36());
+  device.run(1, [](Tile& tile) {
+    const auto t0 = tile.clock().now();
+    tile.charge_int_ops(7);
+    tile.charge_fp_ops(3);
+    tile.charge_mem_ops(2);
+    tile.charge_calls(1);
+    const auto& c = tile.device().config().compute;
+    EXPECT_EQ(tile.clock().now() - t0,
+              7 * c.int_op_ps + 3 * c.fp_op_ps + 2 * c.mem_op_ps + c.call_ps);
+  });
+}
+
+TEST(DeviceRuntime, RunIsNotReentrant) {
+  Device device(tilesim::tile_gx36());
+  device.run(1, [&](Tile&) {
+    EXPECT_THROW(device.run(1, [](Tile&) {}), std::logic_error);
+  });
+}
+
+}  // namespace

@@ -1,0 +1,200 @@
+// Failure-injection tests: drive the library's error paths deliberately —
+// heap exhaustion, resource misuse, protocol violations, teardown checks —
+// and assert the failure surfaces cleanly (documented error, no deadlock,
+// runtime reusable afterwards).
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "tshmem/context.hpp"
+#include "tshmem/runtime.hpp"
+
+namespace {
+
+using tshmem::Context;
+using tshmem::Runtime;
+using tshmem::RuntimeOptions;
+
+TEST(FailureInjection, ShmallocExhaustionReturnsNullOnEveryPe) {
+  RuntimeOptions opts;
+  opts.heap_per_pe = 1 << 16;  // tiny partitions
+  Runtime rt(tilesim::tile_gx36(), opts);
+  std::atomic<int> nulls{0};
+  rt.run(4, [&](Context& ctx) {
+    void* big = ctx.shmalloc(1 << 20);  // cannot fit
+    if (big == nullptr) nulls.fetch_add(1);
+    // The heap remains usable after the failed allocation.
+    void* ok = ctx.shmalloc(128);
+    EXPECT_NE(ok, nullptr);
+    ctx.shfree(ok);
+  });
+  EXPECT_EQ(nulls.load(), 4);  // same answer everywhere: symmetry preserved
+}
+
+TEST(FailureInjection, ShreallocFailureKeepsOriginalIntact) {
+  RuntimeOptions opts;
+  opts.heap_per_pe = 1 << 16;
+  Runtime rt(tilesim::tile_gx36(), opts);
+  rt.run(2, [](Context& ctx) {
+    int* p = ctx.shmalloc_n<int>(16);
+    ASSERT_NE(p, nullptr);
+    for (int i = 0; i < 16; ++i) p[i] = i * 3;
+    void* moved = ctx.shrealloc(p, 1 << 20);  // cannot fit
+    EXPECT_EQ(moved, nullptr);
+    for (int i = 0; i < 16; ++i) EXPECT_EQ(p[i], i * 3);  // untouched
+    ctx.shfree(p);
+  });
+}
+
+TEST(FailureInjection, ExhaustedHeapRecoversAfterFree) {
+  RuntimeOptions opts;
+  opts.heap_per_pe = 1 << 17;
+  Runtime rt(tilesim::tile_gx36(), opts);
+  rt.run(2, [](Context& ctx) {
+    void* a = ctx.shmalloc(100 * 1024);
+    ASSERT_NE(a, nullptr);
+    EXPECT_EQ(ctx.shmalloc(100 * 1024), nullptr);  // exhausted
+    ctx.shfree(a);
+    void* b = ctx.shmalloc(100 * 1024);  // space reclaimed
+    EXPECT_NE(b, nullptr);
+    ctx.shfree(b);
+  });
+}
+
+TEST(FailureInjection, StaticArenaExhaustionThrows) {
+  RuntimeOptions opts;
+  opts.private_per_pe = 4096;
+  Runtime rt(tilesim::tile_gx36(), opts);
+  EXPECT_THROW(
+      rt.run(2,
+             [](Context& ctx) {
+               (void)ctx.static_sym<std::byte>("fits", 2048);
+               (void)ctx.static_sym<std::byte>("does_not", 4096);
+             }),
+      std::runtime_error);
+  // Runtime reusable after the failed job.
+  rt.run(2, [](Context& ctx) { ctx.barrier_all(); });
+}
+
+TEST(FailureInjection, FinalizeDetectsUndrainedUdnQueue) {
+  // A stray message left in a demux queue is exactly the condition the
+  // paper's proposed shmem_finalize() exists to catch (SIV-E: "platform
+  // instability or lockup may occur if [the UDN] is not properly
+  // disengaged").
+  Runtime rt(tilesim::tile_gx36());
+  EXPECT_THROW(
+      rt.run(2,
+             [](Context& ctx) {
+               ctx.barrier_all();
+               if (ctx.my_pe() == 0) {
+                 ctx.runtime().udn().send1(ctx.tile(), 1, 0, 0xdead);
+               }
+               ctx.barrier_all();
+               if (ctx.my_pe() == 1) {
+                 ctx.finalize();  // queue 0 still holds the stray packet
+               }
+             }),
+      std::runtime_error);
+}
+
+TEST(FailureInjection, MismatchedCollectiveSizesCaughtByValidator) {
+  RuntimeOptions opts;
+  opts.validate_symmetry = true;
+  Runtime rt(tilesim::tile_gx36(), opts);
+  EXPECT_THROW(rt.run(3,
+                      [](Context& ctx) {
+                        (void)ctx.shmalloc(ctx.my_pe() == 1 ? 256 : 128);
+                      }),
+               std::logic_error);
+}
+
+TEST(FailureInjection, MismatchedShfreeCaughtByValidator) {
+  RuntimeOptions opts;
+  opts.validate_symmetry = true;
+  Runtime rt(tilesim::tile_gx36(), opts);
+  EXPECT_THROW(rt.run(2,
+                      [](Context& ctx) {
+                        void* a = ctx.shmalloc(64);
+                        void* b = ctx.shmalloc(64);
+                        // PEs free different blocks: asymmetric heaps ahead.
+                        ctx.shfree(ctx.my_pe() == 0 ? a : b);
+                      }),
+               std::logic_error);
+}
+
+TEST(FailureInjection, DeadPeDoesNotHangTheJob) {
+  Runtime rt(tilesim::tile_gx36());
+  for (int trial = 0; trial < 3; ++trial) {
+    EXPECT_THROW(rt.run(6,
+                        [](Context& ctx) {
+                          if (ctx.my_pe() == 3) {
+                            throw std::runtime_error("injected PE death");
+                          }
+                          // Others do independent (non-collective) work.
+                          int* p = ctx.static_sym<int>("survivor");
+                          *p = ctx.my_pe();
+                        }),
+                 std::runtime_error);
+  }
+  // Full job still possible afterwards.
+  rt.run(6, [](Context& ctx) { ctx.barrier_all(); });
+}
+
+TEST(FailureInjection, BounceBufferFreedEvenAcrossManyStaticTransfers) {
+  // The static-static path allocates and frees a shared bounce buffer per
+  // transfer; leaking them would exhaust common memory. Hammer the path
+  // and verify the mapping count returns to baseline.
+  Runtime rt(tilesim::tile_gx36());
+  rt.run(2, [](Context& ctx) {
+    auto* stat = ctx.static_sym<std::byte>("bounce_hammer", 4096);
+    ctx.barrier_all();
+    const std::size_t baseline = ctx.runtime().cmem().mapping_count();
+    if (ctx.my_pe() == 0) {
+      for (int i = 0; i < 50; ++i) {
+        ctx.put(stat, stat, 4096, 1);
+      }
+      EXPECT_EQ(ctx.runtime().cmem().mapping_count(), baseline);
+    }
+    ctx.barrier_all();
+  });
+}
+
+TEST(FailureInjection, OversizedUdnPayloadFromApiSurfacesCleanly) {
+  Runtime rt(tilesim::tile_gx36());
+  rt.run(2, [](Context& ctx) {
+    std::vector<std::uint64_t> words(200, 0);
+    EXPECT_THROW(
+        ctx.runtime().udn().send(ctx.tile(), 1, 0, words),
+        std::invalid_argument);
+    ctx.barrier_all();
+  });
+}
+
+TEST(FailureInjection, InterruptPathUnavailableMidAlgorithmOnPro) {
+  // A Pro job that mixes dynamic traffic (fine) with one static transfer
+  // (unsupported) must fail on the static transfer only, after the dynamic
+  // traffic completed correctly.
+  Runtime rt(tilesim::tile_pro64());
+  std::atomic<bool> dynamic_ok{false};
+  EXPECT_THROW(
+      rt.run(2,
+             [&](Context& ctx) {
+               long* dyn = ctx.shmalloc_n<long>(1);
+               long* stat = ctx.static_sym<long>("pro_mixed");
+               *dyn = 0;
+               ctx.barrier_all();
+               if (ctx.my_pe() == 0) {
+                 ctx.p(dyn, 42L, 1);
+                 ctx.quiet();
+                 dynamic_ok.store(true);
+                 ctx.put(stat, dyn, sizeof(long), 1);  // throws here
+               } else {
+                 ctx.wait(dyn, 0L);
+                 EXPECT_EQ(*dyn, 42L);
+               }
+             }),
+      std::runtime_error);
+  EXPECT_TRUE(dynamic_ok.load());
+}
+
+}  // namespace

@@ -1,0 +1,145 @@
+// Tests for the analytic memory model: curve selection, homing factors,
+// contention adjustments, and cost accounting.
+#include <gtest/gtest.h>
+
+#include "sim/mem_model.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+using tilesim::CopyRequest;
+using tilesim::Homing;
+using tilesim::MemModel;
+using tilesim::MemSpace;
+
+CopyRequest req(std::size_t bytes, MemSpace src, MemSpace dst,
+                Homing homing = Homing::kHashForHome, int readers = 1,
+                int writers = 1) {
+  CopyRequest r;
+  r.bytes = bytes;
+  r.src = src;
+  r.dst = dst;
+  r.homing = homing;
+  r.concurrent_readers = readers;
+  r.concurrent_writers = writers;
+  return r;
+}
+
+TEST(MemModel, CurveSelectionBySpaces) {
+  const MemModel m(tilesim::tile_gx36());
+  EXPECT_EQ(&m.curve_for(MemSpace::kShared, MemSpace::kShared),
+            &tilesim::tile_gx36().bw_shared_to_shared);
+  EXPECT_EQ(&m.curve_for(MemSpace::kPrivate, MemSpace::kShared),
+            &tilesim::tile_gx36().bw_private_to_shared);
+  EXPECT_EQ(&m.curve_for(MemSpace::kShared, MemSpace::kPrivate),
+            &tilesim::tile_gx36().bw_shared_to_private);
+  EXPECT_EQ(&m.curve_for(MemSpace::kPrivate, MemSpace::kPrivate),
+            &tilesim::tile_gx36().bw_private_to_private);
+}
+
+TEST(MemModel, CostIncludesCallOverhead) {
+  const MemModel m(tilesim::tile_gx36());
+  const auto zero = m.copy_cost_ps(req(0, MemSpace::kShared, MemSpace::kShared));
+  EXPECT_EQ(zero, tilesim::tile_gx36().copy_call_overhead_ps);
+  const auto some = m.copy_cost_ps(req(4096, MemSpace::kShared, MemSpace::kShared));
+  EXPECT_GT(some, zero);
+}
+
+TEST(MemModel, CostGrowsMonotonicallyWithSize) {
+  const MemModel m(tilesim::tile_gx36());
+  tilesim::ps_t prev = 0;
+  for (std::size_t bytes = 8; bytes <= (64 << 20); bytes *= 4) {
+    const auto cost =
+        m.copy_cost_ps(req(bytes, MemSpace::kShared, MemSpace::kShared));
+    EXPECT_GT(cost, prev) << "bytes=" << bytes;
+    prev = cost;
+  }
+}
+
+TEST(MemModel, LocalHomingBoostsSmallPenalizesLarge) {
+  const MemModel m(tilesim::tile_gx36());
+  // Cache-resident: local homing is faster than hash-for-home.
+  const double hash_small = m.effective_mbps(
+      req(64 * 1024, MemSpace::kShared, MemSpace::kShared, Homing::kHashForHome));
+  const double local_small = m.effective_mbps(
+      req(64 * 1024, MemSpace::kShared, MemSpace::kShared, Homing::kLocal));
+  EXPECT_GT(local_small, hash_small);
+  // Beyond L2: local homing loses the DDC (paper §III-A).
+  const double hash_big = m.effective_mbps(
+      req(4 << 20, MemSpace::kShared, MemSpace::kShared, Homing::kHashForHome));
+  const double local_big = m.effective_mbps(
+      req(4 << 20, MemSpace::kShared, MemSpace::kShared, Homing::kLocal));
+  EXPECT_LT(local_big, hash_big);
+}
+
+TEST(MemModel, RemoteHomingSlightPenalty) {
+  const MemModel m(tilesim::tile_gx36());
+  const double hash = m.effective_mbps(
+      req(64 * 1024, MemSpace::kShared, MemSpace::kShared));
+  const double remote = m.effective_mbps(
+      req(64 * 1024, MemSpace::kShared, MemSpace::kShared, Homing::kRemote));
+  EXPECT_LT(remote, hash);
+  EXPECT_GT(remote, hash * 0.8);
+}
+
+TEST(MemModel, ReadContentionOnlyOnSharedSource) {
+  const MemModel m(tilesim::tile_gx36());
+  const double solo = m.effective_mbps(
+      req(32 * 1024, MemSpace::kShared, MemSpace::kPrivate));
+  const double contended = m.effective_mbps(req(
+      32 * 1024, MemSpace::kShared, MemSpace::kPrivate, Homing::kHashForHome,
+      /*readers=*/16));
+  EXPECT_LT(contended, solo);
+  // Private sources see no read contention.
+  const double priv = m.effective_mbps(req(32 * 1024, MemSpace::kPrivate,
+                                           MemSpace::kPrivate,
+                                           Homing::kHashForHome, 16));
+  const double priv_solo = m.effective_mbps(
+      req(32 * 1024, MemSpace::kPrivate, MemSpace::kPrivate));
+  EXPECT_DOUBLE_EQ(priv, priv_solo);
+}
+
+TEST(MemModel, WriteContentionOnlyOnSharedTarget) {
+  const MemModel m(tilesim::tile_pro64());
+  const double solo = m.effective_mbps(
+      req(32 * 1024, MemSpace::kPrivate, MemSpace::kShared));
+  const double contended = m.effective_mbps(
+      req(32 * 1024, MemSpace::kPrivate, MemSpace::kShared,
+          Homing::kHashForHome, 1, /*writers=*/16));
+  EXPECT_LT(contended, solo);
+}
+
+TEST(MemModel, BandwidthNeverBelowFloor) {
+  const MemModel m(tilesim::tile_pro64());
+  const double v = m.effective_mbps(req(8, MemSpace::kShared, MemSpace::kShared,
+                                        Homing::kLocal, 64, 64));
+  EXPECT_GE(v, 1.0);
+}
+
+TEST(MemModel, CostMatchesBandwidthArithmetic) {
+  const MemModel m(tilesim::tile_gx36());
+  const auto r = req(1 << 20, MemSpace::kShared, MemSpace::kShared);
+  const double mbps = m.effective_mbps(r);
+  const auto expect = tilesim::tile_gx36().copy_call_overhead_ps +
+                      tshmem_util::transfer_time_ps(r.bytes, mbps);
+  EXPECT_EQ(m.copy_cost_ps(r), expect);
+}
+
+// Cross-check: the analytic curve and the mechanistic cache simulator agree
+// on where performance transitions happen (both are driven by the same
+// capacities), even though their absolute numbers differ.
+TEST(MemModel, AgreesWithCacheSimOnTransitionDirection) {
+  const MemModel m(tilesim::tile_gx36());
+  auto ratio = [&](std::size_t a, std::size_t b) {
+    return m.effective_mbps(req(a, MemSpace::kShared, MemSpace::kShared)) /
+           m.effective_mbps(req(b, MemSpace::kShared, MemSpace::kShared));
+  };
+  // L1 -> L2 transition: = >20% drop between 32 kB and 256 kB.
+  EXPECT_GT(ratio(32 * 1024, 256 * 1024), 1.2);
+  // L2 -> DDC transition: = >50% drop between 256 kB and 2 MB.
+  EXPECT_GT(ratio(256 * 1024, 2 << 20), 1.5);
+  // DDC -> DRAM: another >50% drop between 2 MB and 32 MB.
+  EXPECT_GT(ratio(2 << 20, 32 << 20), 1.5);
+}
+
+}  // namespace

@@ -1,0 +1,156 @@
+// Tests for the mPIPE packet-engine model: classification rules, flow-hash
+// load balancing, link timing, jumbo limits, and device gating.
+#include <gtest/gtest.h>
+
+#include "sim/device.hpp"
+#include "tmc/mpipe.hpp"
+
+namespace {
+
+using tilesim::Device;
+using tilesim::Tile;
+using tmc::MpipeConfig;
+using tmc::MpipeEngine;
+using tmc::MpipeLink;
+using tmc::MpipePacket;
+
+class MpipeTest : public ::testing::Test {
+ protected:
+  Device dev_a_{tilesim::tile_gx36()};
+  Device dev_b_{tilesim::tile_gx36()};
+  MpipeEngine a_{dev_a_, 0};
+  MpipeEngine b_{dev_b_, 1};
+  MpipeLink link_{a_, b_};
+
+  MpipePacket make_packet(std::uint32_t tag, std::size_t bytes,
+                          std::uint64_t flow = 0) {
+    MpipePacket p;
+    p.l2_tag = tag;
+    p.flow_hash = flow;
+    p.payload.resize(bytes, std::byte{0x5a});
+    return p;
+  }
+};
+
+TEST_F(MpipeTest, RequiresMpipeCapableDevice) {
+  Device pro(tilesim::tile_pro64());
+  EXPECT_THROW(MpipeEngine(pro, 2), std::invalid_argument);
+}
+
+TEST_F(MpipeTest, LinkValidation) {
+  Device c(tilesim::tile_gx36());
+  MpipeEngine e(c, 3);
+  EXPECT_THROW(MpipeLink(e, e), std::invalid_argument);
+  // One engine may carry one link per *distinct* remote device...
+  MpipeLink extra(a_, e);
+  EXPECT_EQ(a_.link_count(), 2);
+  // ...but not a second link to the same pair, nor a link between engines
+  // claiming the same device index.
+  EXPECT_THROW(MpipeLink(a_, b_), std::logic_error);
+  Device d2(tilesim::tile_gx36());
+  MpipeEngine same_index(d2, 0);
+  EXPECT_THROW(MpipeLink(same_index, a_), std::invalid_argument);
+}
+
+TEST_F(MpipeTest, PacketCrossesLinkWithPayload) {
+  dev_a_.run(1, [&](Tile& tile) { a_.egress(tile, make_packet(42, 128)); });
+  dev_b_.run(1, [&](Tile& tile) {
+    const int ring = static_cast<int>(0 % 16);
+    const auto pkt = b_.recv(tile, ring);
+    EXPECT_EQ(pkt.src_device, 0);
+    EXPECT_EQ(pkt.l2_tag, 42u);
+    EXPECT_EQ(pkt.payload.size(), 128u);
+    EXPECT_EQ(pkt.payload[100], std::byte{0x5a});
+  });
+  EXPECT_EQ(b_.packets_ingressed(), 1u);
+}
+
+TEST_F(MpipeTest, ExactMatchRuleOverridesFlowHash) {
+  b_.add_rule(0x99, 7);
+  dev_a_.run(1, [&](Tile& tile) {
+    a_.egress(tile, make_packet(0x99, 64, /*flow=*/3));  // hash says ring 3
+  });
+  EXPECT_EQ(b_.queued(7), 1u);
+  EXPECT_EQ(b_.queued(3), 0u);
+}
+
+TEST_F(MpipeTest, FlowHashLoadBalancesAcrossRings) {
+  dev_a_.run(1, [&](Tile& tile) {
+    for (std::uint64_t f = 0; f < 32; ++f) {
+      a_.egress(tile, make_packet(1, 64, f));
+    }
+  });
+  int occupied = 0;
+  for (int r = 0; r < 16; ++r) occupied += b_.queued(r) > 0;
+  EXPECT_EQ(occupied, 16);  // 32 flows over 16 rings: every ring hit
+  for (int r = 0; r < 16; ++r) EXPECT_EQ(b_.queued(r), 2u);
+}
+
+TEST_F(MpipeTest, SerializationTimeMatchesLinkRate) {
+  // 10 Gbps: 1250 bytes/us.
+  EXPECT_EQ(a_.serialization_ps(1250), 1'000'000u);
+  EXPECT_EQ(a_.serialization_ps(0), 0u);
+  const auto one_way = a_.one_way_ps(1250);
+  EXPECT_EQ(one_way, a_.config().egress_dma_ps + 1'000'000u +
+                         a_.config().classify_ps + a_.config().notif_ps);
+}
+
+TEST_F(MpipeTest, ArrivalTimestampIncludesPipeline) {
+  dev_a_.run(1, [&](Tile& tile) {
+    tile.clock().advance(5'000'000);
+    a_.egress(tile, make_packet(1, 1250, 0));
+    // Sender pays only the eDMA post.
+    EXPECT_EQ(tile.clock().now(), 5'000'000u + a_.config().egress_dma_ps);
+  });
+  dev_b_.run(1, [&](Tile& tile) {
+    const auto pkt = b_.recv(tile, 0);
+    EXPECT_EQ(pkt.arrival_ps,
+              5'000'000u + a_.config().egress_dma_ps + 1'000'000u +
+                  b_.config().classify_ps + b_.config().notif_ps);
+    EXPECT_EQ(tile.clock().now(), pkt.arrival_ps);
+  });
+}
+
+TEST_F(MpipeTest, JumboLimitEnforced) {
+  dev_a_.run(1, [&](Tile& tile) {
+    EXPECT_THROW(a_.egress(tile, make_packet(1, 9001)), std::invalid_argument);
+    a_.egress(tile, make_packet(1, 9000));  // exactly at the limit is fine
+  });
+}
+
+TEST_F(MpipeTest, EgressWithoutLinkThrows) {
+  Device c(tilesim::tile_gx36());
+  MpipeEngine unlinked(c, 5);
+  c.run(1, [&](Tile& tile) {
+    MpipePacket p;
+    p.payload.resize(8);
+    EXPECT_THROW(unlinked.egress(tile, p), std::logic_error);
+  });
+}
+
+TEST_F(MpipeTest, TryRecvAndValidation) {
+  dev_b_.run(1, [&](Tile& tile) {
+    EXPECT_FALSE(b_.try_recv(tile, 0).has_value());
+    EXPECT_THROW((void)b_.recv(tile, 99), std::invalid_argument);
+    EXPECT_THROW((void)b_.queued(-1), std::invalid_argument);
+  });
+  EXPECT_THROW(b_.add_rule(1, 16), std::invalid_argument);
+}
+
+TEST_F(MpipeTest, FifoWithinRing) {
+  b_.add_rule(5, 2);
+  dev_a_.run(1, [&](Tile& tile) {
+    for (int i = 0; i < 10; ++i) {
+      auto p = make_packet(5, 8);
+      p.payload[0] = static_cast<std::byte>(i);
+      a_.egress(tile, p);
+    }
+  });
+  dev_b_.run(1, [&](Tile& tile) {
+    for (int i = 0; i < 10; ++i) {
+      EXPECT_EQ(b_.recv(tile, 2).payload[0], static_cast<std::byte>(i));
+    }
+  });
+}
+
+}  // namespace

@@ -1,0 +1,175 @@
+// Integration shape tests: the qualitative relationships the paper's
+// evaluation establishes, asserted end to end through the full stack
+// (library + device model), loosely enough to survive recalibration but
+// tightly enough to catch regressions that would invalidate the
+// reproduction. Each test names the figure it guards.
+#include <gtest/gtest.h>
+
+#include <mutex>
+
+#include "apps/cbir.hpp"
+#include "apps/fft.hpp"
+#include "tmc/barrier.hpp"
+#include "tshmem/context.hpp"
+#include "tshmem/runtime.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using tshmem::Context;
+using tshmem::Runtime;
+
+double putget_bw(Runtime& rt, std::size_t bytes) {
+  double mbps = 0;
+  rt.run(2, [&](Context& ctx) {
+    auto* buf = static_cast<std::byte*>(ctx.shmalloc(bytes));
+    ctx.barrier_all();
+    if (ctx.my_pe() == 0) {
+      const auto t0 = ctx.clock().now();
+      ctx.put(buf, buf, bytes, 1);
+      mbps = tshmem_util::bandwidth_mbps(bytes, ctx.clock().now() - t0);
+    }
+    ctx.barrier_all();
+    ctx.shfree(buf);
+  });
+  return mbps;
+}
+
+TEST(PaperShapes, Fig3CacheTransitionsOnGxFlatOnPro) {
+  Runtime gx(tilesim::tile_gx36());
+  Runtime pro(tilesim::tile_pro64());
+  // Gx: pronounced decline from L1-resident to memory-resident transfers.
+  const double gx_small = putget_bw(gx, 16 * 1024);
+  const double gx_big = putget_bw(gx, 8 << 20);
+  EXPECT_GT(gx_small, 5 * gx_big);
+  // Pro: nearly flat.
+  const double pro_small = putget_bw(pro, 16 * 1024);
+  const double pro_big = putget_bw(pro, 8 << 20);
+  EXPECT_LT(pro_small, 2 * pro_big);
+  // The crossover: Pro wins only at memory-to-memory sizes.
+  EXPECT_GT(gx_small, pro_small);
+  EXPECT_GT(pro_big, gx_big * 0.95);
+}
+
+TEST(PaperShapes, Fig4GxSlowerForNeighborsDespiteFasterClock) {
+  // The §III-C observation: longer setup/teardown on the 64-bit switching
+  // fabric makes the Gx's short-distance latency worse than the Pro's.
+  tilesim::Device gx(tilesim::tile_gx36());
+  tilesim::Device pro(tilesim::tile_pro64());
+  tmc::UdnFabric gx_udn(gx), pro_udn(pro);
+  EXPECT_GT(gx_udn.wire_latency_ps(14, 13, 1),
+            pro_udn.wire_latency_ps(9, 10, 1));
+  // But the faster per-hop rate wins for corner-to-corner routes.
+  EXPECT_LT(gx_udn.wire_latency_ps(0, 35, 1),
+            pro_udn.wire_latency_ps(0, 45, 1));
+}
+
+TEST(PaperShapes, Fig8BarrierLatencyGrowsLinearlyInTiles) {
+  Runtime rt(tilesim::tile_gx36());
+  std::vector<double> tiles, latency;
+  for (int n = 4; n <= 36; n += 8) {
+    std::mutex mu;
+    tilesim::ps_t worst = 0;
+    rt.run(n, [&](Context& ctx) {
+      ctx.barrier_all();
+      ctx.harness_sync_reset();
+      const auto t0 = ctx.clock().now();
+      ctx.barrier_all();
+      const auto dt = ctx.clock().now() - t0;
+      std::scoped_lock lk(mu);
+      worst = std::max(worst, dt);
+    });
+    tiles.push_back(n);
+    latency.push_back(tshmem_util::ps_to_us(worst));
+  }
+  // Linear fit must explain the data well (token chain = 2(n-1) links).
+  EXPECT_GT(tshmem_util::correlation(tiles, latency), 0.999);
+  const double slope = tshmem_util::linear_slope(tiles, latency);
+  EXPECT_NEAR(slope, 2 * 0.052, 0.02);  // ~2 links/tile * ~52 ns/link in us
+}
+
+TEST(PaperShapes, Fig9Vs10PushFlatPullScales) {
+  Runtime rt(tilesim::tile_gx36());
+  constexpr std::size_t kBytes = 32 * 1024;
+  auto aggregate = [&](tshmem::BcastAlgo algo, int n) {
+    std::mutex mu;
+    tilesim::ps_t slowest = 0;
+    rt.run(n, [&](Context& ctx) {
+      auto* buf = static_cast<std::byte*>(ctx.shmalloc(kBytes));
+      ctx.barrier_all();
+      ctx.broadcast(buf, buf, kBytes, 0, ctx.world(), algo);
+      ctx.harness_sync_reset();
+      const auto t0 = ctx.clock().now();
+      ctx.broadcast(buf, buf, kBytes, 0, ctx.world(), algo);
+      const auto dt = ctx.clock().now() - t0;
+      {
+        std::scoped_lock lk(mu);
+        slowest = std::max(slowest, dt);
+      }
+      ctx.harness_sync();
+      ctx.shfree(buf);
+    });
+    return tshmem_util::bandwidth_mbps(
+        static_cast<std::uint64_t>(n - 1) * kBytes, slowest);
+  };
+  const double push8 = aggregate(tshmem::BcastAlgo::kPush, 8);
+  const double push32 = aggregate(tshmem::BcastAlgo::kPush, 32);
+  const double pull8 = aggregate(tshmem::BcastAlgo::kPull, 8);
+  const double pull32 = aggregate(tshmem::BcastAlgo::kPull, 32);
+  EXPECT_NEAR(push32 / push8, 1.0, 0.15);  // Fig 9: flat
+  EXPECT_GT(pull32 / pull8, 1.7);          // Fig 10: scales
+  EXPECT_GT(pull32, 4 * push32);
+}
+
+TEST(PaperShapes, Fig13SpeedupPlateausOnGxNotOnPro) {
+  // Small instance keeps the test quick: the plateau mechanism (serialized
+  // final transpose) is size-independent.
+  auto speedup32 = [&](const tilesim::DeviceConfig& cfg) {
+    Runtime rt(cfg);
+    tilesim::ps_t t1 = 0, t32 = 0;
+    for (const int n : {1, 32}) {
+      rt.run(n, [&](Context& ctx) {
+        const auto r = apps::fft2d_run(ctx, 256, 1);
+        if (ctx.my_pe() == 0) (n == 1 ? t1 : t32) = r.timing.total_ps;
+      });
+    }
+    return static_cast<double>(t1) / static_cast<double>(t32);
+  };
+  const double gx = speedup32(tilesim::tile_gx36());
+  const double pro = speedup32(tilesim::tile_pro64());
+  EXPECT_LT(gx, 8.0);   // plateaued well below 32
+  EXPECT_GT(pro, 1.7 * gx);  // software-FP Pro keeps scaling
+}
+
+TEST(PaperShapes, Fig14SpeedupInBandOnBothDevices) {
+  apps::cbir::Params p;
+  p.images = 640;
+  auto speedup = [&](const tilesim::DeviceConfig& cfg, int tiles) {
+    Runtime rt(cfg);
+    tilesim::ps_t t1 = 0, tn = 0;
+    for (const int n : {1, tiles}) {
+      rt.run(n, [&](Context& ctx) {
+        const auto r = apps::cbir::run_query(ctx, p);
+        if (ctx.my_pe() == 0) (n == 1 ? t1 : tn) = r.elapsed_ps;
+      });
+    }
+    return static_cast<double>(t1) / static_cast<double>(tn);
+  };
+  for (const auto* cfg : tilesim::all_devices()) {
+    const double s32 = speedup(*cfg, 32);
+    EXPECT_GT(s32, 20.0) << cfg->name;
+    EXPECT_LT(s32, 30.0) << cfg->name;
+    const double s8 = speedup(*cfg, 8);
+    EXPECT_GT(s8, 7.0) << cfg->name;  // near-linear in the low range
+  }
+}
+
+TEST(PaperShapes, Fig5SpinVsSyncGapIsOrdersOfMagnitude) {
+  for (const auto* cfg : tilesim::all_devices()) {
+    const auto spin = tmc::SpinBarrier::model_latency_ps(*cfg, 36);
+    const auto sync = tmc::SyncBarrier::model_latency_ps(*cfg, 36);
+    EXPECT_GT(sync, 15 * spin) << cfg->name;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,348 @@
+// Property-style sweeps over protocol encodings and the typed API surface:
+// control-message encode/decode round trips, active-set algebra over a
+// randomized parameter space, and the full reduction type x operator matrix
+// through the C API.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "tshmem/api.hpp"
+#include "tshmem/context.hpp"
+#include "tshmem/messages.hpp"
+#include "tshmem/runtime.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using tshmem::ActiveSet;
+using tshmem::Context;
+using tshmem::CtrlMsg;
+using tshmem::MsgTag;
+using tshmem::Runtime;
+namespace api = tshmem::api;
+
+// --- control-message encoding --------------------------------------------------
+
+TEST(CtrlMsgProperty, EncodeDecodeRoundTripsRandomized) {
+  tshmem_util::Xoshiro256 rng(31);
+  for (int trial = 0; trial < 2000; ++trial) {
+    CtrlMsg m;
+    m.tag = static_cast<MsgTag>(1 + rng.below(11));
+    m.set_id = static_cast<std::uint32_t>(rng.below(1u << 24));
+    m.seq = static_cast<std::uint32_t>(rng.next());
+    m.aux = rng.next();
+    const CtrlMsg back = CtrlMsg::decode(m.word0(), m.aux);
+    ASSERT_EQ(back.tag, m.tag);
+    ASSERT_EQ(back.set_id, m.set_id);
+    ASSERT_EQ(back.seq, m.seq);
+    ASSERT_EQ(back.aux, m.aux);
+  }
+}
+
+// --- active-set algebra ---------------------------------------------------------
+
+TEST(ActiveSetProperty, MembersIndexPeAtAreConsistent) {
+  tshmem_util::Xoshiro256 rng(32);
+  for (int trial = 0; trial < 500; ++trial) {
+    const ActiveSet as{static_cast<int>(rng.below(8)),
+                       static_cast<int>(rng.below(4)),
+                       static_cast<int>(1 + rng.below(12))};
+    const auto members = as.members();
+    ASSERT_EQ(members.size(), static_cast<std::size_t>(as.pe_size));
+    for (int idx = 0; idx < as.pe_size; ++idx) {
+      const int pe = as.pe_at(idx);
+      ASSERT_EQ(members[static_cast<std::size_t>(idx)], pe);
+      ASSERT_TRUE(as.contains(pe));
+      ASSERT_EQ(as.index_of(pe), idx);
+    }
+    // Strided gaps are non-members.
+    if (as.log_pe_stride > 0) {
+      ASSERT_FALSE(as.contains(as.pe_start + 1));
+    }
+    // Just beyond the end is a non-member.
+    ASSERT_FALSE(as.contains(as.pe_at(as.pe_size - 1) + as.stride()));
+  }
+}
+
+// --- reduction matrix through the C API ------------------------------------------
+
+enum class Op { kAnd, kOr, kXor, kMin, kMax, kSum, kProd };
+
+struct ReduceMatrixCase {
+  const char* type_name;
+  Op op;
+  bool integral_only;
+};
+
+class ReduceMatrixTest
+    : public ::testing::TestWithParam<std::tuple<const char*, Op>> {};
+
+template <typename T>
+T expected_reduce(Op op, int npes, int elem) {
+  // PE p contributes value(p, elem) = p + elem + 1 (arithmetic ops) or a
+  // bit pattern (bitwise ops).
+  if constexpr (std::is_integral_v<T>) {
+    if (op == Op::kAnd) {
+      auto acc = static_cast<T>(~T{0});
+      for (int p = 0; p < npes; ++p) {
+        acc = static_cast<T>(acc & static_cast<T>(0b1100 | (1 << (p % 2))));
+      }
+      return acc;
+    }
+    if (op == Op::kOr) {
+      T acc{};
+      for (int p = 0; p < npes; ++p) {
+        acc = static_cast<T>(acc | static_cast<T>(1 << (p % 8)));
+      }
+      return acc;
+    }
+    if (op == Op::kXor) {
+      T acc{};
+      for (int p = 0; p < npes; ++p) {
+        acc = static_cast<T>(acc ^ static_cast<T>(1 << (p % 8)));
+      }
+      return acc;
+    }
+  }
+  switch (op) {
+    case Op::kAnd:
+    case Op::kOr:
+    case Op::kXor:
+      return T{};  // unreachable: bitwise ops only run for integral types
+    case Op::kMin:
+      return static_cast<T>(0 + elem + 1);
+    case Op::kMax:
+      return static_cast<T>(npes - 1 + elem + 1);
+    case Op::kSum: {
+      T acc{};
+      for (int p = 0; p < npes; ++p) acc = static_cast<T>(acc + p + elem + 1);
+      return acc;
+    }
+    case Op::kProd: {
+      T acc{1};
+      for (int p = 0; p < npes; ++p) acc = static_cast<T>(acc * (p + elem + 1));
+      return acc;
+    }
+  }
+  return T{};
+}
+
+template <typename T>
+void fill_source(T* src, int nelems, Op op, int me) {
+  for (int i = 0; i < nelems; ++i) {
+    switch (op) {
+      case Op::kAnd:
+        src[i] = static_cast<T>(0b1100 | (1 << (me % 2)));
+        break;
+      case Op::kOr:
+      case Op::kXor:
+        src[i] = static_cast<T>(1 << (me % 8));
+        break;
+      default:
+        src[i] = static_cast<T>(me + i + 1);
+        break;
+    }
+  }
+}
+
+template <typename T, typename Fn>
+void run_reduce_case(Op op, Fn&& api_call) {
+  constexpr int kNpes = 5;
+  constexpr int kElems = 6;
+  tshmem::run_spmd(tilesim::tile_gx36(), kNpes, [&](Context& ctx) {
+    auto* psync = ctx.shmalloc_n<long>(api::SHMEM_REDUCE_SYNC_SIZE);
+    auto* pwrk = ctx.shmalloc_n<T>(api::SHMEM_REDUCE_MIN_WRKDATA_SIZE);
+    auto* src = ctx.shmalloc_n<T>(kElems);
+    auto* dst = ctx.shmalloc_n<T>(kElems);
+    fill_source(src, kElems, op, ctx.my_pe());
+    ctx.barrier_all();
+    api_call(dst, src, kElems, 0, 0, kNpes, pwrk, psync);
+    ctx.barrier_all();
+    for (int i = 0; i < kElems; ++i) {
+      if constexpr (std::is_floating_point_v<T>) {
+        ASSERT_NEAR(static_cast<double>(dst[i]),
+                    static_cast<double>(expected_reduce<T>(op, kNpes, i)),
+                    1e-6)
+            << "elem " << i;
+      } else {
+        ASSERT_EQ(dst[i], expected_reduce<T>(op, kNpes, i)) << "elem " << i;
+      }
+    }
+    ctx.shfree(dst);
+    ctx.shfree(src);
+    ctx.shfree(pwrk);
+    ctx.shfree(psync);
+  });
+}
+
+#define TSHMEM_REDUCE_BITWISE_TEST(T, NAME)                                  \
+  TEST(ReduceMatrix, NAME##_bitwise) {                                       \
+    run_reduce_case<T>(Op::kAnd, [](T* d, T* s, int n, int a, int b, int c,  \
+                                    T* w, long* p) {                         \
+      api::shmem_##NAME##_and_to_all(d, s, n, a, b, c, w, p);                \
+    });                                                                      \
+    run_reduce_case<T>(Op::kOr, [](T* d, T* s, int n, int a, int b, int c,   \
+                                   T* w, long* p) {                          \
+      api::shmem_##NAME##_or_to_all(d, s, n, a, b, c, w, p);                 \
+    });                                                                      \
+    run_reduce_case<T>(Op::kXor, [](T* d, T* s, int n, int a, int b, int c,  \
+                                    T* w, long* p) {                         \
+      api::shmem_##NAME##_xor_to_all(d, s, n, a, b, c, w, p);                \
+    });                                                                      \
+  }
+
+#define TSHMEM_REDUCE_ARITH_TEST(T, NAME)                                    \
+  TEST(ReduceMatrix, NAME##_arith) {                                         \
+    run_reduce_case<T>(Op::kMin, [](T* d, T* s, int n, int a, int b, int c,  \
+                                    T* w, long* p) {                         \
+      api::shmem_##NAME##_min_to_all(d, s, n, a, b, c, w, p);                \
+    });                                                                      \
+    run_reduce_case<T>(Op::kMax, [](T* d, T* s, int n, int a, int b, int c,  \
+                                    T* w, long* p) {                         \
+      api::shmem_##NAME##_max_to_all(d, s, n, a, b, c, w, p);                \
+    });                                                                      \
+    run_reduce_case<T>(Op::kSum, [](T* d, T* s, int n, int a, int b, int c,  \
+                                    T* w, long* p) {                         \
+      api::shmem_##NAME##_sum_to_all(d, s, n, a, b, c, w, p);                \
+    });                                                                      \
+    run_reduce_case<T>(Op::kProd, [](T* d, T* s, int n, int a, int b, int c, \
+                                     T* w, long* p) {                        \
+      api::shmem_##NAME##_prod_to_all(d, s, n, a, b, c, w, p);               \
+    });                                                                      \
+  }
+
+TSHMEM_REDUCE_BITWISE_TEST(short, short)
+TSHMEM_REDUCE_BITWISE_TEST(int, int)
+TSHMEM_REDUCE_BITWISE_TEST(long, long)
+TSHMEM_REDUCE_BITWISE_TEST(long long, longlong)
+TSHMEM_REDUCE_ARITH_TEST(short, short)
+TSHMEM_REDUCE_ARITH_TEST(int, int)
+TSHMEM_REDUCE_ARITH_TEST(long, long)
+TSHMEM_REDUCE_ARITH_TEST(long long, longlong)
+TSHMEM_REDUCE_ARITH_TEST(float, float)
+TSHMEM_REDUCE_ARITH_TEST(double, double)
+TSHMEM_REDUCE_ARITH_TEST(long double, longdouble)
+#undef TSHMEM_REDUCE_BITWISE_TEST
+#undef TSHMEM_REDUCE_ARITH_TEST
+
+// --- randomized active-set collective sweep --------------------------------------
+
+// One job, many collectives over randomized active sets: every broadcast /
+// fcollect / reduce must deliver correct contents regardless of the set's
+// start, stride, size, or the algorithm chosen. All PEs share the RNG
+// stream, so the schedule agrees without communication.
+TEST(ActiveSetCollectiveProperty, RandomizedSetsAllAlgorithms) {
+  constexpr int kNpes = 12;
+  Runtime rt(tilesim::tile_gx36());
+  rt.run(kNpes, [](Context& ctx) {
+    constexpr int kElems = 9;
+    long* src = ctx.shmalloc_n<long>(kElems);
+    long* dst = ctx.shmalloc_n<long>(static_cast<std::size_t>(kNpes) * kElems);
+    tshmem_util::Xoshiro256 rng(555);
+    for (int round = 0; round < 25; ++round) {
+      // Random legal active set within kNpes PEs.
+      const int log_stride = static_cast<int>(rng.below(3));
+      const int stride = 1 << log_stride;
+      const int max_size = (kNpes - 1) / stride + 1;
+      const int size = 2 + static_cast<int>(rng.below(
+                               static_cast<std::uint64_t>(max_size - 1)));
+      const int start = static_cast<int>(
+          rng.below(static_cast<std::uint64_t>(kNpes - (size - 1) * stride)));
+      const ActiveSet as{start, log_stride, size};
+      const int kind = static_cast<int>(rng.below(3));
+      const int root_idx = static_cast<int>(rng.below(
+          static_cast<std::uint64_t>(size)));
+      const bool alt_algo = rng.below(2) == 1;
+
+      for (int i = 0; i < kElems; ++i) {
+        src[i] = 1000L * ctx.my_pe() + round * 10 + i;
+      }
+      ctx.barrier_all();
+      if (!as.contains(ctx.my_pe())) {
+        ctx.harness_sync();
+        continue;
+      }
+      switch (kind) {
+        case 0: {  // broadcast
+          const auto algo =
+              alt_algo ? tshmem::BcastAlgo::kBinomial : tshmem::BcastAlgo::kPull;
+          ctx.broadcast(dst, src, kElems * sizeof(long), root_idx, as, algo);
+          if (ctx.my_pe() != as.pe_at(root_idx)) {
+            for (int i = 0; i < kElems; ++i) {
+              ASSERT_EQ(dst[i], 1000L * as.pe_at(root_idx) + round * 10 + i)
+                  << "round " << round;
+            }
+          }
+          break;
+        }
+        case 1: {  // fcollect
+          const auto algo =
+              alt_algo ? tshmem::CollectAlgo::kRing : tshmem::CollectAlgo::kNaive;
+          ctx.fcollect(dst, src, kElems * sizeof(long), as, algo);
+          for (int idx = 0; idx < size; ++idx) {
+            for (int i = 0; i < kElems; ++i) {
+              ASSERT_EQ(dst[idx * kElems + i],
+                        1000L * as.pe_at(idx) + round * 10 + i)
+                  << "round " << round;
+            }
+          }
+          break;
+        }
+        default: {  // sum reduction
+          const auto algo = alt_algo ? tshmem::ReduceAlgo::kRecursiveDoubling
+                                     : tshmem::ReduceAlgo::kNaive;
+          ctx.reduce(dst, src, kElems, tshmem::RedOp::kSum, as, algo);
+          for (int i = 0; i < kElems; ++i) {
+            long expect = 0;
+            for (int idx = 0; idx < size; ++idx) {
+              expect += 1000L * as.pe_at(idx) + round * 10 + i;
+            }
+            ASSERT_EQ(dst[i], expect) << "round " << round;
+          }
+          break;
+        }
+      }
+      ctx.harness_sync();
+    }
+    ctx.shfree(dst);
+    ctx.shfree(src);
+  });
+}
+
+// --- randomized put/get content property ---------------------------------------
+
+TEST(PutGetProperty, RandomOffsetsSizesAndPeers) {
+  Runtime rt(tilesim::tile_gx36());
+  rt.run(4, [](Context& ctx) {
+    constexpr std::size_t kArena = 64 * 1024;
+    auto* arena = static_cast<std::uint8_t*>(ctx.shmalloc(kArena));
+    for (std::size_t i = 0; i < kArena; ++i) {
+      arena[i] = static_cast<std::uint8_t>(ctx.my_pe());
+    }
+    ctx.barrier_all();
+    tshmem_util::Xoshiro256 rng(77);  // same stream on every PE
+    for (int round = 0; round < 60; ++round) {
+      // One PE writes a random span into a random peer each round; all PEs
+      // agree on the schedule because the RNG stream is shared.
+      const int writer = static_cast<int>(rng.below(4));
+      const int reader = static_cast<int>(rng.below(4));
+      const std::size_t off = rng.below(kArena / 2);
+      const std::size_t len = 1 + rng.below(kArena / 2 - 1);
+      const auto fill = static_cast<std::uint8_t>(rng.below(256));
+      if (ctx.my_pe() == writer) {
+        std::vector<std::uint8_t> data(len, fill);
+        ctx.put(arena + off, data.data(), len, reader);
+      }
+      ctx.barrier_all();
+      if (ctx.my_pe() == reader) {
+        for (std::size_t i = 0; i < len; ++i) {
+          ASSERT_EQ(arena[off + i], fill) << "round " << round;
+        }
+      }
+      ctx.barrier_all();
+    }
+    ctx.shfree(arena);
+  });
+}
+
+}  // namespace

@@ -1,0 +1,362 @@
+// Tests for the put/get engine: every dynamic/static pairing of paper
+// §IV-B (Figs 6-7), elementals, strided transfers, cost-model ordering, and
+// the TILEPro restriction on static transfers.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "tshmem/context.hpp"
+#include "tshmem/runtime.hpp"
+
+namespace {
+
+using tshmem::Context;
+using tshmem::Runtime;
+
+class PutGetTest : public ::testing::Test {
+ protected:
+  Runtime rt_{tilesim::tile_gx36()};
+};
+
+TEST_F(PutGetTest, DynamicDynamicPut) {
+  rt_.run(4, [](Context& ctx) {
+    int* buf = ctx.shmalloc_n<int>(256);
+    for (int i = 0; i < 256; ++i) buf[i] = -1;
+    ctx.barrier_all();
+    std::vector<int> src(256);
+    std::iota(src.begin(), src.end(), ctx.my_pe() * 1000);
+    ctx.put(buf, src.data(), 256 * sizeof(int), (ctx.my_pe() + 1) % 4);
+    ctx.barrier_all();
+    const int writer = (ctx.my_pe() + 3) % 4;
+    for (int i = 0; i < 256; ++i) EXPECT_EQ(buf[i], writer * 1000 + i);
+    ctx.shfree(buf);
+  });
+}
+
+TEST_F(PutGetTest, DynamicDynamicGet) {
+  rt_.run(4, [](Context& ctx) {
+    double* buf = ctx.shmalloc_n<double>(64);
+    for (int i = 0; i < 64; ++i) buf[i] = ctx.my_pe() + i * 0.5;
+    ctx.barrier_all();
+    double* dst = ctx.shmalloc_n<double>(64);
+    const int src_pe = (ctx.my_pe() + 2) % 4;
+    ctx.get(dst, buf, 64 * sizeof(double), src_pe);
+    for (int i = 0; i < 64; ++i) EXPECT_EQ(dst[i], src_pe + i * 0.5);
+    ctx.barrier_all();
+    ctx.shfree(dst);
+    ctx.shfree(buf);
+  });
+}
+
+TEST_F(PutGetTest, SelfPutAndGet) {
+  rt_.run(2, [](Context& ctx) {
+    int* buf = ctx.shmalloc_n<int>(8);
+    int local[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+    ctx.put(buf, local, sizeof(local), ctx.my_pe());
+    int back[8] = {};
+    ctx.get(back, buf, sizeof(back), ctx.my_pe());
+    EXPECT_EQ(0, std::memcmp(local, back, sizeof(local)));
+    ctx.barrier_all();
+    ctx.shfree(buf);
+  });
+}
+
+TEST_F(PutGetTest, NonSymmetricSourceForPutIsAllowed) {
+  // Paper §IV-B2: "any source variable may be used (symmetric or otherwise)
+  // if the target variable is dynamic."
+  rt_.run(2, [](Context& ctx) {
+    int* buf = ctx.shmalloc_n<int>(4);
+    ctx.barrier_all();
+    int stack_src[4] = {9, 8, 7, 6};
+    ctx.put(buf, stack_src, sizeof(stack_src), 1 - ctx.my_pe());
+    ctx.barrier_all();
+    EXPECT_EQ(buf[0], 9);
+    EXPECT_EQ(buf[3], 6);
+    ctx.shfree(buf);
+  });
+}
+
+TEST_F(PutGetTest, NonSymmetricRemoteTargetThrows) {
+  rt_.run(2, [](Context& ctx) {
+    int stack_target[4];
+    int src[4] = {};
+    if (ctx.my_pe() == 0) {
+      EXPECT_THROW(ctx.put(stack_target, src, sizeof(src), 1),
+                   std::invalid_argument);
+      EXPECT_THROW(ctx.get(src, stack_target, sizeof(src), 1),
+                   std::invalid_argument);
+    }
+    ctx.barrier_all();
+  });
+}
+
+TEST_F(PutGetTest, PeOutOfRangeThrows) {
+  rt_.run(2, [](Context& ctx) {
+    int* buf = ctx.shmalloc_n<int>(1);
+    int v = 0;
+    EXPECT_THROW(ctx.put(buf, &v, 4, 5), std::out_of_range);
+    EXPECT_THROW(ctx.get(&v, buf, 4, -1), std::out_of_range);
+    ctx.barrier_all();
+    ctx.shfree(buf);
+  });
+}
+
+TEST_F(PutGetTest, ZeroByteTransferIsNoop) {
+  rt_.run(2, [](Context& ctx) {
+    int* buf = ctx.shmalloc_n<int>(1);
+    *buf = 77;
+    ctx.barrier_all();
+    ctx.put(buf, nullptr, 0, 1 - ctx.my_pe());
+    ctx.barrier_all();
+    EXPECT_EQ(*buf, 77);
+    ctx.shfree(buf);
+  });
+}
+
+// --- static symmetric paths (Fig 7, TILE-Gx only) ----------------------------
+
+TEST_F(PutGetTest, StaticDynamicPutViaInterrupt) {
+  // Put into a remote *static* target from a dynamic source: the remote
+  // tile services it over a UDN interrupt.
+  rt_.run(2, [](Context& ctx) {
+    int* stat = ctx.static_sym<int>("sd_put_target", 16);
+    int* dyn = ctx.shmalloc_n<int>(16);
+    for (int i = 0; i < 16; ++i) {
+      stat[i] = -1;
+      dyn[i] = ctx.my_pe() * 100 + i;
+    }
+    ctx.barrier_all();
+    if (ctx.my_pe() == 0) {
+      ctx.put(stat, dyn, 16 * sizeof(int), 1);
+      EXPECT_EQ(ctx.runtime().interrupts().serviced(1), 1u);
+    }
+    ctx.barrier_all();
+    if (ctx.my_pe() == 1) {
+      for (int i = 0; i < 16; ++i) EXPECT_EQ(stat[i], i);  // PE 0's dyn
+    } else {
+      for (int i = 0; i < 16; ++i) EXPECT_EQ(stat[i], -1);  // untouched
+    }
+    ctx.barrier_all();
+    ctx.shfree(dyn);
+  });
+}
+
+TEST_F(PutGetTest, DynamicStaticGetViaInterrupt) {
+  // Get from a remote static source into my dynamic target.
+  rt_.run(2, [](Context& ctx) {
+    int* stat = ctx.static_sym<int>("ds_get_source", 8);
+    int* dyn = ctx.shmalloc_n<int>(8);
+    for (int i = 0; i < 8; ++i) stat[i] = ctx.my_pe() * 10 + i;
+    ctx.barrier_all();
+    if (ctx.my_pe() == 0) {
+      ctx.get(dyn, stat, 8 * sizeof(int), 1);
+      for (int i = 0; i < 8; ++i) EXPECT_EQ(dyn[i], 10 + i);
+    }
+    ctx.barrier_all();
+    ctx.shfree(dyn);
+  });
+}
+
+TEST_F(PutGetTest, StaticStaticViaBounceBuffer) {
+  rt_.run(2, [](Context& ctx) {
+    int* stat = ctx.static_sym<int>("ss_buf", 32);
+    for (int i = 0; i < 32; ++i) stat[i] = ctx.my_pe() * 1000 + i;
+    ctx.barrier_all();
+    if (ctx.my_pe() == 0) {
+      // Put my static array into PE 1's static array.
+      ctx.put(stat, stat, 32 * sizeof(int), 1);
+    }
+    ctx.barrier_all();
+    if (ctx.my_pe() == 1) {
+      for (int i = 0; i < 32; ++i) EXPECT_EQ(stat[i], i);  // PE 0's values
+    }
+    ctx.barrier_all();
+    // And a static-static get in the other direction.
+    if (ctx.my_pe() == 0) {
+      int* dst = ctx.static_sym<int>("ss_buf2", 32);
+      ctx.get(dst, stat, 32 * sizeof(int), 1);
+      for (int i = 0; i < 32; ++i) EXPECT_EQ(dst[i], i);
+    } else {
+      (void)ctx.static_sym<int>("ss_buf2", 32);
+    }
+    ctx.barrier_all();
+  });
+}
+
+TEST_F(PutGetTest, StaticLocalSelfTransferNeedsNoInterrupt) {
+  rt_.run(2, [](Context& ctx) {
+    int* stat = ctx.static_sym<int>("self_static", 4);
+    int local[4] = {5, 6, 7, 8};
+    ctx.put(stat, local, sizeof(local), ctx.my_pe());
+    EXPECT_EQ(stat[2], 7);
+    EXPECT_EQ(ctx.runtime().interrupts().serviced(ctx.my_pe()), 0u);
+    ctx.barrier_all();
+  });
+}
+
+TEST(PutGetPro64, StaticTransfersUnsupported) {
+  // Paper §IV-B2: "Static symmetric variable transfers in TSHMEM are not
+  // currently supported on the TILEPro architecture due to lack of support
+  // for UDN interrupts."
+  Runtime rt(tilesim::tile_pro64());
+  rt.run(2, [](Context& ctx) {
+    int* stat = ctx.static_sym<int>("pro_static", 4);
+    int* dyn = ctx.shmalloc_n<int>(4);
+    ctx.barrier_all();
+    if (ctx.my_pe() == 0) {
+      EXPECT_THROW(ctx.put(stat, dyn, 16, 1), std::runtime_error);
+      EXPECT_THROW(ctx.get(dyn, stat, 16, 1), std::runtime_error);
+      // Dynamic transfers still work fine.
+      ctx.put(dyn, dyn, 16, 1);
+    }
+    ctx.barrier_all();
+    ctx.shfree(dyn);
+  });
+}
+
+// --- elementals --------------------------------------------------------------
+
+TEST_F(PutGetTest, ElementalRoundTripAllTypes) {
+  rt_.run(2, [](Context& ctx) {
+    struct Syms {
+      short* s;
+      int* i;
+      long* l;
+      long long* ll;
+      float* f;
+      double* d;
+    } syms{ctx.shmalloc_n<short>(1), ctx.shmalloc_n<int>(1),
+           ctx.shmalloc_n<long>(1),  ctx.shmalloc_n<long long>(1),
+           ctx.shmalloc_n<float>(1), ctx.shmalloc_n<double>(1)};
+    ctx.barrier_all();
+    const int other = 1 - ctx.my_pe();
+    ctx.p(syms.s, static_cast<short>(7), other);
+    ctx.p(syms.i, 42, other);
+    ctx.p(syms.l, 43L, other);
+    ctx.p(syms.ll, 44LL, other);
+    ctx.p(syms.f, 1.5f, other);
+    ctx.p(syms.d, 2.5, other);
+    ctx.barrier_all();
+    EXPECT_EQ(*syms.s, 7);
+    EXPECT_EQ(*syms.i, 42);
+    EXPECT_EQ(*syms.l, 43L);
+    EXPECT_EQ(*syms.ll, 44LL);
+    EXPECT_EQ(*syms.f, 1.5f);
+    EXPECT_EQ(*syms.d, 2.5);
+    EXPECT_EQ(ctx.g(syms.i, other), 42);
+    EXPECT_EQ(ctx.g(syms.d, other), 2.5);
+    ctx.barrier_all();
+    ctx.shfree(syms.d);
+    ctx.shfree(syms.f);
+    ctx.shfree(syms.ll);
+    ctx.shfree(syms.l);
+    ctx.shfree(syms.i);
+    ctx.shfree(syms.s);
+  });
+}
+
+// --- strided -----------------------------------------------------------------
+
+TEST_F(PutGetTest, StridedIputScattersCorrectly) {
+  rt_.run(2, [](Context& ctx) {
+    int* buf = ctx.shmalloc_n<int>(32);
+    for (int i = 0; i < 32; ++i) buf[i] = 0;
+    ctx.barrier_all();
+    if (ctx.my_pe() == 0) {
+      int src[8];
+      for (int i = 0; i < 8; ++i) src[i] = i + 1;
+      // Every 4th element on the target, contiguous source.
+      ctx.iput(buf, src, 4, 1, 8, 1);
+    }
+    ctx.barrier_all();
+    if (ctx.my_pe() == 1) {
+      for (int i = 0; i < 8; ++i) {
+        EXPECT_EQ(buf[i * 4], i + 1);
+        EXPECT_EQ(buf[i * 4 + 1], 0);
+      }
+    }
+    ctx.barrier_all();
+    ctx.shfree(buf);
+  });
+}
+
+TEST_F(PutGetTest, StridedIgetGathersCorrectly) {
+  rt_.run(2, [](Context& ctx) {
+    double* buf = ctx.shmalloc_n<double>(24);
+    for (int i = 0; i < 24; ++i) buf[i] = ctx.my_pe() * 100.0 + i;
+    ctx.barrier_all();
+    if (ctx.my_pe() == 0) {
+      double dst[8] = {};
+      ctx.iget(dst, buf, 1, 3, 8, 1);  // every 3rd remote element
+      for (int i = 0; i < 8; ++i) EXPECT_EQ(dst[i], 100.0 + i * 3);
+    }
+    ctx.barrier_all();
+    ctx.shfree(buf);
+  });
+}
+
+// --- cost-model ordering (Fig 6/7 relationships) -----------------------------
+
+TEST_F(PutGetTest, VirtualCostsOrderAcrossPaths) {
+  rt_.run(2, [](Context& ctx) {
+    constexpr std::size_t kBytes = 64 * 1024;
+    int* dyn = ctx.shmalloc_n<int>(kBytes / sizeof(int));
+    int* stat = ctx.static_sym<int>("cost_static", kBytes / sizeof(int));
+    ctx.barrier_all();
+    if (ctx.my_pe() == 0) {
+      auto timed = [&](auto&& fn) {
+        const auto t0 = ctx.clock().now();
+        fn();
+        return ctx.clock().now() - t0;
+      };
+      const auto t_dd = timed([&] { ctx.put(dyn, dyn, kBytes, 1); });
+      const auto t_ds = timed([&] { ctx.put(dyn, stat, kBytes, 1); });
+      const auto t_sd = timed([&] { ctx.put(stat, dyn, kBytes, 1); });
+      const auto t_ss = timed([&] { ctx.put(stat, stat, kBytes, 1); });
+      // Fig 7: dynamic-target puts are equally fast regardless of source;
+      // static-target puts pay the interrupt; static-static pays the
+      // interrupt plus a bounce-buffer copy.
+      EXPECT_NEAR(static_cast<double>(t_ds), static_cast<double>(t_dd),
+                  0.15 * static_cast<double>(t_dd));
+      EXPECT_GT(t_sd, t_dd);
+      EXPECT_GT(t_ss, t_sd);
+    }
+    ctx.barrier_all();
+    ctx.shfree(dyn);
+  });
+}
+
+// Parameterized sweep: put/get round trips preserve data across sizes
+// (including non-power-of-two and sub-word sizes).
+class TransferSizeTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(TransferSizeTest, RoundTripPreservesBytes) {
+  const std::size_t bytes = GetParam();
+  Runtime rt(tilesim::tile_gx36());
+  rt.run(2, [&](Context& ctx) {
+    auto* buf = static_cast<std::uint8_t*>(ctx.shmalloc(bytes + 16));
+    std::vector<std::uint8_t> src(bytes);
+    for (std::size_t i = 0; i < bytes; ++i) {
+      src[i] = static_cast<std::uint8_t>((i * 131 + ctx.my_pe()) & 0xff);
+    }
+    ctx.barrier_all();
+    ctx.put(buf, src.data(), bytes, 1 - ctx.my_pe());
+    ctx.barrier_all();
+    std::vector<std::uint8_t> back(bytes);
+    ctx.get(back.data(), buf, bytes, ctx.my_pe());
+    for (std::size_t i = 0; i < bytes; ++i) {
+      ASSERT_EQ(back[i],
+                static_cast<std::uint8_t>((i * 131 + (1 - ctx.my_pe())) & 0xff));
+    }
+    ctx.barrier_all();
+    ctx.shfree(buf);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TransferSizeTest,
+                         ::testing::Values(1, 2, 3, 7, 8, 13, 64, 100, 1024,
+                                           4096, 65537, 1 << 20));
+
+}  // namespace

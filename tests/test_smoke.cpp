@@ -1,0 +1,123 @@
+// End-to-end smoke tests: launch real SPMD jobs on both simulated devices
+// and exercise the core TSHMEM paths together. Module-level details are
+// covered by the dedicated per-module test files.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "tshmem/api.hpp"
+#include "tshmem/context.hpp"
+#include "tshmem/runtime.hpp"
+
+namespace {
+
+using tshmem::Context;
+using tshmem::Runtime;
+
+TEST(Smoke, LaunchAndIdentity) {
+  tshmem::Runtime rt(tilesim::tile_gx36());
+  std::atomic<int> sum{0};
+  rt.run(8, [&](Context& ctx) {
+    EXPECT_EQ(ctx.num_pes(), 8);
+    EXPECT_GE(ctx.my_pe(), 0);
+    EXPECT_LT(ctx.my_pe(), 8);
+    sum.fetch_add(ctx.my_pe());
+  });
+  EXPECT_EQ(sum.load(), 28);
+}
+
+TEST(Smoke, RingPutAndBarrier) {
+  tshmem::Runtime rt(tilesim::tile_gx36());
+  rt.run(6, [](Context& ctx) {
+    const int me = ctx.my_pe();
+    const int n = ctx.num_pes();
+    int* slot = ctx.shmalloc_n<int>(1);
+    ASSERT_NE(slot, nullptr);
+    *slot = -1;
+    ctx.barrier_all();
+    const int dest = (me + 1) % n;
+    ctx.p(slot, me, dest);
+    ctx.barrier_all();
+    EXPECT_EQ(*slot, (me + n - 1) % n);
+    ctx.shfree(slot);
+  });
+}
+
+TEST(Smoke, GetFromNeighbor) {
+  tshmem::Runtime rt(tilesim::tile_pro64());
+  rt.run(4, [](Context& ctx) {
+    const int me = ctx.my_pe();
+    double* data = ctx.shmalloc_n<double>(16);
+    for (int i = 0; i < 16; ++i) data[i] = me * 100.0 + i;
+    ctx.barrier_all();
+    std::vector<double> local(16);
+    const int src = (me + 1) % ctx.num_pes();
+    ctx.get(local.data(), data, 16 * sizeof(double), src);
+    for (int i = 0; i < 16; ++i) EXPECT_EQ(local[i], src * 100.0 + i);
+    ctx.barrier_all();
+    ctx.shfree(data);
+  });
+}
+
+TEST(Smoke, SumReductionBothDevices) {
+  for (const auto* cfg : tilesim::all_devices()) {
+    tshmem::Runtime rt(*cfg);
+    rt.run(5, [](Context& ctx) {
+      const int n = ctx.num_pes();
+      int* src = ctx.shmalloc_n<int>(8);
+      int* dst = ctx.shmalloc_n<int>(8);
+      for (int i = 0; i < 8; ++i) src[i] = ctx.my_pe() + i;
+      ctx.barrier_all();
+      ctx.reduce(dst, src, 8, tshmem::RedOp::kSum, ctx.world());
+      const int pe_sum = n * (n - 1) / 2;
+      for (int i = 0; i < 8; ++i) EXPECT_EQ(dst[i], pe_sum + i * n);
+      ctx.shfree(dst);
+      ctx.shfree(src);
+    });
+  }
+}
+
+TEST(Smoke, VirtualTimeAdvancesDeterministically) {
+  tshmem::Runtime rt(tilesim::tile_gx36());
+  tilesim::ps_t first = 0;
+  for (int trial = 0; trial < 3; ++trial) {
+    tilesim::ps_t elapsed = 0;
+    rt.run(4, [&](Context& ctx) {
+      int* x = ctx.shmalloc_n<int>(1024);
+      ctx.barrier_all();
+      ctx.harness_sync_reset();
+      ctx.put(x, x, 1024 * sizeof(int), (ctx.my_pe() + 1) % 4);
+      ctx.barrier_all();
+      if (ctx.my_pe() == 0) elapsed = ctx.clock().now();
+      ctx.harness_sync();
+      ctx.shfree(x);
+    });
+    ASSERT_GT(elapsed, 0u);
+    if (trial == 0) {
+      first = elapsed;
+    } else {
+      EXPECT_EQ(elapsed, first) << "virtual time must be schedule-independent";
+    }
+  }
+}
+
+TEST(Smoke, CApiRoundTrip) {
+  tshmem::run_spmd(tilesim::tile_gx36(), 4, [](Context&) {
+    using namespace tshmem::api;
+    start_pes(0);
+    const int me = _my_pe();
+    const int n = _num_pes();
+    ASSERT_EQ(n, 4);
+    long* v = static_cast<long*>(shmalloc(sizeof(long)));
+    *v = 0;
+    shmem_barrier_all();
+    shmem_long_p(v, me + 1000L, (me + 1) % n);
+    shmem_barrier_all();
+    EXPECT_EQ(*v, (me + n - 1) % n + 1000L);
+    shfree(v);
+    shmem_finalize();
+  });
+}
+
+}  // namespace

@@ -1,0 +1,137 @@
+// Tests for the TILEPro static network: route validation, switch-port
+// conflicts, timing (cheap setup vs the UDN), and delivery.
+#include <gtest/gtest.h>
+
+#include "sim/device.hpp"
+#include "tmc/stn.hpp"
+#include "tmc/udn.hpp"
+
+namespace {
+
+using tilesim::Device;
+using tilesim::Tile;
+using tmc::StaticNetwork;
+
+class StnTest : public ::testing::Test {
+ protected:
+  Device device_{tilesim::tile_pro64()};  // 8x8 mesh
+  StaticNetwork stn_{device_};
+};
+
+TEST(Stn, OnlyOnDevicesWithStaticNetwork) {
+  Device gx(tilesim::tile_gx36());
+  EXPECT_THROW(StaticNetwork{gx}, std::invalid_argument);
+}
+
+TEST_F(StnTest, ConfigureValidRoute) {
+  // 0 -> 1 -> 2 -> 10 (right, right, down on the 8-wide mesh).
+  const int r = stn_.configure_route({0, 1, 2, 10});
+  EXPECT_EQ(r, 0);
+  EXPECT_EQ(stn_.route_count(), 1);
+  EXPECT_EQ(stn_.route_path(r).size(), 4u);
+}
+
+TEST_F(StnTest, RejectsNonAdjacentAndBadPaths) {
+  EXPECT_THROW((void)stn_.configure_route({0, 2}), std::invalid_argument);
+  EXPECT_THROW((void)stn_.configure_route({0}), std::invalid_argument);
+  EXPECT_THROW((void)stn_.configure_route({0, 99}), std::invalid_argument);
+  // 7 -> 8 are consecutive ids but on different rows of the 8-wide mesh.
+  EXPECT_THROW((void)stn_.configure_route({7, 8}), std::invalid_argument);
+}
+
+TEST_F(StnTest, SwitchPortConflictsDetected) {
+  (void)stn_.configure_route({0, 1, 2});
+  // Reusing tile 0's east port conflicts...
+  EXPECT_THROW((void)stn_.configure_route({0, 1}), std::invalid_argument);
+  // ...but a route through different ports of the same tiles is fine.
+  const int r = stn_.configure_route({8, 0});   // north through tile 0
+  EXPECT_EQ(stn_.route_path(r).back(), 0);
+  // And the reverse direction of an existing link is a different port.
+  (void)stn_.configure_route({2, 1});
+}
+
+TEST_F(StnTest, DeliversPayloadInOrder) {
+  const int route = stn_.configure_route({0, 1, 2, 3});
+  device_.run(4, [&](Tile& tile) {
+    if (tile.id() == 0) {
+      for (std::uint64_t i = 0; i < 8; ++i) {
+        const std::uint64_t w[2] = {i, i * i};
+        stn_.send(tile, route, w);
+      }
+    } else if (tile.id() == 3) {
+      for (std::uint64_t i = 0; i < 8; ++i) {
+        const auto msg = stn_.recv(tile, route);
+        EXPECT_EQ(msg.payload[0], i);
+        EXPECT_EQ(msg.payload[1], i * i);
+        EXPECT_EQ(msg.src_tile, 0);
+      }
+    }
+  });
+}
+
+TEST_F(StnTest, EndpointEnforcement) {
+  const int route = stn_.configure_route({4, 5, 6});
+  device_.run(8, [&](Tile& tile) {
+    if (tile.id() == 5) {
+      const std::uint64_t w = 1;
+      EXPECT_THROW(stn_.send(tile, route, {&w, 1}), std::invalid_argument);
+      EXPECT_THROW((void)stn_.try_recv(tile, route), std::invalid_argument);
+    }
+    if (tile.id() == 4) {
+      const std::uint64_t w = 1;
+      EXPECT_THROW(stn_.send(tile, 99, {&w, 1}), std::out_of_range);
+      stn_.send(tile, route, {&w, 1});
+    }
+    if (tile.id() == 6) {
+      EXPECT_EQ(stn_.recv(tile, route).payload[0], 1u);
+    }
+  });
+}
+
+TEST_F(StnTest, LatencyModelSetupPlusHops) {
+  const int route = stn_.configure_route({16, 17, 18, 19, 27});
+  const auto& cfg = device_.config();
+  // 4 hops, 1 word.
+  EXPECT_EQ(stn_.route_latency_ps(route, 1),
+            cfg.stn_setup_ps + 4 * cfg.cycle_ps());
+  // Extra words pipeline at one per cycle.
+  EXPECT_EQ(stn_.route_latency_ps(route, 5),
+            cfg.stn_setup_ps + 4 * cfg.cycle_ps() + 4 * cfg.cycle_ps());
+}
+
+TEST_F(StnTest, BeatsUdnLatencyForShortHops) {
+  // The STN's whole point: no per-packet route computation. For a 1-hop
+  // 1-word message the STN costs ~3 cycles + 1 hop vs the UDN's ~18 ns
+  // setup + 1 hop.
+  tmc::UdnFabric udn(device_);
+  const int route = stn_.configure_route({32, 33});
+  const auto stn_lat = stn_.route_latency_ps(route, 1);
+  const auto udn_lat = udn.wire_latency_ps(32, 33, 1);
+  EXPECT_LT(stn_lat * 3, udn_lat);
+}
+
+TEST_F(StnTest, RecvAdvancesClock) {
+  const int route = stn_.configure_route({40, 41});
+  device_.run(42, [&](Tile& tile) {
+    if (tile.id() == 40) {
+      tile.clock().advance(2'000'000);
+      const std::uint64_t w = 9;
+      stn_.send(tile, route, {&w, 1});
+    } else if (tile.id() == 41) {
+      const auto msg = stn_.recv(tile, route);
+      EXPECT_EQ(tile.clock().now(), msg.arrival_ps);
+      EXPECT_GT(msg.arrival_ps, 2'000'000u);
+    }
+  });
+}
+
+TEST_F(StnTest, EmptyPayloadRejected) {
+  const int route = stn_.configure_route({48, 49});
+  device_.run(49, [&](Tile& tile) {
+    if (tile.id() == 48) {
+      EXPECT_THROW(stn_.send(tile, route, {}), std::invalid_argument);
+    }
+  });
+}
+
+}  // namespace

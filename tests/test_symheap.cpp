@@ -1,0 +1,243 @@
+// Tests for the symmetric-heap allocator (the doubly-linked-list design of
+// paper §IV-A): allocation, splitting, coalescing, realloc, memalign, and
+// the symmetric-offset property across independent heaps.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "tshmem/symheap.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using tshmem::SymHeap;
+
+class SymHeapTest : public ::testing::Test {
+ protected:
+  static constexpr std::size_t kBytes = 1 << 20;
+  alignas(64) std::byte storage_[kBytes];
+  SymHeap heap_{storage_, kBytes};
+};
+
+TEST_F(SymHeapTest, AllocReturnsAlignedDistinctBlocks) {
+  void* a = heap_.alloc(100);
+  void* b = heap_.alloc(100);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(a) % 16, 0u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b) % 16, 0u);
+  EXPECT_TRUE(heap_.validate());
+}
+
+TEST_F(SymHeapTest, ZeroAllocReturnsNull) {
+  EXPECT_EQ(heap_.alloc(0), nullptr);
+}
+
+TEST_F(SymHeapTest, ExhaustionReturnsNullLikeShmalloc) {
+  EXPECT_EQ(heap_.alloc(2 * kBytes), nullptr);
+  void* p = heap_.alloc(100);
+  EXPECT_NE(p, nullptr);
+  EXPECT_TRUE(heap_.validate());
+}
+
+TEST_F(SymHeapTest, FreeCoalescesNeighbors) {
+  void* a = heap_.alloc(1000);
+  void* b = heap_.alloc(1000);
+  void* c = heap_.alloc(1000);
+  const std::size_t before = heap_.largest_free_block();
+  heap_.free(a);
+  heap_.free(c);
+  heap_.free(b);  // merges a+b+c back into one region
+  EXPECT_TRUE(heap_.validate());
+  EXPECT_GE(heap_.largest_free_block(), before + 3000);
+  EXPECT_EQ(heap_.bytes_in_use(), 0u);
+  EXPECT_EQ(heap_.block_count(), 1u);
+}
+
+TEST_F(SymHeapTest, FreeNullIsNoop) {
+  heap_.free(nullptr);
+  EXPECT_TRUE(heap_.validate());
+}
+
+TEST_F(SymHeapTest, DoubleFreeThrows) {
+  void* p = heap_.alloc(64);
+  heap_.free(p);
+  EXPECT_THROW(heap_.free(p), std::invalid_argument);
+}
+
+TEST_F(SymHeapTest, ForeignPointerThrows) {
+  int x = 0;
+  EXPECT_THROW(heap_.free(&x), std::invalid_argument);
+  EXPECT_THROW((void)heap_.allocation_size(&x), std::invalid_argument);
+}
+
+TEST_F(SymHeapTest, AllocationSizeReflectsRounding) {
+  void* p = heap_.alloc(100);
+  EXPECT_EQ(heap_.allocation_size(p), 112u);  // rounded to 16
+  heap_.free(p);
+}
+
+TEST_F(SymHeapTest, FirstFitReusesFreedBlock) {
+  void* a = heap_.alloc(4096);
+  void* b = heap_.alloc(64);
+  (void)b;
+  heap_.free(a);
+  void* c = heap_.alloc(4096);
+  EXPECT_EQ(c, a);  // same first-fit slot
+}
+
+TEST_F(SymHeapTest, ReallocGrowInPlaceWhenPossible) {
+  void* p = heap_.alloc(128);
+  std::memset(p, 0x5a, 128);
+  void* q = heap_.realloc(p, 1024);  // trailing space is free
+  EXPECT_EQ(q, p);
+  for (int i = 0; i < 128; ++i) {
+    EXPECT_EQ(static_cast<std::byte*>(q)[i], std::byte{0x5a});
+  }
+  EXPECT_TRUE(heap_.validate());
+}
+
+TEST_F(SymHeapTest, ReallocMovesAndPreservesContents) {
+  void* p = heap_.alloc(128);
+  std::memset(p, 0x77, 128);
+  void* barrier = heap_.alloc(64);  // blocks in-place growth
+  (void)barrier;
+  void* q = heap_.realloc(p, 4096);
+  ASSERT_NE(q, nullptr);
+  EXPECT_NE(q, p);
+  for (int i = 0; i < 128; ++i) {
+    EXPECT_EQ(static_cast<std::byte*>(q)[i], std::byte{0x77});
+  }
+  EXPECT_TRUE(heap_.validate());
+}
+
+TEST_F(SymHeapTest, ReallocShrinkKeepsPointer) {
+  void* p = heap_.alloc(4096);
+  void* q = heap_.realloc(p, 64);
+  EXPECT_EQ(q, p);
+  EXPECT_TRUE(heap_.validate());
+}
+
+TEST_F(SymHeapTest, ReallocNullActsAsAlloc) {
+  void* p = heap_.realloc(nullptr, 64);
+  EXPECT_NE(p, nullptr);
+  EXPECT_EQ(heap_.realloc(p, 0), nullptr);  // acts as free
+  EXPECT_EQ(heap_.bytes_in_use(), 0u);
+}
+
+TEST_F(SymHeapTest, MemalignHonorsAlignment) {
+  for (std::size_t align : {16u, 64u, 256u, 4096u}) {
+    void* p = heap_.memalign(align, 100);
+    ASSERT_NE(p, nullptr) << align;
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % align, 0u);
+    EXPECT_TRUE(heap_.validate());
+  }
+}
+
+TEST_F(SymHeapTest, MemalignRejectsBadAlignment) {
+  EXPECT_EQ(heap_.memalign(3, 64), nullptr);     // not power of two
+  EXPECT_EQ(heap_.memalign(8, 64), nullptr);     // below minimum
+  EXPECT_EQ(heap_.memalign(64, 0), nullptr);
+}
+
+TEST_F(SymHeapTest, MemalignBlocksAreFreeable) {
+  void* p = heap_.memalign(1024, 512);
+  ASSERT_NE(p, nullptr);
+  heap_.free(p);
+  EXPECT_EQ(heap_.bytes_in_use(), 0u);
+  EXPECT_TRUE(heap_.validate());
+}
+
+TEST(SymHeap, RejectsBadRegion) {
+  alignas(64) std::byte small[16];
+  EXPECT_THROW(SymHeap(nullptr, 1024), std::invalid_argument);
+  EXPECT_THROW(SymHeap(small, sizeof(small)), std::invalid_argument);
+  alignas(64) static std::byte misaligned_buf[256];
+  EXPECT_THROW(SymHeap(misaligned_buf + 8, 128), std::invalid_argument);
+}
+
+// The property shmalloc's symmetry rests on: two heaps driven through an
+// identical operation sequence yield identical offsets (paper §IV-A).
+TEST(SymHeap, IdenticalSequencesYieldIdenticalOffsets) {
+  constexpr std::size_t kBytes = 1 << 18;
+  alignas(64) static std::byte s1[kBytes], s2[kBytes];
+  SymHeap h1(s1, kBytes), h2(s2, kBytes);
+  tshmem_util::Xoshiro256 rng(2024);
+  std::vector<std::pair<void*, void*>> live;
+  for (int step = 0; step < 500; ++step) {
+    if (live.empty() || rng.below(3) != 0) {
+      const std::size_t sz = 1 + rng.below(2000);
+      void* a = h1.alloc(sz);
+      void* b = h2.alloc(sz);
+      ASSERT_EQ(a == nullptr, b == nullptr);
+      if (a != nullptr) {
+        ASSERT_EQ(static_cast<std::byte*>(a) - s1,
+                  static_cast<std::byte*>(b) - s2);
+        live.emplace_back(a, b);
+      }
+    } else {
+      const std::size_t pick = rng.below(live.size());
+      h1.free(live[pick].first);
+      h2.free(live[pick].second);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+    }
+    ASSERT_TRUE(h1.validate());
+  }
+}
+
+// Randomized stress: interleaved alloc/free/realloc with content checking
+// and invariant validation at every step.
+TEST(SymHeap, RandomizedStressKeepsInvariants) {
+  constexpr std::size_t kBytes = 1 << 18;
+  alignas(64) static std::byte storage[kBytes];
+  SymHeap heap(storage, kBytes);
+  tshmem_util::Xoshiro256 rng(7);
+  struct Live {
+    void* p;
+    std::size_t size;
+    std::uint8_t fill;
+  };
+  std::vector<Live> live;
+  for (int step = 0; step < 2000; ++step) {
+    const auto action = rng.below(4);
+    if (action <= 1 || live.empty()) {
+      const std::size_t sz = 1 + rng.below(3000);
+      void* p = heap.alloc(sz);
+      if (p != nullptr) {
+        const auto fill = static_cast<std::uint8_t>(rng.below(256));
+        std::memset(p, fill, sz);
+        live.push_back({p, sz, fill});
+      }
+    } else if (action == 2) {
+      const std::size_t pick = rng.below(live.size());
+      const Live& l = live[pick];
+      for (std::size_t i = 0; i < l.size; ++i) {
+        ASSERT_EQ(static_cast<std::uint8_t*>(l.p)[i], l.fill);
+      }
+      heap.free(l.p);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+    } else {
+      const std::size_t pick = rng.below(live.size());
+      Live& l = live[pick];
+      const std::size_t nsz = 1 + rng.below(4000);
+      void* q = heap.realloc(l.p, nsz);
+      if (q != nullptr) {
+        const std::size_t keep = std::min(l.size, nsz);
+        for (std::size_t i = 0; i < keep; ++i) {
+          ASSERT_EQ(static_cast<std::uint8_t*>(q)[i], l.fill);
+        }
+        l.p = q;
+        l.size = nsz;
+        std::memset(q, l.fill, nsz);
+      }
+    }
+    ASSERT_TRUE(heap.validate()) << "step " << step;
+  }
+  for (const Live& l : live) heap.free(l.p);
+  EXPECT_EQ(heap.bytes_in_use(), 0u);
+  EXPECT_EQ(heap.block_count(), 1u);
+}
+
+}  // namespace

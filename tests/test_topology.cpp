@@ -1,0 +1,163 @@
+// Tests for the 2D mesh topology and dimension-order routing, including the
+// paper's virtual-CPU mapping for the 6x6 test area on the 8x8 TILEPro64.
+#include <gtest/gtest.h>
+
+#include "sim/config.hpp"
+#include "sim/topology.hpp"
+
+namespace {
+
+using tilesim::Coord;
+using tilesim::Dir;
+using tilesim::Topology;
+
+TEST(Topology, CoordinateRoundTrip) {
+  Topology t(6, 6);
+  for (int tile = 0; tile < t.tile_count(); ++tile) {
+    EXPECT_EQ(t.tile_at(t.coord_of(tile)), tile);
+  }
+}
+
+TEST(Topology, DimensionsAndCounts) {
+  Topology gx(tilesim::tile_gx36());
+  EXPECT_EQ(gx.width(), 6);
+  EXPECT_EQ(gx.height(), 6);
+  EXPECT_EQ(gx.tile_count(), 36);
+  Topology pro(tilesim::tile_pro64());
+  EXPECT_EQ(pro.tile_count(), 64);
+}
+
+TEST(Topology, RejectsBadDimensions) {
+  EXPECT_THROW(Topology(0, 4), std::invalid_argument);
+  EXPECT_THROW(Topology(4, -1), std::invalid_argument);
+}
+
+TEST(Topology, RejectsOutOfRangeTiles) {
+  Topology t(6, 6);
+  EXPECT_THROW((void)t.coord_of(-1), std::out_of_range);
+  EXPECT_THROW((void)t.coord_of(36), std::out_of_range);
+  EXPECT_THROW((void)t.hops(0, 36), std::out_of_range);
+}
+
+TEST(Topology, HopCountsMatchPaperCases) {
+  // Paper §III-C: in a 6x6 mesh, neighbor = 1 hop, side-to-side = 5,
+  // corner-to-corner = 10.
+  Topology t(6, 6);
+  EXPECT_EQ(t.hops(14, 13), 1);   // neighbors (Table III row 1)
+  EXPECT_EQ(t.hops(14, 15), 1);
+  EXPECT_EQ(t.hops(14, 8), 1);    // up
+  EXPECT_EQ(t.hops(14, 20), 1);   // down
+  EXPECT_EQ(t.hops(6, 11), 5);    // side-to-side, row 1
+  EXPECT_EQ(t.hops(1, 31), 5);    // side-to-side, vertical
+  EXPECT_EQ(t.hops(0, 35), 10);   // corners
+  EXPECT_EQ(t.hops(5, 30), 10);
+  EXPECT_EQ(t.hops(7, 7), 0);     // self
+}
+
+TEST(Topology, HopsAreSymmetric) {
+  Topology t(6, 6);
+  for (int a = 0; a < 36; a += 5) {
+    for (int b = 0; b < 36; b += 3) {
+      EXPECT_EQ(t.hops(a, b), t.hops(b, a));
+    }
+  }
+}
+
+TEST(Topology, RouteLengthEqualsHops) {
+  Topology t(8, 8);
+  for (int a = 0; a < 64; a += 7) {
+    for (int b = 0; b < 64; b += 5) {
+      EXPECT_EQ(static_cast<int>(t.route(a, b).size()), t.hops(a, b));
+    }
+  }
+}
+
+TEST(Topology, RouteIsDimensionOrderXFirst) {
+  Topology t(6, 6);
+  // 0 -> 35: all X steps (right) must precede all Y steps (down).
+  const auto route = t.route(0, 35);
+  ASSERT_EQ(route.size(), 10u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(route[i], Dir::kRight);
+  for (int i = 5; i < 10; ++i) EXPECT_EQ(route[i], Dir::kDown);
+}
+
+TEST(Topology, RouteTurnsOnlyWhenBothDimsChange) {
+  Topology t(6, 6);
+  EXPECT_FALSE(t.route_turns(6, 11));  // straight horizontal
+  EXPECT_FALSE(t.route_turns(1, 31));  // straight vertical
+  EXPECT_TRUE(t.route_turns(0, 35));   // corner: one turn
+  EXPECT_FALSE(t.route_turns(3, 3));   // self
+}
+
+TEST(Topology, FirstDirection) {
+  Topology t(6, 6);
+  EXPECT_EQ(t.first_direction(14, 13), Dir::kLeft);
+  EXPECT_EQ(t.first_direction(14, 15), Dir::kRight);
+  EXPECT_EQ(t.first_direction(14, 8), Dir::kUp);
+  EXPECT_EQ(t.first_direction(14, 20), Dir::kDown);
+  EXPECT_EQ(t.first_direction(0, 35), Dir::kRight);  // X resolved first
+  EXPECT_THROW((void)t.first_direction(3, 3), std::invalid_argument);
+}
+
+TEST(Topology, DirToString) {
+  EXPECT_EQ(tilesim::to_string(Dir::kLeft), "left");
+  EXPECT_EQ(tilesim::to_string(Dir::kRight), "right");
+  EXPECT_EQ(tilesim::to_string(Dir::kUp), "up");
+  EXPECT_EQ(tilesim::to_string(Dir::kDown), "down");
+}
+
+TEST(VirtualCpuMapping, IdentityOnGx36) {
+  // Paper: "The virtual CPU numbers are equal to the physical CPU numbers
+  // on the TILE-Gx36, as the chip dimensions are equal to the test area".
+  for (int v = 0; v < 36; ++v) {
+    EXPECT_EQ(tilesim::virtual_to_physical(v, 6, 6), v);
+  }
+}
+
+TEST(VirtualCpuMapping, PaperExampleOnPro64) {
+  // Paper: "virtual tile 6 is physical tile 8" on the 8x8 TILEPro64.
+  EXPECT_EQ(tilesim::virtual_to_physical(6, 6, 8), 8);
+  EXPECT_EQ(tilesim::virtual_to_physical(0, 6, 8), 0);
+  EXPECT_EQ(tilesim::virtual_to_physical(5, 6, 8), 5);
+  EXPECT_EQ(tilesim::virtual_to_physical(35, 6, 8), 45);
+}
+
+TEST(VirtualCpuMapping, RoundTrip) {
+  for (int v = 0; v < 36; ++v) {
+    const int p = tilesim::virtual_to_physical(v, 6, 8);
+    EXPECT_EQ(tilesim::physical_to_virtual(p, 6, 8), v);
+  }
+}
+
+TEST(VirtualCpuMapping, RejectsOutsideArea) {
+  EXPECT_THROW((void)tilesim::physical_to_virtual(6, 6, 8), std::out_of_range);
+  EXPECT_THROW((void)tilesim::virtual_to_physical(-1, 6, 8),
+               std::invalid_argument);
+}
+
+// Parameterized sweep: every pair in the 6x6 test area obeys the triangle
+// property |route| = |dx| + |dy| and routing never leaves the mesh.
+class RoutePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RoutePropertyTest, RoutesStayInMeshAndTerminate) {
+  Topology t(6, 6);
+  const int from = GetParam();
+  for (int to = 0; to < 36; ++to) {
+    Coord pos = t.coord_of(from);
+    for (const Dir d : t.route(from, to)) {
+      switch (d) {
+        case Dir::kLeft: --pos.x; break;
+        case Dir::kRight: ++pos.x; break;
+        case Dir::kUp: --pos.y; break;
+        case Dir::kDown: ++pos.y; break;
+      }
+      ASSERT_TRUE(t.contains(pos));
+    }
+    EXPECT_EQ(t.tile_at(pos), to);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSources, RoutePropertyTest,
+                         ::testing::Range(0, 36));
+
+}  // namespace

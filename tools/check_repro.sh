@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# Runs every figure/table/ablation/extension bench and audits the
+# "reproduction check" blocks: any measured/paper ratio outside
+# [MIN_RATIO, MAX_RATIO] is reported and fails the script.
+#
+# Usage: tools/check_repro.sh [build-dir] [min-ratio] [max-ratio]
+set -u
+
+BUILD_DIR="${1:-build}"
+MIN_RATIO="${2:-0.5}"
+MAX_RATIO="${3:-2.0}"
+
+if [ ! -d "$BUILD_DIR/bench" ]; then
+  echo "error: $BUILD_DIR/bench not found (build the project first)" >&2
+  exit 2
+fi
+
+tmp_out="$(mktemp)"
+trap 'rm -f "$tmp_out"' EXIT
+
+status=0
+total_checks=0
+bad_checks=0
+
+for bench in "$BUILD_DIR"/bench/*; do
+  [ -x "$bench" ] || continue
+  name="$(basename "$bench")"
+  case "$name" in
+    micro_internals) continue ;;  # host-time microbenchmarks: no checks
+  esac
+  echo "== $name"
+  if ! "$bench" > "$tmp_out" 2>&1; then
+    echo "   BENCH FAILED (non-zero exit)"
+    status=1
+    continue
+  fi
+  # Parse check rows: inside a "reproduction check" block, the last column
+  # is the measured/paper ratio (or "-" when no paper value exists).
+  in_block=0
+  while IFS= read -r line; do
+    case "$line" in
+      *"reproduction check"*) in_block=1; continue ;;
+      "") in_block=0; continue ;;
+    esac
+    [ "$in_block" = 1 ] || continue
+    case "$line" in
+      quantity*|---*) continue ;;
+    esac
+    ratio="$(printf '%s\n' "$line" | awk '{print $NF}')"
+    case "$ratio" in
+      -|"") continue ;;
+    esac
+    total_checks=$((total_checks + 1))
+    ok="$(awk -v r="$ratio" -v lo="$MIN_RATIO" -v hi="$MAX_RATIO" \
+          'BEGIN { print (r >= lo && r <= hi) ? 1 : 0 }')"
+    if [ "$ok" != 1 ]; then
+      echo "   OUT OF BAND ($ratio): $line"
+      bad_checks=$((bad_checks + 1))
+      status=1
+    fi
+  done < "$tmp_out"
+done
+
+echo
+echo "reproduction audit: $total_checks checks, $bad_checks outside" \
+     "[$MIN_RATIO, $MAX_RATIO]"
+exit $status
