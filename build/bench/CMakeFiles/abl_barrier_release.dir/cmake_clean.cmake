@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_barrier_release.dir/abl_barrier_release.cpp.o"
+  "CMakeFiles/abl_barrier_release.dir/abl_barrier_release.cpp.o.d"
+  "abl_barrier_release"
+  "abl_barrier_release.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_barrier_release.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_cachesim.dir/abl_cachesim.cpp.o"
+  "CMakeFiles/abl_cachesim.dir/abl_cachesim.cpp.o.d"
+  "abl_cachesim"
+  "abl_cachesim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_cachesim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_homing.dir/abl_homing.cpp.o"
+  "CMakeFiles/abl_homing.dir/abl_homing.cpp.o.d"
+  "abl_homing"
+  "abl_homing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_homing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_accelerators.dir/ext_accelerators.cpp.o"
+  "CMakeFiles/ext_accelerators.dir/ext_accelerators.cpp.o.d"
+  "ext_accelerators"
+  "ext_accelerators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_accelerators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_libraries.dir/ext_libraries.cpp.o"
+  "CMakeFiles/ext_libraries.dir/ext_libraries.cpp.o.d"
+  "ext_libraries"
+  "ext_libraries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_libraries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_multidev.dir/ext_multidev.cpp.o"
+  "CMakeFiles/ext_multidev.dir/ext_multidev.cpp.o.d"
+  "ext_multidev"
+  "ext_multidev.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_multidev.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_tmc_barriers.dir/fig05_tmc_barriers.cpp.o"
+  "CMakeFiles/fig05_tmc_barriers.dir/fig05_tmc_barriers.cpp.o.d"
+  "fig05_tmc_barriers"
+  "fig05_tmc_barriers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_tmc_barriers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig05_tmc_barriers.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_putget_dynamic.dir/fig06_putget_dynamic.cpp.o"
+  "CMakeFiles/fig06_putget_dynamic.dir/fig06_putget_dynamic.cpp.o.d"
+  "fig06_putget_dynamic"
+  "fig06_putget_dynamic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_putget_dynamic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_putget_static.dir/fig07_putget_static.cpp.o"
+  "CMakeFiles/fig07_putget_static.dir/fig07_putget_static.cpp.o.d"
+  "fig07_putget_static"
+  "fig07_putget_static.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_putget_static.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

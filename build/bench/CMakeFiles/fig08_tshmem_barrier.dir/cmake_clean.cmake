@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_tshmem_barrier.dir/fig08_tshmem_barrier.cpp.o"
+  "CMakeFiles/fig08_tshmem_barrier.dir/fig08_tshmem_barrier.cpp.o.d"
+  "fig08_tshmem_barrier"
+  "fig08_tshmem_barrier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_tshmem_barrier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_broadcast_push.dir/fig09_broadcast_push.cpp.o"
+  "CMakeFiles/fig09_broadcast_push.dir/fig09_broadcast_push.cpp.o.d"
+  "fig09_broadcast_push"
+  "fig09_broadcast_push.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_broadcast_push.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

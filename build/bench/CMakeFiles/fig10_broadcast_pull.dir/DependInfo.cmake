@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig10_broadcast_pull.cpp" "bench/CMakeFiles/fig10_broadcast_pull.dir/fig10_broadcast_pull.cpp.o" "gcc" "bench/CMakeFiles/fig10_broadcast_pull.dir/fig10_broadcast_pull.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/tshmem_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/compare/CMakeFiles/tshmem_compare.dir/DependInfo.cmake"
+  "/root/repo/build/src/tshmem/CMakeFiles/tshmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/tmc/CMakeFiles/tmc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tilesim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tshmem_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

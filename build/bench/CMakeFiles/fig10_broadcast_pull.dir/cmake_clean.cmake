@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_broadcast_pull.dir/fig10_broadcast_pull.cpp.o"
+  "CMakeFiles/fig10_broadcast_pull.dir/fig10_broadcast_pull.cpp.o.d"
+  "fig10_broadcast_pull"
+  "fig10_broadcast_pull.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_broadcast_pull.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_fcollect.dir/fig11_fcollect.cpp.o"
+  "CMakeFiles/fig11_fcollect.dir/fig11_fcollect.cpp.o.d"
+  "fig11_fcollect"
+  "fig11_fcollect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_fcollect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

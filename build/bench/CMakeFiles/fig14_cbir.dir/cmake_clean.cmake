@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_cbir.dir/fig14_cbir.cpp.o"
+  "CMakeFiles/fig14_cbir.dir/fig14_cbir.cpp.o.d"
+  "fig14_cbir"
+  "fig14_cbir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_cbir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

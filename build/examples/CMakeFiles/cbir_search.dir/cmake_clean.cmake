@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbir_search.dir/cbir_search.cpp.o"
+  "CMakeFiles/cbir_search.dir/cbir_search.cpp.o.d"
+  "cbir_search"
+  "cbir_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbir_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multidev_pipeline.dir/multidev_pipeline.cpp.o"
+  "CMakeFiles/multidev_pipeline.dir/multidev_pipeline.cpp.o.d"
+  "multidev_pipeline"
+  "multidev_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multidev_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart" "--pes" "6" "--device" "gx36")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_fft2d "/root/repo/build/examples/fft2d_demo" "--pes" "8" "--n" "128" "--device" "gx36")
+set_tests_properties(example_fft2d PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_fft2d_pro "/root/repo/build/examples/fft2d_demo" "--pes" "4" "--n" "64" "--device" "pro64")
+set_tests_properties(example_fft2d_pro PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_cbir "/root/repo/build/examples/cbir_search" "--pes" "6" "--images" "150" "--device" "gx36")
+set_tests_properties(example_cbir PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_heat "/root/repo/build/examples/heat_stencil" "--pes" "4" "--n" "64" "--iters" "60" "--device" "gx36")
+set_tests_properties(example_heat PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_heat_pro "/root/repo/build/examples/heat_stencil" "--pes" "8" "--n" "64" "--iters" "30" "--device" "pro64")
+set_tests_properties(example_heat_pro PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_multidev "/root/repo/build/examples/multidev_pipeline" "--pes" "3" "--blocks" "6" "--block-kb" "16")
+set_tests_properties(example_multidev PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;26;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_summa "/root/repo/build/examples/matmul_summa" "--rows" "2" "--cols" "2" "--n" "64")
+set_tests_properties(example_summa PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;28;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_summa_4x4 "/root/repo/build/examples/matmul_summa" "--rows" "4" "--cols" "4" "--n" "96" "--device" "pro64")
+set_tests_properties(example_summa_4x4 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;29;add_test;/root/repo/examples/CMakeLists.txt;0;")

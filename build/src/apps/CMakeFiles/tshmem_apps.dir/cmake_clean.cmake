@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tshmem_apps.dir/cbir.cpp.o"
+  "CMakeFiles/tshmem_apps.dir/cbir.cpp.o.d"
+  "CMakeFiles/tshmem_apps.dir/fft.cpp.o"
+  "CMakeFiles/tshmem_apps.dir/fft.cpp.o.d"
+  "libtshmem_apps.a"
+  "libtshmem_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tshmem_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compare/fork_join.cpp" "src/compare/CMakeFiles/tshmem_compare.dir/fork_join.cpp.o" "gcc" "src/compare/CMakeFiles/tshmem_compare.dir/fork_join.cpp.o.d"
+  "/root/repo/src/compare/msg_passing.cpp" "src/compare/CMakeFiles/tshmem_compare.dir/msg_passing.cpp.o" "gcc" "src/compare/CMakeFiles/tshmem_compare.dir/msg_passing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tmc/CMakeFiles/tmc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tilesim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tshmem_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

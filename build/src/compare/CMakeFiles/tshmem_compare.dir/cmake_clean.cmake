@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tshmem_compare.dir/fork_join.cpp.o"
+  "CMakeFiles/tshmem_compare.dir/fork_join.cpp.o.d"
+  "CMakeFiles/tshmem_compare.dir/msg_passing.cpp.o"
+  "CMakeFiles/tshmem_compare.dir/msg_passing.cpp.o.d"
+  "libtshmem_compare.a"
+  "libtshmem_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tshmem_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

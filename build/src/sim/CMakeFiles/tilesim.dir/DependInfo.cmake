@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cache_sim.cpp" "src/sim/CMakeFiles/tilesim.dir/cache_sim.cpp.o" "gcc" "src/sim/CMakeFiles/tilesim.dir/cache_sim.cpp.o.d"
+  "/root/repo/src/sim/config.cpp" "src/sim/CMakeFiles/tilesim.dir/config.cpp.o" "gcc" "src/sim/CMakeFiles/tilesim.dir/config.cpp.o.d"
+  "/root/repo/src/sim/device.cpp" "src/sim/CMakeFiles/tilesim.dir/device.cpp.o" "gcc" "src/sim/CMakeFiles/tilesim.dir/device.cpp.o.d"
+  "/root/repo/src/sim/mem_model.cpp" "src/sim/CMakeFiles/tilesim.dir/mem_model.cpp.o" "gcc" "src/sim/CMakeFiles/tilesim.dir/mem_model.cpp.o.d"
+  "/root/repo/src/sim/topology.cpp" "src/sim/CMakeFiles/tilesim.dir/topology.cpp.o" "gcc" "src/sim/CMakeFiles/tilesim.dir/topology.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/sim/CMakeFiles/tilesim.dir/trace.cpp.o" "gcc" "src/sim/CMakeFiles/tilesim.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tshmem_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tilesim.dir/cache_sim.cpp.o"
+  "CMakeFiles/tilesim.dir/cache_sim.cpp.o.d"
+  "CMakeFiles/tilesim.dir/config.cpp.o"
+  "CMakeFiles/tilesim.dir/config.cpp.o.d"
+  "CMakeFiles/tilesim.dir/device.cpp.o"
+  "CMakeFiles/tilesim.dir/device.cpp.o.d"
+  "CMakeFiles/tilesim.dir/mem_model.cpp.o"
+  "CMakeFiles/tilesim.dir/mem_model.cpp.o.d"
+  "CMakeFiles/tilesim.dir/topology.cpp.o"
+  "CMakeFiles/tilesim.dir/topology.cpp.o.d"
+  "CMakeFiles/tilesim.dir/trace.cpp.o"
+  "CMakeFiles/tilesim.dir/trace.cpp.o.d"
+  "libtilesim.a"
+  "libtilesim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tilesim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

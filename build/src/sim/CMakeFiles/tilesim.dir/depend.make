@@ -1,0 +1,2 @@
+# Empty dependencies file for tilesim.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tmc/alloc.cpp" "src/tmc/CMakeFiles/tmc.dir/alloc.cpp.o" "gcc" "src/tmc/CMakeFiles/tmc.dir/alloc.cpp.o.d"
+  "/root/repo/src/tmc/barrier.cpp" "src/tmc/CMakeFiles/tmc.dir/barrier.cpp.o" "gcc" "src/tmc/CMakeFiles/tmc.dir/barrier.cpp.o.d"
+  "/root/repo/src/tmc/common_memory.cpp" "src/tmc/CMakeFiles/tmc.dir/common_memory.cpp.o" "gcc" "src/tmc/CMakeFiles/tmc.dir/common_memory.cpp.o.d"
+  "/root/repo/src/tmc/interrupt.cpp" "src/tmc/CMakeFiles/tmc.dir/interrupt.cpp.o" "gcc" "src/tmc/CMakeFiles/tmc.dir/interrupt.cpp.o.d"
+  "/root/repo/src/tmc/mica.cpp" "src/tmc/CMakeFiles/tmc.dir/mica.cpp.o" "gcc" "src/tmc/CMakeFiles/tmc.dir/mica.cpp.o.d"
+  "/root/repo/src/tmc/mpipe.cpp" "src/tmc/CMakeFiles/tmc.dir/mpipe.cpp.o" "gcc" "src/tmc/CMakeFiles/tmc.dir/mpipe.cpp.o.d"
+  "/root/repo/src/tmc/stn.cpp" "src/tmc/CMakeFiles/tmc.dir/stn.cpp.o" "gcc" "src/tmc/CMakeFiles/tmc.dir/stn.cpp.o.d"
+  "/root/repo/src/tmc/udn.cpp" "src/tmc/CMakeFiles/tmc.dir/udn.cpp.o" "gcc" "src/tmc/CMakeFiles/tmc.dir/udn.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/tilesim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tshmem_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmc.dir/alloc.cpp.o"
+  "CMakeFiles/tmc.dir/alloc.cpp.o.d"
+  "CMakeFiles/tmc.dir/barrier.cpp.o"
+  "CMakeFiles/tmc.dir/barrier.cpp.o.d"
+  "CMakeFiles/tmc.dir/common_memory.cpp.o"
+  "CMakeFiles/tmc.dir/common_memory.cpp.o.d"
+  "CMakeFiles/tmc.dir/interrupt.cpp.o"
+  "CMakeFiles/tmc.dir/interrupt.cpp.o.d"
+  "CMakeFiles/tmc.dir/mica.cpp.o"
+  "CMakeFiles/tmc.dir/mica.cpp.o.d"
+  "CMakeFiles/tmc.dir/mpipe.cpp.o"
+  "CMakeFiles/tmc.dir/mpipe.cpp.o.d"
+  "CMakeFiles/tmc.dir/stn.cpp.o"
+  "CMakeFiles/tmc.dir/stn.cpp.o.d"
+  "CMakeFiles/tmc.dir/udn.cpp.o"
+  "CMakeFiles/tmc.dir/udn.cpp.o.d"
+  "libtmc.a"
+  "libtmc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tshmem/api.cpp" "src/tshmem/CMakeFiles/tshmem.dir/api.cpp.o" "gcc" "src/tshmem/CMakeFiles/tshmem.dir/api.cpp.o.d"
+  "/root/repo/src/tshmem/cluster.cpp" "src/tshmem/CMakeFiles/tshmem.dir/cluster.cpp.o" "gcc" "src/tshmem/CMakeFiles/tshmem.dir/cluster.cpp.o.d"
+  "/root/repo/src/tshmem/collectives.cpp" "src/tshmem/CMakeFiles/tshmem.dir/collectives.cpp.o" "gcc" "src/tshmem/CMakeFiles/tshmem.dir/collectives.cpp.o.d"
+  "/root/repo/src/tshmem/context.cpp" "src/tshmem/CMakeFiles/tshmem.dir/context.cpp.o" "gcc" "src/tshmem/CMakeFiles/tshmem.dir/context.cpp.o.d"
+  "/root/repo/src/tshmem/runtime.cpp" "src/tshmem/CMakeFiles/tshmem.dir/runtime.cpp.o" "gcc" "src/tshmem/CMakeFiles/tshmem.dir/runtime.cpp.o.d"
+  "/root/repo/src/tshmem/symheap.cpp" "src/tshmem/CMakeFiles/tshmem.dir/symheap.cpp.o" "gcc" "src/tshmem/CMakeFiles/tshmem.dir/symheap.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tmc/CMakeFiles/tmc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tilesim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tshmem_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

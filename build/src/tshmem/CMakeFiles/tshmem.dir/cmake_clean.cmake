@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tshmem.dir/api.cpp.o"
+  "CMakeFiles/tshmem.dir/api.cpp.o.d"
+  "CMakeFiles/tshmem.dir/cluster.cpp.o"
+  "CMakeFiles/tshmem.dir/cluster.cpp.o.d"
+  "CMakeFiles/tshmem.dir/collectives.cpp.o"
+  "CMakeFiles/tshmem.dir/collectives.cpp.o.d"
+  "CMakeFiles/tshmem.dir/context.cpp.o"
+  "CMakeFiles/tshmem.dir/context.cpp.o.d"
+  "CMakeFiles/tshmem.dir/runtime.cpp.o"
+  "CMakeFiles/tshmem.dir/runtime.cpp.o.d"
+  "CMakeFiles/tshmem.dir/symheap.cpp.o"
+  "CMakeFiles/tshmem.dir/symheap.cpp.o.d"
+  "libtshmem.a"
+  "libtshmem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tshmem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

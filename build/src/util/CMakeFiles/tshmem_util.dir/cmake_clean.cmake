@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tshmem_util.dir/cli.cpp.o"
+  "CMakeFiles/tshmem_util.dir/cli.cpp.o.d"
+  "CMakeFiles/tshmem_util.dir/rng.cpp.o"
+  "CMakeFiles/tshmem_util.dir/rng.cpp.o.d"
+  "CMakeFiles/tshmem_util.dir/stats.cpp.o"
+  "CMakeFiles/tshmem_util.dir/stats.cpp.o.d"
+  "CMakeFiles/tshmem_util.dir/table.cpp.o"
+  "CMakeFiles/tshmem_util.dir/table.cpp.o.d"
+  "CMakeFiles/tshmem_util.dir/units.cpp.o"
+  "CMakeFiles/tshmem_util.dir/units.cpp.o.d"
+  "libtshmem_util.a"
+  "libtshmem_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tshmem_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apps_cbir.dir/test_apps_cbir.cpp.o"
+  "CMakeFiles/test_apps_cbir.dir/test_apps_cbir.cpp.o.d"
+  "test_apps_cbir"
+  "test_apps_cbir.pdb"
+  "test_apps_cbir[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apps_cbir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apps_fft.dir/test_apps_fft.cpp.o"
+  "CMakeFiles/test_apps_fft.dir/test_apps_fft.cpp.o.d"
+  "test_apps_fft"
+  "test_apps_fft.pdb"
+  "test_apps_fft[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apps_fft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_barrier_sync.dir/test_barrier_sync.cpp.o"
+  "CMakeFiles/test_barrier_sync.dir/test_barrier_sync.cpp.o.d"
+  "test_barrier_sync"
+  "test_barrier_sync.pdb"
+  "test_barrier_sync[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_barrier_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

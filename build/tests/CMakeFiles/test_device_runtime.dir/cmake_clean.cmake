@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_device_runtime.dir/test_device_runtime.cpp.o"
+  "CMakeFiles/test_device_runtime.dir/test_device_runtime.cpp.o.d"
+  "test_device_runtime"
+  "test_device_runtime.pdb"
+  "test_device_runtime[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_device_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mica.dir/test_mica.cpp.o"
+  "CMakeFiles/test_mica.dir/test_mica.cpp.o.d"
+  "test_mica"
+  "test_mica.pdb"
+  "test_mica[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mica.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_model_regression.dir/test_model_regression.cpp.o"
+  "CMakeFiles/test_model_regression.dir/test_model_regression.cpp.o.d"
+  "test_model_regression"
+  "test_model_regression.pdb"
+  "test_model_regression[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_model_regression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mpipe.dir/test_mpipe.cpp.o"
+  "CMakeFiles/test_mpipe.dir/test_mpipe.cpp.o.d"
+  "test_mpipe"
+  "test_mpipe.pdb"
+  "test_mpipe[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mpipe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stn.dir/test_stn.cpp.o"
+  "CMakeFiles/test_stn.dir/test_stn.cpp.o.d"
+  "test_stn"
+  "test_stn.pdb"
+  "test_stn[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

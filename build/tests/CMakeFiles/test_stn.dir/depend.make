@@ -1,0 +1,2 @@
+# Empty dependencies file for test_stn.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_symheap.dir/test_symheap.cpp.o"
+  "CMakeFiles/test_symheap.dir/test_symheap.cpp.o.d"
+  "test_symheap"
+  "test_symheap.pdb"
+  "test_symheap[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_symheap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tmc_barrier.dir/test_tmc_barrier.cpp.o"
+  "CMakeFiles/test_tmc_barrier.dir/test_tmc_barrier.cpp.o.d"
+  "test_tmc_barrier"
+  "test_tmc_barrier.pdb"
+  "test_tmc_barrier[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tmc_barrier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_udn.dir/test_udn.cpp.o"
+  "CMakeFiles/test_udn.dir/test_udn.cpp.o.d"
+  "test_udn"
+  "test_udn.pdb"
+  "test_udn[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_udn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
