@@ -1,6 +1,8 @@
 #include "bench_common.hpp"
 
 #include <cstdio>
+#include <fstream>
+#include <stdexcept>
 
 namespace bench {
 
@@ -35,6 +37,62 @@ void emit(const Cli& cli, const Table& table) {
     table.print_csv(std::cout);
   } else {
     table.print(std::cout);
+  }
+}
+
+// ===========================================================================
+// Telemetry (--metrics-json / --trace-json)
+// ===========================================================================
+
+Telemetry::Telemetry(const Cli& cli)
+    : metrics_path_(cli.get_string("metrics-json", "")),
+      trace_path_(cli.get_string("trace-json", "")) {}
+
+void Telemetry::configure(tshmem::RuntimeOptions& opts) const {
+  if (metrics_requested()) opts.metrics = true;
+}
+
+void Telemetry::attach(tshmem::Runtime& rt) {
+  if (!trace_requested()) return;
+  if (attached_ != nullptr) {
+    throw std::logic_error(
+        "Telemetry::attach: collect() the previous runtime first");
+  }
+  recorder_ =
+      std::make_unique<tilesim::TraceRecorder>(rt.device().tile_count());
+  rt.device().attach_tracer(recorder_.get());
+  attached_ = &rt;
+}
+
+void Telemetry::collect(tshmem::Runtime& rt) {
+  if (metrics_requested()) snapshots_.push_back(rt.metrics());
+  if (attached_ == &rt && recorder_ != nullptr) {
+    rt.device().attach_tracer(nullptr);
+    tracks_.push_back(obs::TraceTrack{
+        next_pid_++, std::string(rt.config().short_name),
+        recorder_->events()});
+    recorder_.reset();
+    attached_ = nullptr;
+  }
+}
+
+void Telemetry::write() {
+  if (metrics_requested()) {
+    std::ofstream os(metrics_path_);
+    if (!os) {
+      throw std::runtime_error("cannot write metrics JSON to " +
+                               metrics_path_);
+    }
+    obs::write_metrics_json(os, snapshots_);
+    std::cout << "wrote metrics JSON: " << metrics_path_ << "\n";
+  }
+  if (trace_requested()) {
+    std::ofstream os(trace_path_);
+    if (!os) {
+      throw std::runtime_error("cannot write trace JSON to " + trace_path_);
+    }
+    obs::write_chrome_trace_json(os, tracks_);
+    std::cout << "wrote trace JSON: " << trace_path_ << "\n";
   }
 }
 

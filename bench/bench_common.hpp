@@ -5,10 +5,14 @@
 
 #include <cstddef>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "obs/exporters.hpp"
 #include "sim/config.hpp"
+#include "sim/trace.hpp"
+#include "tshmem/runtime.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 #include "util/units.hpp"
@@ -43,5 +47,57 @@ void print_checks(const std::string& experiment,
 
 /// Prints a table in text or CSV per the --csv flag.
 void emit(const Cli& cli, const Table& table);
+
+/// Telemetry flags every Runtime-based bench accepts:
+///   --metrics-json <path>  metrics snapshot dump (schema tshmem.metrics.v1)
+///   --trace-json <path>    Chrome trace-event / Perfetto JSON timeline
+///
+/// Usage per Runtime (benches sweeping devices create several):
+///   bench::Telemetry telemetry(cli);
+///   ...
+///   telemetry.configure(opts);          // before constructing the Runtime
+///   tshmem::Runtime rt(*cfg, opts);
+///   telemetry.attach(rt);               // right after construction
+///   ... rt.run(...) as usual ...
+///   telemetry.collect(rt);              // after the runtime's last run()
+///   ...
+///   telemetry.write();                  // once, at the end of main()
+///
+/// Without the flags every call is a cheap no-op, and instrumentation is
+/// host-side only, so measured virtual times are identical either way.
+class Telemetry {
+ public:
+  explicit Telemetry(const Cli& cli);
+
+  [[nodiscard]] bool metrics_requested() const noexcept {
+    return !metrics_path_.empty();
+  }
+  [[nodiscard]] bool trace_requested() const noexcept {
+    return !trace_path_.empty();
+  }
+
+  /// Turns on RuntimeOptions::metrics when --metrics-json was passed.
+  void configure(tshmem::RuntimeOptions& opts) const;
+
+  /// Attaches a virtual-time tracer to the runtime's device when
+  /// --trace-json was passed.
+  void attach(tshmem::Runtime& rt);
+
+  /// Harvests the runtime's metrics snapshot and timeline, detaching the
+  /// tracer. Call once per Runtime, after its last run().
+  void collect(tshmem::Runtime& rt);
+
+  /// Writes any requested files and prints one line per file written.
+  void write();
+
+ private:
+  std::string metrics_path_;
+  std::string trace_path_;
+  std::vector<obs::MetricsSnapshot> snapshots_;
+  std::vector<obs::TraceTrack> tracks_;
+  std::unique_ptr<tilesim::TraceRecorder> recorder_;
+  tshmem::Runtime* attached_ = nullptr;
+  int next_pid_ = 0;
+};
 
 }  // namespace bench

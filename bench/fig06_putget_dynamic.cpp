@@ -64,12 +64,15 @@ int main(int argc, char** argv) {
   tshmem_util::Table table(
       {"size", "device", "put dd (MB/s)", "get dd (MB/s)", "put ss (MB/s)"});
   std::vector<bench::PaperCheck> checks;
+  bench::Telemetry telemetry(cli);
 
   for (const auto* cfg : bench::devices_from_cli(cli)) {
     tshmem::RuntimeOptions opts;
     opts.heap_per_pe = 2 * max_bytes + (1 << 20);
     opts.private_per_pe = max_bytes + (1 << 20);
+    telemetry.configure(opts);
     tshmem::Runtime rt(*cfg, opts);
+    telemetry.attach(rt);
     const bool gx = cfg->supports_udn_interrupts;
     for (const std::size_t size : bench::pow2_sizes(8, max_bytes)) {
       const double put_dd = putget_mbps(rt, size, true, false, max_bytes);
@@ -90,9 +93,11 @@ int main(int argc, char** argv) {
                           put_dd / get_dd, 1.0, "x"});
       }
     }
+    telemetry.collect(rt);
   }
 
   bench::emit(cli, table);
   bench::print_checks("Figure 6", checks);
+  telemetry.write();
   return 0;
 }

@@ -43,10 +43,13 @@ int main(int argc, char** argv) {
       std::cout, "Figure 7",
       "TSHMEM put/get bandwidth with static symmetric variables (TILE-Gx36)");
 
+  bench::Telemetry telemetry(cli);
   tshmem::RuntimeOptions opts;
   opts.heap_per_pe = 2 * max_bytes + (1 << 20);
   opts.private_per_pe = 2 * max_bytes + (1 << 20);
+  telemetry.configure(opts);
   tshmem::Runtime rt(tilesim::tile_gx36(), opts);
+  telemetry.attach(rt);
 
   tshmem_util::Table table({"size", "op", "combo", "MB/s"});
   std::vector<bench::PaperCheck> checks;
@@ -111,5 +114,7 @@ int main(int argc, char** argv) {
   checks.push_back({"put static-static / dyn-dyn @64kB (major penalty)",
                     ss_put_64k / dd_put_64k, 0.5, "x"});
   bench::print_checks("Figure 7", checks);
+  telemetry.collect(rt);
+  telemetry.write();
   return 0;
 }

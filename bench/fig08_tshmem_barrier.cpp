@@ -56,9 +56,13 @@ int main(int argc, char** argv) {
   tshmem_util::Table table({"tiles", "device", "tshmem best (us)",
                             "tshmem worst (us)", "tmc spin (us)"});
   std::vector<bench::PaperCheck> checks;
+  bench::Telemetry telemetry(cli);
 
   for (const auto* cfg : bench::devices_from_cli(cli)) {
-    tshmem::Runtime rt(*cfg);
+    tshmem::RuntimeOptions opts;
+    telemetry.configure(opts);
+    tshmem::Runtime rt(*cfg, opts);
+    telemetry.attach(rt);
     for (int tiles = 2; tiles <= 36; tiles += 2) {
       const auto s = measure(rt, tiles);
       const auto spin = tmc::SpinBarrier::model_latency_ps(*cfg, tiles);
@@ -83,9 +87,11 @@ int main(int argc, char** argv) {
         }
       }
     }
+    telemetry.collect(rt);
   }
 
   bench::emit(cli, table);
   bench::print_checks("Figure 8", checks);
+  telemetry.write();
   return 0;
 }

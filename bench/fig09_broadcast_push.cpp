@@ -19,11 +19,14 @@ int main(int argc, char** argv) {
 
   tshmem_util::Table table({"size/tile", "tiles", "device", "agg MB/s"});
   std::vector<bench::PaperCheck> checks;
+  bench::Telemetry telemetry(cli);
 
   for (const auto* cfg : bench::devices_from_cli(cli)) {
     tshmem::RuntimeOptions opts;
     opts.heap_per_pe = 4 * max_bytes + (1 << 20);
+    telemetry.configure(opts);
     tshmem::Runtime rt(*cfg, opts);
+    telemetry.attach(rt);
     double at8 = 0, at36 = 0;
     for (const int tiles : bench::collective_tile_counts()) {
       for (const std::size_t size : bench::pow2_sizes(256, max_bytes)) {
@@ -39,9 +42,11 @@ int main(int argc, char** argv) {
     checks.push_back({std::string(cfg->short_name) +
                           " agg @36 / @8 tiles (no scaling)",
                       at36 / at8, 1.0, "x"});
+    telemetry.collect(rt);
   }
 
   bench::emit(cli, table);
   bench::print_checks("Figure 9", checks);
+  telemetry.write();
   return 0;
 }

@@ -27,10 +27,13 @@ int main(int argc, char** argv) {
   tile_counts.push_back(29);
   std::sort(tile_counts.begin(), tile_counts.end());
 
+  bench::Telemetry telemetry(cli);
   for (const auto* cfg : bench::devices_from_cli(cli)) {
     tshmem::RuntimeOptions opts;
     opts.heap_per_pe = 4 * max_bytes + (1 << 20);
+    telemetry.configure(opts);
     tshmem::Runtime rt(*cfg, opts);
+    telemetry.attach(rt);
     double best_at29 = 0, best_at36 = 0;
     for (const int tiles : tile_counts) {
       for (const std::size_t size : bench::pow2_sizes(256, max_bytes)) {
@@ -52,9 +55,11 @@ int main(int argc, char** argv) {
       checks.push_back(
           {"pro64 peak aggregate @36 tiles", best_at36 / 1000.0, 5.1, "GB/s"});
     }
+    telemetry.collect(rt);
   }
 
   bench::emit(cli, table);
   bench::print_checks("Figure 10", checks);
+  telemetry.write();
   return 0;
 }

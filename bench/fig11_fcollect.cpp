@@ -21,11 +21,14 @@ int main(int argc, char** argv) {
   tshmem_util::Table table({"size/tile", "tiles", "device", "agg MB/s"});
   std::vector<bench::PaperCheck> checks;
 
+  bench::Telemetry telemetry(cli);
   for (const auto* cfg : bench::devices_from_cli(cli)) {
     tshmem::RuntimeOptions opts;
     // fcollect target holds n * M on every PE.
     opts.heap_per_pe = 40 * max_bytes + (1 << 20);
+    telemetry.configure(opts);
     tshmem::Runtime rt(*cfg, opts);
+    telemetry.attach(rt);
     std::size_t peak_size_small_n = 0, peak_size_large_n = 0;
     double peak_small_n = 0, peak_large_n = 0;
     for (const int tiles : bench::collective_tile_counts()) {
@@ -54,9 +57,11 @@ int main(int argc, char** argv) {
                           " @4 tiles)",
                       peak_size_large_n < peak_size_small_n ? 1.0 : 0.0, 1.0,
                       "bool"});
+    telemetry.collect(rt);
   }
 
   bench::emit(cli, table);
   bench::print_checks("Figure 11", checks);
+  telemetry.write();
   return 0;
 }

@@ -26,10 +26,13 @@ int main(int argc, char** argv) {
   std::vector<bench::PaperCheck> checks;
   const std::vector<int> tile_counts{1, 2, 4, 8, 16, 32};
 
+  bench::Telemetry telemetry(cli);
   for (const auto* cfg : bench::devices_from_cli(cli)) {
     tshmem::RuntimeOptions opts;
     opts.heap_per_pe = 2 * n * n * sizeof(apps::cfloat) + (4 << 20);
+    telemetry.configure(opts);
     tshmem::Runtime rt(*cfg, opts);
+    telemetry.attach(rt);
     double serial_s = 0.0;
     double at32_s = 0.0;
     for (const int tiles : tile_counts) {
@@ -58,9 +61,11 @@ int main(int argc, char** argv) {
       checks.push_back({std::string(cfg->short_name) + " speedup @32",
                         serial_s / at32_s, gx ? 5.0 : 16.0, "x"});
     }
+    telemetry.collect(rt);
   }
 
   bench::emit(cli, table);
   bench::print_checks("Figure 13", checks);
+  telemetry.write();
   return 0;
 }

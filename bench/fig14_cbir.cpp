@@ -38,11 +38,14 @@ int main(int argc, char** argv) {
   std::vector<bench::PaperCheck> checks;
   const std::vector<int> tile_counts{1, 2, 4, 8, 16, 32};
 
+  bench::Telemetry telemetry(cli);
   for (const auto* cfg : bench::devices_from_cli(cli)) {
     tshmem::RuntimeOptions opts;
     opts.heap_per_pe =
         static_cast<std::size_t>(params.images) * 128 * 128 + (64 << 20);
+    telemetry.configure(opts);
     tshmem::Runtime rt(*cfg, opts);
+    telemetry.attach(rt);
     double serial_s = 0.0;
     double at16_s = 0.0, at32_s = 0.0;
     for (const int tiles : tile_counts) {
@@ -68,9 +71,11 @@ int main(int argc, char** argv) {
                       serial_s / at32_s, gx ? 25.0 : 27.0, "x"});
     checks.push_back({std::string(cfg->short_name) + " speedup @16 (linear)",
                       serial_s / at16_s, 15.0, "x"});
+    telemetry.collect(rt);
   }
 
   bench::emit(cli, table);
   bench::print_checks("Figure 14", checks);
+  telemetry.write();
   return 0;
 }

@@ -1,0 +1,36 @@
+// RAII virtual-time measurement into a metrics histogram.
+//
+// Reads a tile's SimClock at scope entry and exit and records the elapsed
+// virtual time into a Log2Histogram (optionally bumping a call counter).
+// Purely observational: it never advances the clock, so instrumented code
+// produces bit-identical virtual-time results with metrics on or off.
+#pragma once
+
+#include "obs/metrics.hpp"
+#include "sim/clock.hpp"
+
+namespace obs {
+
+class ScopedVtTimer {
+ public:
+  /// Null `hist` disables the timer entirely (the disabled-metrics path).
+  ScopedVtTimer(const tilesim::SimClock& clock, Log2Histogram* hist,
+                Counter* calls = nullptr)
+      : clock_(&clock), hist_(hist), begin_(hist ? clock.now() : 0) {
+    if (calls != nullptr && hist != nullptr) calls->inc();
+  }
+
+  ~ScopedVtTimer() {
+    if (hist_ != nullptr) hist_->record(clock_->now() - begin_);
+  }
+
+  ScopedVtTimer(const ScopedVtTimer&) = delete;
+  ScopedVtTimer& operator=(const ScopedVtTimer&) = delete;
+
+ private:
+  const tilesim::SimClock* clock_;
+  Log2Histogram* hist_;
+  ps_t begin_;
+};
+
+}  // namespace obs

@@ -153,6 +153,14 @@ double CacheSim::stream_copy_mbps(std::uint64_t src_base,
   return static_cast<double>(bytes) * 1e3 / ns;  // bytes/ns -> MB/s
 }
 
+void CacheSim::observe_copy(std::uint64_t src_base, std::uint64_t dst_base,
+                            std::size_t bytes, Homing homing) {
+  for (std::size_t off = 0; off < bytes; off += kLineBytes) {
+    access(src_base + off, homing);
+    access(dst_base + off, homing);
+  }
+}
+
 AccessCounts CacheSim::sweep(std::uint64_t base, std::size_t bytes, int passes,
                              Homing homing) {
   if (passes <= 0) throw std::invalid_argument("sweep needs passes >= 1");

@@ -104,6 +104,12 @@ class CacheSim {
   double stream_copy_mbps(std::uint64_t src_base, std::uint64_t dst_base,
                           std::size_t bytes, Homing homing);
 
+  /// Observation-only variant: walks the same line-granular access stream
+  /// purely to update hit/miss counts (the metrics cache probe). No timing
+  /// output, never touches any clock.
+  void observe_copy(std::uint64_t src_base, std::uint64_t dst_base,
+                    std::size_t bytes, Homing homing);
+
   /// Sweeps one buffer of `bytes` `passes` times and reports the counts of
   /// the final pass — exposes the steady-state residency level.
   AccessCounts sweep(std::uint64_t base, std::size_t bytes, int passes,

@@ -31,6 +31,7 @@ class SimClock {
   /// Advance by a modeled duration.
   void advance(ps_t delta) noexcept {
     now_ps_.fetch_add(delta, std::memory_order_acq_rel);
+    busy_ps_.fetch_add(delta, std::memory_order_relaxed);
   }
 
   /// Advance to at least `t` (no-op if already past). Used when a message
@@ -41,14 +42,33 @@ class SimClock {
                           cur, t, std::memory_order_acq_rel,
                           std::memory_order_acquire)) {
     }
+    if (cur < t) idle_ps_.fetch_add(t - cur, std::memory_order_relaxed);
+  }
+
+  /// Busy/idle attribution of the current clock value: busy time was
+  /// explicitly charged via advance() (compute, copies, protocol costs);
+  /// idle time is the sum of advance_to() jumps — waiting on messages,
+  /// barrier releases, and remote deliveries. busy + idle == now modulo
+  /// concurrent interrupt-handler charges landing between the two loads.
+  [[nodiscard]] ps_t busy_ps() const noexcept {
+    return busy_ps_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] ps_t idle_ps() const noexcept {
+    return idle_ps_.load(std::memory_order_relaxed);
   }
 
   /// Reset to zero — only valid between benchmark phases when no other
   /// thread can be charging this clock.
-  void reset() noexcept { now_ps_.store(0, std::memory_order_release); }
+  void reset() noexcept {
+    now_ps_.store(0, std::memory_order_release);
+    busy_ps_.store(0, std::memory_order_relaxed);
+    idle_ps_.store(0, std::memory_order_relaxed);
+  }
 
  private:
   std::atomic<ps_t> now_ps_{0};
+  std::atomic<ps_t> busy_ps_{0};
+  std::atomic<ps_t> idle_ps_{0};
 };
 
 /// RAII helper measuring virtual elapsed time over a scope.

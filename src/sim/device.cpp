@@ -47,6 +47,19 @@ void Tile::charge_copy(const CopyRequest& req) {
   const ps_t t0 = clock_.now();
   clock_.advance(device_->mem_model().copy_cost_ps(req));
   trace_charge(*device_, id_, TraceKind::kCopy, t0, clock_.now());
+  if (probe_) {
+    std::scoped_lock lk(probe_mu_);
+    std::uint64_t src = req.src_addr;
+    std::uint64_t dst = req.dst_addr;
+    if (src == 0 && dst == 0) {
+      // No endpoint addresses supplied: walk a synthetic fresh-address
+      // stream (conservative — counts as streaming new memory).
+      src = probe_cursor_;
+      dst = probe_cursor_ + req.bytes;
+      probe_cursor_ += 2 * req.bytes;
+    }
+    probe_->observe_copy(src, dst, req.bytes, req.homing);
+  }
 }
 
 Device::Device(const DeviceConfig& cfg)
@@ -74,6 +87,14 @@ const Tile& Device::tile(int id) const {
 }
 
 Tile* Device::current() noexcept { return g_current_tile; }
+
+void Device::enable_cache_probes() {
+  if (cache_probes_) return;
+  for (auto& t : tiles_) {
+    t->probe_ = std::make_unique<CacheSim>(*cfg_);
+  }
+  cache_probes_ = true;
+}
 
 void Device::reset_clocks() {
   for (auto& t : tiles_) t->clock().reset();

@@ -7,8 +7,10 @@
 #include <cstddef>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <vector>
 
+#include "sim/cache_sim.hpp"
 #include "sim/clock.hpp"
 #include "sim/config.hpp"
 #include "sim/mem_model.hpp"
@@ -42,10 +44,24 @@ class Tile {
   /// Charge a modeled memory copy.
   void charge_copy(const CopyRequest& req);
 
+  /// Mechanistic cache probe (metrics only; see Device::enable_cache_probes).
+  /// Null unless probes are enabled. Purely observational — it never
+  /// contributes to virtual time; the analytic MemModel stays authoritative.
+  [[nodiscard]] const CacheSim* cache_probe() const noexcept {
+    return probe_.get();
+  }
+
  private:
+  friend class Device;
+
   Device* device_;
   int id_;
   SimClock clock_;
+  // Probe state is mutex-guarded because interrupt emulation lets another
+  // tile's thread charge copies to this tile (tmc/interrupt.hpp).
+  std::mutex probe_mu_;
+  std::unique_ptr<CacheSim> probe_;
+  std::uint64_t probe_cursor_ = std::uint64_t{1} << 40;  ///< synthetic addrs
 };
 
 /// The whole simulated processor. Construct once per device config; call
@@ -95,6 +111,14 @@ class Device {
   void attach_tracer(TraceRecorder* tracer) noexcept { tracer_ = tracer; }
   [[nodiscard]] TraceRecorder* tracer() const noexcept { return tracer_; }
 
+  /// Creates one CacheSim per tile and streams every charged copy through
+  /// it (metrics instrumentation: per-tile L1/L2/DDC/DRAM hit counts).
+  /// Zero virtual-time cost; host-side cost only, so it is opt-in. Idempotent.
+  void enable_cache_probes();
+  [[nodiscard]] bool cache_probes_enabled() const noexcept {
+    return cache_probes_;
+  }
+
  private:
   const DeviceConfig* cfg_;
   Topology topo_;
@@ -103,6 +127,7 @@ class Device {
   std::unique_ptr<std::barrier<>> host_barrier_;
   int active_tiles_ = 0;
   TraceRecorder* tracer_ = nullptr;
+  bool cache_probes_ = false;
 };
 
 }  // namespace tilesim

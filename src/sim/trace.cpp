@@ -68,12 +68,27 @@ void TraceRecorder::clear() {
   }
 }
 
+std::string csv_escape(const std::string& field) {
+  // RFC 4180: fields containing separators, quotes, or line breaks are
+  // double-quoted, with embedded quotes doubled.
+  if (field.find_first_of(",\"\r\n") == std::string::npos) return field;
+  std::string out;
+  out.reserve(field.size() + 2);
+  out.push_back('"');
+  for (const char c : field) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
 void TraceRecorder::dump_csv(std::ostream& os) const {
   os << "tile,kind,begin_ps,end_ps,duration_ps,label\n";
   for (const TraceEvent& e : events()) {
     os << e.tile << ',' << to_string(e.kind) << ',' << e.begin_ps << ','
-       << e.end_ps << ',' << (e.end_ps - e.begin_ps) << ',' << e.label
-       << '\n';
+       << e.end_ps << ',' << (e.end_ps - e.begin_ps) << ','
+       << csv_escape(e.label) << '\n';
   }
 }
 

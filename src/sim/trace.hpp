@@ -31,6 +31,9 @@ enum class TraceKind : std::uint8_t {
 
 [[nodiscard]] const char* to_string(TraceKind kind) noexcept;
 
+/// RFC 4180 field escaping used by dump_csv (exposed for tests).
+[[nodiscard]] std::string csv_escape(const std::string& field);
+
 struct TraceEvent {
   int tile = 0;
   TraceKind kind = TraceKind::kCustom;
@@ -54,7 +57,8 @@ class TraceRecorder {
   [[nodiscard]] std::size_t event_count() const;
   void clear();
 
-  /// CSV: tile,kind,begin_ps,end_ps,duration_ps,label
+  /// CSV: tile,kind,begin_ps,end_ps,duration_ps,label. Fields containing
+  /// commas/quotes/newlines are quoted per RFC 4180.
   void dump_csv(std::ostream& os) const;
 
  private:

@@ -15,9 +15,15 @@ VtBarrier::VtBarrier(int parties, ReleaseFn release_fn)
   }
 }
 
+std::uint64_t VtBarrier::waits() const {
+  std::scoped_lock lk(mu_);
+  return waits_;
+}
+
 void VtBarrier::wait(Tile& self) {
   const ps_t arrival = self.clock().now();
   std::unique_lock lk(mu_);
+  ++waits_;
   max_arrival_ = std::max(max_arrival_, arrival);
   if (++arrived_ == parties_) {
     release_time_ = release_fn_(max_arrival_, parties_);

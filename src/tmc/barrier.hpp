@@ -39,13 +39,17 @@ class VtBarrier {
 
   [[nodiscard]] int parties() const noexcept { return parties_; }
 
+  /// Total wait() calls across all participants (metrics scrape).
+  [[nodiscard]] std::uint64_t waits() const;
+
  private:
   int parties_;
   ReleaseFn release_fn_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;
   int arrived_ = 0;
   std::uint64_t generation_ = 0;
+  std::uint64_t waits_ = 0;
   ps_t max_arrival_ = 0;
   ps_t release_time_ = 0;
 };
@@ -56,6 +60,7 @@ class SpinBarrier {
   SpinBarrier(Device& device, int parties);
   void wait(Tile& self) { barrier_.wait(self); }
   [[nodiscard]] int parties() const noexcept { return barrier_.parties(); }
+  [[nodiscard]] std::uint64_t waits() const { return barrier_.waits(); }
 
   /// Modeled one-shot latency for `parties` tiles (for Fig 5 tables).
   [[nodiscard]] static ps_t model_latency_ps(const tilesim::DeviceConfig& cfg,
@@ -72,6 +77,7 @@ class SyncBarrier {
   SyncBarrier(Device& device, int parties);
   void wait(Tile& self) { barrier_.wait(self); }
   [[nodiscard]] int parties() const noexcept { return barrier_.parties(); }
+  [[nodiscard]] std::uint64_t waits() const { return barrier_.waits(); }
 
   [[nodiscard]] static ps_t model_latency_ps(const tilesim::DeviceConfig& cfg,
                                              int parties);

@@ -56,6 +56,9 @@ void* CommonMemory::map(const std::string& name, std::size_t bytes,
       m.creator_tile = creator_tile;
       mappings_.emplace(name, m);
       by_offset_.emplace(offset, name);
+      mapped_bytes_ += want;
+      ++stats_.maps;
+      stats_.peak_bytes = std::max(stats_.peak_bytes, mapped_bytes_);
       return m.addr;
     }
   }
@@ -71,6 +74,8 @@ void CommonMemory::unmap(const std::string& name) {
   const std::size_t offset = offset_of(it->second.addr);
   free_list_.push_back(FreeBlock{offset, it->second.bytes});
   by_offset_.erase(offset);
+  mapped_bytes_ -= it->second.bytes;
+  ++stats_.unmaps;
   mappings_.erase(it);
   coalesce();
 }
@@ -128,6 +133,11 @@ std::size_t CommonMemory::bytes_mapped() const {
 std::size_t CommonMemory::mapping_count() const {
   std::scoped_lock lk(mu_);
   return mappings_.size();
+}
+
+CommonMemory::Stats CommonMemory::stats() const {
+  std::scoped_lock lk(mu_);
+  return stats_;
 }
 
 }  // namespace tmc

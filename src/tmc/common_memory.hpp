@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -66,6 +67,14 @@ class CommonMemory {
   [[nodiscard]] std::size_t bytes_mapped() const;
   [[nodiscard]] std::size_t mapping_count() const;
 
+  /// Cumulative allocation activity since construction (metrics scrape).
+  struct Stats {
+    std::uint64_t maps = 0;          // successful map() calls
+    std::uint64_t unmaps = 0;        // successful unmap() calls
+    std::size_t peak_bytes = 0;      // high-water mark of bytes_mapped()
+  };
+  [[nodiscard]] Stats stats() const;
+
  private:
   struct FreeBlock {
     std::size_t offset;
@@ -86,6 +95,8 @@ class CommonMemory {
   std::vector<FreeBlock> free_list_;              // sorted by offset
   std::map<std::string, Mapping> mappings_;       // by name
   std::map<std::size_t, std::string> by_offset_;  // mapping start -> name
+  std::size_t mapped_bytes_ = 0;                  // current bytes mapped
+  Stats stats_;
 
   [[nodiscard]] std::size_t offset_of(const void* p) const noexcept;
   void coalesce();

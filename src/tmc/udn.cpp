@@ -35,6 +35,20 @@ UdnFabric::UdnFabric(Device& device)
   for (int i = 0; i < total; ++i) {
     queues_.push_back(std::make_unique<Queue>());
   }
+  traffic_.reserve(static_cast<std::size_t>(device.tile_count()));
+  for (int i = 0; i < device.tile_count(); ++i) {
+    traffic_.push_back(std::make_unique<TrafficCell>());
+  }
+}
+
+UdnFabric::TileTraffic UdnFabric::traffic(int tile) const {
+  if (tile < 0 || tile >= device_->tile_count()) {
+    throw std::invalid_argument("UDN traffic query: tile out of range");
+  }
+  const TrafficCell& c = *traffic_[static_cast<std::size_t>(tile)];
+  return TileTraffic{c.packets.load(std::memory_order_relaxed),
+                     c.words.load(std::memory_order_relaxed),
+                     c.hops.load(std::memory_order_relaxed)};
 }
 
 void UdnFabric::check_queue_args(int tile, int queue) const {
@@ -109,6 +123,16 @@ void UdnFabric::send(Tile& sender, int dst_tile, int queue,
   // cycle per word; the wire latency itself is charged to the receiver via
   // the arrival timestamp.
   sender.clock().advance(static_cast<ps_t>(words.size()) * cfg.cycle_ps());
+  // Traffic accounting (metrics scrape): host-side only, zero virtual cost.
+  TrafficCell& traffic = *traffic_[static_cast<std::size_t>(sender.id())];
+  traffic.packets.fetch_add(1, std::memory_order_relaxed);
+  traffic.words.fetch_add(words.size(), std::memory_order_relaxed);
+  if (sender.id() != dst_tile) {
+    traffic.hops.fetch_add(
+        static_cast<std::uint64_t>(
+            device_->topology().hops(sender.id(), dst_tile)),
+        std::memory_order_relaxed);
+  }
 }
 
 void UdnFabric::send1(Tile& sender, int dst_tile, int queue,

@@ -15,6 +15,7 @@
 // derivation exactly.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -99,9 +100,24 @@ class UdnFabric {
   /// Total words currently buffered in a destination queue (for tests).
   [[nodiscard]] std::size_t queued_words(int tile, int queue) const;
 
+  /// Cumulative traffic injected by a tile since fabric construction
+  /// (metrics scrape): packets, payload words, and mesh hops traversed.
+  struct TileTraffic {
+    std::uint64_t packets = 0;
+    std::uint64_t words = 0;
+    std::uint64_t hops = 0;
+  };
+  [[nodiscard]] TileTraffic traffic(int tile) const;
+
   [[nodiscard]] Device& device() const noexcept { return *device_; }
 
  private:
+  struct TrafficCell {
+    std::atomic<std::uint64_t> packets{0};
+    std::atomic<std::uint64_t> words{0};
+    std::atomic<std::uint64_t> hops{0};
+  };
+
   struct Queue {
     mutable std::mutex mu;
     std::condition_variable cv_data;   // signaled when a packet arrives
@@ -113,6 +129,7 @@ class UdnFabric {
   Device* device_;
   int queues_per_tile_;
   std::vector<std::unique_ptr<Queue>> queues_;  // tile * queues_per_tile_
+  std::vector<std::unique_ptr<TrafficCell>> traffic_;  // per sender tile
 
   [[nodiscard]] Queue& queue_at(int tile, int queue) const;
   void check_queue_args(int tile, int queue) const;

@@ -22,7 +22,35 @@ Context::Context(Runtime& rt, int pe, Tile& tile, std::byte* partition,
       private_base_(private_arena),
       private_bytes_(private_bytes),
       heap_(partition, partition_bytes),
-      barrier_algo_(rt.barrier_algo()) {}
+      barrier_algo_(rt.barrier_algo()) {
+  if (rt.metrics_enabled()) {
+    obs::MetricsRegistry& reg = rt.metrics_registry();
+    met_ = std::make_unique<PeMetrics>(PeMetrics{
+        &reg.counter("shmem.put.calls", pe),
+        &reg.counter("shmem.put.bytes", pe),
+        &reg.histogram("shmem.put.latency_ps", pe),
+        &reg.counter("shmem.get.calls", pe),
+        &reg.counter("shmem.get.bytes", pe),
+        &reg.histogram("shmem.get.latency_ps", pe),
+        &reg.counter("shmem.barrier.calls", pe),
+        &reg.histogram("shmem.barrier.wait_ps", pe),
+        &reg.counter("shmem.broadcast.calls", pe),
+        &reg.counter("shmem.broadcast.bytes", pe),
+        &reg.counter("shmem.collect.calls", pe),
+        &reg.counter("shmem.collect.bytes", pe),
+        &reg.counter("shmem.reduce.calls", pe),
+        &reg.counter("shmem.reduce.bytes", pe),
+        &reg.histogram("shmem.collective.wait_ps", pe),
+        &reg.counter("shmem.atomic.calls", pe),
+        &reg.counter("shmem.lock.ops", pe),
+        &reg.counter("shmem.wait.calls", pe),
+        &reg.histogram("shmem.wait.latency_ps", pe),
+        &reg.counter("shmem.heap.alloc.calls", pe),
+        &reg.counter("shmem.heap.free.calls", pe),
+        &reg.counter("shmem.interrupt.services", pe),
+    });
+  }
+}
 
 // ===========================================================================
 // Address classification & translation (paper §IV-B)
@@ -86,6 +114,7 @@ bool Context::addr_accessible(const void* addr, int pe) const noexcept {
 void* Context::shmalloc(std::size_t bytes) {
   // All PEs call with the same size at the same point, keeping the heaps
   // implicitly symmetric; the implicit barrier enforces the rendezvous.
+  if (met_) met_->alloc_calls->inc();
   tile_->charge_calls(1);
   if (rt_->options().validate_symmetry) {
     rt_->check_symmetric_arg(pe_, bytes, "shmalloc(size)");
@@ -96,6 +125,7 @@ void* Context::shmalloc(std::size_t bytes) {
 }
 
 void Context::shfree(void* p) {
+  if (met_) met_->free_calls->inc();
   tile_->charge_calls(1);
   if (rt_->options().validate_symmetry) {
     const std::uint64_t offset =
@@ -109,6 +139,7 @@ void Context::shfree(void* p) {
 }
 
 void* Context::shrealloc(void* p, std::size_t bytes) {
+  if (met_) met_->alloc_calls->inc();
   tile_->charge_calls(1);
   void* out = heap_.realloc(p, bytes);
   barrier_all();
@@ -116,6 +147,7 @@ void* Context::shrealloc(void* p, std::size_t bytes) {
 }
 
 void* Context::shmemalign(std::size_t alignment, std::size_t bytes) {
+  if (met_) met_->alloc_calls->inc();
   tile_->charge_calls(1);
   void* p = heap_.memalign(alignment, bytes);
   barrier_all();
@@ -174,6 +206,14 @@ void Context::transfer(void* target, const void* source, std::size_t bytes,
   if (pe < 0 || pe >= num_pes()) {
     throw std::out_of_range("put/get: PE out of range");
   }
+  obs::ScopedVtTimer vt_metric(
+      tile_->clock(),
+      met_ ? (is_put ? met_->put_latency_ps : met_->get_latency_ps)
+           : nullptr);
+  if (met_) {
+    (is_put ? met_->put_calls : met_->get_calls)->inc();
+    (is_put ? met_->put_bytes : met_->get_bytes)->add(bytes);
+  }
   tile_->clock().advance(rt_->config().shmem_call_overhead_ps);
   if (bytes == 0) return;
 
@@ -227,6 +267,7 @@ void Context::transfer(void* target, const void* source, std::size_t bytes,
     const void* src =
         is_put ? source
                : static_cast<const void*>(remote_addr(source, pe));
+    if (met_) met_->interrupt_services->inc();
     rt_->interrupts().raise(*tile_, pe, [&](Tile& remote) {
       CopyRequest req;
       req.bytes = bytes;
@@ -255,6 +296,7 @@ void Context::transfer(void* target, const void* source, std::size_t bytes,
     charge_local_copy(bytes, MemSpace::kShared, MemSpace::kPrivate, hints);
     std::memcpy(bounce, source, bytes);
     void* dst = remote_addr(target, pe);
+    if (met_) met_->interrupt_services->inc();
     rt_->interrupts().raise(*tile_, pe, [&](Tile& remote) {
       CopyRequest req;
       req.bytes = bytes;
@@ -268,6 +310,7 @@ void Context::transfer(void* target, const void* source, std::size_t bytes,
   } else {
     // Remote: its static source -> shared bounce; local: bounce -> target.
     const void* src = remote_addr(source, pe);
+    if (met_) met_->interrupt_services->inc();
     rt_->interrupts().raise(*tile_, pe, [&](Tile& remote) {
       CopyRequest req;
       req.bytes = bytes;
@@ -380,6 +423,11 @@ void Context::barrier(const ActiveSet& as, BarrierAlgo algo) {
   if (!as.contains(pe_)) {
     throw std::invalid_argument("barrier: calling PE not in active set");
   }
+  // Wait time = virtual time across the whole barrier (arrival skew plus
+  // the algorithm's release latency).
+  obs::ScopedVtTimer vt_metric(tile_->clock(),
+                               met_ ? met_->barrier_wait_ps : nullptr,
+                               met_ ? met_->barrier_calls : nullptr);
   // A barrier also completes outstanding puts (OpenSHMEM semantics).
   quiet();
   if (as.pe_size == 1) return;
@@ -507,6 +555,7 @@ void Context::atomic_engine(void* target, int pe,
   if (cls == AddrClass::kOther) {
     throw std::invalid_argument("atomic: target is not a symmetric object");
   }
+  if (met_) met_->atomic_calls->inc();
   charge_atomic(pe);
   if (cls == AddrClass::kDynamic || pe == pe_) {
     op(remote_addr(target, pe));
@@ -515,6 +564,7 @@ void Context::atomic_engine(void* target, int pe,
   }
   // Static symmetric object on a remote PE: service via UDN interrupt.
   void* addr = remote_addr(target, pe);
+  if (met_) met_->interrupt_services->inc();
   rt_->interrupts().raise(*tile_, pe, [&](Tile& remote) {
     remote.clock().advance(rt_->config().cycle_ps() * 8);
     op(addr);
@@ -528,6 +578,7 @@ void Context::atomic_engine(void* target, int pe,
 // ===========================================================================
 
 void Context::set_lock(long* lock) {
+  if (met_) met_->lock_ops->inc();
   for (;;) {
     long prev = 0;
     atomic_engine(lock, 0, [&](void* addr) {
@@ -546,6 +597,7 @@ void Context::set_lock(long* lock) {
 }
 
 void Context::clear_lock(long* lock) {
+  if (met_) met_->lock_ops->inc();
   quiet();  // spec: releases after outstanding stores complete
   atomic_engine(lock, 0, [&](void* addr) {
     std::atomic_ref<long> ref(*static_cast<long*>(addr));
@@ -558,6 +610,7 @@ void Context::clear_lock(long* lock) {
 }
 
 int Context::test_lock(long* lock) {
+  if (met_) met_->lock_ops->inc();
   long prev = 0;
   atomic_engine(lock, 0, [&](void* addr) {
     std::atomic_ref<long> ref(*static_cast<long*>(addr));

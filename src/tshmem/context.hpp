@@ -16,6 +16,8 @@
 #include <type_traits>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/scoped_timer.hpp"
 #include "sim/clock.hpp"
 #include "tshmem/messages.hpp"
 #include "tshmem/runtime.hpp"
@@ -36,6 +38,36 @@ enum class AddrClass : std::uint8_t {
 struct CopyHints {
   int readers = 1;  ///< concurrent streams reading the (shared) source
   int writers = 1;  ///< concurrent streams writing the (shared) target
+};
+
+/// Per-PE metric handles, resolved once at Context construction when the
+/// runtime has metrics enabled (RuntimeOptions::metrics / TSHMEM_METRICS).
+/// Every pointer targets a registry-owned instrument; updates are relaxed
+/// atomics and never advance virtual time. See docs/OBSERVABILITY.md for
+/// the full metric catalogue.
+struct PeMetrics {
+  obs::Counter* put_calls;
+  obs::Counter* put_bytes;
+  obs::Log2Histogram* put_latency_ps;
+  obs::Counter* get_calls;
+  obs::Counter* get_bytes;
+  obs::Log2Histogram* get_latency_ps;
+  obs::Counter* barrier_calls;
+  obs::Log2Histogram* barrier_wait_ps;
+  obs::Counter* broadcast_calls;
+  obs::Counter* broadcast_bytes;
+  obs::Counter* collect_calls;
+  obs::Counter* collect_bytes;
+  obs::Counter* reduce_calls;
+  obs::Counter* reduce_bytes;
+  obs::Log2Histogram* collective_wait_ps;
+  obs::Counter* atomic_calls;
+  obs::Counter* lock_ops;
+  obs::Counter* wait_calls;
+  obs::Log2Histogram* wait_ps;
+  obs::Counter* alloc_calls;
+  obs::Counter* free_calls;
+  obs::Counter* interrupt_services;
 };
 
 class Context {
@@ -216,6 +248,7 @@ class Context {
   SymHeap heap_;
   BarrierAlgo barrier_algo_;
   bool finalized_ = false;
+  std::unique_ptr<PeMetrics> met_;  ///< null when metrics are disabled
 
   std::map<std::uint32_t, std::uint32_t> barrier_seq_;   // active-set id -> seq
   std::map<std::uint32_t, std::uint32_t> collective_seq_;
@@ -303,6 +336,8 @@ void Context::iget(T* target, const T* source, std::ptrdiff_t target_stride,
 template <typename T>
 void Context::wait_until(volatile T* ivar, Cmp cmp, T value) {
   static_assert(std::is_trivially_copyable_v<T>);
+  obs::ScopedVtTimer vt_metric(clock(), met_ ? met_->wait_ps : nullptr,
+                               met_ ? met_->wait_calls : nullptr);
   // Point-to-point sync: poll the symmetric variable. Remote elemental puts
   // store atomically (see do_memcpy_visible), so an atomic load here pairs
   // with them. Virtual time: on success the clock advances to the latest

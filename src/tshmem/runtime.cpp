@@ -1,6 +1,8 @@
 #include "tshmem/runtime.hpp"
 
+#include <cstdlib>
 #include <stdexcept>
+#include <string_view>
 
 #include "tshmem/context.hpp"
 
@@ -11,6 +13,13 @@ thread_local Context* g_current_context = nullptr;
 
 std::size_t align_up(std::size_t v, std::size_t a) {
   return (v + a - 1) & ~(a - 1);
+}
+
+bool metrics_env_enabled(bool fallback) {
+  const char* v = std::getenv("TSHMEM_METRICS");
+  if (v == nullptr) return fallback;
+  const std::string_view s(v);
+  return !(s.empty() || s == "0" || s == "false" || s == "off");
 }
 }  // namespace
 
@@ -64,6 +73,12 @@ Runtime::Runtime(const DeviceConfig& cfg, RuntimeOptions opts)
       statics_(opts.private_per_pe) {
   if (opts.heap_per_pe < (std::size_t{1} << 16)) {
     throw std::invalid_argument("heap_per_pe too small");
+  }
+  metrics_enabled_ = metrics_env_enabled(opts.metrics);
+  if (metrics_enabled_) {
+    // The analytic MemModel is the timing hot path; the cache probes only
+    // mirror the access stream to produce hit/miss counts for the scrape.
+    device_.enable_cache_probes();
   }
 }
 
@@ -143,6 +158,7 @@ tmc::SpinBarrier& Runtime::spin_barrier_for(const ActiveSet& as) {
 
 void Runtime::setup_job(int npes) {
   npes_ = npes;
+  last_npes_ = npes;
   partitions_ = static_cast<std::byte*>(
       cmem_.map("tshmem_partitions",
                 static_cast<std::size_t>(npes) * opts_.heap_per_pe,
@@ -206,7 +222,82 @@ void Runtime::run(int npes, const std::function<void(Context&)>& fn) {
     teardown_job();
     throw;
   }
+  scrape_run_stats();
   teardown_job();
+}
+
+obs::MetricsSnapshot Runtime::metrics() const {
+  return registry_.snapshot(config().short_name, last_npes_);
+}
+
+void Runtime::scrape_run_stats() {
+  if (!metrics_enabled_) return;
+  const auto tiles = static_cast<std::size_t>(device_.tile_count());
+  if (scraped_udn_.size() != tiles) {
+    scraped_udn_.assign(tiles, {});
+    scraped_cache_.assign(tiles, {});
+  }
+  auto delta = [](std::uint64_t cur, std::uint64_t& prev) {
+    const std::uint64_t d = cur - prev;
+    prev = cur;
+    return d;
+  };
+  for (int pe = 0; pe < npes_; ++pe) {
+    const Tile& tile = device_.tile(pe);
+    // busy/idle cover the interval since the last clock reset — with
+    // harness_sync_reset() benches, the final measured phase.
+    registry_.counter("sim.tile.busy_ps", pe).add(tile.clock().busy_ps());
+    registry_.counter("sim.tile.idle_ps", pe).add(tile.clock().idle_ps());
+
+    const auto traffic = udn_.traffic(pe);
+    auto& up = scraped_udn_[static_cast<std::size_t>(pe)];
+    registry_.counter("udn.packets", pe).add(delta(traffic.packets,
+                                                   up.packets));
+    registry_.counter("udn.words", pe).add(delta(traffic.words, up.words));
+    registry_.counter("udn.hops", pe).add(delta(traffic.hops, up.hops));
+
+    if (const tilesim::CacheSim* probe = tile.cache_probe();
+        probe != nullptr) {
+      const tilesim::AccessCounts& c = probe->counts();
+      auto& cp = scraped_cache_[static_cast<std::size_t>(pe)];
+      registry_.counter("cache.l1_hits", pe).add(delta(c.l1, cp.l1));
+      registry_.counter("cache.l2_hits", pe).add(delta(c.l2, cp.l2));
+      registry_.counter("cache.ddc_hits", pe).add(delta(c.ddc, cp.ddc));
+      registry_.counter("cache.dram_accesses", pe).add(delta(c.dram,
+                                                             cp.dram));
+    }
+
+    Context& ctx = *contexts_[static_cast<std::size_t>(pe)];
+    registry_.gauge("shmem.heap.bytes_in_use", pe)
+        .set(static_cast<std::int64_t>(ctx.heap().bytes_in_use()));
+    registry_.gauge("shmem.heap.blocks", pe)
+        .set(static_cast<std::int64_t>(ctx.heap().block_count()));
+  }
+
+  // Device-wide aggregates use pe = -1.
+  const tmc::CommonMemory::Stats cs = cmem_.stats();
+  registry_.counter("tmc.cmem.maps", -1).add(delta(cs.maps,
+                                                   scraped_cmem_.maps));
+  registry_.counter("tmc.cmem.unmaps", -1).add(delta(cs.unmaps,
+                                                     scraped_cmem_.unmaps));
+  registry_.gauge("tmc.cmem.peak_bytes", -1)
+      .set(static_cast<std::int64_t>(cs.peak_bytes));
+
+  // Spin barriers are per-run objects (cleared in teardown), so their wait
+  // totals are already this run's delta.
+  std::uint64_t spins = 0;
+  {
+    std::scoped_lock lk(spin_mu_);
+    for (const auto& [key, barrier] : spin_barriers_) {
+      spins += barrier->waits();
+    }
+  }
+  registry_.counter("tmc.barrier.spin_waits", -1).add(spins);
+
+  registry_.gauge("shmem.statics.bytes_used", -1)
+      .set(static_cast<std::int64_t>(statics_.bytes_used()));
+  registry_.gauge("shmem.statics.objects", -1)
+      .set(static_cast<std::int64_t>(statics_.object_count()));
 }
 
 void Runtime::check_symmetric_arg(int pe, std::uint64_t value,

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "sim/device.hpp"
 #include "tmc/barrier.hpp"
 #include "tmc/common_memory.hpp"
@@ -76,6 +77,13 @@ struct RuntimeOptions {
   /// Uses host-level synchronization only — zero virtual-time cost — so it
   /// can stay on during benchmarking without perturbing results.
   bool validate_symmetry = false;
+  /// Enable the metrics/telemetry subsystem (src/obs): per-PE counters,
+  /// gauges, and virtual-time histograms, scraped from every layer at the
+  /// end of each run(). Purely observational — instrumentation never
+  /// advances a SimClock, so virtual-time results are bit-identical with
+  /// metrics on or off. The TSHMEM_METRICS environment variable overrides
+  /// this field ("0"/"false"/"off" disable, any other value enables).
+  bool metrics = false;
 };
 
 class Runtime {
@@ -140,6 +148,20 @@ class Runtime {
     return opts_.barrier_algo;
   }
 
+  // --- metrics (src/obs) ---------------------------------------------------
+  [[nodiscard]] bool metrics_enabled() const noexcept {
+    return metrics_enabled_;
+  }
+  /// Registry the instrumentation records into. Live even when metrics are
+  /// disabled (it just stays empty); hot paths gate on metrics_enabled().
+  [[nodiscard]] obs::MetricsRegistry& metrics_registry() noexcept {
+    return registry_;
+  }
+  /// Snapshot of everything recorded so far, annotated with the device
+  /// short name and the PE count of the most recent job. Valid after
+  /// run() returns (the teardown scrape has completed by then).
+  [[nodiscard]] obs::MetricsSnapshot metrics() const;
+
  private:
   RuntimeOptions opts_;
   Device device_;
@@ -163,8 +185,22 @@ class Runtime {
   std::mutex spin_mu_;
   std::map<std::uint64_t, std::unique_ptr<tmc::SpinBarrier>> spin_barriers_;
 
+  // --- metrics state -------------------------------------------------------
+  bool metrics_enabled_ = false;
+  obs::MetricsRegistry registry_;
+  int last_npes_ = 0;
+  // Scrape baselines: the sim/tmc layers keep cumulative internal stats;
+  // each end-of-run scrape adds only the delta since the previous scrape so
+  // registry counters stay correct across multiple run() calls.
+  std::vector<tmc::UdnFabric::TileTraffic> scraped_udn_;
+  std::vector<tilesim::AccessCounts> scraped_cache_;
+  tmc::CommonMemory::Stats scraped_cmem_;
+
   void setup_job(int npes);
   void teardown_job();
+  /// End-of-run scrape of layer-internal stats into the registry (UDN
+  /// traffic, cache-probe counts, busy/idle time, heap/cmem occupancy).
+  void scrape_run_stats();
 };
 
 /// Convenience: build a runtime for a named device and run one SPMD job.

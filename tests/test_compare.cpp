@@ -42,19 +42,24 @@ TEST_F(MsgPassingTest, SendRecvRoundTrip) {
 }
 
 TEST_F(MsgPassingTest, RendezvousBlocksSenderUntilRecv) {
+  // The ack releasing the sender is enqueued inside recv() before recv()
+  // returns, so a flag set by the receiver *after* recv() races the
+  // sender's return. Assert the blocking property via host time instead:
+  // the receiver delays its recv by 10 ms, so a rendezvous send must not
+  // return (materially) sooner.
   MsgPassing mp(device_, cmem_, 2, 4096);
-  std::atomic<bool> received{false};
+  constexpr auto kRecvDelay = std::chrono::milliseconds(10);
   device_.run(2, [&](Tile& tile) {
     std::vector<std::byte> buf(8);
     if (tile.id() == 0) {
+      const auto t0 = std::chrono::steady_clock::now();
       mp.send(tile, 1, 1, buf);
-      // The ack can only have arrived after the receiver's copy-out.
-      EXPECT_TRUE(received.load());
+      const auto blocked = std::chrono::steady_clock::now() - t0;
+      EXPECT_GE(blocked, kRecvDelay - std::chrono::milliseconds(2));
     } else {
-      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      std::this_thread::sleep_for(kRecvDelay);
       std::vector<std::byte> out(8);
       (void)mp.recv(tile, 0, 1, out);
-      received.store(true);
     }
   });
 }

@@ -1,0 +1,421 @@
+// Tests for the virtual-time metrics subsystem (obs/): instruments,
+// lock-sharded registry under concurrency, log2 bucket edges, the metrics
+// JSON schema round-trip, the Chrome/Perfetto trace export, and the
+// zero-virtual-cost contract — metrics on vs off must produce bit-identical
+// virtual-time results.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "obs/exporters.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/scoped_timer.hpp"
+#include "sim/clock.hpp"
+#include "tshmem/context.hpp"
+#include "tshmem/runtime.hpp"
+
+namespace {
+
+using obs::Counter;
+using obs::Gauge;
+using obs::JsonValue;
+using obs::Log2Histogram;
+using obs::MetricsRegistry;
+using obs::MetricsSnapshot;
+
+// ===========================================================================
+// Instruments
+// ===========================================================================
+
+TEST(Metrics, CounterAndGauge) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+
+  Gauge g;
+  g.set(100);
+  g.add(-30);
+  EXPECT_EQ(g.value(), 70);
+}
+
+TEST(Metrics, HistogramBucketEdges) {
+  // Bucket index is the sample's bit width: 0 -> bucket 0, 1 -> bucket 1,
+  // [2,3] -> bucket 2, [4,7] -> bucket 3, ...
+  EXPECT_EQ(Log2Histogram::bucket_of(0), 0);
+  EXPECT_EQ(Log2Histogram::bucket_of(1), 1);
+  EXPECT_EQ(Log2Histogram::bucket_of(2), 2);
+  EXPECT_EQ(Log2Histogram::bucket_of(3), 2);
+  EXPECT_EQ(Log2Histogram::bucket_of(4), 3);
+  EXPECT_EQ(Log2Histogram::bucket_of(7), 3);
+  EXPECT_EQ(Log2Histogram::bucket_of(8), 4);
+  EXPECT_EQ(Log2Histogram::bucket_of((1ull << 32) - 1), 32);
+  EXPECT_EQ(Log2Histogram::bucket_of(1ull << 32), 33);
+  EXPECT_EQ(Log2Histogram::bucket_of(std::numeric_limits<std::uint64_t>::max()),
+            64);
+
+  // bucket_lower/upper are the inclusive range; bucket_of is consistent
+  // with them at both edges of every bucket.
+  EXPECT_EQ(Log2Histogram::bucket_lower(0), 0u);
+  EXPECT_EQ(Log2Histogram::bucket_upper(0), 0u);
+  for (int b = 1; b < Log2Histogram::kBuckets; ++b) {
+    const auto lo = Log2Histogram::bucket_lower(b);
+    const auto hi = Log2Histogram::bucket_upper(b);
+    EXPECT_EQ(lo, 1ull << (b - 1));
+    EXPECT_EQ(Log2Histogram::bucket_of(lo), b) << "bucket " << b;
+    EXPECT_EQ(Log2Histogram::bucket_of(hi), b) << "bucket " << b;
+    if (b >= 2) {
+      EXPECT_EQ(Log2Histogram::bucket_of(lo - 1), b - 1);
+    }
+  }
+}
+
+TEST(Metrics, HistogramRecordAggregates) {
+  Log2Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(h.max(), 0u);
+  for (const std::uint64_t s : {0ull, 1ull, 3ull, 4ull, 1000ull}) h.record(s);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.sum(), 1008u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 1000u);
+  EXPECT_EQ(h.bucket_count(0), 1u);   // 0
+  EXPECT_EQ(h.bucket_count(1), 1u);   // 1
+  EXPECT_EQ(h.bucket_count(2), 1u);   // 3
+  EXPECT_EQ(h.bucket_count(3), 1u);   // 4
+  EXPECT_EQ(h.bucket_count(10), 1u);  // 1000 in [512, 1023]
+}
+
+// ===========================================================================
+// Registry
+// ===========================================================================
+
+TEST(Metrics, RegistryReturnsStableHandles) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("x.calls", 0);
+  Counter& b = reg.counter("x.calls", 0);
+  EXPECT_EQ(&a, &b);
+  Counter& other_pe = reg.counter("x.calls", 1);
+  EXPECT_NE(&a, &other_pe);
+  EXPECT_EQ(reg.metric_count(), 2u);
+}
+
+TEST(Metrics, RegistryKindMismatchThrows) {
+  MetricsRegistry reg;
+  (void)reg.counter("m", 0);
+  EXPECT_THROW((void)reg.gauge("m", 0), std::logic_error);
+  EXPECT_THROW((void)reg.histogram("m", 0), std::logic_error);
+}
+
+TEST(Metrics, RegistryConcurrentRegistrationAndUpdate) {
+  // Many PE threads hammer the same names concurrently — registration must
+  // not lose cells, and per-(name, pe) counts must be exact.
+  MetricsRegistry reg(8);
+  constexpr int kThreads = 16;
+  constexpr int kIters = 2000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int pe = 0; pe < kThreads; ++pe) {
+    threads.emplace_back([&reg, pe] {
+      for (int i = 0; i < kIters; ++i) {
+        reg.counter("conc.calls", pe).inc();
+        reg.counter("conc.shared", /*pe=*/-1).inc();
+        reg.histogram("conc.lat", pe).record(static_cast<std::uint64_t>(i));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  for (int pe = 0; pe < kThreads; ++pe) {
+    EXPECT_EQ(reg.counter("conc.calls", pe).value(),
+              static_cast<std::uint64_t>(kIters));
+    EXPECT_EQ(reg.histogram("conc.lat", pe).count(),
+              static_cast<std::uint64_t>(kIters));
+  }
+  EXPECT_EQ(reg.counter("conc.shared", -1).value(),
+            static_cast<std::uint64_t>(kThreads) * kIters);
+  // conc.calls x16, conc.lat x16, conc.shared x1
+  EXPECT_EQ(reg.metric_count(), 33u);
+}
+
+TEST(Metrics, SnapshotIsSortedByNameThenPe) {
+  MetricsRegistry reg;
+  reg.counter("b", 1).inc();
+  reg.counter("b", 0).inc();
+  reg.counter("a", 2).inc();
+  reg.gauge("g", 0).set(-5);
+  const MetricsSnapshot snap = reg.snapshot("gx36", 4);
+  EXPECT_EQ(snap.device, "gx36");
+  EXPECT_EQ(snap.npes, 4);
+  ASSERT_EQ(snap.counters.size(), 3u);
+  EXPECT_EQ(snap.counters[0].name, "a");
+  EXPECT_EQ(snap.counters[1].name, "b");
+  EXPECT_EQ(snap.counters[1].pe, 0);
+  EXPECT_EQ(snap.counters[2].pe, 1);
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_EQ(snap.gauges[0].value, -5);
+}
+
+// ===========================================================================
+// Scoped timer
+// ===========================================================================
+
+TEST(Metrics, ScopedVtTimerMeasuresWithoutAdvancing) {
+  tilesim::SimClock clock;
+  clock.advance(500);
+  Log2Histogram hist;
+  Counter calls;
+  {
+    obs::ScopedVtTimer t(clock, &hist, &calls);
+    clock.advance(1000);
+  }
+  EXPECT_EQ(calls.value(), 1u);
+  EXPECT_EQ(hist.count(), 1u);
+  EXPECT_EQ(hist.sum(), 1000u);
+  EXPECT_EQ(clock.now(), 1500u);  // the timer itself charged nothing
+
+  // Null histogram: fully disabled, counter untouched.
+  {
+    obs::ScopedVtTimer t(clock, nullptr, &calls);
+    clock.advance(7);
+  }
+  EXPECT_EQ(calls.value(), 1u);
+  EXPECT_EQ(hist.count(), 1u);
+}
+
+// ===========================================================================
+// JSON exporters
+// ===========================================================================
+
+TEST(Metrics, JsonEscape) {
+  EXPECT_EQ(obs::json_escape("plain"), "plain");
+  EXPECT_EQ(obs::json_escape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(obs::json_escape("\n\t"), "\\n\\t");
+  EXPECT_EQ(obs::json_escape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+TEST(Metrics, MetricsJsonSchemaRoundTrip) {
+  MetricsRegistry reg;
+  reg.counter("shmem.put.calls", 0).add(7);
+  reg.counter("shmem.put.calls", 1).add(9);
+  reg.gauge("shmem.heap.bytes_in_use", 0).set(4096);
+  reg.histogram("shmem.put.latency_ps", 0).record(1000);
+  reg.histogram("shmem.put.latency_ps", 0).record(3000);
+
+  std::ostringstream os;
+  obs::write_metrics_json(os, reg.snapshot("gx36", 2));
+
+  const JsonValue doc = JsonValue::parse(os.str());
+  EXPECT_EQ(doc.at("schema").as_string(), obs::kMetricsSchema);
+  const JsonValue& run = doc.at("runs").at(0);
+  EXPECT_EQ(run.at("device").as_string(), "gx36");
+  EXPECT_EQ(run.at("npes").as_int(), 2);
+
+  const auto& counters = run.at("counters").as_array();
+  ASSERT_EQ(counters.size(), 2u);
+  EXPECT_EQ(counters[0].at("name").as_string(), "shmem.put.calls");
+  EXPECT_EQ(counters[0].at("pe").as_int(), 0);
+  EXPECT_EQ(counters[0].at("value").as_uint(), 7u);
+  EXPECT_EQ(counters[1].at("pe").as_int(), 1);
+  EXPECT_EQ(counters[1].at("value").as_uint(), 9u);
+
+  const auto& gauges = run.at("gauges").as_array();
+  ASSERT_EQ(gauges.size(), 1u);
+  EXPECT_EQ(gauges[0].at("value").as_int(), 4096);
+
+  const auto& hists = run.at("histograms").as_array();
+  ASSERT_EQ(hists.size(), 1u);
+  EXPECT_EQ(hists[0].at("count").as_uint(), 2u);
+  EXPECT_EQ(hists[0].at("sum").as_uint(), 4000u);
+  EXPECT_EQ(hists[0].at("min").as_uint(), 1000u);
+  EXPECT_EQ(hists[0].at("max").as_uint(), 3000u);
+  // 1000 -> bucket 10, 3000 -> bucket 12; only non-empty buckets emitted.
+  const auto& buckets = hists[0].at("buckets").as_array();
+  ASSERT_EQ(buckets.size(), 2u);
+  EXPECT_EQ(buckets[0].at("log2").as_int(), 10);
+  EXPECT_EQ(buckets[0].at("count").as_uint(), 1u);
+  EXPECT_EQ(buckets[1].at("log2").as_int(), 12);
+}
+
+TEST(Metrics, MetricsJsonIsByteStableAcrossIdenticalSnapshots) {
+  const auto dump = [] {
+    MetricsRegistry reg;
+    reg.counter("z", 1).inc();
+    reg.counter("a", 0).add(3);
+    reg.histogram("h", 0).record(42);
+    std::ostringstream os;
+    obs::write_metrics_json(os, reg.snapshot("pro64", 2));
+    return os.str();
+  };
+  EXPECT_EQ(dump(), dump());
+}
+
+TEST(Metrics, ChromeTracePerfettoSmoke) {
+  // The exported document must be loadable by Perfetto/chrome://tracing:
+  // an object with a "traceEvents" array of "X" complete events (us-domain
+  // ts/dur, pid/tid ints) plus "M" process/thread metadata.
+  std::vector<tilesim::TraceEvent> events;
+  events.push_back({0, tilesim::TraceKind::kCompute, 0, 2'000'000, "fft row"});
+  events.push_back(
+      {1, tilesim::TraceKind::kCopy, 500'000, 1'500'000, "put \"x\""});
+  std::ostringstream os;
+  obs::write_chrome_trace_json(os, events, "gx36");
+
+  const JsonValue doc = JsonValue::parse(os.str());
+  const auto& trace_events = doc.at("traceEvents").as_array();
+  int complete = 0, metadata = 0;
+  bool saw_process_name = false;
+  for (const JsonValue& e : trace_events) {
+    const std::string& ph = e.at("ph").as_string();
+    if (ph == "X") {
+      ++complete;
+      EXPECT_GE(e.at("dur").as_double(), 0.0);
+      EXPECT_TRUE(e.contains("ts"));
+      EXPECT_TRUE(e.contains("pid"));
+      EXPECT_TRUE(e.contains("tid"));
+      EXPECT_TRUE(e.contains("cat"));
+    } else if (ph == "M") {
+      ++metadata;
+      saw_process_name |= e.at("name").as_string() == "process_name";
+    }
+  }
+  EXPECT_EQ(complete, 2);
+  EXPECT_GE(metadata, 1);
+  EXPECT_TRUE(saw_process_name);
+  // ps -> us: the 2'000'000 ps compute span is 2 us.
+  for (const JsonValue& e : trace_events) {
+    if (e.at("ph").as_string() == "X" &&
+        e.at("name").as_string() == "fft row") {
+      EXPECT_DOUBLE_EQ(e.at("dur").as_double(), 2.0);
+    }
+  }
+}
+
+// ===========================================================================
+// Runtime integration
+// ===========================================================================
+
+// A workload touching every instrumented subsystem: puts, gets, barriers,
+// a broadcast, a reduction, atomics, locks, and heap churn.
+void workload(tshmem::Context& ctx, std::vector<std::uint64_t>* end_ps) {
+  const int npes = ctx.num_pes();
+  auto* buf = ctx.shmalloc_n<std::uint32_t>(256);
+  auto* acc = ctx.shmalloc_n<std::int64_t>(1);
+  auto* sum = ctx.shmalloc_n<std::int64_t>(1);
+  acc[0] = 0;
+  ctx.barrier_all();
+  ctx.put(buf, buf, 256 * sizeof(std::uint32_t), (ctx.my_pe() + 1) % npes);
+  ctx.get(buf, buf, 128 * sizeof(std::uint32_t), (ctx.my_pe() + 2) % npes);
+  ctx.barrier_all();
+  ctx.add(acc, std::int64_t{1}, 0);
+  ctx.broadcast(buf, buf, 64 * sizeof(std::uint32_t), 0, ctx.world());
+  ctx.reduce(sum, acc, 1, tshmem::RedOp::kSum, ctx.world());
+  ctx.barrier_all();
+  ctx.shfree(sum);
+  ctx.shfree(acc);
+  ctx.shfree(buf);
+  (*end_ps)[static_cast<std::size_t>(ctx.my_pe())] = ctx.clock().now();
+}
+
+TEST(Metrics, RuntimeCollectsAllSubsystems) {
+  tshmem::RuntimeOptions opts;
+  opts.metrics = true;
+  tshmem::Runtime rt(tilesim::tile_gx36(), opts);
+  ASSERT_TRUE(rt.metrics_enabled());
+  constexpr int kPes = 4;
+  std::vector<std::uint64_t> end_ps(kPes, 0);
+  rt.run(kPes, [&](tshmem::Context& ctx) { workload(ctx, &end_ps); });
+
+  const MetricsSnapshot snap = rt.metrics();
+  EXPECT_EQ(snap.device, "gx36");
+  EXPECT_EQ(snap.npes, kPes);
+
+  const auto counter = [&](const std::string& name,
+                           int pe) -> std::uint64_t {
+    for (const auto& c : snap.counters) {
+      if (c.name == name && c.pe == pe) return c.value;
+    }
+    ADD_FAILURE() << "missing counter " << name << " pe=" << pe;
+    return 0;
+  };
+  const auto hist_count = [&](const std::string& name,
+                              int pe) -> std::uint64_t {
+    for (const auto& h : snap.histograms) {
+      if (h.name == name && h.pe == pe) return h.count;
+    }
+    ADD_FAILURE() << "missing histogram " << name << " pe=" << pe;
+    return 0;
+  };
+
+  for (int pe = 0; pe < kPes; ++pe) {
+    EXPECT_EQ(counter("shmem.put.calls", pe), 1u) << "pe " << pe;
+    EXPECT_EQ(counter("shmem.put.bytes", pe), 1024u);
+    // Collectives issue further gets/barriers internally, so these are
+    // lower bounds: at least the workload's own one get and three barriers.
+    EXPECT_GE(counter("shmem.get.calls", pe), 1u);
+    EXPECT_GE(counter("shmem.barrier.calls", pe), 3u);
+    EXPECT_EQ(counter("shmem.broadcast.calls", pe), 1u);
+    EXPECT_EQ(counter("shmem.reduce.calls", pe), 1u);
+    EXPECT_EQ(counter("shmem.atomic.calls", pe), 1u);
+    EXPECT_EQ(counter("shmem.heap.alloc.calls", pe), 3u);
+    EXPECT_EQ(counter("shmem.heap.free.calls", pe), 3u);
+    EXPECT_EQ(hist_count("shmem.put.latency_ps", pe), 1u);
+    EXPECT_GE(hist_count("shmem.get.latency_ps", pe), 1u);
+    EXPECT_GE(hist_count("shmem.barrier.wait_ps", pe), 3u);
+    EXPECT_GT(counter("sim.tile.busy_ps", pe), 0u);
+    EXPECT_GT(counter("udn.packets", pe), 0u);
+    EXPECT_GT(counter("cache.l1_hits", pe) + counter("cache.l2_hits", pe) +
+                  counter("cache.dram_accesses", pe),
+              0u);
+  }
+  // Device-wide metrics live at pe = -1.
+  EXPECT_GT(counter("tmc.cmem.maps", -1), 0u);
+}
+
+TEST(Metrics, VirtualTimeBitIdenticalWithMetricsOnOrOff) {
+  // The zero-virtual-cost contract: the same workload must leave every PE's
+  // clock at exactly the same picosecond whether metrics are on or off.
+  constexpr int kPes = 4;
+  const auto run_with = [&](bool metrics) {
+    tshmem::RuntimeOptions opts;
+    opts.metrics = metrics;
+    tshmem::Runtime rt(tilesim::tile_gx36(), opts);
+    std::vector<std::uint64_t> end_ps(kPes, 0);
+    rt.run(kPes, [&](tshmem::Context& ctx) { workload(ctx, &end_ps); });
+    return end_ps;
+  };
+  const auto off = run_with(false);
+  const auto on = run_with(true);
+  ASSERT_EQ(off.size(), on.size());
+  for (int pe = 0; pe < kPes; ++pe) {
+    EXPECT_EQ(off[static_cast<std::size_t>(pe)],
+              on[static_cast<std::size_t>(pe)])
+        << "virtual time diverged on pe " << pe;
+  }
+  for (const std::uint64_t t : off) EXPECT_GT(t, 0u);
+}
+
+TEST(Metrics, EnvVarOverridesRuntimeOption) {
+  ::setenv("TSHMEM_METRICS", "1", 1);
+  {
+    tshmem::Runtime rt(tilesim::tile_gx36());
+    EXPECT_TRUE(rt.metrics_enabled());
+  }
+  ::setenv("TSHMEM_METRICS", "off", 1);
+  {
+    tshmem::RuntimeOptions opts;
+    opts.metrics = true;
+    tshmem::Runtime rt(tilesim::tile_gx36(), opts);
+    EXPECT_FALSE(rt.metrics_enabled());
+  }
+  ::unsetenv("TSHMEM_METRICS");
+}
+
+}  // namespace

@@ -50,6 +50,26 @@ TEST(Trace, CsvFormat) {
             "0,copy,10,30,20,memcpy\n");
 }
 
+TEST(Trace, CsvEscapingRfc4180) {
+  // Plain fields pass through untouched.
+  EXPECT_EQ(tilesim::csv_escape("memcpy"), "memcpy");
+  EXPECT_EQ(tilesim::csv_escape(""), "");
+  // Separators, quotes, and line breaks force quoting; embedded quotes
+  // are doubled.
+  EXPECT_EQ(tilesim::csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(tilesim::csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(tilesim::csv_escape("line1\nline2"), "\"line1\nline2\"");
+  EXPECT_EQ(tilesim::csv_escape("cr\rhere"), "\"cr\rhere\"");
+
+  TraceRecorder rec(1);
+  rec.record(0, TraceKind::kCustom, 0, 5, "put, pe=1 \"bounce\"");
+  std::ostringstream os;
+  rec.dump_csv(os);
+  EXPECT_EQ(os.str(),
+            "tile,kind,begin_ps,end_ps,duration_ps,label\n"
+            "0,custom,0,5,5,\"put, pe=1 \"\"bounce\"\"\"\n");
+}
+
 TEST(Trace, KindNames) {
   EXPECT_STREQ(tilesim::to_string(TraceKind::kCompute), "compute");
   EXPECT_STREQ(tilesim::to_string(TraceKind::kCopy), "copy");

@@ -3,12 +3,19 @@
 # "reproduction check" blocks: any measured/paper ratio outside
 # [MIN_RATIO, MAX_RATIO] is reported and fails the script.
 #
+# Also writes a machine-readable summary to $SUMMARY_JSON (default
+# repro_summary.json in the current directory): per-bench pass/fail, check
+# counts, and the audited ratios, so CI and cross-PR tooling can diff
+# reproduction health without re-parsing bench stdout.
+#
 # Usage: tools/check_repro.sh [build-dir] [min-ratio] [max-ratio]
+#        SUMMARY_JSON=path tools/check_repro.sh ...
 set -u
 
 BUILD_DIR="${1:-build}"
 MIN_RATIO="${2:-0.5}"
 MAX_RATIO="${3:-2.0}"
+SUMMARY_JSON="${SUMMARY_JSON:-repro_summary.json}"
 
 if [ ! -d "$BUILD_DIR/bench" ]; then
   echo "error: $BUILD_DIR/bench not found (build the project first)" >&2
@@ -21,47 +28,89 @@ trap 'rm -f "$tmp_out"' EXIT
 status=0
 total_checks=0
 bad_checks=0
+bench_entries=""
+
+# json_str <text> — minimal JSON string escaping (quotes and backslashes;
+# bench names and check labels contain nothing wilder).
+json_str() {
+  printf '%s' "$1" | sed -e 's/\\/\\\\/g' -e 's/"/\\"/g'
+}
 
 for bench in "$BUILD_DIR"/bench/*; do
-  [ -x "$bench" ] || continue
+  [ -f "$bench" ] && [ -x "$bench" ] || continue
   name="$(basename "$bench")"
   case "$name" in
     micro_internals) continue ;;  # host-time microbenchmarks: no checks
   esac
   echo "== $name"
+  bench_status="pass"
+  bench_checks=0
+  bench_bad=0
+  check_entries=""
   if ! "$bench" > "$tmp_out" 2>&1; then
     echo "   BENCH FAILED (non-zero exit)"
+    bench_status="error"
     status=1
-    continue
+  else
+    # Parse check rows: inside a "reproduction check" block, the last column
+    # is the measured/paper ratio (or "-" when no paper value exists).
+    in_block=0
+    while IFS= read -r line; do
+      case "$line" in
+        *"reproduction check"*) in_block=1; continue ;;
+        "") in_block=0; continue ;;
+      esac
+      [ "$in_block" = 1 ] || continue
+      case "$line" in
+        quantity*|---*) continue ;;
+      esac
+      ratio="$(printf '%s\n' "$line" | awk '{print $NF}')"
+      case "$ratio" in
+        -|"") continue ;;
+      esac
+      total_checks=$((total_checks + 1))
+      bench_checks=$((bench_checks + 1))
+      ok="$(awk -v r="$ratio" -v lo="$MIN_RATIO" -v hi="$MAX_RATIO" \
+            'BEGIN { print (r >= lo && r <= hi) ? 1 : 0 }')"
+      label="$(printf '%s\n' "$line" | awk '{NF -= 4; print}' \
+               | sed 's/[[:space:]]*$//')"
+      if [ "$ok" != 1 ]; then
+        echo "   OUT OF BAND ($ratio): $line"
+        bad_checks=$((bad_checks + 1))
+        bench_bad=$((bench_bad + 1))
+        bench_status="fail"
+        status=1
+      fi
+      entry="{\"quantity\": \"$(json_str "$label")\", \"ratio\": $ratio,"
+      entry="$entry \"in_band\": $([ "$ok" = 1 ] && echo true || echo false)}"
+      check_entries="$check_entries${check_entries:+, }$entry"
+    done < "$tmp_out"
   fi
-  # Parse check rows: inside a "reproduction check" block, the last column
-  # is the measured/paper ratio (or "-" when no paper value exists).
-  in_block=0
-  while IFS= read -r line; do
-    case "$line" in
-      *"reproduction check"*) in_block=1; continue ;;
-      "") in_block=0; continue ;;
-    esac
-    [ "$in_block" = 1 ] || continue
-    case "$line" in
-      quantity*|---*) continue ;;
-    esac
-    ratio="$(printf '%s\n' "$line" | awk '{print $NF}')"
-    case "$ratio" in
-      -|"") continue ;;
-    esac
-    total_checks=$((total_checks + 1))
-    ok="$(awk -v r="$ratio" -v lo="$MIN_RATIO" -v hi="$MAX_RATIO" \
-          'BEGIN { print (r >= lo && r <= hi) ? 1 : 0 }')"
-    if [ "$ok" != 1 ]; then
-      echo "   OUT OF BAND ($ratio): $line"
-      bad_checks=$((bad_checks + 1))
-      status=1
-    fi
-  done < "$tmp_out"
+  bench_entry="{\"bench\": \"$(json_str "$name")\","
+  bench_entry="$bench_entry \"status\": \"$bench_status\","
+  bench_entry="$bench_entry \"checks\": $bench_checks,"
+  bench_entry="$bench_entry \"out_of_band\": $bench_bad,"
+  bench_entry="$bench_entry \"results\": [$check_entries]}"
+  bench_entries="$bench_entries${bench_entries:+,
+    }$bench_entry"
 done
+
+{
+  echo "{"
+  echo "  \"schema\": \"tshmem.repro_summary.v1\","
+  echo "  \"min_ratio\": $MIN_RATIO,"
+  echo "  \"max_ratio\": $MAX_RATIO,"
+  echo "  \"total_checks\": $total_checks,"
+  echo "  \"out_of_band\": $bad_checks,"
+  echo "  \"passed\": $([ "$status" = 0 ] && echo true || echo false),"
+  echo "  \"benches\": ["
+  printf '    %s\n' "$bench_entries"
+  echo "  ]"
+  echo "}"
+} > "$SUMMARY_JSON"
 
 echo
 echo "reproduction audit: $total_checks checks, $bad_checks outside" \
      "[$MIN_RATIO, $MAX_RATIO]"
+echo "summary written to $SUMMARY_JSON"
 exit $status

@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Tier-1 CI entry point: configure, build, run the unit/integration test
+# suite, then exercise the telemetry path end to end — one metrics-enabled
+# bench run whose --metrics-json / --trace-json outputs are validated for
+# schema shape and non-emptiness.
+#
+# Usage: tools/ci.sh [build-dir]
+set -eu
+
+BUILD_DIR="${1:-build}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$ROOT"
+
+echo "== configure"
+cmake -B "$BUILD_DIR" -S . >/dev/null
+
+echo "== build"
+cmake --build "$BUILD_DIR" -j
+
+echo "== ctest"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+
+echo "== telemetry smoke (fig08_tshmem_barrier --metrics-json/--trace-json)"
+tmp_dir="$(mktemp -d)"
+trap 'rm -rf "$tmp_dir"' EXIT
+metrics_json="$tmp_dir/metrics.json"
+trace_json="$tmp_dir/trace.json"
+"$BUILD_DIR"/bench/fig08_tshmem_barrier \
+  --metrics-json "$metrics_json" --trace-json "$trace_json" >/dev/null
+
+python3 - "$metrics_json" "$trace_json" <<'EOF'
+import json
+import sys
+
+metrics_path, trace_path = sys.argv[1], sys.argv[2]
+
+with open(metrics_path) as f:
+    m = json.load(f)
+assert m["schema"] == "tshmem.metrics.v1", m.get("schema")
+assert m["runs"], "metrics JSON has no runs"
+for run in m["runs"]:
+    assert run["npes"] > 0
+    names = {c["name"] for c in run["counters"]}
+    assert "shmem.barrier.calls" in names, sorted(names)
+    assert any(h["count"] > 0 for h in run["histograms"]
+               if h["name"] == "shmem.barrier.wait_ps"), \
+        "no barrier wait samples"
+
+with open(trace_path) as f:
+    t = json.load(f)
+events = t["traceEvents"]
+assert any(e["ph"] == "X" for e in events), "no complete events in trace"
+assert any(e["ph"] == "M" for e in events), "no metadata events in trace"
+print(f"telemetry OK: {len(m['runs'])} run(s), {len(events)} trace events")
+EOF
+
+echo "== ci.sh: all green"
