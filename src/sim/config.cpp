@@ -169,6 +169,12 @@ DeviceConfig make_gx36() {
   c.bounce_alloc_ps = 2'000'000;
   c.barrier_forward_ps = 30'000;
 
+  // mPIPE eDMA/iDMA offload: posting a descriptor costs a handful of
+  // stores into the ring; the engine itself pays a fetch+arm latency
+  // before data starts moving.
+  c.dma_issue_ps = 25'000;   // ~25 ns descriptor post
+  c.dma_setup_ps = 150'000;  // ~150 ns engine fetch + channel arm
+
   c.compute.int_op_ps = 1'000;   // 1 cycle @ 1 GHz
   c.compute.fp_op_ps = 9'000;    // assisted soft-float: ~9 cycles per flop
   c.compute.mem_op_ps = 2'000;
@@ -261,6 +267,12 @@ DeviceConfig make_pro64() {
   c.interrupt_service_ps = 0;
   c.bounce_alloc_ps = 2'800'000;
   c.barrier_forward_ps = 24'000;
+
+  // No mPIPE on the TILEPro: non-blocking transfers ride the TILE's
+  // memory-to-memory DMA hardware, with a slower (700 MHz, narrower
+  // descriptor format) post and arm sequence.
+  c.dma_issue_ps = 35'000;   // ~35 ns descriptor post
+  c.dma_setup_ps = 400'000;  // ~400 ns channel arm
 
   c.compute.int_op_ps = 1'429;   // 1 cycle @ 700 MHz
   c.compute.fp_op_ps = 90'000;   // pure software floating point: ~10x Gx

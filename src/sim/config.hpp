@@ -161,6 +161,14 @@ struct DeviceConfig {
   ps_t bounce_alloc_ps = 0;           ///< temp shared buffer setup (static-static)
   ps_t barrier_forward_ps = 0;        ///< per-tile token-forwarding cost
 
+  // --- Asynchronous DMA engine (sim/dma.hpp) -------------------------------
+  /// CPU-side cost to build and post one transfer descriptor (charged to
+  /// the issuing tile's clock on every *_nbi call).
+  ps_t dma_issue_ps = 0;
+  /// Engine-side startup latency per descriptor (fetch + channel arm),
+  /// added to the modeled transfer duration, never to the issuing clock.
+  ps_t dma_setup_ps = 0;
+
   // --- Compute -------------------------------------------------------------
   ComputeModel compute;
 };

@@ -21,6 +21,11 @@ void trace_charge(Device& device, int tile, TraceKind kind, ps_t begin,
 }
 }  // namespace
 
+Tile::Tile(Device& device, int id)
+    : device_(&device),
+      id_(id),
+      dma_(std::make_unique<DmaEngine>(device.config())) {}
+
 void Tile::charge_int_ops(std::uint64_t n) {
   const ps_t t0 = clock_.now();
   clock_.advance(n * device_->config().compute.int_op_ps);
@@ -97,6 +102,10 @@ void Device::enable_cache_probes() {
 }
 
 void Device::reset_clocks() {
+  // DMA engines first: an engine with in-flight transfers must fail the
+  // reset *before* any clock is zeroed (stale future completion timestamps
+  // would otherwise poison advance_to after the reset).
+  for (auto& t : tiles_) t->dma().reset();
   for (auto& t : tiles_) t->clock().reset();
 }
 
@@ -126,6 +135,9 @@ void Device::run(int active_tiles, const std::function<void(Tile&)>& fn) {
   }
   active_tiles_ = active_tiles;
   host_barrier_ = std::make_unique<std::barrier<>>(active_tiles);
+  // Force-clear DMA engines: a previous job that threw with outstanding
+  // non-blocking transfers must not leak descriptors into this one.
+  for (auto& t : tiles_) t->dma().clear();
   reset_clocks();
 
   std::vector<std::thread> threads;

@@ -13,6 +13,7 @@
 #include "sim/cache_sim.hpp"
 #include "sim/clock.hpp"
 #include "sim/config.hpp"
+#include "sim/dma.hpp"
 #include "sim/mem_model.hpp"
 #include "sim/topology.hpp"
 #include "sim/trace.hpp"
@@ -25,7 +26,7 @@ class Device;
 /// the duration of a Device::run() call.
 class Tile {
  public:
-  Tile(Device& device, int id) : device_(&device), id_(id) {}
+  Tile(Device& device, int id);
 
   Tile(const Tile&) = delete;
   Tile& operator=(const Tile&) = delete;
@@ -44,6 +45,10 @@ class Tile {
   /// Charge a modeled memory copy.
   void charge_copy(const CopyRequest& req);
 
+  /// This tile's asynchronous DMA engine (non-blocking TSHMEM transfers).
+  [[nodiscard]] DmaEngine& dma() noexcept { return *dma_; }
+  [[nodiscard]] const DmaEngine& dma() const noexcept { return *dma_; }
+
   /// Mechanistic cache probe (metrics only; see Device::enable_cache_probes).
   /// Null unless probes are enabled. Purely observational — it never
   /// contributes to virtual time; the analytic MemModel stays authoritative.
@@ -61,6 +66,7 @@ class Tile {
   // tile's thread charge copies to this tile (tmc/interrupt.hpp).
   std::mutex probe_mu_;
   std::unique_ptr<CacheSim> probe_;
+  std::unique_ptr<DmaEngine> dma_;
   std::uint64_t probe_cursor_ = std::uint64_t{1} << 40;  ///< synthetic addrs
 };
 
@@ -98,7 +104,9 @@ class Device {
 
   /// Resets every tile clock to zero. Call only between run()s or from a
   /// single tile after host_sync() (the helper sync_and_reset_clocks does
-  /// this safely from inside a run).
+  /// this safely from inside a run). Also resets each tile's DMA-engine
+  /// timeline; throws std::logic_error if any engine still has in-flight
+  /// transfers (quiesce before resetting).
   void reset_clocks();
 
   /// host_sync(); tile 0 resets all clocks; host_sync() again. Benchmarks

@@ -149,6 +149,60 @@ void shmem_getmem(void* target, const void* source, std::size_t bytes,
   ctx().get(target, source, bytes, pe);
 }
 
+// --- non-blocking put/get ---------------------------------------------------------
+
+#define TSHMEM_DEF_PUT_GET_NBI(T, NAME)                                       \
+  void shmem_##NAME##_put_nbi(T* target, const T* source, std::size_t nelems, \
+                              int pe) {                                       \
+    ctx().put_nbi(target, source, nelems * sizeof(T), pe);                    \
+  }                                                                           \
+  void shmem_##NAME##_get_nbi(T* target, const T* source, std::size_t nelems, \
+                              int pe) {                                       \
+    ctx().get_nbi(target, source, nelems * sizeof(T), pe);                    \
+  }
+TSHMEM_DEF_PUT_GET_NBI(char, char)
+TSHMEM_DEF_PUT_GET_NBI(short, short)
+TSHMEM_DEF_PUT_GET_NBI(int, int)
+TSHMEM_DEF_PUT_GET_NBI(long, long)
+TSHMEM_DEF_PUT_GET_NBI(long long, longlong)
+TSHMEM_DEF_PUT_GET_NBI(float, float)
+TSHMEM_DEF_PUT_GET_NBI(double, double)
+TSHMEM_DEF_PUT_GET_NBI(long double, longdouble)
+#undef TSHMEM_DEF_PUT_GET_NBI
+
+void shmem_put32_nbi(void* target, const void* source, std::size_t nelems,
+                     int pe) {
+  ctx().put_nbi(target, source, nelems * 4, pe);
+}
+void shmem_put64_nbi(void* target, const void* source, std::size_t nelems,
+                     int pe) {
+  ctx().put_nbi(target, source, nelems * 8, pe);
+}
+void shmem_put128_nbi(void* target, const void* source, std::size_t nelems,
+                      int pe) {
+  ctx().put_nbi(target, source, nelems * 16, pe);
+}
+void shmem_putmem_nbi(void* target, const void* source, std::size_t bytes,
+                      int pe) {
+  ctx().put_nbi(target, source, bytes, pe);
+}
+void shmem_get32_nbi(void* target, const void* source, std::size_t nelems,
+                     int pe) {
+  ctx().get_nbi(target, source, nelems * 4, pe);
+}
+void shmem_get64_nbi(void* target, const void* source, std::size_t nelems,
+                     int pe) {
+  ctx().get_nbi(target, source, nelems * 8, pe);
+}
+void shmem_get128_nbi(void* target, const void* source, std::size_t nelems,
+                      int pe) {
+  ctx().get_nbi(target, source, nelems * 16, pe);
+}
+void shmem_getmem_nbi(void* target, const void* source, std::size_t bytes,
+                      int pe) {
+  ctx().get_nbi(target, source, bytes, pe);
+}
+
 // --- strided ----------------------------------------------------------------------
 
 #define TSHMEM_DEF_IPUT_IGET(T, NAME)                                       \

@@ -85,6 +85,42 @@ void shmem_get128(void* target, const void* source, std::size_t nelems,
                   int pe);
 void shmem_getmem(void* target, const void* source, std::size_t bytes, int pe);
 
+// --- non-blocking put/get (OpenSHMEM 1.3 §9.4; completion at shmem_quiet) ---
+// The call returns as soon as the transfer is posted to the calling tile's
+// DMA engine; the local buffer (puts) or destination (gets) may only be
+// reused/read after shmem_quiet(). See docs/NBI.md.
+#define TSHMEM_DECL_PUT_GET_NBI(T, NAME)                                      \
+  void shmem_##NAME##_put_nbi(T* target, const T* source, std::size_t nelems, \
+                              int pe);                                        \
+  void shmem_##NAME##_get_nbi(T* target, const T* source, std::size_t nelems, \
+                              int pe);
+TSHMEM_DECL_PUT_GET_NBI(char, char)
+TSHMEM_DECL_PUT_GET_NBI(short, short)
+TSHMEM_DECL_PUT_GET_NBI(int, int)
+TSHMEM_DECL_PUT_GET_NBI(long, long)
+TSHMEM_DECL_PUT_GET_NBI(long long, longlong)
+TSHMEM_DECL_PUT_GET_NBI(float, float)
+TSHMEM_DECL_PUT_GET_NBI(double, double)
+TSHMEM_DECL_PUT_GET_NBI(long double, longdouble)
+#undef TSHMEM_DECL_PUT_GET_NBI
+
+void shmem_put32_nbi(void* target, const void* source, std::size_t nelems,
+                     int pe);
+void shmem_put64_nbi(void* target, const void* source, std::size_t nelems,
+                     int pe);
+void shmem_put128_nbi(void* target, const void* source, std::size_t nelems,
+                      int pe);
+void shmem_putmem_nbi(void* target, const void* source, std::size_t bytes,
+                      int pe);
+void shmem_get32_nbi(void* target, const void* source, std::size_t nelems,
+                     int pe);
+void shmem_get64_nbi(void* target, const void* source, std::size_t nelems,
+                     int pe);
+void shmem_get128_nbi(void* target, const void* source, std::size_t nelems,
+                      int pe);
+void shmem_getmem_nbi(void* target, const void* source, std::size_t bytes,
+                      int pe);
+
 // --- strided put/get -----------------------------------------------------------
 #define TSHMEM_DECL_IPUT_IGET(T, NAME)                                      \
   void shmem_##NAME##_iput(T* target, const T* source, std::ptrdiff_t tst,  \

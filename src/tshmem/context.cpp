@@ -48,6 +48,12 @@ Context::Context(Runtime& rt, int pe, Tile& tile, std::byte* partition,
         &reg.counter("shmem.heap.alloc.calls", pe),
         &reg.counter("shmem.heap.free.calls", pe),
         &reg.counter("shmem.interrupt.services", pe),
+        &reg.counter("shmem.nbi.issued", pe),
+        &reg.counter("shmem.nbi.retired", pe),
+        &reg.counter("shmem.nbi.bytes", pe),
+        &reg.gauge("shmem.nbi.queue_depth", pe),
+        &reg.histogram("shmem.nbi.quiet_wait_ps", pe),
+        &reg.histogram("shmem.nbi.overlap_pct", pe),
     });
   }
 }
@@ -337,19 +343,123 @@ void Context::get(void* target, const void* source, std::size_t bytes, int pe,
 }
 
 // ===========================================================================
-// Fence / quiet (paper §IV-C2)
+// Non-blocking data movement (sim/dma.hpp; docs/NBI.md)
+// ===========================================================================
+
+void Context::transfer_nbi(void* target, const void* source,
+                           std::size_t bytes, int pe, bool is_put) {
+  if (pe < 0 || pe >= num_pes()) {
+    throw std::out_of_range("put/get nbi: PE out of range");
+  }
+  const AddrClass remote_cls = classify(is_put ? target : source);
+  if (remote_cls == AddrClass::kOther) {
+    throw std::invalid_argument(
+        is_put ? "shmem put_nbi: target is not a symmetric object"
+               : "shmem get_nbi: source is not a symmetric object");
+  }
+  if (pe != pe_ && remote_cls != AddrClass::kDynamic) {
+    // The remote side is a static symmetric object: only the remote tile's
+    // interrupt handler can touch it, so the DMA engine cannot service the
+    // descriptor. Complete synchronously — a blocking transfer is a valid
+    // NBI implementation — and never enqueue (counts as a blocking op in
+    // the metrics; see docs/NBI.md).
+    transfer(target, source, bytes, pe, is_put, {});
+    return;
+  }
+  const AddrClass local_cls = classify(is_put ? source : target);
+  tile_->clock().advance(rt_->config().shmem_call_overhead_ps +
+                         rt_->config().dma_issue_ps);
+  if (bytes == 0) return;
+
+  auto space_of = [](AddrClass c) {
+    return c == AddrClass::kDynamic ? MemSpace::kShared : MemSpace::kPrivate;
+  };
+  void* dst = is_put ? remote_addr(target, pe) : target;
+  const void* src =
+      is_put ? source : static_cast<const void*>(remote_addr(source, pe));
+  CopyRequest req;
+  req.bytes = bytes;
+  req.src = is_put ? space_of(local_cls) : space_of(remote_cls);
+  req.dst = is_put ? space_of(remote_cls) : space_of(local_cls);
+  req.homing = rt_->options().partition_homing;
+  const ps_t cost = tile_->device().mem_model().copy_cost_ps(req);
+
+  const tilesim::DmaDescriptor d =
+      tile_->dma().issue(pe, is_put, bytes, tile_->clock().now(), cost);
+  // The host-side copy happens eagerly; virtual time defers delivery to the
+  // descriptor's completion timestamp (the same host-eager/virtual-deferred
+  // split every blocking path already relies on). The DMA engine bypasses
+  // the issuing tile's caches, so no cache probe sees this stream.
+  do_memcpy_visible(dst, src, bytes);
+  if (is_put && pe != pe_) rt_->note_delivery(pe, d.complete_ps);
+  if (tilesim::TraceRecorder* tracer = tile_->device().tracer();
+      tracer != nullptr) {
+    tracer->record(pe_, tilesim::TraceKind::kCopy, d.start_ps, d.complete_ps,
+                   std::string("dma ") + (is_put ? "put" : "get") + " pe" +
+                       std::to_string(pe));
+  }
+  if (met_) {
+    met_->nbi_issued->inc();
+    met_->nbi_bytes->add(bytes);
+    met_->nbi_queue_depth->set(
+        static_cast<std::int64_t>(tile_->dma().pending()));
+  }
+}
+
+void Context::put_nbi(void* target, const void* source, std::size_t bytes,
+                      int pe) {
+  transfer_nbi(target, source, bytes, pe, /*is_put=*/true);
+}
+
+void Context::get_nbi(void* target, const void* source, std::size_t bytes,
+                      int pe) {
+  transfer_nbi(target, source, bytes, pe, /*is_put=*/false);
+}
+
+// ===========================================================================
+// Fence / quiet (paper §IV-C2, extended for the DMA queue)
 // ===========================================================================
 
 void Context::quiet() {
-  // tmc_mem_fence(): blocks until all memory stores are visible. Our copies
-  // complete synchronously, so this is a fence plus its modeled drain cost.
+  tilesim::DmaEngine& dma = tile_->dma();
+  if (dma.pending() != 0) {
+    const ps_t before = tile_->clock().now();
+    const tilesim::DmaEngine::DrainResult drained = dma.drain_all();
+    tile_->clock().advance_to(drained.max_complete_ps);
+    if (met_) {
+      met_->nbi_retired->add(drained.retired);
+      met_->nbi_queue_depth->set(0);
+      const ps_t wait = drained.max_complete_ps > before
+                            ? drained.max_complete_ps - before
+                            : 0;
+      met_->nbi_quiet_wait_ps->record(wait);
+      if (drained.busy_ps > 0) {
+        // How much of the engine's transfer time was hidden behind
+        // computation since issue (100 = fully overlapped).
+        const ps_t hidden =
+            drained.busy_ps > wait ? drained.busy_ps - wait : 0;
+        met_->nbi_overlap_pct->record(100 * hidden / drained.busy_ps);
+      }
+    }
+  }
+  // tmc_mem_fence(): blocks until all memory stores are visible. With an
+  // empty DMA queue this is the whole operation — the pre-NBI behavior,
+  // bit-identical with the paper's figures.
   tmc::mem_fence(*tile_);
 }
 
 void Context::fence() {
-  // §IV-C2: shmem_fence() is an alias of shmem_quiet(), giving it the
-  // stronger semantics.
-  quiet();
+  if (tile_->dma().pending() == 0) {
+    // §IV-C2: with nothing in flight shmem_fence() stays an alias of
+    // shmem_quiet(), keeping existing figure results bit-identical.
+    quiet();
+    return;
+  }
+  // Per-destination ordering only: the single-channel DMA engine retires
+  // descriptors in issue order, so delivery to any one PE is already FIFO.
+  // A fence therefore drains the CPU store buffer but NOT the engine — the
+  // clock never jumps to a completion timestamp here.
+  tmc::mem_fence(*tile_);
 }
 
 // ===========================================================================
@@ -630,6 +740,16 @@ int Context::test_lock(long* lock) {
 void Context::finalize() {
   if (finalized_) {
     throw std::logic_error("shmem_finalize called twice");
+  }
+  // Outstanding non-blocking transfers at finalize are a program error (the
+  // OpenSHMEM spec requires quiescence before teardown): surface it rather
+  // than silently dropping descriptors whose completion nobody will await.
+  if (const std::size_t n = tile_->dma().pending(); n != 0) {
+    throw std::runtime_error(
+        "shmem_finalize: PE " + std::to_string(pe_) + " has " +
+        std::to_string(n) +
+        " outstanding non-blocking transfer(s); call shmem_quiet() before "
+        "shmem_finalize()");
   }
   // Proper teardown requires the UDN to be fully disengaged: any packet
   // still queued here indicates a protocol bug that would lock up a real

@@ -68,6 +68,12 @@ struct PeMetrics {
   obs::Counter* alloc_calls;
   obs::Counter* free_calls;
   obs::Counter* interrupt_services;
+  obs::Counter* nbi_issued;
+  obs::Counter* nbi_retired;
+  obs::Counter* nbi_bytes;
+  obs::Gauge* nbi_queue_depth;
+  obs::Log2Histogram* nbi_quiet_wait_ps;
+  obs::Log2Histogram* nbi_overlap_pct;
 };
 
 class Context {
@@ -153,6 +159,21 @@ class Context {
   void iget(T* target, const T* source, std::ptrdiff_t target_stride,
             std::ptrdiff_t source_stride, std::size_t nelems, int pe);
 
+  // --- non-blocking RMA (sim/dma.hpp; see docs/NBI.md) ---------------------
+  /// Posts the transfer to this tile's DMA engine and returns immediately;
+  /// completion (local buffer reuse for puts, valid data for gets) is only
+  /// guaranteed after quiet(). Transfers whose remote side is a static
+  /// symmetric object need the remote tile's interrupt service and complete
+  /// synchronously before returning (a valid NBI implementation; the
+  /// descriptor never enters the queue).
+  void put_nbi(void* target, const void* source, std::size_t bytes, int pe);
+  void get_nbi(void* target, const void* source, std::size_t bytes, int pe);
+
+  /// In-flight descriptors on this PE's DMA engine.
+  [[nodiscard]] std::size_t nbi_pending() const noexcept {
+    return tile_->dma().pending();
+  }
+
   // --- synchronization -----------------------------------------------------
   void barrier_all();
   void barrier(const ActiveSet& as);
@@ -162,8 +183,17 @@ class Context {
     return barrier_algo_;
   }
 
-  void fence();  ///< ordering of puts per destination (aliased to quiet)
-  void quiet();  ///< completion of all outstanding puts
+  /// Orders delivery per destination PE. With no in-flight NBI transfers it
+  /// keeps the paper's §IV-C2 behavior (an alias of quiet); with a pending
+  /// DMA queue it only drains the CPU store buffer — per-destination FIFO
+  /// delivery is inherent to the single-channel DMA engine, so the queue is
+  /// NOT drained and the clock never jumps to a completion time.
+  void fence();
+  /// Completes all outstanding transfers: drains this PE's DMA queue,
+  /// advancing the clock to the latest outstanding completion, then drains
+  /// the store buffer. With an empty queue this is exactly the pre-NBI
+  /// behavior (bit-identical virtual time).
+  void quiet();
 
   template <typename T>
   void wait_until(volatile T* ivar, Cmp cmp, T value);
@@ -273,6 +303,8 @@ class Context {
 
   void transfer(void* target, const void* source, std::size_t bytes, int pe,
                 bool is_put, CopyHints hints);
+  void transfer_nbi(void* target, const void* source, std::size_t bytes,
+                    int pe, bool is_put);
   void charge_local_copy(std::size_t bytes, tilesim::MemSpace dst,
                          tilesim::MemSpace src, CopyHints hints);
   void do_memcpy_visible(void* dst, const void* src, std::size_t bytes);

@@ -272,6 +272,13 @@ void Runtime::scrape_run_stats() {
         .set(static_cast<std::int64_t>(ctx.heap().bytes_in_use()));
     registry_.gauge("shmem.heap.blocks", pe)
         .set(static_cast<std::int64_t>(ctx.heap().block_count()));
+
+    // DMA engines are cleared at every Device::run entry, so their stats
+    // are already this run's values (peak depth covers the last phase when
+    // benches reset clocks mid-run).
+    const tilesim::DmaStats dma = tile.dma().stats();
+    registry_.gauge("sim.dma.peak_pending", pe)
+        .set(static_cast<std::int64_t>(dma.peak_pending));
   }
 
   // Device-wide aggregates use pe = -1.

@@ -402,6 +402,99 @@ TEST(Metrics, VirtualTimeBitIdenticalWithMetricsOnOrOff) {
   for (const std::uint64_t t : off) EXPECT_GT(t, 0u);
 }
 
+// An NBI-heavy workload: non-blocking puts/gets with interleaved fences,
+// compute, and quiet — exercises the DMA-engine counters end to end.
+void nbi_workload(tshmem::Context& ctx, std::vector<std::uint64_t>* end_ps) {
+  const int npes = ctx.num_pes();
+  auto* buf = static_cast<std::byte*>(ctx.shmalloc(1 << 16));
+  ctx.barrier_all();
+  for (int round = 0; round < 3; ++round) {
+    // Puts write the remote [0, 2048) window; the get reads a disjoint
+    // remote window so concurrent rounds never conflict.
+    ctx.put_nbi(buf, buf + (1 << 15), 2048, (ctx.my_pe() + 1) % npes);
+    ctx.put_nbi(buf, buf + (1 << 15), 1024, (ctx.my_pe() + 1) % npes);
+    ctx.fence();  // pending queue: store-buffer drain only
+    ctx.get_nbi(buf + (1 << 15), buf + (1 << 14), 512,
+                (ctx.my_pe() + 2) % npes);
+    ctx.charge_int_ops(10'000);
+    ctx.quiet();
+    ctx.barrier_all();
+  }
+  ctx.shfree(buf);
+  (*end_ps)[static_cast<std::size_t>(ctx.my_pe())] = ctx.clock().now();
+}
+
+TEST(Metrics, RuntimeCollectsDmaCounters) {
+  tshmem::RuntimeOptions opts;
+  opts.metrics = true;
+  tshmem::Runtime rt(tilesim::tile_gx36(), opts);
+  constexpr int kPes = 4;
+  std::vector<std::uint64_t> end_ps(kPes, 0);
+  rt.run(kPes, [&](tshmem::Context& ctx) { nbi_workload(ctx, &end_ps); });
+
+  const MetricsSnapshot snap = rt.metrics();
+  const auto counter = [&](const std::string& name, int pe) -> std::uint64_t {
+    for (const auto& c : snap.counters) {
+      if (c.name == name && c.pe == pe) return c.value;
+    }
+    ADD_FAILURE() << "missing counter " << name << " pe=" << pe;
+    return 0;
+  };
+  const auto gauge = [&](const std::string& name, int pe) -> std::int64_t {
+    for (const auto& g : snap.gauges) {
+      if (g.name == name && g.pe == pe) return g.value;
+    }
+    ADD_FAILURE() << "missing gauge " << name << " pe=" << pe;
+    return -1;
+  };
+  const auto hist_count = [&](const std::string& name,
+                              int pe) -> std::uint64_t {
+    for (const auto& h : snap.histograms) {
+      if (h.name == name && h.pe == pe) return h.count;
+    }
+    ADD_FAILURE() << "missing histogram " << name << " pe=" << pe;
+    return 0;
+  };
+
+  for (int pe = 0; pe < kPes; ++pe) {
+    // 3 rounds x (2 puts + 1 get), all retired by the explicit quiet.
+    EXPECT_EQ(counter("shmem.nbi.issued", pe), 9u) << "pe " << pe;
+    EXPECT_EQ(counter("shmem.nbi.retired", pe), 9u);
+    EXPECT_EQ(counter("shmem.nbi.bytes", pe), 3u * (2048 + 1024 + 512));
+    EXPECT_EQ(gauge("shmem.nbi.queue_depth", pe), 0);  // all drained
+    EXPECT_EQ(hist_count("shmem.nbi.quiet_wait_ps", pe), 3u);
+    EXPECT_EQ(hist_count("shmem.nbi.overlap_pct", pe), 3u);
+    // Two puts were in flight together before each fence/get.
+    EXPECT_GE(gauge("sim.dma.peak_pending", pe), 2);
+    // The DMA path bypasses the blocking put/get counters entirely.
+    EXPECT_EQ(counter("shmem.put.calls", pe), 0u);
+    EXPECT_EQ(counter("shmem.get.calls", pe), 0u);
+  }
+}
+
+TEST(Metrics, VirtualTimeBitIdenticalWithMetricsOnOrOffNbiHeavy) {
+  // Re-assert the zero-virtual-cost contract on the DMA-engine paths: the
+  // new counters, gauges, and histograms must not move any PE clock.
+  constexpr int kPes = 4;
+  const auto run_with = [&](bool metrics) {
+    tshmem::RuntimeOptions opts;
+    opts.metrics = metrics;
+    tshmem::Runtime rt(tilesim::tile_gx36(), opts);
+    std::vector<std::uint64_t> end_ps(kPes, 0);
+    rt.run(kPes, [&](tshmem::Context& ctx) { nbi_workload(ctx, &end_ps); });
+    return end_ps;
+  };
+  const auto off = run_with(false);
+  const auto on = run_with(true);
+  ASSERT_EQ(off.size(), on.size());
+  for (int pe = 0; pe < kPes; ++pe) {
+    EXPECT_EQ(off[static_cast<std::size_t>(pe)],
+              on[static_cast<std::size_t>(pe)])
+        << "virtual time diverged on pe " << pe;
+  }
+  for (const std::uint64_t t : off) EXPECT_GT(t, 0u);
+}
+
 TEST(Metrics, EnvVarOverridesRuntimeOption) {
   ::setenv("TSHMEM_METRICS", "1", 1);
   {

@@ -1,0 +1,476 @@
+// Tests for the non-blocking communication layer (ISSUE 3): the per-tile
+// DMA engine's completion-time arithmetic, shmem_put/get_nbi semantics,
+// quiet/fence ordering, determinism of completion timestamps across repeated
+// runs, NBI+barrier interaction, and failure injection (finalize with
+// outstanding transfers, clock reset under in-flight descriptors).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "sim/dma.hpp"
+#include "tshmem/context.hpp"
+#include "tshmem/runtime.hpp"
+
+namespace {
+
+using tilesim::DmaDescriptor;
+using tilesim::DmaEngine;
+using tshmem::Context;
+using tshmem::Runtime;
+using tshmem_util::ps_t;
+
+// ===========================================================================
+// DmaEngine unit tests (no runtime)
+// ===========================================================================
+
+TEST(DmaEngine, CompletionFollowsIssueFormula) {
+  const auto& cfg = tilesim::tile_gx36();
+  DmaEngine eng(cfg);
+  EXPECT_EQ(eng.pending(), 0u);
+  EXPECT_EQ(eng.engine_free_ps(), 0u);
+
+  // Idle engine: start at issue time.
+  const DmaDescriptor a = eng.issue(1, true, 4096, /*issue_ps=*/1000,
+                                    /*transfer_cost_ps=*/50'000);
+  EXPECT_EQ(a.start_ps, 1000u);
+  EXPECT_EQ(a.complete_ps, 1000 + cfg.dma_setup_ps + 50'000);
+  EXPECT_EQ(eng.engine_free_ps(), a.complete_ps);
+  EXPECT_EQ(eng.pending(), 1u);
+
+  // Busy engine: second transfer queues behind the first (single channel).
+  const DmaDescriptor b = eng.issue(2, false, 64, /*issue_ps=*/2000,
+                                    /*transfer_cost_ps=*/7'000);
+  EXPECT_EQ(b.start_ps, a.complete_ps);
+  EXPECT_EQ(b.complete_ps, a.complete_ps + cfg.dma_setup_ps + 7'000);
+  EXPECT_GT(b.id, a.id);
+
+  // Issue after the channel went idle again: start snaps to issue time.
+  const DmaDescriptor c =
+      eng.issue(1, true, 8, b.complete_ps + 5'000, /*transfer_cost_ps=*/100);
+  EXPECT_EQ(c.start_ps, b.complete_ps + 5'000);
+
+  const auto drained = eng.drain_all();
+  EXPECT_EQ(drained.retired, 3u);
+  EXPECT_EQ(drained.max_complete_ps, c.complete_ps);
+  EXPECT_EQ(eng.pending(), 0u);
+
+  const auto st = eng.stats();
+  EXPECT_EQ(st.issued, 3u);
+  EXPECT_EQ(st.retired, 3u);
+  EXPECT_EQ(st.bytes, 4096u + 64u + 8u);
+  EXPECT_EQ(st.peak_pending, 3u);
+}
+
+TEST(DmaEngine, PendingSnapshotIsFifoWithMonotoneCompletions) {
+  DmaEngine eng(tilesim::tile_gx36());
+  for (int i = 0; i < 5; ++i) {
+    eng.issue(1, true, 1u << i, /*issue_ps=*/0, /*transfer_cost_ps=*/1'000);
+  }
+  const std::vector<DmaDescriptor> q = eng.pending_snapshot();
+  ASSERT_EQ(q.size(), 5u);
+  for (std::size_t i = 1; i < q.size(); ++i) {
+    EXPECT_GT(q[i].id, q[i - 1].id);
+    // Single FIFO channel: each transfer starts exactly when the previous
+    // one completes, so completions are strictly increasing.
+    EXPECT_EQ(q[i].start_ps, q[i - 1].complete_ps);
+    EXPECT_GT(q[i].complete_ps, q[i - 1].complete_ps);
+  }
+}
+
+TEST(DmaEngine, ResetThrowsOnInflightButClearIsUnconditional) {
+  DmaEngine eng(tilesim::tile_gx36());
+  eng.issue(0, true, 128, 0, 1'000);
+  EXPECT_THROW(eng.reset(), std::logic_error);  // stale timestamps hazard
+  eng.clear();
+  EXPECT_EQ(eng.pending(), 0u);
+  EXPECT_EQ(eng.engine_free_ps(), 0u);
+  EXPECT_NO_THROW(eng.reset());  // empty engine resets fine
+}
+
+// ===========================================================================
+// NBI put/get semantics
+// ===========================================================================
+
+class NbiTest : public ::testing::Test {
+ protected:
+  Runtime rt_{tilesim::tile_gx36()};
+};
+
+TEST_F(NbiTest, PutNbiDeliversAfterQuiet) {
+  rt_.run(4, [](Context& ctx) {
+    int* buf = ctx.shmalloc_n<int>(256);
+    for (int i = 0; i < 256; ++i) buf[i] = -1;
+    ctx.barrier_all();
+    std::vector<int> src(256);
+    std::iota(src.begin(), src.end(), ctx.my_pe() * 1000);
+    ctx.put_nbi(buf, src.data(), 256 * sizeof(int), (ctx.my_pe() + 1) % 4);
+    EXPECT_EQ(ctx.nbi_pending(), 1u);
+    ctx.quiet();
+    EXPECT_EQ(ctx.nbi_pending(), 0u);
+    ctx.barrier_all();
+    const int writer = (ctx.my_pe() + 3) % 4;
+    for (int i = 0; i < 256; ++i) EXPECT_EQ(buf[i], writer * 1000 + i);
+    ctx.shfree(buf);
+  });
+}
+
+TEST_F(NbiTest, GetNbiCompletesAtQuiet) {
+  rt_.run(2, [](Context& ctx) {
+    double* buf = ctx.shmalloc_n<double>(64);
+    for (int i = 0; i < 64; ++i) buf[i] = ctx.my_pe() + i * 0.5;
+    ctx.barrier_all();
+    double dst[64] = {};
+    const int src_pe = 1 - ctx.my_pe();
+    ctx.get_nbi(dst, buf, sizeof(dst), src_pe);
+    EXPECT_EQ(ctx.nbi_pending(), 1u);
+    ctx.quiet();
+    for (int i = 0; i < 64; ++i) EXPECT_EQ(dst[i], src_pe + i * 0.5);
+    ctx.barrier_all();
+    ctx.shfree(buf);
+  });
+}
+
+TEST_F(NbiTest, PutNbiIsCheaperThanBlockingPutAtIssue) {
+  rt_.run(2, [](Context& ctx) {
+    constexpr std::size_t kBytes = 256 * 1024;
+    auto* buf = static_cast<std::byte*>(ctx.shmalloc(kBytes));
+    ctx.barrier_all();
+    ctx.harness_sync_reset();
+    ps_t blocking = 0, nbi_issue = 0;
+    if (ctx.my_pe() == 0) {
+      ps_t t0 = ctx.clock().now();
+      ctx.put(buf, buf, kBytes, 1);
+      blocking = ctx.clock().now() - t0;
+      t0 = ctx.clock().now();
+      ctx.put_nbi(buf, buf, kBytes, 1);
+      nbi_issue = ctx.clock().now() - t0;
+      ctx.quiet();
+      // The issue path charges only call overhead + descriptor post; the
+      // transfer itself rides on the engine's timeline.
+      EXPECT_LT(nbi_issue, blocking / 4);
+      const auto& cfg = ctx.runtime().config();
+      EXPECT_EQ(nbi_issue, cfg.shmem_call_overhead_ps + cfg.dma_issue_ps);
+    }
+    ctx.harness_sync_reset();
+    ctx.shfree(buf);
+  });
+}
+
+TEST_F(NbiTest, ZeroByteNbiIsNoop) {
+  rt_.run(2, [](Context& ctx) {
+    int* buf = ctx.shmalloc_n<int>(1);
+    *buf = 31;
+    ctx.barrier_all();
+    ctx.put_nbi(buf, nullptr, 0, 1 - ctx.my_pe());
+    ctx.get_nbi(nullptr, buf, 0, 1 - ctx.my_pe());
+    EXPECT_EQ(ctx.nbi_pending(), 0u);
+    ctx.barrier_all();
+    EXPECT_EQ(*buf, 31);
+    ctx.shfree(buf);
+  });
+}
+
+TEST_F(NbiTest, ErrorsMatchBlockingPath) {
+  rt_.run(2, [](Context& ctx) {
+    int* buf = ctx.shmalloc_n<int>(4);
+    int stack_target[4];
+    int v = 0;
+    EXPECT_THROW(ctx.put_nbi(buf, &v, 4, 5), std::out_of_range);
+    EXPECT_THROW(ctx.get_nbi(&v, buf, 4, -1), std::out_of_range);
+    if (ctx.my_pe() == 0) {
+      EXPECT_THROW(ctx.put_nbi(stack_target, &v, 4, 1), std::invalid_argument);
+      EXPECT_THROW(ctx.get_nbi(&v, stack_target, 4, 1), std::invalid_argument);
+    }
+    EXPECT_EQ(ctx.nbi_pending(), 0u);
+    ctx.barrier_all();
+    ctx.shfree(buf);
+  });
+}
+
+TEST_F(NbiTest, StaticRemoteFallsBackToSynchronousTransfer) {
+  // Static remote targets need the interrupt path, which the DMA engine
+  // cannot drive: the transfer completes synchronously and leaves nothing
+  // in the queue (still a valid _nbi implementation — OpenSHMEM allows
+  // completion any time before quiet).
+  rt_.run(2, [](Context& ctx) {
+    int* stat = ctx.static_sym<int>("nbi_static", 16);
+    int* dyn = ctx.shmalloc_n<int>(16);
+    for (int i = 0; i < 16; ++i) {
+      stat[i] = -1;
+      dyn[i] = ctx.my_pe() * 100 + i;
+    }
+    ctx.barrier_all();
+    if (ctx.my_pe() == 0) {
+      ctx.put_nbi(stat, dyn, 16 * sizeof(int), 1);
+      EXPECT_EQ(ctx.nbi_pending(), 0u);  // completed at issue
+    }
+    ctx.barrier_all();
+    if (ctx.my_pe() == 1) {
+      for (int i = 0; i < 16; ++i) EXPECT_EQ(stat[i], i);
+    }
+    ctx.barrier_all();
+    ctx.shfree(dyn);
+  });
+}
+
+// ===========================================================================
+// quiet / fence ordering
+// ===========================================================================
+
+TEST_F(NbiTest, QuietWithEmptyQueueIsExactlyAMemFence) {
+  // Paper §IV-C2 behavior must be bit-identical when no NBI traffic exists:
+  // quiet() with an empty queue costs exactly the CPU store-buffer drain.
+  rt_.run(2, [](Context& ctx) {
+    const ps_t fence_cost = ctx.runtime().config().cycle_ps() * 8;
+    const ps_t t0 = ctx.clock().now();
+    ctx.quiet();
+    EXPECT_EQ(ctx.clock().now() - t0, fence_cost);
+    const ps_t t1 = ctx.clock().now();
+    ctx.fence();  // empty queue: fence is an alias of quiet
+    EXPECT_EQ(ctx.clock().now() - t1, fence_cost);
+    ctx.barrier_all();
+  });
+}
+
+TEST_F(NbiTest, FenceWithPendingQueueOrdersWithoutDraining) {
+  rt_.run(2, [](Context& ctx) {
+    constexpr std::size_t kBytes = 64 * 1024;
+    auto* buf = static_cast<std::byte*>(ctx.shmalloc(2 * kBytes));
+    ctx.barrier_all();
+    if (ctx.my_pe() == 0) {
+      ctx.put_nbi(buf, buf + kBytes, kBytes, 1);
+      EXPECT_EQ(ctx.nbi_pending(), 1u);
+      const ps_t t0 = ctx.clock().now();
+      ctx.fence();
+      // Per-destination ordering is inherent in the FIFO engine, so fence
+      // only drains the store buffer — it must NOT wait for the transfer.
+      EXPECT_EQ(ctx.clock().now() - t0, ctx.runtime().config().cycle_ps() * 8);
+      EXPECT_EQ(ctx.nbi_pending(), 1u);
+      ctx.put_nbi(buf, buf + kBytes, kBytes, 1);
+      ctx.quiet();
+      EXPECT_EQ(ctx.nbi_pending(), 0u);
+    }
+    ctx.barrier_all();
+    ctx.shfree(buf);
+  });
+}
+
+TEST_F(NbiTest, QuietAdvancesToLatestCompletion) {
+  rt_.run(2, [](Context& ctx) {
+    constexpr std::size_t kBytes = 1 << 20;
+    auto* buf = static_cast<std::byte*>(ctx.shmalloc(2 * kBytes));
+    ctx.barrier_all();
+    if (ctx.my_pe() == 0) {
+      ctx.put_nbi(buf, buf + kBytes, kBytes, 1);
+      const auto q = ctx.tile().dma().pending_snapshot();
+      ASSERT_EQ(q.size(), 1u);
+      const ps_t complete = q[0].complete_ps;
+      EXPECT_GT(complete, ctx.clock().now());  // still in flight
+      ctx.quiet();
+      // quiet merges the completion timestamp, then pays the store fence.
+      EXPECT_EQ(ctx.clock().now(),
+                complete + ctx.runtime().config().cycle_ps() * 8);
+    }
+    ctx.barrier_all();
+    ctx.shfree(buf);
+  });
+}
+
+TEST_F(NbiTest, BarrierImpliesQuiet) {
+  rt_.run(4, [](Context& ctx) {
+    int* buf = ctx.shmalloc_n<int>(64);
+    for (int i = 0; i < 64; ++i) buf[i] = -1;
+    ctx.barrier_all();
+    int src[64];
+    for (int i = 0; i < 64; ++i) src[i] = ctx.my_pe() * 64 + i;
+    ctx.put_nbi(buf, src, sizeof(src), (ctx.my_pe() + 1) % 4);
+    EXPECT_EQ(ctx.nbi_pending(), 1u);
+    ctx.barrier_all();  // OpenSHMEM: barrier completes outstanding puts
+    EXPECT_EQ(ctx.nbi_pending(), 0u);
+    const int writer = (ctx.my_pe() + 3) % 4;
+    for (int i = 0; i < 64; ++i) EXPECT_EQ(buf[i], writer * 64 + i);
+    ctx.barrier_all();
+    ctx.shfree(buf);
+  });
+}
+
+TEST_F(NbiTest, NbiThenWaitUntilOrdersAfterDelivery) {
+  rt_.run(2, [](Context& ctx) {
+    struct Msg {
+      int payload[32];
+      int flag;
+    };
+    Msg* m = ctx.shmalloc_n<Msg>(1);
+    m->flag = 0;
+    ctx.barrier_all();
+    if (ctx.my_pe() == 0) {
+      Msg local;
+      for (int i = 0; i < 32; ++i) local.payload[i] = 7 * i;
+      local.flag = 1;
+      // FIFO engine: the flag write cannot overtake the payload write.
+      ctx.put_nbi(m->payload, local.payload, sizeof(local.payload), 1);
+      ctx.put_nbi(&m->flag, &local.flag, sizeof(int), 1);
+      ctx.quiet();
+    } else {
+      ctx.wait_until(&m->flag, tshmem::Cmp::kNe, 0);
+      for (int i = 0; i < 32; ++i) EXPECT_EQ(m->payload[i], 7 * i);
+    }
+    ctx.barrier_all();
+    ctx.shfree(m);
+  });
+}
+
+// ===========================================================================
+// Determinism and overlap
+// ===========================================================================
+
+std::vector<std::uint64_t> nbi_heavy_run(Runtime& rt, int npes) {
+  std::vector<std::uint64_t> end_ps(static_cast<std::size_t>(npes), 0);
+  rt.run(npes, [&](Context& ctx) {
+    auto* buf = static_cast<std::byte*>(ctx.shmalloc(1 << 16));
+    ctx.barrier_all();
+    for (int round = 0; round < 4; ++round) {
+      const std::size_t bytes = 1024u << round;
+      // The put writes the remote [0, bytes) window; the get reads from a
+      // disjoint remote window so concurrent rounds never conflict.
+      ctx.put_nbi(buf, buf + (1 << 15), bytes, (ctx.my_pe() + 1) % npes);
+      ctx.get_nbi(buf + (1 << 15), buf + (1 << 14), bytes,
+                  (ctx.my_pe() + 2) % npes);
+      ctx.charge_int_ops(500 * (ctx.my_pe() + 1));
+      if (round % 2 == 0) ctx.fence();
+      ctx.quiet();
+      ctx.barrier_all();
+    }
+    ctx.shfree(buf);
+    end_ps[static_cast<std::size_t>(ctx.my_pe())] = ctx.clock().now();
+  });
+  return end_ps;
+}
+
+TEST_F(NbiTest, CompletionTimestampsDeterministicAcrossRuns) {
+  // Completion times are computed analytically from virtual-time inputs at
+  // issue, so repeated runs must land every PE clock on the same picosecond
+  // regardless of host scheduling.
+  const auto first = nbi_heavy_run(rt_, 4);
+  for (int trial = 0; trial < 3; ++trial) {
+    const auto again = nbi_heavy_run(rt_, 4);
+    EXPECT_EQ(first, again) << "trial " << trial;
+  }
+  for (const std::uint64_t t : first) EXPECT_GT(t, 0u);
+}
+
+TEST_F(NbiTest, OverlapBeatsBlockingAtLargeMessages) {
+  // The acceptance floor from ISSUE 3: >= 1.3x virtual-time speedup over
+  // the blocking baseline at large sizes with compute grain 1.0 on gx36.
+  rt_.run(2, [](Context& ctx) {
+    constexpr std::size_t kBytes = 1 << 20;
+    auto* dst = static_cast<std::byte*>(ctx.shmalloc(kBytes));
+    auto* src = static_cast<std::byte*>(ctx.shmalloc(kBytes));
+    ctx.barrier_all();
+
+    ps_t blocking = 0, nbi = 0;
+    ctx.harness_sync_reset();
+    if (ctx.my_pe() == 0) {
+      const ps_t t0 = ctx.clock().now();
+      ctx.put(dst, src, kBytes, 1);
+      ctx.charge_int_ops(kBytes);  // compute grain ~ transfer cost
+      ctx.quiet();
+      blocking = ctx.clock().now() - t0;
+    }
+    ctx.harness_sync_reset();
+    if (ctx.my_pe() == 0) {
+      const ps_t t0 = ctx.clock().now();
+      ctx.put_nbi(dst, src, kBytes, 1);
+      ctx.charge_int_ops(kBytes);
+      ctx.quiet();
+      nbi = ctx.clock().now() - t0;
+      EXPECT_GE(static_cast<double>(blocking) / static_cast<double>(nbi), 1.3);
+    }
+    ctx.harness_sync_reset();
+    ctx.shfree(src);
+    ctx.shfree(dst);
+  });
+}
+
+// ===========================================================================
+// Failure injection
+// ===========================================================================
+
+TEST(NbiFailure, FinalizeWithOutstandingNbiThrows) {
+  Runtime rt(tilesim::tile_gx36());
+  EXPECT_THROW(
+      rt.run(2,
+             [](Context& ctx) {
+               int* buf = ctx.shmalloc_n<int>(64);
+               ctx.barrier_all();
+               if (ctx.my_pe() == 0) {
+                 int src[64] = {};
+                 ctx.put_nbi(buf, src, sizeof(src), 1);
+                 ctx.finalize();  // outstanding transfer: program error
+               }
+             }),
+      std::runtime_error);
+  // The failed job's in-flight descriptors must not leak into the next run.
+  rt.run(2, [](Context& ctx) {
+    EXPECT_EQ(ctx.nbi_pending(), 0u);
+    ctx.quiet();
+    ctx.barrier_all();
+  });
+}
+
+TEST(NbiFailure, FinalizeAfterQuietSucceeds) {
+  Runtime rt(tilesim::tile_gx36());
+  rt.run(2, [](Context& ctx) {
+    int* buf = ctx.shmalloc_n<int>(4);
+    ctx.barrier_all();
+    int v[4] = {1, 2, 3, 4};
+    ctx.put_nbi(buf, v, sizeof(v), 1 - ctx.my_pe());
+    ctx.quiet();
+    ctx.barrier_all();
+    ctx.shfree(buf);
+    ctx.finalize();
+  });
+}
+
+TEST(NbiFailure, ClockResetUnderInflightTransfersThrows) {
+  // sync_and_reset_clocks() zeroes every tile clock; doing that under
+  // outstanding NBI traffic would leave stale future completion timestamps
+  // poisoning advance_to(), so the engine reset refuses.
+  Runtime rt(tilesim::tile_gx36());
+  EXPECT_THROW(rt.run(2,
+                      [](Context& ctx) {
+                        auto* buf =
+                            static_cast<std::byte*>(ctx.shmalloc(4096));
+                        ctx.barrier_all();
+                        ctx.put_nbi(buf, buf + 2048, 1024,
+                                    1 - ctx.my_pe());
+                        ctx.harness_sync_reset();  // throws logic_error
+                      }),
+               std::logic_error);
+  rt.run(2, [](Context& ctx) { ctx.barrier_all(); });  // reusable after
+}
+
+TEST(NbiPro64, NbiWorksOnSoftwarePseudoDma) {
+  // TILEPro has no mPIPE: the model still supports dynamic-target NBI via
+  // the software pseudo-DMA timeline (larger setup costs), while static
+  // remote targets keep throwing as on the blocking path.
+  Runtime rt(tilesim::tile_pro64());
+  rt.run(2, [](Context& ctx) {
+    int* dyn = ctx.shmalloc_n<int>(64);
+    int* stat = ctx.static_sym<int>("pro_nbi", 4);
+    ctx.barrier_all();
+    if (ctx.my_pe() == 0) {
+      int src[64] = {};
+      ctx.put_nbi(dyn, src, sizeof(src), 1);
+      EXPECT_EQ(ctx.nbi_pending(), 1u);
+      ctx.quiet();
+      EXPECT_THROW(ctx.put_nbi(stat, src, 16, 1), std::runtime_error);
+    }
+    ctx.barrier_all();
+    ctx.shfree(dyn);
+  });
+}
+
+}  // namespace

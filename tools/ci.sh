@@ -2,9 +2,13 @@
 # Tier-1 CI entry point: configure, build, run the unit/integration test
 # suite, then exercise the telemetry path end to end — one metrics-enabled
 # bench run whose --metrics-json / --trace-json outputs are validated for
-# schema shape and non-emptiness.
+# schema shape and non-emptiness — and finally rebuild the concurrency-
+# sensitive suites (NBI/DMA engine, tmc + tshmem barriers) under
+# ThreadSanitizer and run them race-clean.
 #
 # Usage: tools/ci.sh [build-dir]
+#   TSHMEM_CI_TSAN=0 skips the ThreadSanitizer stage (e.g. toolchains
+#   without libtsan).
 set -eu
 
 BUILD_DIR="${1:-build}"
@@ -53,5 +57,22 @@ assert any(e["ph"] == "X" for e in events), "no complete events in trace"
 assert any(e["ph"] == "M" for e in events), "no metadata events in trace"
 print(f"telemetry OK: {len(m['runs'])} run(s), {len(events)} trace events")
 EOF
+
+if [ "${TSHMEM_CI_TSAN:-1}" != "0" ]; then
+  echo "== tsan (test_nbi, test_tmc_barrier, test_barrier_sync)"
+  TSAN_DIR="${BUILD_DIR}-tsan"
+  cmake -B "$TSAN_DIR" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS=-fsanitize=thread \
+    -DCMAKE_EXE_LINKER_FLAGS=-fsanitize=thread >/dev/null
+  cmake --build "$TSAN_DIR" -j \
+    --target test_nbi test_tmc_barrier test_barrier_sync
+  # TSan exits non-zero (66) on any reported race even when gtest passes.
+  "$TSAN_DIR"/tests/test_nbi
+  "$TSAN_DIR"/tests/test_tmc_barrier
+  "$TSAN_DIR"/tests/test_barrier_sync
+else
+  echo "== tsan: skipped (TSHMEM_CI_TSAN=0)"
+fi
 
 echo "== ci.sh: all green"
