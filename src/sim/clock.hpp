@@ -2,9 +2,11 @@
 //
 // Every tile thread owns one SimClock; all reported latencies/bandwidths in
 // the benchmark harnesses are differences of these clocks. The clock is
-// atomic because the UDN-interrupt emulation charges handler time to a
-// *remote* tile's clock from the requesting thread (see tmc/interrupt.hpp).
-// All cross-tile time exchange is via advance_to() (monotone max), so
+// atomic because other tiles' threads read it concurrently (barrier
+// releases, UDN arrival stamps, harness scrapes). Mutation stays with the
+// owning thread — even interrupt handlers charge a dedicated per-target
+// service clock instead of the target's own (see tmc/interrupt.hpp) — and
+// all cross-tile time exchange is via advance_to() (monotone max), so
 // results are independent of host scheduling.
 #pragma once
 

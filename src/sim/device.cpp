@@ -24,7 +24,7 @@ void trace_charge(Device& device, int tile, TraceKind kind, ps_t begin,
 Tile::Tile(Device& device, int id)
     : device_(&device),
       id_(id),
-      dma_(std::make_unique<DmaEngine>(device.config())) {}
+      dma_(std::make_unique<DmaEngine>(device.config(), id)) {}
 
 void Tile::charge_int_ops(std::uint64_t n) {
   const ps_t t0 = clock_.now();
@@ -107,6 +107,10 @@ void Device::reset_clocks() {
   // would otherwise poison advance_to after the reset).
   for (auto& t : tiles_) t->dma().reset();
   for (auto& t : tiles_) t->clock().reset();
+  // Layered components keeping their own timelines (e.g. the interrupt
+  // controller's per-target service contexts) re-zero lazily by comparing
+  // this generation, so they stay in step with every job/phase boundary.
+  clock_generation_.fetch_add(1, std::memory_order_acq_rel);
 }
 
 void Device::host_sync() {

@@ -14,6 +14,7 @@
 #include "sim/clock.hpp"
 #include "sim/config.hpp"
 #include "sim/dma.hpp"
+#include "sim/fault.hpp"
 #include "sim/mem_model.hpp"
 #include "sim/topology.hpp"
 #include "sim/trace.hpp"
@@ -113,6 +114,13 @@ class Device {
   /// use this between measurement phases.
   void sync_and_reset_clocks();
 
+  /// Monotone counter bumped by every reset_clocks(). Components that keep
+  /// auxiliary timelines (the interrupt controller's service contexts)
+  /// compare it to re-zero themselves lazily at job/phase boundaries.
+  [[nodiscard]] std::uint64_t clock_generation() const noexcept {
+    return clock_generation_.load(std::memory_order_acquire);
+  }
+
   /// Attach (or detach with nullptr) a virtual-time tracer; compute/copy
   /// charges on every tile are recorded while attached. The recorder must
   /// outlive its attachment and cover tile_count() tiles.
@@ -127,6 +135,19 @@ class Device {
     return cache_probes_;
   }
 
+  /// Attach (or detach with nullptr) a fault-injection engine. The engine
+  /// must outlive its attachment. With no engine attached every hardened
+  /// layer takes its zero-cost fast path (same contract as the tracer).
+  void attach_fault(FaultEngine* fault) noexcept { fault_ = fault; }
+  [[nodiscard]] FaultEngine* fault() const noexcept { return fault_; }
+
+  /// Attach (or detach with nullptr) the blocking-wait watchdog consulted
+  /// by UDN receives, barriers, waits, and locks. Must outlive attachment.
+  void attach_watchdog(const Watchdog* wd) noexcept { watchdog_ = wd; }
+  [[nodiscard]] const Watchdog* watchdog() const noexcept {
+    return watchdog_ && watchdog_->enabled() ? watchdog_ : nullptr;
+  }
+
  private:
   const DeviceConfig* cfg_;
   Topology topo_;
@@ -135,7 +156,10 @@ class Device {
   std::unique_ptr<std::barrier<>> host_barrier_;
   int active_tiles_ = 0;
   TraceRecorder* tracer_ = nullptr;
+  FaultEngine* fault_ = nullptr;
+  const Watchdog* watchdog_ = nullptr;
   bool cache_probes_ = false;
+  std::atomic<std::uint64_t> clock_generation_{0};
 };
 
 }  // namespace tilesim

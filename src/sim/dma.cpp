@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 
 namespace tilesim {
 
 DmaDescriptor DmaEngine::issue(int peer, bool is_put, std::size_t bytes,
-                               ps_t issue_ps, ps_t transfer_cost_ps) {
+                               ps_t issue_ps, ps_t transfer_cost_ps,
+                               ps_t stall_ps) {
   std::scoped_lock lk(mu_);
   DmaDescriptor d;
   d.id = next_id_++;
@@ -14,7 +16,7 @@ DmaDescriptor DmaEngine::issue(int peer, bool is_put, std::size_t bytes,
   d.is_put = is_put;
   d.bytes = bytes;
   d.issue_ps = issue_ps;
-  d.start_ps = std::max(issue_ps, engine_free_ps_);
+  d.start_ps = std::max(issue_ps, engine_free_ps_) + stall_ps;
   d.complete_ps = d.start_ps + cfg_->dma_setup_ps + transfer_cost_ps;
   engine_free_ps_ = d.complete_ps;
   pending_.push_back(d);
@@ -61,9 +63,15 @@ DmaStats DmaEngine::stats() const {
 void DmaEngine::reset() {
   std::scoped_lock lk(mu_);
   if (!pending_.empty()) {
+    // Name the owning PE and the queue depth: "which engine, how much"
+    // is the first thing anyone debugging a stuck reset needs.
+    const std::string who =
+        tile_id_ >= 0 ? "PE " + std::to_string(tile_id_) : "unattached engine";
     throw std::logic_error(
-        "DmaEngine::reset with in-flight transfers: call shmem_quiet() "
-        "before resetting clocks");
+        "DmaEngine::reset on " + who + " with " +
+        std::to_string(pending_.size()) +
+        " in-flight descriptor(s): call shmem_quiet() before resetting "
+        "clocks");
   }
   engine_free_ps_ = 0;
   next_id_ = 1;

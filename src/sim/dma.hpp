@@ -51,7 +51,10 @@ struct DmaStats {
 
 class DmaEngine {
  public:
-  explicit DmaEngine(const DeviceConfig& cfg) : cfg_(&cfg) {}
+  /// `tile_id` names the owning tile in failure diagnostics (reset with
+  /// in-flight descriptors); -1 means "unattributed" (standalone tests).
+  explicit DmaEngine(const DeviceConfig& cfg, int tile_id = -1)
+      : cfg_(&cfg), tile_id_(tile_id) {}
 
   DmaEngine(const DmaEngine&) = delete;
   DmaEngine& operator=(const DmaEngine&) = delete;
@@ -59,9 +62,10 @@ class DmaEngine {
   /// Enqueues a transfer issued at virtual time `issue_ps` whose data
   /// movement costs `transfer_cost_ps` (MemModel::copy_cost_ps of the same
   /// request the blocking path would charge). Returns the full descriptor,
-  /// including the computed completion timestamp.
+  /// including the computed completion timestamp. `stall_ps` is an injected
+  /// channel stall (fault engine): the transfer starts that much later.
   DmaDescriptor issue(int peer, bool is_put, std::size_t bytes, ps_t issue_ps,
-                      ps_t transfer_cost_ps);
+                      ps_t transfer_cost_ps, ps_t stall_ps = 0);
 
   [[nodiscard]] std::size_t pending() const;
   /// Virtual time at which the engine's single channel next goes idle.
@@ -95,6 +99,7 @@ class DmaEngine {
 
  private:
   const DeviceConfig* cfg_;
+  int tile_id_ = -1;
   // The queue is mutex-guarded: the owning tile is the only issuer, but
   // tests and the metrics scrape inspect engines from other host threads.
   mutable std::mutex mu_;

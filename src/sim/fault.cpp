@@ -1,0 +1,260 @@
+#include "sim/fault.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace tilesim {
+
+const char* fault_site_name(FaultSite site) noexcept {
+  switch (site) {
+    case FaultSite::kUdnDrop: return "udn.drop";
+    case FaultSite::kUdnCorrupt: return "udn.corrupt";
+    case FaultSite::kUdnDelay: return "udn.delay";
+    case FaultSite::kDmaStall: return "dma.stall";
+    case FaultSite::kDmaDescFail: return "dma.desc_fail";
+    case FaultSite::kTileStall: return "tile.stall";
+    case FaultSite::kCmemMapFail: return "cmem.map_fail";
+    case FaultSite::kHeapCap: return "heap.cap";
+  }
+  return "unknown";
+}
+
+bool FaultPlan::empty() const noexcept {
+  return udn_drop_rate == 0.0 && udn_corrupt_rate == 0.0 &&
+         udn_delay_rate == 0.0 && dma_stall_rate == 0.0 &&
+         dma_desc_fail_rate == 0.0 && tile_stall_rate == 0.0 &&
+         cmem_map_fail_rate == 0.0 && heap_cap_bytes == 0;
+}
+
+namespace {
+
+[[noreturn]] void bad_spec(const std::string& entry, const char* why) {
+  throw std::invalid_argument("FaultPlan::parse: bad entry '" + entry +
+                              "': " + why);
+}
+
+double parse_rate(const std::string& entry, const std::string& text) {
+  std::size_t used = 0;
+  double rate = 0.0;
+  try {
+    rate = std::stod(text, &used);
+  } catch (const std::exception&) {
+    bad_spec(entry, "expected a rate in [0,1]");
+  }
+  if (used != text.size() || rate < 0.0 || rate > 1.0) {
+    bad_spec(entry, "expected a rate in [0,1]");
+  }
+  return rate;
+}
+
+std::uint64_t parse_u64(const std::string& entry, const std::string& text) {
+  std::size_t used = 0;
+  unsigned long long v = 0;
+  try {
+    v = std::stoull(text, &used);
+  } catch (const std::exception&) {
+    bad_spec(entry, "expected a non-negative integer");
+  }
+  if (used != text.size()) bad_spec(entry, "expected a non-negative integer");
+  return static_cast<std::uint64_t>(v);
+}
+
+/// Splits "rate:ps" into its two halves; ps defaults to `fallback_ps` when
+/// the entry is a bare rate.
+void parse_rate_ps(const std::string& entry, const std::string& text,
+                   double& rate, ps_t& ps, ps_t fallback_ps) {
+  const std::size_t colon = text.find(':');
+  if (colon == std::string::npos) {
+    rate = parse_rate(entry, text);
+    ps = fallback_ps;
+    return;
+  }
+  rate = parse_rate(entry, text.substr(0, colon));
+  ps = static_cast<ps_t>(parse_u64(entry, text.substr(colon + 1)));
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::parse(const std::string& spec) {
+  FaultPlan plan;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string entry = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (entry.empty()) continue;
+    const std::size_t eq = entry.find('=');
+    if (eq == std::string::npos) bad_spec(entry, "missing '='");
+    const std::string key = entry.substr(0, eq);
+    const std::string value = entry.substr(eq + 1);
+    if (key == "seed") {
+      plan.seed = parse_u64(entry, value);
+    } else if (key == "udn_drop") {
+      plan.udn_drop_rate = parse_rate(entry, value);
+    } else if (key == "udn_corrupt") {
+      plan.udn_corrupt_rate = parse_rate(entry, value);
+    } else if (key == "udn_delay") {
+      parse_rate_ps(entry, value, plan.udn_delay_rate, plan.udn_delay_ps,
+                    plan.udn_delay_ps);
+    } else if (key == "udn_retries") {
+      plan.udn_max_retries = static_cast<int>(parse_u64(entry, value));
+    } else if (key == "udn_backoff") {
+      plan.udn_backoff_base_ps = static_cast<ps_t>(parse_u64(entry, value));
+    } else if (key == "dma_stall") {
+      parse_rate_ps(entry, value, plan.dma_stall_rate, plan.dma_stall_ps,
+                    plan.dma_stall_ps);
+    } else if (key == "dma_fail") {
+      plan.dma_desc_fail_rate = parse_rate(entry, value);
+    } else if (key == "tile_stall") {
+      parse_rate_ps(entry, value, plan.tile_stall_rate, plan.tile_stall_ps,
+                    plan.tile_stall_ps);
+    } else if (key == "cmem_fail") {
+      plan.cmem_map_fail_rate = parse_rate(entry, value);
+    } else if (key == "heap_cap") {
+      plan.heap_cap_bytes = static_cast<std::size_t>(parse_u64(entry, value));
+    } else {
+      bad_spec(entry, "unknown key");
+    }
+  }
+  return plan;
+}
+
+std::string FaultPlan::describe() const {
+  std::ostringstream os;
+  os << "seed=" << seed;
+  if (udn_drop_rate > 0) os << ",udn_drop=" << udn_drop_rate;
+  if (udn_corrupt_rate > 0) os << ",udn_corrupt=" << udn_corrupt_rate;
+  if (udn_delay_rate > 0) {
+    os << ",udn_delay=" << udn_delay_rate << ":" << udn_delay_ps;
+  }
+  if (dma_stall_rate > 0) {
+    os << ",dma_stall=" << dma_stall_rate << ":" << dma_stall_ps;
+  }
+  if (dma_desc_fail_rate > 0) os << ",dma_fail=" << dma_desc_fail_rate;
+  if (tile_stall_rate > 0) {
+    os << ",tile_stall=" << tile_stall_rate << ":" << tile_stall_ps;
+  }
+  if (cmem_map_fail_rate > 0) os << ",cmem_fail=" << cmem_map_fail_rate;
+  if (heap_cap_bytes > 0) os << ",heap_cap=" << heap_cap_bytes;
+  if (empty()) os << " (empty)";
+  return os.str();
+}
+
+bool FaultEngine::decide(FaultSite site, int tile, double rate,
+                         std::uint64_t n) const noexcept {
+  if (rate <= 0.0) return false;
+  // Mix (seed, site, tile, ordinal) into one word, then run it through
+  // SplitMix64's finalizer for avalanche. Stateless: no stream to race on.
+  std::uint64_t h = plan_.seed;
+  h ^= (static_cast<std::uint64_t>(site) + 1) * 0x9e3779b97f4a7c15ULL;
+  h ^= (static_cast<std::uint64_t>(tile) + 1) * 0xbf58476d1ce4e5b9ULL;
+  h ^= (n + 1) * 0x94d049bb133111ebULL;
+  tshmem_util::SplitMix64 sm{h};
+  const double u = static_cast<double>(sm.next() >> 11) * 0x1.0p-53;
+  return u < rate;
+}
+
+std::uint64_t FaultEngine::next_opportunity(FaultSite site,
+                                            int tile) noexcept {
+  auto& cell =
+      counters_[static_cast<std::size_t>(site)]
+               [static_cast<std::size_t>(tile) % kMaxTiles];
+  return cell.fetch_add(1, std::memory_order_relaxed);
+}
+
+void FaultEngine::record(FaultSite site, int tile, std::uint64_t seq,
+                         ps_t vt_ps) {
+  event_count_.fetch_add(1, std::memory_order_relaxed);
+  std::scoped_lock lk(log_mu_);
+  log_.push_back(FaultEvent{site, tile, seq, vt_ps});
+}
+
+FaultEngine::UdnDecision FaultEngine::udn_attempt(int tile, ps_t now_ps) {
+  UdnDecision d;
+  // Each attempt consumes one opportunity at each UDN site so the ordinal
+  // streams stay aligned with program order even when one site fires.
+  const std::uint64_t n_drop = next_opportunity(FaultSite::kUdnDrop, tile);
+  const std::uint64_t n_corrupt =
+      next_opportunity(FaultSite::kUdnCorrupt, tile);
+  const std::uint64_t n_delay = next_opportunity(FaultSite::kUdnDelay, tile);
+  if (decide(FaultSite::kUdnDrop, tile, plan_.udn_drop_rate, n_drop)) {
+    record(FaultSite::kUdnDrop, tile, n_drop, now_ps);
+    d.verdict = UdnVerdict::kDrop;
+    return d;
+  }
+  if (decide(FaultSite::kUdnCorrupt, tile, plan_.udn_corrupt_rate,
+             n_corrupt)) {
+    record(FaultSite::kUdnCorrupt, tile, n_corrupt, now_ps);
+    d.verdict = UdnVerdict::kCorrupt;
+    return d;
+  }
+  if (decide(FaultSite::kUdnDelay, tile, plan_.udn_delay_rate, n_delay)) {
+    record(FaultSite::kUdnDelay, tile, n_delay, now_ps);
+    d.delay_ps = plan_.udn_delay_ps;
+  }
+  return d;
+}
+
+ps_t FaultEngine::dma_stall(int tile, ps_t now_ps) {
+  const std::uint64_t n = next_opportunity(FaultSite::kDmaStall, tile);
+  if (!decide(FaultSite::kDmaStall, tile, plan_.dma_stall_rate, n)) return 0;
+  record(FaultSite::kDmaStall, tile, n, now_ps);
+  return plan_.dma_stall_ps;
+}
+
+bool FaultEngine::dma_desc_fails(int tile, ps_t now_ps) {
+  const std::uint64_t n = next_opportunity(FaultSite::kDmaDescFail, tile);
+  if (!decide(FaultSite::kDmaDescFail, tile, plan_.dma_desc_fail_rate, n)) {
+    return false;
+  }
+  record(FaultSite::kDmaDescFail, tile, n, now_ps);
+  return true;
+}
+
+ps_t FaultEngine::tile_stall(int tile, ps_t now_ps) {
+  const std::uint64_t n = next_opportunity(FaultSite::kTileStall, tile);
+  if (!decide(FaultSite::kTileStall, tile, plan_.tile_stall_rate, n)) {
+    return 0;
+  }
+  record(FaultSite::kTileStall, tile, n, now_ps);
+  return plan_.tile_stall_ps;
+}
+
+bool FaultEngine::cmem_map_fails(int tile, ps_t now_ps) {
+  const std::uint64_t n = next_opportunity(FaultSite::kCmemMapFail, tile);
+  if (!decide(FaultSite::kCmemMapFail, tile, plan_.cmem_map_fail_rate, n)) {
+    return false;
+  }
+  record(FaultSite::kCmemMapFail, tile, n, now_ps);
+  return true;
+}
+
+void FaultEngine::note_heap_cap_denial(int tile, ps_t now_ps) {
+  const std::uint64_t n = next_opportunity(FaultSite::kHeapCap, tile);
+  record(FaultSite::kHeapCap, tile, n, now_ps);
+}
+
+std::vector<FaultEvent> FaultEngine::events() const {
+  std::vector<FaultEvent> out;
+  {
+    std::scoped_lock lk(log_mu_);
+    out = log_;
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FaultEvent& a, const FaultEvent& b) {
+              if (a.site != b.site) return a.site < b.site;
+              if (a.tile != b.tile) return a.tile < b.tile;
+              return a.seq < b.seq;
+            });
+  return out;
+}
+
+std::uint64_t FaultEngine::event_count() const {
+  return event_count_.load(std::memory_order_relaxed);
+}
+
+}  // namespace tilesim

@@ -1,0 +1,184 @@
+// Deterministic, seeded fault-injection engine (robustness tentpole).
+//
+// A FaultPlan describes *rates and magnitudes* of injectable faults; the
+// FaultEngine turns each runtime "opportunity" (a UDN send attempt, a DMA
+// descriptor issue, an interrupt service, a cmem map, ...) into a
+// deterministic verdict. Decisions are stateless hashes of
+//
+//   (plan.seed, fault site, tile id, per-(site,tile) opportunity ordinal)
+//
+// expanded through SplitMix64. Because each tile consumes its opportunity
+// ordinals in SPMD program order — and virtual time itself is independent
+// of host scheduling — a (seed, plan) pair replays bit-identically: same
+// injected-event log, same final metrics, regardless of how the host OS
+// interleaves tile threads. There is no shared RNG stream to race on.
+//
+// The engine only *decides*; the hardened layers (tmc/udn, sim/dma,
+// tmc/interrupt, tmc/common_memory, tshmem/symheap) consume the verdicts
+// and either recover (retry, backoff, synchronous fallback — counted in
+// recovery.* metrics) or surface a structured tshmem::Error. With an empty
+// plan every query returns "no fault" without touching any clock, which is
+// what keeps the zero-virtual-cost contract intact.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "sim/config.hpp"
+
+namespace tilesim {
+
+/// Injection sites. Order is part of the event-log sort key; append only.
+enum class FaultSite : int {
+  kUdnDrop = 0,     ///< packet vanishes in the mesh (sender must retry)
+  kUdnCorrupt = 1,  ///< payload bit-flip; receiver checksum rejects it
+  kUdnDelay = 2,    ///< packet arrives late by plan.udn_delay_ps
+  kDmaStall = 3,    ///< DMA channel start delayed by plan.dma_stall_ps
+  kDmaDescFail = 4, ///< descriptor post rejected (NBI falls back to sync)
+  kTileStall = 5,   ///< tile loses plan.tile_stall_ps of virtual time
+  kCmemMapFail = 6, ///< common-memory map attempt fails
+  kHeapCap = 7,     ///< symmetric-heap pressure cap denied an allocation
+};
+inline constexpr int kFaultSiteCount = 8;
+
+[[nodiscard]] const char* fault_site_name(FaultSite site) noexcept;
+
+/// One injected fault, as recorded in the replayable event log.
+struct FaultEvent {
+  FaultSite site = FaultSite::kUdnDrop;
+  int tile = 0;
+  std::uint64_t seq = 0;  ///< per-(site,tile) opportunity ordinal that fired
+  ps_t vt_ps = 0;         ///< injecting tile's virtual time at injection
+
+  friend bool operator==(const FaultEvent&, const FaultEvent&) = default;
+};
+
+/// Declarative fault schedule. All rates are per-opportunity probabilities
+/// in [0, 1]; magnitudes are virtual-time picoseconds. Defaults are all
+/// zero: an empty plan injects nothing.
+struct FaultPlan {
+  std::uint64_t seed = 1;
+
+  double udn_drop_rate = 0.0;
+  double udn_corrupt_rate = 0.0;
+  double udn_delay_rate = 0.0;
+  ps_t udn_delay_ps = 0;
+  int udn_max_retries = 8;         ///< bounded retry before kRetriesExhausted
+  ps_t udn_backoff_base_ps = 2000; ///< exponential backoff base (2 ns)
+
+  double dma_stall_rate = 0.0;
+  ps_t dma_stall_ps = 0;
+  double dma_desc_fail_rate = 0.0;
+
+  double tile_stall_rate = 0.0;
+  ps_t tile_stall_ps = 0;
+
+  double cmem_map_fail_rate = 0.0;
+
+  std::size_t heap_cap_bytes = 0;  ///< 0 = uncapped
+
+  /// True when the plan cannot inject anything (all rates/caps zero).
+  [[nodiscard]] bool empty() const noexcept;
+
+  /// Parses a TSHMEM_FAULT_PLAN spec: comma-separated key=value entries,
+  /// e.g. "seed=42,udn_drop=0.01,udn_delay=0.01:50000,dma_stall=0.02:100000,
+  /// dma_fail=0.01,tile_stall=0.005:1000000,cmem_fail=0.1,heap_cap=1048576".
+  /// Rate:magnitude pairs use "rate:ps". Optional keys: udn_corrupt,
+  /// udn_retries, udn_backoff. Throws std::invalid_argument on malformed
+  /// or unknown entries.
+  static FaultPlan parse(const std::string& spec);
+
+  /// Human-readable one-line summary (diagnostics, bench headers).
+  [[nodiscard]] std::string describe() const;
+
+  friend bool operator==(const FaultPlan&, const FaultPlan&) = default;
+};
+
+/// Turns runtime opportunities into deterministic fault verdicts and keeps
+/// the replayable injected-event log. Thread-safe: per-(site,tile) ordinal
+/// counters are atomics owned by exactly one tile thread each in SPMD use,
+/// and the log is mutex-guarded.
+class FaultEngine {
+ public:
+  explicit FaultEngine(FaultPlan plan) : plan_(plan) {}
+
+  FaultEngine(const FaultEngine&) = delete;
+  FaultEngine& operator=(const FaultEngine&) = delete;
+
+  [[nodiscard]] const FaultPlan& plan() const noexcept { return plan_; }
+
+  /// Verdict for one UDN send attempt by `tile` at virtual time `now_ps`.
+  /// delay_ps is nonzero only for kDeliver verdicts that drew a delay.
+  enum class UdnVerdict { kDeliver, kDrop, kCorrupt };
+  struct UdnDecision {
+    UdnVerdict verdict = UdnVerdict::kDeliver;
+    ps_t delay_ps = 0;
+  };
+  UdnDecision udn_attempt(int tile, ps_t now_ps);
+
+  /// Extra start-delay for a DMA descriptor issued by `tile` (0 = none).
+  ps_t dma_stall(int tile, ps_t now_ps);
+
+  /// True when the descriptor post itself is rejected.
+  bool dma_desc_fails(int tile, ps_t now_ps);
+
+  /// Virtual-time stall charged to `tile` while servicing an interrupt
+  /// (0 = none).
+  ps_t tile_stall(int tile, ps_t now_ps);
+
+  /// True when a common-memory map attempt by `tile` fails.
+  bool cmem_map_fails(int tile, ps_t now_ps);
+
+  /// Records a heap-cap denial (the cap verdict itself is a deterministic
+  /// threshold check done by the heap so it stays symmetric across PEs).
+  void note_heap_cap_denial(int tile, ps_t now_ps);
+
+  [[nodiscard]] std::size_t heap_cap_bytes() const noexcept {
+    return plan_.heap_cap_bytes;
+  }
+
+  /// Snapshot of every injected event, sorted by (site, tile, seq) so the
+  /// log compares equal across replays independent of host interleaving.
+  [[nodiscard]] std::vector<FaultEvent> events() const;
+  [[nodiscard]] std::uint64_t event_count() const;
+
+  static constexpr int kMaxTiles = 256;
+
+ private:
+  [[nodiscard]] bool decide(FaultSite site, int tile, double rate,
+                            std::uint64_t n) const noexcept;
+  std::uint64_t next_opportunity(FaultSite site, int tile) noexcept;
+  void record(FaultSite site, int tile, std::uint64_t seq, ps_t vt_ps);
+
+  FaultPlan plan_;
+  std::array<std::array<std::atomic<std::uint64_t>, kMaxTiles>,
+             kFaultSiteCount>
+      counters_{};
+  mutable std::mutex log_mu_;
+  std::vector<FaultEvent> log_;
+  std::atomic<std::uint64_t> event_count_{0};
+};
+
+/// Host-time watchdog attached to the Device and consulted by every
+/// blocking virtual-time wait (UDN recv / send-space, barriers,
+/// shmem_wait_until, locks). When a wait exceeds `timeout` host
+/// milliseconds, the site calls on_timeout(tile, what) — installed by the
+/// TSHMEM runtime to throw tshmem::Error(kWatchdogTimeout) carrying the
+/// per-PE diagnostic snapshot — instead of hanging forever. A default
+/// constructed Watchdog (timeout 0) is disabled.
+struct Watchdog {
+  std::chrono::milliseconds timeout{0};
+  std::function<void(int tile, const char* what)> on_timeout;
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return timeout.count() > 0 && static_cast<bool>(on_timeout);
+  }
+};
+
+}  // namespace tilesim

@@ -1,0 +1,34 @@
+// Watchdog-aware condition-variable wait, shared by every blocking
+// virtual-time rendezvous (UDN queues, barriers). With no watchdog
+// attached this is exactly cv.wait(lk, pred); with one attached the wait
+// wakes every `timeout` and hands control to on_timeout, which is expected
+// to throw a diagnostic tshmem::Error instead of letting the tile hang.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "sim/device.hpp"
+#include "sim/fault.hpp"
+
+namespace tilesim {
+
+template <typename Pred>
+void guarded_wait(const Device& device, std::unique_lock<std::mutex>& lk,
+                  std::condition_variable& cv, int tile, const char* what,
+                  Pred pred) {
+  const Watchdog* wd = device.watchdog();
+  if (wd == nullptr) {
+    cv.wait(lk, pred);
+    return;
+  }
+  while (!cv.wait_for(lk, wd->timeout, pred)) {
+    // Release the wait's lock around the callback: the diagnostic snapshot
+    // reads queue depths and per-PE state, which may need this same lock.
+    lk.unlock();
+    wd->on_timeout(tile, what);
+    lk.lock();
+  }
+}
+
+}  // namespace tilesim

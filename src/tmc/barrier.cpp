@@ -3,10 +3,12 @@
 #include <atomic>
 #include <stdexcept>
 
+#include "sim/guarded_wait.hpp"
+
 namespace tmc {
 
-VtBarrier::VtBarrier(int parties, ReleaseFn release_fn)
-    : parties_(parties), release_fn_(std::move(release_fn)) {
+VtBarrier::VtBarrier(int parties, ReleaseFn release_fn, const Device* device)
+    : parties_(parties), release_fn_(std::move(release_fn)), device_(device) {
   if (parties < 1) {
     throw std::invalid_argument("VtBarrier needs at least one party");
   }
@@ -36,17 +38,24 @@ void VtBarrier::wait(Tile& self) {
     return;
   }
   const std::uint64_t my_generation = generation_;
-  cv_.wait(lk, [&] { return generation_ != my_generation; });
+  if (device_ != nullptr) {
+    tilesim::guarded_wait(*device_, lk, cv_, self.id(), "barrier wait",
+                          [&] { return generation_ != my_generation; });
+  } else {
+    cv_.wait(lk, [&] { return generation_ != my_generation; });
+  }
   const ps_t release = release_time_;
   lk.unlock();
   self.clock().advance_to(release);
 }
 
 SpinBarrier::SpinBarrier(Device& device, int parties)
-    : barrier_(parties, [cfg = &device.config()](ps_t max_arrival,
-                                                 int n) -> ps_t {
-        return max_arrival + model_latency_ps(*cfg, n);
-      }) {}
+    : barrier_(
+          parties,
+          [cfg = &device.config()](ps_t max_arrival, int n) -> ps_t {
+            return max_arrival + model_latency_ps(*cfg, n);
+          },
+          &device) {}
 
 ps_t SpinBarrier::model_latency_ps(const tilesim::DeviceConfig& cfg,
                                    int parties) {
@@ -55,10 +64,12 @@ ps_t SpinBarrier::model_latency_ps(const tilesim::DeviceConfig& cfg,
 }
 
 SyncBarrier::SyncBarrier(Device& device, int parties)
-    : barrier_(parties, [cfg = &device.config()](ps_t max_arrival,
-                                                 int n) -> ps_t {
-        return max_arrival + model_latency_ps(*cfg, n);
-      }) {}
+    : barrier_(
+          parties,
+          [cfg = &device.config()](ps_t max_arrival, int n) -> ps_t {
+            return max_arrival + model_latency_ps(*cfg, n);
+          },
+          &device) {}
 
 ps_t SyncBarrier::model_latency_ps(const tilesim::DeviceConfig& cfg,
                                    int parties) {

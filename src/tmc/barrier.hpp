@@ -28,7 +28,11 @@ class VtBarrier {
  public:
   using ReleaseFn = std::function<ps_t(ps_t max_arrival, int parties)>;
 
-  VtBarrier(int parties, ReleaseFn release_fn);
+  /// `device` (optional) enables the blocking-wait watchdog: a party stuck
+  /// waiting longer than the device watchdog's budget gets a diagnostic
+  /// timeout instead of hanging. nullptr keeps the plain wait.
+  VtBarrier(int parties, ReleaseFn release_fn,
+            const Device* device = nullptr);
 
   VtBarrier(const VtBarrier&) = delete;
   VtBarrier& operator=(const VtBarrier&) = delete;
@@ -45,6 +49,7 @@ class VtBarrier {
  private:
   int parties_;
   ReleaseFn release_fn_;
+  const Device* device_ = nullptr;
   mutable std::mutex mu_;
   std::condition_variable cv_;
   int arrived_ = 0;

@@ -4,6 +4,8 @@
 #include <new>
 #include <stdexcept>
 
+#include "util/error.hpp"
+
 namespace tmc {
 
 namespace {
@@ -29,10 +31,22 @@ std::size_t CommonMemory::offset_of(const void* p) const noexcept {
                                   arena_.get());
 }
 
+void CommonMemory::set_map_fault_hook(MapFaultHook hook) {
+  std::scoped_lock lk(mu_);
+  map_fault_hook_ = std::move(hook);
+}
+
 void* CommonMemory::map(const std::string& name, std::size_t bytes,
                         Homing homing, int creator_tile) {
   if (bytes == 0) throw std::invalid_argument("cannot map zero bytes");
   std::scoped_lock lk(mu_);
+  if (map_fault_hook_ && map_fault_hook_(name, creator_tile)) {
+    throw tshmem::Error(
+        tshmem::Errc::kCmemMapFailed,
+        "common-memory map of '" + name + "' (" + std::to_string(bytes) +
+            " bytes) by PE " + std::to_string(creator_tile) +
+            " failed (injected)");
+  }
   if (mappings_.count(name) != 0) {
     throw std::invalid_argument("duplicate common-memory mapping '" + name +
                                 "'");

@@ -11,6 +11,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -44,9 +45,18 @@ class CommonMemory {
 
   /// Creates a new named mapping visible to every tile; returns its base.
   /// Alignment is at least 64 bytes. Throws std::bad_alloc when the arena
-  /// is exhausted and std::invalid_argument on duplicate names.
+  /// is exhausted, std::invalid_argument on duplicate names, and
+  /// tshmem::Error(kCmemMapFailed) when an installed map-fault hook fires.
   void* map(const std::string& name, std::size_t bytes, Homing homing,
             int creator_tile);
+
+  /// Fault-injection hook consulted at every map() attempt: return true to
+  /// make that attempt fail with tshmem::Error(kCmemMapFailed). The runtime
+  /// installs one forwarding to the device's FaultEngine; nullptr (the
+  /// default) disables injection entirely.
+  using MapFaultHook = std::function<bool(const std::string& name,
+                                          int creator_tile)>;
+  void set_map_fault_hook(MapFaultHook hook);
 
   /// Removes a mapping and returns its space to the arena.
   void unmap(const std::string& name);
@@ -97,6 +107,7 @@ class CommonMemory {
   std::map<std::size_t, std::string> by_offset_;  // mapping start -> name
   std::size_t mapped_bytes_ = 0;                  // current bytes mapped
   Stats stats_;
+  MapFaultHook map_fault_hook_;
 
   [[nodiscard]] std::size_t offset_of(const void* p) const noexcept;
   void coalesce();

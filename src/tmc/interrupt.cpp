@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "sim/fault.hpp"
+
 namespace tmc {
 
 InterruptController::InterruptController(Device& device) : device_(&device) {
@@ -26,7 +28,6 @@ void InterruptController::raise(Tile& requester, int target_tile,
     throw std::invalid_argument("a tile cannot interrupt itself");
   }
   const auto& cfg = device_->config();
-  Tile& target = device_->tile(target_tile);
   PerTile& state = *per_tile_[static_cast<std::size_t>(target_tile)];
 
   // Dispatch: the requester pays to form and route the interrupt packet.
@@ -36,12 +37,33 @@ void InterruptController::raise(Tile& requester, int target_tile,
   ps_t completion;
   {
     std::scoped_lock lk(state.mu);
-    // The handler cannot start before the interrupt arrives at the target,
-    // nor before the target finishes whatever its clock says it is doing.
-    target.clock().advance_to(raise_time);
-    target.clock().advance(cfg.interrupt_service_ps);
-    handler(target);
-    completion = target.clock().now();
+    // The handler runs in the target's interrupt service context. Its
+    // clock is only ever touched under state.mu — never raced by the
+    // target's own thread — so service timing (and therefore any replayed
+    // run) is independent of host scheduling. Back-to-back services on
+    // the same target queue on this timeline.
+    if (!state.service) {
+      state.service = std::make_unique<Tile>(*device_, target_tile);
+      state.clock_gen = device_->clock_generation();
+    } else if (state.clock_gen != device_->clock_generation()) {
+      state.service->clock().reset();
+      state.clock_gen = device_->clock_generation();
+    }
+    Tile& service = *state.service;
+    // The handler cannot start before the interrupt arrives at the target
+    // nor before the previous service on this target completed.
+    service.clock().advance_to(raise_time);
+    // Injected tile stall: the servicing tile loses a window of virtual
+    // time (modeling an OS preemption / competing interrupt) before the
+    // handler runs. Decided deterministically by the fault engine.
+    if (tilesim::FaultEngine* fault = device_->fault(); fault != nullptr) {
+      const ps_t stall =
+          fault->tile_stall(target_tile, service.clock().now());
+      if (stall > 0) service.clock().advance(stall);
+    }
+    service.clock().advance(cfg.interrupt_service_ps);
+    handler(service);
+    completion = service.clock().now();
     ++state.serviced;
   }
   // The requester learns of completion (an acknowledgment over the UDN).

@@ -6,11 +6,18 @@
 // which is why TSHMEM does not support static-variable transfers there.
 //
 // Emulation: the requesting thread executes the handler on the remote
-// tile's *behalf* (all memory is reachable in-process), while the timing
-// model charges the dispatch cost to the requester and the service cost to
-// the remote tile's clock; the requester then waits (in virtual time) for
-// the handler completion. A per-tile mutex serializes handlers, as a real
-// tile services one interrupt at a time.
+// tile's *behalf* (all memory is reachable in-process). Timing runs on a
+// dedicated per-target *service context* — a Tile whose clock is only ever
+// touched under the per-target mutex: the handler cannot start before the
+// interrupt arrives (the requester's raise timestamp) nor before the
+// previous service on that target completed, and the requester then waits
+// (in virtual time) for the handler completion. Because the service clock
+// is never raced by the target's own thread, replayed runs are
+// bit-identical regardless of host scheduling (docs/ROBUSTNESS.md); the
+// target's main-line clock is not billed — the handler executes in its
+// interrupt context, and the requester carries the full cost forward.
+// A per-tile mutex serializes handlers, as a real tile services one
+// interrupt at a time.
 #pragma once
 
 #include <functional>
@@ -37,12 +44,13 @@ class InterruptController {
     return device_->config().supports_udn_interrupts;
   }
 
-  /// Raises an interrupt on `target_tile` and runs `handler(target)` under
-  /// its identity. `handler` receives the target Tile and may charge
-  /// additional costs (e.g. the serviced copy) to its clock. Returns after
-  /// the handler completes; the requester's clock advances to the service
-  /// completion time. Throws std::runtime_error when the device lacks UDN
-  /// interrupts (TILEPro64).
+  /// Raises an interrupt on `target_tile` and runs `handler(service)` under
+  /// its identity. `handler` receives the target's interrupt service
+  /// context (a Tile with the target's id) and may charge additional costs
+  /// (e.g. the serviced copy) to its clock. Returns after the handler
+  /// completes; the requester's clock advances to the service completion
+  /// time. Throws std::runtime_error when the device lacks UDN interrupts
+  /// (TILEPro64).
   void raise(Tile& requester, int target_tile,
              const std::function<void(Tile&)>& handler);
 
@@ -53,6 +61,11 @@ class InterruptController {
   struct PerTile {
     std::mutex mu;
     std::uint64_t serviced = 0;
+    /// Interrupt service context: carries the service timeline for this
+    /// target. Created on first raise; its clock re-zeroes lazily when the
+    /// device's clock generation moves (job/phase boundaries).
+    std::unique_ptr<Tile> service;
+    std::uint64_t clock_gen = 0;
   };
 
   Device* device_;

@@ -1,8 +1,12 @@
 #include "tmc/udn.hpp"
 
 #include <stdexcept>
+#include <string>
 
+#include "sim/fault.hpp"
+#include "sim/guarded_wait.hpp"
 #include "sim/topology.hpp"
+#include "util/error.hpp"
 
 namespace tmc {
 
@@ -11,7 +15,25 @@ namespace {
 constexpr std::uint64_t kDestMask = 0xffff;
 constexpr std::uint64_t kQueueMask = 0xff;
 constexpr std::uint64_t kWordsMask = 0xffff;
+
+// SplitMix64 finalizer — one avalanche round per mixed word.
+constexpr std::uint64_t mix64(std::uint64_t z) noexcept {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+using tilesim::guarded_wait;
 }  // namespace
+
+std::uint64_t udn_checksum(int src_tile, const UdnHeader& header,
+                           std::span<const std::uint64_t> words) noexcept {
+  std::uint64_t h = mix64(header.encode() ^
+                          (static_cast<std::uint64_t>(src_tile) + 1) *
+                              0x9e3779b97f4a7c15ULL);
+  for (std::uint64_t w : words) h = mix64(h ^ w);
+  return h;
+}
 
 std::uint64_t UdnHeader::encode() const noexcept {
   return (static_cast<std::uint64_t>(payload_words) & kWordsMask) << 24 |
@@ -48,7 +70,9 @@ UdnFabric::TileTraffic UdnFabric::traffic(int tile) const {
   const TrafficCell& c = *traffic_[static_cast<std::size_t>(tile)];
   return TileTraffic{c.packets.load(std::memory_order_relaxed),
                      c.words.load(std::memory_order_relaxed),
-                     c.hops.load(std::memory_order_relaxed)};
+                     c.hops.load(std::memory_order_relaxed),
+                     c.retries.load(std::memory_order_relaxed),
+                     c.backoff_ps.load(std::memory_order_relaxed)};
 }
 
 void UdnFabric::check_queue_args(int tile, int queue) const {
@@ -104,17 +128,54 @@ void UdnFabric::send(Tile& sender, int dst_tile, int queue,
   pkt.header = UdnHeader{dst_tile, queue,
                          static_cast<int>(words.size())};
   pkt.payload.assign(words.begin(), words.end());
+  pkt.checksum = udn_checksum(pkt.src_tile, pkt.header, words);
+
+  TrafficCell& traffic = *traffic_[static_cast<std::size_t>(sender.id())];
+
+  // Fault injection: every injection attempt may be dropped or corrupted
+  // at the link (link-level CRC catches the bad flit); the sender backs
+  // off exponentially in virtual time and retries, bounded by the plan.
+  ps_t inject_delay_ps = 0;
+  if (tilesim::FaultEngine* fault = device_->fault(); fault != nullptr) {
+    const tilesim::FaultPlan& plan = fault->plan();
+    int attempt = 0;
+    for (;;) {
+      const auto d = fault->udn_attempt(sender.id(), sender.clock().now());
+      if (d.verdict == tilesim::FaultEngine::UdnVerdict::kDeliver) {
+        inject_delay_ps = d.delay_ps;
+        break;
+      }
+      if (attempt >= plan.udn_max_retries) {
+        throw tshmem::Error(
+            tshmem::Errc::kRetriesExhausted,
+            "UDN send from PE " + std::to_string(sender.id()) + " to PE " +
+                std::to_string(dst_tile) + " queue " + std::to_string(queue) +
+                ": " + std::to_string(attempt + 1) +
+                " attempt(s) dropped/corrupted; retry budget exhausted");
+      }
+      const ps_t backoff = plan.udn_backoff_base_ps
+                           << (attempt < 20 ? attempt : 20);
+      sender.clock().advance(backoff);
+      traffic.retries.fetch_add(1, std::memory_order_relaxed);
+      traffic.backoff_ps.fetch_add(static_cast<std::uint64_t>(backoff),
+                                   std::memory_order_relaxed);
+      ++attempt;
+    }
+  }
+
   pkt.arrival_ps = sender.clock().now() +
                    wire_latency_ps(sender.id(), dst_tile,
-                                   static_cast<int>(words.size()));
+                                   static_cast<int>(words.size())) +
+                   inject_delay_ps;
 
   Queue& q = queue_at(dst_tile, queue);
   {
     std::unique_lock lk(q.mu);
-    q.cv_space.wait(lk, [&] {
-      return q.buffered_words + words.size() <=
-             static_cast<std::size_t>(cfg.udn_max_payload_words);
-    });
+    guarded_wait(*device_, lk, q.cv_space, sender.id(),
+                 "udn send: destination queue full", [&] {
+                   return q.buffered_words + words.size() <=
+                          static_cast<std::size_t>(cfg.udn_max_payload_words);
+                 });
     q.buffered_words += words.size();
     q.packets.push_back(std::move(pkt));
   }
@@ -124,7 +185,6 @@ void UdnFabric::send(Tile& sender, int dst_tile, int queue,
   // the arrival timestamp.
   sender.clock().advance(static_cast<ps_t>(words.size()) * cfg.cycle_ps());
   // Traffic accounting (metrics scrape): host-side only, zero virtual cost.
-  TrafficCell& traffic = *traffic_[static_cast<std::size_t>(sender.id())];
   traffic.packets.fetch_add(1, std::memory_order_relaxed);
   traffic.words.fetch_add(words.size(), std::memory_order_relaxed);
   if (sender.id() != dst_tile) {
@@ -140,6 +200,23 @@ void UdnFabric::send1(Tile& sender, int dst_tile, int queue,
   send(sender, dst_tile, queue, std::span<const std::uint64_t>(&word, 1));
 }
 
+namespace {
+// Receiver-side integrity check. A mismatch means a corrupted packet made
+// it past every link-level retry — surface it, never deliver silently.
+void verify_checksum(const UdnPacket& pkt, int receiver_tile) {
+  if (pkt.checksum ==
+      udn_checksum(pkt.src_tile, pkt.header, pkt.payload)) {
+    return;
+  }
+  throw tshmem::Error(
+      tshmem::Errc::kCorruptPacket,
+      "UDN packet from PE " + std::to_string(pkt.src_tile) + " to PE " +
+          std::to_string(receiver_tile) + " queue " +
+          std::to_string(pkt.header.demux_queue) +
+          " failed its checksum at delivery");
+}
+}  // namespace
+
 UdnPacket UdnFabric::recv(Tile& receiver, int queue) {
   check_queue_args(receiver.id(), queue);
   Queue& q = queue_at(receiver.id(), queue);
@@ -147,12 +224,14 @@ UdnPacket UdnFabric::recv(Tile& receiver, int queue) {
   const tilesim::ps_t wait_begin = receiver.clock().now();
   {
     std::unique_lock lk(q.mu);
-    q.cv_data.wait(lk, [&] { return !q.packets.empty(); });
+    guarded_wait(*device_, lk, q.cv_data, receiver.id(), "udn recv",
+                 [&] { return !q.packets.empty(); });
     pkt = std::move(q.packets.front());
     q.packets.pop_front();
     q.buffered_words -= pkt.payload.size();
   }
   q.cv_space.notify_all();
+  verify_checksum(pkt, receiver.id());
   receiver.clock().advance_to(pkt.arrival_ps);
   receiver.clock().advance(device_->config().udn_rx_overhead_ps);
   if (tilesim::TraceRecorder* tracer = device_->tracer(); tracer != nullptr) {
@@ -170,12 +249,14 @@ UdnPacket UdnFabric::recv_raw(Tile& receiver, int queue) {
   UdnPacket pkt;
   {
     std::unique_lock lk(q.mu);
-    q.cv_data.wait(lk, [&] { return !q.packets.empty(); });
+    guarded_wait(*device_, lk, q.cv_data, receiver.id(), "udn recv",
+                 [&] { return !q.packets.empty(); });
     pkt = std::move(q.packets.front());
     q.packets.pop_front();
     q.buffered_words -= pkt.payload.size();
   }
   q.cv_space.notify_all();
+  verify_checksum(pkt, receiver.id());
   return pkt;
 }
 
@@ -191,6 +272,7 @@ std::optional<UdnPacket> UdnFabric::try_recv(Tile& receiver, int queue) {
     q.buffered_words -= pkt.payload.size();
   }
   q.cv_space.notify_all();
+  verify_checksum(pkt, receiver.id());
   receiver.clock().advance_to(pkt.arrival_ps);
   receiver.clock().advance(device_->config().udn_rx_overhead_ps);
   return pkt;

@@ -58,7 +58,16 @@ struct UdnPacket {
   UdnHeader header;
   ps_t arrival_ps = 0;
   std::vector<std::uint64_t> payload;
+  /// Per-packet checksum over (src, header, payload), computed at send and
+  /// verified at every receive (robustness layer). Host-side only: it never
+  /// costs virtual time.
+  std::uint64_t checksum = 0;
 };
+
+/// The checksum both endpoints compute (exposed for tests).
+[[nodiscard]] std::uint64_t udn_checksum(int src_tile, const UdnHeader& header,
+                                         std::span<const std::uint64_t> words)
+    noexcept;
 
 class UdnFabric {
  public:
@@ -71,6 +80,14 @@ class UdnFabric {
   /// Blocks while the destination queue lacks buffer space (each queue can
   /// hold udn_max_payload_words words, as on hardware). Throws
   /// std::invalid_argument for oversized payloads or bad destinations.
+  ///
+  /// When a fault engine is attached to the device, each send attempt may
+  /// draw a drop/corrupt verdict (link-level CRC catches the bad flit at
+  /// injection): the sender backs off exponentially in virtual time and
+  /// retries, up to plan.udn_max_retries, then throws
+  /// tshmem::Error(kRetriesExhausted). Delivered packets may additionally
+  /// draw an arrival delay. No engine / empty plan ⇒ byte-identical
+  /// behaviour to the unhardened path.
   void send(Tile& sender, int dst_tile, int queue,
             std::span<const std::uint64_t> words);
 
@@ -101,11 +118,15 @@ class UdnFabric {
   [[nodiscard]] std::size_t queued_words(int tile, int queue) const;
 
   /// Cumulative traffic injected by a tile since fabric construction
-  /// (metrics scrape): packets, payload words, and mesh hops traversed.
+  /// (metrics scrape): packets, payload words, mesh hops traversed, plus
+  /// recovery accounting (fault-injected retries and the virtual-time
+  /// backoff they cost the sender).
   struct TileTraffic {
     std::uint64_t packets = 0;
     std::uint64_t words = 0;
     std::uint64_t hops = 0;
+    std::uint64_t retries = 0;
+    std::uint64_t backoff_ps = 0;
   };
   [[nodiscard]] TileTraffic traffic(int tile) const;
 
@@ -116,6 +137,8 @@ class UdnFabric {
     std::atomic<std::uint64_t> packets{0};
     std::atomic<std::uint64_t> words{0};
     std::atomic<std::uint64_t> hops{0};
+    std::atomic<std::uint64_t> retries{0};
+    std::atomic<std::uint64_t> backoff_ps{0};
   };
 
   struct Queue {

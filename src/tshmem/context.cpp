@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cstring>
 
+#include "sim/fault.hpp"
 #include "sim/mem_model.hpp"
 #include "tmc/barrier.hpp"
+#include "util/error.hpp"
 
 namespace tshmem {
 
@@ -54,6 +56,7 @@ Context::Context(Runtime& rt, int pe, Tile& tile, std::byte* partition,
         &reg.gauge("shmem.nbi.queue_depth", pe),
         &reg.histogram("shmem.nbi.quiet_wait_ps", pe),
         &reg.histogram("shmem.nbi.overlap_pct", pe),
+        &reg.counter("recovery.nbi.sync_fallbacks", pe),
     });
   }
 }
@@ -120,17 +123,32 @@ bool Context::addr_accessible(const void* addr, int pe) const noexcept {
 void* Context::shmalloc(std::size_t bytes) {
   // All PEs call with the same size at the same point, keeping the heaps
   // implicitly symmetric; the implicit barrier enforces the rendezvous.
+  rt_->note_op(pe_, "shmalloc");
   if (met_) met_->alloc_calls->inc();
   tile_->charge_calls(1);
   if (rt_->options().validate_symmetry) {
     rt_->check_symmetric_arg(pe_, bytes, "shmalloc(size)");
   }
   void* p = heap_.alloc(bytes);
+  note_heap_denial(p, bytes);
   barrier_all();
   return p;
 }
 
+void Context::note_heap_denial(const void* p, std::size_t bytes) {
+  // Injected heap pressure (FaultPlan::heap_cap_bytes): the denial itself is
+  // the heap's deterministic threshold check — symmetric across PEs — but it
+  // must land in the replayable event log and the fault.heap_cap counter.
+  if (p != nullptr || bytes == 0) return;
+  if (!heap_.cap_would_deny(bytes)) return;
+  if (tilesim::FaultEngine* fault = tile_->device().fault();
+      fault != nullptr) {
+    fault->note_heap_cap_denial(pe_, tile_->clock().now());
+  }
+}
+
 void Context::shfree(void* p) {
+  rt_->note_op(pe_, "shfree");
   if (met_) met_->free_calls->inc();
   tile_->charge_calls(1);
   if (rt_->options().validate_symmetry) {
@@ -140,7 +158,16 @@ void Context::shfree(void* p) {
                            static_cast<const std::byte*>(p) - partition_base_);
     rt_->check_symmetric_arg(pe_, offset, "shfree(offset)");
   }
-  heap_.free(p);
+  try {
+    heap_.free(p);
+  } catch (const std::invalid_argument& e) {
+    // Foreign or corrupted pointer: surface the structured error instead of
+    // the heap's internal exception. No barrier on the error path — peers
+    // freeing a valid pointer proceed; the watchdog catches a PE that then
+    // waits on this one.
+    throw Error(Errc::kForeignFree,
+                "shfree on PE " + std::to_string(pe_) + ": " + e.what());
+  }
   barrier_all();
 }
 
@@ -156,6 +183,7 @@ void* Context::shmemalign(std::size_t alignment, std::size_t bytes) {
   if (met_) met_->alloc_calls->inc();
   tile_->charge_calls(1);
   void* p = heap_.memalign(alignment, bytes);
+  note_heap_denial(p, bytes);
   barrier_all();
   return p;
 }
@@ -207,8 +235,49 @@ void Context::charge_local_copy(std::size_t bytes, MemSpace dst, MemSpace src,
   tile_->charge_copy(req);
 }
 
+void Context::validate_transfer(const void* target, const void* source,
+                                std::size_t bytes, int pe, bool is_put,
+                                const char* what) const {
+  auto where = [&](const char* detail) {
+    return std::string(what) + " on PE " + std::to_string(pe_) + ": " +
+           detail;
+  };
+  if (pe < 0 || pe >= num_pes()) {
+    throw Error(Errc::kInvalidPe,
+                where("remote PE ") + std::to_string(pe) +
+                    " outside [0, " + std::to_string(num_pes()) + ")");
+  }
+  const void* remote = is_put ? target : source;
+  const AddrClass remote_cls = classify(remote);
+  if (remote_cls == AddrClass::kOther) {
+    throw Error(Errc::kNotSymmetric,
+                where(is_put ? "target is not a symmetric object"
+                             : "source is not a symmetric object"));
+  }
+  if (bytes == 0) return;
+  const auto* rb = static_cast<const std::byte*>(remote);
+  if (remote_cls == AddrClass::kStatic) {
+    if (static_cast<std::size_t>(rb - private_base_) + bytes >
+        private_bytes_) {
+      throw Error(Errc::kOutOfBounds,
+                  where("transfer of ") + std::to_string(bytes) +
+                      " bytes runs past the static symmetric arena");
+    }
+  } else if (!heap_.contains_range(remote, bytes)) {
+    throw Error(Errc::kOutOfBounds,
+                where("transfer of ") + std::to_string(bytes) +
+                    " bytes is not contained in one live symmetric-heap "
+                    "allocation");
+  }
+}
+
 void Context::transfer(void* target, const void* source, std::size_t bytes,
                        int pe, bool is_put, CopyHints hints) {
+  rt_->note_op(pe_, is_put ? "shmem_put" : "shmem_get");
+  if (rt_->debug_validation()) {
+    validate_transfer(target, source, bytes, pe, is_put,
+                      is_put ? "shmem put" : "shmem get");
+  }
   if (pe < 0 || pe >= num_pes()) {
     throw std::out_of_range("put/get: PE out of range");
   }
@@ -348,6 +417,11 @@ void Context::get(void* target, const void* source, std::size_t bytes, int pe,
 
 void Context::transfer_nbi(void* target, const void* source,
                            std::size_t bytes, int pe, bool is_put) {
+  rt_->note_op(pe_, is_put ? "shmem_put_nbi" : "shmem_get_nbi");
+  if (rt_->debug_validation()) {
+    validate_transfer(target, source, bytes, pe, is_put,
+                      is_put ? "shmem put_nbi" : "shmem get_nbi");
+  }
   if (pe < 0 || pe >= num_pes()) {
     throw std::out_of_range("put/get nbi: PE out of range");
   }
@@ -371,6 +445,16 @@ void Context::transfer_nbi(void* target, const void* source,
                          rt_->config().dma_issue_ps);
   if (bytes == 0) return;
 
+  tilesim::FaultEngine* fault = tile_->device().fault();
+  if (fault != nullptr &&
+      fault->dma_desc_fails(pe_, tile_->clock().now())) {
+    // Injected descriptor-post failure: degrade gracefully to a blocking
+    // transfer (a valid NBI implementation) instead of losing the data.
+    if (met_) met_->nbi_sync_fallbacks->inc();
+    transfer(target, source, bytes, pe, is_put, {});
+    return;
+  }
+
   auto space_of = [](AddrClass c) {
     return c == AddrClass::kDynamic ? MemSpace::kShared : MemSpace::kPrivate;
   };
@@ -384,8 +468,10 @@ void Context::transfer_nbi(void* target, const void* source,
   req.homing = rt_->options().partition_homing;
   const ps_t cost = tile_->device().mem_model().copy_cost_ps(req);
 
-  const tilesim::DmaDescriptor d =
-      tile_->dma().issue(pe, is_put, bytes, tile_->clock().now(), cost);
+  const ps_t stall_ps =
+      fault != nullptr ? fault->dma_stall(pe_, tile_->clock().now()) : 0;
+  const tilesim::DmaDescriptor d = tile_->dma().issue(
+      pe, is_put, bytes, tile_->clock().now(), cost, stall_ps);
   // The host-side copy happens eagerly; virtual time defers delivery to the
   // descriptor's completion timestamp (the same host-eager/virtual-deferred
   // split every blocking path already relies on). The DMA engine bypasses
@@ -421,6 +507,7 @@ void Context::get_nbi(void* target, const void* source, std::size_t bytes,
 // ===========================================================================
 
 void Context::quiet() {
+  rt_->note_op(pe_, "shmem_quiet");
   tilesim::DmaEngine& dma = tile_->dma();
   if (dma.pending() != 0) {
     const ps_t before = tile_->clock().now();
@@ -530,6 +617,7 @@ void Context::barrier_all() { barrier(world()); }
 void Context::barrier(const ActiveSet& as) { barrier(as, barrier_algo_); }
 
 void Context::barrier(const ActiveSet& as, BarrierAlgo algo) {
+  rt_->note_op(pe_, "shmem_barrier");
   if (!as.contains(pe_)) {
     throw std::invalid_argument("barrier: calling PE not in active set");
   }
@@ -688,7 +776,12 @@ void Context::atomic_engine(void* target, int pe,
 // ===========================================================================
 
 void Context::set_lock(long* lock) {
+  rt_->note_op(pe_, "shmem_set_lock");
   if (met_) met_->lock_ops->inc();
+  const tilesim::Watchdog* wd = tile_->device().watchdog();
+  auto deadline = wd != nullptr
+                      ? std::chrono::steady_clock::now() + wd->timeout
+                      : std::chrono::steady_clock::time_point::max();
   for (;;) {
     long prev = 0;
     atomic_engine(lock, 0, [&](void* addr) {
@@ -701,12 +794,20 @@ void Context::set_lock(long* lock) {
         prev = expected;
       }
     });
-    if (prev == 0) return;
+    if (prev == 0) {
+      rt_->note_lock_delta(pe_, +1);
+      return;
+    }
     std::this_thread::yield();
+    if (wd != nullptr && std::chrono::steady_clock::now() >= deadline) {
+      wd->on_timeout(pe_, "shmem_set_lock");
+      deadline = std::chrono::steady_clock::now() + wd->timeout;
+    }
   }
 }
 
 void Context::clear_lock(long* lock) {
+  rt_->note_op(pe_, "shmem_clear_lock");
   if (met_) met_->lock_ops->inc();
   quiet();  // spec: releases after outstanding stores complete
   atomic_engine(lock, 0, [&](void* addr) {
@@ -717,6 +818,7 @@ void Context::clear_lock(long* lock) {
     }
     ref.store(0, std::memory_order_release);
   });
+  rt_->note_lock_delta(pe_, -1);
 }
 
 int Context::test_lock(long* lock) {
@@ -730,6 +832,7 @@ int Context::test_lock(long* lock) {
       prev = expected;
     }
   });
+  if (prev == 0) rt_->note_lock_delta(pe_, +1);
   return prev == 0 ? 0 : 1;
 }
 
@@ -738,6 +841,7 @@ int Context::test_lock(long* lock) {
 // ===========================================================================
 
 void Context::finalize() {
+  rt_->note_op(pe_, "shmem_finalize");
   if (finalized_) {
     throw std::logic_error("shmem_finalize called twice");
   }
@@ -745,11 +849,12 @@ void Context::finalize() {
   // OpenSHMEM spec requires quiescence before teardown): surface it rather
   // than silently dropping descriptors whose completion nobody will await.
   if (const std::size_t n = tile_->dma().pending(); n != 0) {
-    throw std::runtime_error(
+    throw Error(
+        Errc::kFinalizePending,
         "shmem_finalize: PE " + std::to_string(pe_) + " has " +
-        std::to_string(n) +
-        " outstanding non-blocking transfer(s); call shmem_quiet() before "
-        "shmem_finalize()");
+            std::to_string(n) +
+            " outstanding non-blocking transfer(s); call shmem_quiet() "
+            "before shmem_finalize()");
   }
   // Proper teardown requires the UDN to be fully disengaged: any packet
   // still queued here indicates a protocol bug that would lock up a real

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <cstring>
 #include <functional>
@@ -74,6 +75,7 @@ struct PeMetrics {
   obs::Gauge* nbi_queue_depth;
   obs::Log2Histogram* nbi_quiet_wait_ps;
   obs::Log2Histogram* nbi_overlap_pct;
+  obs::Counter* nbi_sync_fallbacks;  ///< recovery.nbi.sync_fallbacks
 };
 
 class Context {
@@ -305,6 +307,14 @@ class Context {
                 bool is_put, CopyHints hints);
   void transfer_nbi(void* target, const void* source, std::size_t bytes,
                     int pe, bool is_put);
+  /// TSHMEM_DEBUG validation (docs/ROBUSTNESS.md): invalid PE, non-symmetric
+  /// remote address, or out-of-bounds range -> structured tshmem::Error.
+  /// Host-side only; never advances virtual time.
+  void validate_transfer(const void* target, const void* source,
+                         std::size_t bytes, int pe, bool is_put,
+                         const char* what) const;
+  /// Records an injected heap-cap denial in the fault event log.
+  void note_heap_denial(const void* p, std::size_t bytes);
   void charge_local_copy(std::size_t bytes, tilesim::MemSpace dst,
                          tilesim::MemSpace src, CopyHints hints);
   void do_memcpy_visible(void* dst, const void* src, std::size_t bytes);
@@ -368,6 +378,7 @@ void Context::iget(T* target, const T* source, std::ptrdiff_t target_stride,
 template <typename T>
 void Context::wait_until(volatile T* ivar, Cmp cmp, T value) {
   static_assert(std::is_trivially_copyable_v<T>);
+  rt_->note_op(pe_, "shmem_wait_until");
   obs::ScopedVtTimer vt_metric(clock(), met_ ? met_->wait_ps : nullptr,
                                met_ ? met_->wait_calls : nullptr);
   // Point-to-point sync: poll the symmetric variable. Remote elemental puts
@@ -376,8 +387,16 @@ void Context::wait_until(volatile T* ivar, Cmp cmp, T value) {
   // remote delivery into this PE, ordering us after the releasing put.
   auto* nv = const_cast<T*>(const_cast<const volatile T*>(ivar));
   std::atomic_ref<T> ref(*nv);
+  const tilesim::Watchdog* wd = tile_->device().watchdog();
+  auto deadline = wd != nullptr
+                      ? std::chrono::steady_clock::now() + wd->timeout
+                      : std::chrono::steady_clock::time_point::max();
   while (!compare(cmp, ref.load(std::memory_order_acquire), value)) {
     std::this_thread::yield();
+    if (wd != nullptr && std::chrono::steady_clock::now() >= deadline) {
+      wd->on_timeout(pe_, "shmem_wait_until");
+      deadline = std::chrono::steady_clock::now() + wd->timeout;
+    }
   }
   clock().advance_to(rt_->last_delivery(pe_));
   clock().advance(rt_->config().shmem_call_overhead_ps);

@@ -1,10 +1,13 @@
 #include "tshmem/runtime.hpp"
 
+#include <chrono>
 #include <cstdlib>
+#include <sstream>
 #include <stdexcept>
 #include <string_view>
 
 #include "tshmem/context.hpp"
+#include "util/error.hpp"
 
 namespace tshmem {
 
@@ -15,11 +18,27 @@ std::size_t align_up(std::size_t v, std::size_t a) {
   return (v + a - 1) & ~(a - 1);
 }
 
-bool metrics_env_enabled(bool fallback) {
-  const char* v = std::getenv("TSHMEM_METRICS");
+bool bool_env(const char* name, bool fallback) {
+  const char* v = std::getenv(name);
   if (v == nullptr) return fallback;
   const std::string_view s(v);
   return !(s.empty() || s == "0" || s == "false" || s == "off");
+}
+
+bool metrics_env_enabled(bool fallback) {
+  return bool_env("TSHMEM_METRICS", fallback);
+}
+
+int int_env(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return std::atoi(v);
+}
+
+tilesim::FaultPlan fault_plan_env(const tilesim::FaultPlan& fallback) {
+  const char* v = std::getenv("TSHMEM_FAULT_PLAN");
+  if (v == nullptr) return fallback;
+  return tilesim::FaultPlan::parse(v);
 }
 }  // namespace
 
@@ -80,6 +99,36 @@ Runtime::Runtime(const DeviceConfig& cfg, RuntimeOptions opts)
     // mirror the access stream to produce hit/miss counts for the scrape.
     device_.enable_cache_probes();
   }
+
+  debug_validation_ = bool_env("TSHMEM_DEBUG", opts.debug_validation);
+
+  // Fault injection: only a non-empty effective plan attaches an engine,
+  // so the default configuration keeps every hardened fast path zero-cost.
+  const tilesim::FaultPlan plan = fault_plan_env(opts.fault_plan);
+  if (!plan.empty()) {
+    fault_engine_ = std::make_unique<tilesim::FaultEngine>(plan);
+    device_.attach_fault(fault_engine_.get());
+    cmem_.set_map_fault_hook(
+        [this](const std::string&, int creator_tile) {
+          return fault_engine_->cmem_map_fails(
+              creator_tile,
+              creator_tile >= 0 && creator_tile < device_.tile_count()
+                  ? device_.tile(creator_tile).clock().now()
+                  : 0);
+        });
+  }
+
+  const int wd_ms = int_env("TSHMEM_WATCHDOG_MS", opts.watchdog_ms);
+  if (wd_ms > 0) {
+    watchdog_.timeout = std::chrono::milliseconds(wd_ms);
+    watchdog_.on_timeout = [this, wd_ms](int tile, const char* what) {
+      throw Error(Errc::kWatchdogTimeout,
+                  "PE " + std::to_string(tile) + " stuck in '" + what +
+                      "' for over " + std::to_string(wd_ms) + " ms\n" +
+                      watchdog_report());
+    };
+    device_.attach_watchdog(&watchdog_);
+  }
 }
 
 Runtime::~Runtime() = default;
@@ -122,22 +171,55 @@ ps_t Runtime::last_delivery(int pe) const {
       std::memory_order_acquire);
 }
 
-void* Runtime::alloc_bounce(std::size_t bytes, int tile) {
-  std::scoped_lock lk(bounce_mu_);
-  const std::string name = "tshmem_bounce_" + std::to_string(next_bounce_id_++);
-  void* p = cmem_.map(name, bytes, tilesim::Homing::kHashForHome, tile);
-  bounce_names_.emplace(p, name);
-  return p;
+void* Runtime::map_with_retry(const std::string& name, std::size_t bytes,
+                              tilesim::Homing homing, int tile) {
+  // Bounded retry against injected common-memory map failures: transient
+  // map faults are recovered (counted in recovery.cmem.map_retries);
+  // persistent ones surface the structured kCmemMapFailed error.
+  constexpr int kMaxMapRetries = 4;
+  for (int attempt = 0;; ++attempt) {
+    try {
+      return cmem_.map(name, bytes, homing, tile);
+    } catch (const Error& e) {
+      if (e.code() != Errc::kCmemMapFailed || attempt >= kMaxMapRetries) {
+        throw;
+      }
+      if (metrics_enabled_) {
+        registry_.counter("recovery.cmem.map_retries", tile).add(1);
+      }
+    }
+  }
 }
 
-void Runtime::free_bounce(void* p) {
-  std::scoped_lock lk(bounce_mu_);
-  const auto it = bounce_names_.find(p);
-  if (it == bounce_names_.end()) {
-    throw std::invalid_argument("free_bounce of unknown buffer");
+void* Runtime::alloc_bounce(std::size_t bytes, int tile) {
+  // Persistent per-PE bounce slot, grown geometrically and unmapped only at
+  // teardown. Placement and the cmem map/unmap/peak statistics therefore
+  // depend on each PE's own request sequence alone — never on how the host
+  // interleaves PEs — which keeps metrics snapshots bit-identical across
+  // replays (docs/ROBUSTNESS.md). Only PE `tile`'s thread uses its slot,
+  // so no lock is needed.
+  if (tile < 0 || tile >= static_cast<int>(bounce_slots_.size())) {
+    throw std::invalid_argument("alloc_bounce outside a running job");
   }
-  cmem_.unmap(it->second);
-  bounce_names_.erase(it);
+  void*& slot = bounce_slots_[static_cast<std::size_t>(tile)];
+  std::size_t& cap = bounce_slot_bytes_[static_cast<std::size_t>(tile)];
+  if (slot == nullptr || cap < bytes) {
+    std::size_t want = cap == 0 ? std::size_t{4096} : cap;
+    while (want < bytes) want *= 2;
+    const std::string name = "tshmem_bounce_pe" + std::to_string(tile);
+    if (slot != nullptr) {
+      cmem_.unmap(name);
+      slot = nullptr;
+      cap = 0;
+    }
+    slot = map_with_retry(name, want, tilesim::Homing::kHashForHome, tile);
+    cap = want;
+  }
+  return slot;
+}
+
+void Runtime::free_bounce(void*) {
+  // Slots persist for reuse (see alloc_bounce); teardown_job unmaps them.
 }
 
 tmc::SpinBarrier& Runtime::spin_barrier_for(const ActiveSet& as) {
@@ -156,13 +238,49 @@ tmc::SpinBarrier& Runtime::spin_barrier_for(const ActiveSet& as) {
   return *it->second;
 }
 
+void Runtime::note_op(int pe, const char* op) noexcept {
+  if (pe < 0 || static_cast<std::size_t>(pe) >= pe_states_.size()) return;
+  PeState& st = *pe_states_[static_cast<std::size_t>(pe)];
+  st.op.store(op, std::memory_order_relaxed);
+  st.op_seq.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Runtime::note_lock_delta(int pe, int delta) noexcept {
+  if (pe < 0 || static_cast<std::size_t>(pe) >= pe_states_.size()) return;
+  pe_states_[static_cast<std::size_t>(pe)]->held_locks.fetch_add(
+      delta, std::memory_order_relaxed);
+}
+
+std::string Runtime::watchdog_report() const {
+  std::ostringstream os;
+  os << "per-PE diagnostic snapshot (" << npes_ << " PE(s)):";
+  for (int pe = 0; pe < npes_ && static_cast<std::size_t>(pe) <
+                                     pe_states_.size();
+       ++pe) {
+    const PeState& st = *pe_states_[static_cast<std::size_t>(pe)];
+    const Tile& tile = device_.tile(pe);
+    os << "\n  PE " << pe
+       << ": op=" << st.op.load(std::memory_order_relaxed)
+       << " ops=" << st.op_seq.load(std::memory_order_relaxed)
+       << " vt_ps=" << tile.clock().now()
+       << " held_locks=" << st.held_locks.load(std::memory_order_relaxed)
+       << " nbi_pending=" << tile.dma().pending() << " udn_words=[";
+    for (int q = 0; q < device_.config().udn_demux_queues; ++q) {
+      if (q != 0) os << ' ';
+      os << udn_.queued_words(pe, q);
+    }
+    os << ']';
+  }
+  return os.str();
+}
+
 void Runtime::setup_job(int npes) {
   npes_ = npes;
   last_npes_ = npes;
   partitions_ = static_cast<std::byte*>(
-      cmem_.map("tshmem_partitions",
-                static_cast<std::size_t>(npes) * opts_.heap_per_pe,
-                opts_.partition_homing, /*creator_tile=*/0));
+      map_with_retry("tshmem_partitions",
+                     static_cast<std::size_t>(npes) * opts_.heap_per_pe,
+                     opts_.partition_homing, /*creator_tile=*/0));
   private_arenas_.clear();
   contexts_.clear();
   delivery_.clear();
@@ -172,11 +290,20 @@ void Runtime::setup_job(int npes) {
         std::make_unique<std::vector<std::byte>>(opts_.private_per_pe));
     delivery_.push_back(std::make_unique<std::atomic<ps_t>>(0));
   }
+  pe_states_.clear();
+  for (int pe = 0; pe < npes; ++pe) {
+    pe_states_.push_back(std::make_unique<PeState>());
+  }
+  bounce_slots_.assign(static_cast<std::size_t>(npes), nullptr);
+  bounce_slot_bytes_.assign(static_cast<std::size_t>(npes), 0);
   for (int pe = 0; pe < npes; ++pe) {
     contexts_.push_back(std::make_unique<Context>(
         *this, pe, device_.tile(pe), partition_base(pe), opts_.heap_per_pe,
         private_arenas_[static_cast<std::size_t>(pe)]->data(),
         opts_.private_per_pe));
+    if (fault_engine_ != nullptr && fault_engine_->heap_cap_bytes() != 0) {
+      contexts_.back()->heap().set_alloc_cap(fault_engine_->heap_cap_bytes());
+    }
   }
 }
 
@@ -184,11 +311,13 @@ void Runtime::teardown_job() {
   contexts_.clear();
   private_arenas_.clear();
   delivery_.clear();
-  {
-    std::scoped_lock lk(bounce_mu_);
-    for (const auto& [p, name] : bounce_names_) cmem_.unmap(name);
-    bounce_names_.clear();
+  for (std::size_t pe = 0; pe < bounce_slots_.size(); ++pe) {
+    if (bounce_slots_[pe] != nullptr) {
+      cmem_.unmap("tshmem_bounce_pe" + std::to_string(pe));
+    }
   }
+  bounce_slots_.clear();
+  bounce_slot_bytes_.clear();
   {
     std::scoped_lock lk(spin_mu_);
     spin_barriers_.clear();
@@ -202,10 +331,17 @@ void Runtime::run(int npes, const std::function<void(Context&)>& fn) {
   if (npes < 1 || npes > device_.tile_count()) {
     throw std::invalid_argument("npes must be in [1, tile_count]");
   }
-  if (npes_ != 0) {
-    throw std::logic_error("Runtime::run is not reentrant");
+  if (running_.exchange(true, std::memory_order_acq_rel)) {
+    throw Error(Errc::kRunInProgress,
+                "Runtime::run called while another job is already running on "
+                "this runtime (one job at a time; see docs/ROBUSTNESS.md)");
   }
-  setup_job(npes);
+  try {
+    setup_job(npes);
+  } catch (...) {
+    running_.store(false, std::memory_order_release);
+    throw;
+  }
   try {
     device_.run(npes, [this, &fn](Tile& tile) {
       Context& ctx = *contexts_[static_cast<std::size_t>(tile.id())];
@@ -220,10 +356,12 @@ void Runtime::run(int npes, const std::function<void(Context&)>& fn) {
     });
   } catch (...) {
     teardown_job();
+    running_.store(false, std::memory_order_release);
     throw;
   }
   scrape_run_stats();
   teardown_job();
+  running_.store(false, std::memory_order_release);
 }
 
 obs::MetricsSnapshot Runtime::metrics() const {
@@ -255,6 +393,15 @@ void Runtime::scrape_run_stats() {
                                                    up.packets));
     registry_.counter("udn.words", pe).add(delta(traffic.words, up.words));
     registry_.counter("udn.hops", pe).add(delta(traffic.hops, up.hops));
+    if (fault_engine_ != nullptr) {
+      registry_.counter("recovery.udn.retries", pe)
+          .add(delta(traffic.retries, up.retries));
+      registry_.counter("recovery.udn.backoff_ps", pe)
+          .add(delta(traffic.backoff_ps, up.backoff_ps));
+    } else {
+      up.retries = traffic.retries;
+      up.backoff_ps = traffic.backoff_ps;
+    }
 
     if (const tilesim::CacheSim* probe = tile.cache_probe();
         probe != nullptr) {
@@ -305,6 +452,27 @@ void Runtime::scrape_run_stats() {
       .set(static_cast<std::int64_t>(statics_.bytes_used()));
   registry_.gauge("shmem.statics.objects", -1)
       .set(static_cast<std::int64_t>(statics_.object_count()));
+
+  // Injected-fault families: one counter per (site, tile) that fired. The
+  // engine log is cumulative across runs, so scrape deltas per key.
+  if (fault_engine_ != nullptr) {
+    std::map<std::pair<int, int>, std::uint64_t> counts;
+    for (const tilesim::FaultEvent& ev : fault_engine_->events()) {
+      ++counts[{static_cast<int>(ev.site), ev.tile}];
+    }
+    for (const auto& [key, cur] : counts) {
+      std::uint64_t& prev = scraped_fault_[key];
+      if (cur > prev) {
+        registry_
+            .counter(std::string("fault.") +
+                         tilesim::fault_site_name(
+                             static_cast<tilesim::FaultSite>(key.first)),
+                     key.second)
+            .add(cur - prev);
+        prev = cur;
+      }
+    }
+  }
 }
 
 void Runtime::check_symmetric_arg(int pe, std::uint64_t value,

@@ -84,6 +84,24 @@ struct RuntimeOptions {
   /// metrics on or off. The TSHMEM_METRICS environment variable overrides
   /// this field ("0"/"false"/"off" disable, any other value enables).
   bool metrics = false;
+  /// Opt-in debug validation (docs/ROBUSTNESS.md): put/get/NBI arguments
+  /// are checked for invalid PEs, non-symmetric addresses, and
+  /// out-of-bounds transfers, surfacing structured tshmem::Error codes.
+  /// Host-side checks only — zero virtual-time cost — but they walk heap
+  /// metadata per transfer, so they are off by default. The TSHMEM_DEBUG
+  /// environment variable overrides this field.
+  bool debug_validation = false;
+  /// Host-time budget (milliseconds) for any single blocking wait (UDN
+  /// receive/send-space, barriers, shmem_wait_until, locks). On expiry the
+  /// stuck PE throws tshmem::Error(kWatchdogTimeout) carrying a per-PE
+  /// diagnostic snapshot instead of hanging forever. 0 disables. The
+  /// TSHMEM_WATCHDOG_MS environment variable overrides this field.
+  int watchdog_ms = 120000;
+  /// Deterministic fault-injection plan (docs/ROBUSTNESS.md). An empty
+  /// plan attaches no engine — the default — and keeps every figure
+  /// bit-identical. The TSHMEM_FAULT_PLAN environment variable, when set,
+  /// replaces this field (parsed by tilesim::FaultPlan::parse).
+  tilesim::FaultPlan fault_plan;
 };
 
 class Runtime {
@@ -131,7 +149,10 @@ class Runtime {
   void note_delivery(int pe, ps_t completion);
   [[nodiscard]] ps_t last_delivery(int pe) const;
 
-  /// Temporary shared bounce buffer for static-static transfers.
+  /// Shared bounce buffer for static-static transfers and collective
+  /// staging: a persistent per-PE slot grown on demand, so cmem placement
+  /// and statistics replay bit-identically (free_bounce is a no-op; the
+  /// slot is recycled and unmapped at job teardown).
   void* alloc_bounce(std::size_t bytes, int tile);
   void free_bounce(void* p);
 
@@ -147,6 +168,27 @@ class Runtime {
   [[nodiscard]] BarrierAlgo barrier_algo() const noexcept {
     return opts_.barrier_algo;
   }
+
+  // --- robustness (src/sim/fault.hpp; docs/ROBUSTNESS.md) ------------------
+  /// Fault engine attached to this runtime's device; nullptr when the
+  /// effective plan is empty (the default — zero-cost hardened paths).
+  [[nodiscard]] tilesim::FaultEngine* fault_engine() noexcept {
+    return fault_engine_.get();
+  }
+  [[nodiscard]] bool debug_validation() const noexcept {
+    return debug_validation_;
+  }
+
+  /// Per-PE liveness board feeding the watchdog diagnostic: each Context
+  /// posts the name of the operation it is entering (static strings only)
+  /// and its lock hold count. Relaxed atomics; zero virtual-time cost.
+  void note_op(int pe, const char* op) noexcept;
+  void note_lock_delta(int pe, int delta) noexcept;
+
+  /// Diagnostic snapshot of every PE: last op, op count, virtual clock,
+  /// held locks, UDN queue depths, DMA queue depth. Built on watchdog
+  /// timeout, usable any time during run().
+  [[nodiscard]] std::string watchdog_report() const;
 
   // --- metrics (src/obs) ---------------------------------------------------
   [[nodiscard]] bool metrics_enabled() const noexcept {
@@ -170,6 +212,18 @@ class Runtime {
   tmc::InterruptController intc_;
   StaticRegistry statics_;
 
+  // --- robustness state ----------------------------------------------------
+  struct PeState {
+    std::atomic<const char*> op{"idle"};   // static strings only
+    std::atomic<std::uint64_t> op_seq{0};
+    std::atomic<int> held_locks{0};
+  };
+  std::unique_ptr<tilesim::FaultEngine> fault_engine_;  // null = no faults
+  tilesim::Watchdog watchdog_;
+  bool debug_validation_ = false;
+  std::vector<std::unique_ptr<PeState>> pe_states_;
+  std::atomic<bool> running_{false};
+
   int npes_ = 0;
   std::byte* partitions_ = nullptr;  // npes_ * heap_per_pe, in cmem_
   std::vector<std::unique_ptr<std::vector<std::byte>>> private_arenas_;
@@ -178,9 +232,10 @@ class Runtime {
   std::vector<std::unique_ptr<std::atomic<ps_t>>> delivery_;
   std::vector<std::uint64_t> symmetry_slots_;
 
-  std::mutex bounce_mu_;
-  std::map<void*, std::string> bounce_names_;
-  std::uint64_t next_bounce_id_ = 0;
+  // Persistent per-PE bounce slots (see alloc_bounce): indexed by PE, each
+  // touched only by its own PE's thread during a run.
+  std::vector<void*> bounce_slots_;
+  std::vector<std::size_t> bounce_slot_bytes_;
 
   std::mutex spin_mu_;
   std::map<std::uint64_t, std::unique_ptr<tmc::SpinBarrier>> spin_barriers_;
@@ -195,9 +250,14 @@ class Runtime {
   std::vector<tmc::UdnFabric::TileTraffic> scraped_udn_;
   std::vector<tilesim::AccessCounts> scraped_cache_;
   tmc::CommonMemory::Stats scraped_cmem_;
+  std::map<std::pair<int, int>, std::uint64_t> scraped_fault_;  // (site,tile)
 
   void setup_job(int npes);
   void teardown_job();
+  /// cmem map with bounded retry against injected map faults (recovered
+  /// attempts are counted in recovery.cmem.map_retries).
+  void* map_with_retry(const std::string& name, std::size_t bytes,
+                       tilesim::Homing homing, int tile);
   /// End-of-run scrape of layer-internal stats into the registry (UDN
   /// traffic, cache-probe counts, busy/idle time, heap/cmem occupancy).
   void scrape_run_stats();

@@ -20,6 +20,7 @@ SymHeap::SymHeap(std::byte* base, std::size_t bytes)
 
 void* SymHeap::alloc(std::size_t bytes) {
   if (bytes == 0) return nullptr;
+  if (cap_would_deny(bytes)) return nullptr;  // injected heap pressure
   const std::size_t want = align_up(bytes);
   for (Block* b = head_; b != nullptr; b = b->next) {
     if (b->free && b->size >= want) {
@@ -36,6 +37,7 @@ void* SymHeap::memalign(std::size_t alignment, std::size_t bytes) {
     return nullptr;
   }
   if (bytes == 0) return nullptr;
+  if (cap_would_deny(bytes)) return nullptr;  // injected heap pressure
   const std::size_t want = align_up(bytes);
   for (Block* b = head_; b != nullptr; b = b->next) {
     if (!b->free) continue;
@@ -196,6 +198,21 @@ std::size_t SymHeap::allocation_size(const void* p) const {
   Block* b = block_of(const_cast<void*>(p));
   if (b->free) throw std::invalid_argument("block is free");
   return b->size;
+}
+
+bool SymHeap::cap_would_deny(std::size_t bytes) const noexcept {
+  return cap_bytes_ != 0 && bytes_in_use() + align_up(bytes) > cap_bytes_;
+}
+
+bool SymHeap::contains_range(const void* p, std::size_t bytes) const noexcept {
+  const auto* bp = static_cast<const std::byte*>(p);
+  for (const Block* b = head_; b != nullptr; b = b->next) {
+    if (b->free) continue;
+    const auto* payload =
+        reinterpret_cast<const std::byte*>(b) + sizeof(Block);
+    if (bp >= payload && bp + bytes <= payload + b->size) return true;
+  }
+  return false;
 }
 
 bool SymHeap::validate() const noexcept {

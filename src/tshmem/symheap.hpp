@@ -50,6 +50,19 @@ class SymHeap {
   /// accounting, no adjacent free blocks). Returns true when consistent.
   [[nodiscard]] bool validate() const noexcept;
 
+  /// Heap-pressure cap (fault injection): allocations that would push
+  /// bytes_in_use past the cap are denied. 0 disables the cap. The cap
+  /// check is a deterministic threshold, identical on every PE, so denial
+  /// stays symmetric across a collective shmalloc.
+  void set_alloc_cap(std::size_t cap_bytes) noexcept { cap_bytes_ = cap_bytes; }
+  [[nodiscard]] std::size_t alloc_cap() const noexcept { return cap_bytes_; }
+  [[nodiscard]] bool cap_would_deny(std::size_t bytes) const noexcept;
+
+  /// True when [p, p+bytes) lies entirely within one live allocation
+  /// (debug-mode out-of-bounds transfer validation).
+  [[nodiscard]] bool contains_range(const void* p,
+                                    std::size_t bytes) const noexcept;
+
   [[nodiscard]] std::byte* base() const noexcept { return base_; }
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
 
@@ -68,6 +81,7 @@ class SymHeap {
   std::byte* base_;
   std::size_t capacity_;
   Block* head_;
+  std::size_t cap_bytes_ = 0;
 
   [[nodiscard]] static std::size_t align_up(std::size_t v) noexcept {
     return (v + kAlign - 1) & ~(kAlign - 1);

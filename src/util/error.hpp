@@ -1,0 +1,61 @@
+// Structured TSHMEM error codes (robustness layer; see docs/ROBUSTNESS.md).
+//
+// Lives in util — the bottom layer — so sim/tmc/tshmem can all raise
+// structured errors without upward dependencies, while the public type
+// keeps the library's namespace: tshmem::Error. Header-only; deriving from
+// std::runtime_error keeps every pre-existing EXPECT_THROW(runtime_error)
+// contract intact while letting callers switch on a stable code.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace tshmem {
+
+/// Stable error codes. The numeric values are part of the documented
+/// surface (docs/ROBUSTNESS.md error-code table); append only.
+enum class Errc : int {
+  kInvalidPe = 1,       ///< PE number outside [0, npes)
+  kNotSymmetric = 2,    ///< address is not a symmetric object
+  kOutOfBounds = 3,     ///< transfer runs past the symmetric object/region
+  kForeignFree = 4,     ///< shfree of a pointer this PE's heap does not own
+  kRetriesExhausted = 5,  ///< bounded retry gave up (UDN drop/corrupt storm)
+  kCorruptPacket = 6,   ///< UDN per-packet checksum mismatch at the receiver
+  kWatchdogTimeout = 7, ///< a blocking wait exceeded the watchdog budget
+  kCmemMapFailed = 8,   ///< common-memory mapping failed after bounded retry
+  kRunInProgress = 9,   ///< Runtime::run while a job is already running
+  kFinalizePending = 10,  ///< finalize with outstanding non-blocking work
+};
+
+[[nodiscard]] constexpr const char* errc_name(Errc c) noexcept {
+  switch (c) {
+    case Errc::kInvalidPe: return "invalid_pe";
+    case Errc::kNotSymmetric: return "not_symmetric";
+    case Errc::kOutOfBounds: return "out_of_bounds";
+    case Errc::kForeignFree: return "foreign_free";
+    case Errc::kRetriesExhausted: return "retries_exhausted";
+    case Errc::kCorruptPacket: return "corrupt_packet";
+    case Errc::kWatchdogTimeout: return "watchdog_timeout";
+    case Errc::kCmemMapFailed: return "cmem_map_failed";
+    case Errc::kRunInProgress: return "run_in_progress";
+    case Errc::kFinalizePending: return "finalize_pending";
+  }
+  return "unknown";
+}
+
+/// Structured runtime error: a stable Errc plus a human-readable message
+/// prefixed with the code name ("[watchdog_timeout] ...").
+class Error : public std::runtime_error {
+ public:
+  Error(Errc code, const std::string& message)
+      : std::runtime_error(std::string("[") + errc_name(code) + "] " +
+                           message),
+        code_(code) {}
+
+  [[nodiscard]] Errc code() const noexcept { return code_; }
+
+ private:
+  Errc code_;
+};
+
+}  // namespace tshmem

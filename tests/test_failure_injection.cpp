@@ -8,6 +8,7 @@
 
 #include "tshmem/context.hpp"
 #include "tshmem/runtime.hpp"
+#include "util/error.hpp"
 
 namespace {
 
@@ -141,10 +142,12 @@ TEST(FailureInjection, DeadPeDoesNotHangTheJob) {
 }
 
 TEST(FailureInjection, BounceBufferFreedEvenAcrossManyStaticTransfers) {
-  // The static-static path allocates and frees a shared bounce buffer per
-  // transfer; leaking them would exhaust common memory. Hammer the path
-  // and verify the mapping count returns to baseline.
+  // The static-static path stages through a persistent per-PE bounce slot;
+  // leaking a mapping per transfer would exhaust common memory. Hammer the
+  // path and verify the mapping count stays at baseline plus the one slot,
+  // then that teardown returns common memory to its pre-job state.
   Runtime rt(tilesim::tile_gx36());
+  const std::size_t idle = rt.cmem().mapping_count();
   rt.run(2, [](Context& ctx) {
     auto* stat = ctx.static_sym<std::byte>("bounce_hammer", 4096);
     ctx.barrier_all();
@@ -153,10 +156,11 @@ TEST(FailureInjection, BounceBufferFreedEvenAcrossManyStaticTransfers) {
       for (int i = 0; i < 50; ++i) {
         ctx.put(stat, stat, 4096, 1);
       }
-      EXPECT_EQ(ctx.runtime().cmem().mapping_count(), baseline);
+      EXPECT_EQ(ctx.runtime().cmem().mapping_count(), baseline + 1);
     }
     ctx.barrier_all();
   });
+  EXPECT_EQ(rt.cmem().mapping_count(), idle);  // slot unmapped at teardown
 }
 
 TEST(FailureInjection, OversizedUdnPayloadFromApiSurfacesCleanly) {
@@ -167,6 +171,55 @@ TEST(FailureInjection, OversizedUdnPayloadFromApiSurfacesCleanly) {
         ctx.runtime().udn().send(ctx.tile(), 1, 0, words),
         std::invalid_argument);
     ctx.barrier_all();
+  });
+}
+
+TEST(FailureInjection, ConcurrentRunRejectedWithStructuredError) {
+  // Runtime::run while a job is already running must fail fast with the
+  // documented kRunInProgress code instead of corrupting the live job's
+  // partitions (docs/ROBUSTNESS.md error-code table).
+  Runtime rt(tilesim::tile_gx36());
+  std::atomic<int> caught{0};
+  rt.run(2, [&](Context& ctx) {
+    if (ctx.my_pe() == 0) {
+      try {
+        ctx.runtime().run(1, [](Context&) {});
+        ADD_FAILURE() << "nested Runtime::run did not throw";
+      } catch (const tshmem::Error& e) {
+        EXPECT_EQ(e.code(), tshmem::Errc::kRunInProgress);
+        EXPECT_NE(std::string(e.what()).find("run_in_progress"),
+                  std::string::npos);
+        caught.fetch_add(1);
+      }
+    }
+    ctx.barrier_all();
+  });
+  EXPECT_EQ(caught.load(), 1);
+  // The live job was unaffected and the runtime stays reusable.
+  rt.run(2, [](Context& ctx) { ctx.barrier_all(); });
+}
+
+TEST(FailureInjection, ForeignPointerShfreeSurfacesStructuredError) {
+  // shfree of memory the symmetric heap does not own is a program error
+  // that must surface as kForeignFree naming the PE, not corrupt the heap.
+  Runtime rt(tilesim::tile_gx36());
+  rt.run(2, [](Context& ctx) {
+    long local = 0;
+    try {
+      ctx.shfree(&local);
+      ADD_FAILURE() << "foreign shfree did not throw";
+    } catch (const tshmem::Error& e) {
+      EXPECT_EQ(e.code(), tshmem::Errc::kForeignFree);
+      const std::string what = e.what();
+      EXPECT_NE(what.find("foreign_free"), std::string::npos);
+      EXPECT_NE(what.find("PE " + std::to_string(ctx.my_pe())),
+                std::string::npos);
+    }
+    // The heap survives the rejected free.
+    void* ok = ctx.shmalloc(64);
+    EXPECT_NE(ok, nullptr);
+    EXPECT_TRUE(ctx.heap().validate());
+    ctx.shfree(ok);
   });
 }
 

@@ -5,13 +5,16 @@
 // outstanding transfers, clock reset under in-flight descriptors).
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstring>
 #include <numeric>
+#include <string>
 #include <vector>
 
 #include "sim/dma.hpp"
 #include "tshmem/context.hpp"
 #include "tshmem/runtime.hpp"
+#include "util/error.hpp"
 
 namespace {
 
@@ -87,6 +90,36 @@ TEST(DmaEngine, ResetThrowsOnInflightButClearIsUnconditional) {
   EXPECT_EQ(eng.pending(), 0u);
   EXPECT_EQ(eng.engine_free_ps(), 0u);
   EXPECT_NO_THROW(eng.reset());  // empty engine resets fine
+}
+
+TEST(DmaEngine, ResetErrorNamesPeAndQueueDepth) {
+  // "Which engine, how much" is the first thing a stuck-reset diagnosis
+  // needs; cover both device generations since the message is shared.
+  for (const auto& cfg : {tilesim::tile_gx36(), tilesim::tile_pro64()}) {
+    DmaEngine eng(cfg, /*tile_id=*/7);
+    eng.issue(0, true, 128, 0, 1'000);
+    eng.issue(1, false, 64, 0, 1'000);
+    try {
+      eng.reset();
+      FAIL() << "reset with in-flight descriptors did not throw";
+    } catch (const std::logic_error& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find("PE 7"), std::string::npos) << what;
+      EXPECT_NE(what.find("2 in-flight descriptor(s)"), std::string::npos)
+          << what;
+    }
+    eng.clear();
+  }
+  // An engine constructed without a tile id stays diagnosable too.
+  DmaEngine bare(tilesim::tile_gx36());
+  bare.issue(0, true, 8, 0, 100);
+  try {
+    bare.reset();
+    FAIL() << "reset with in-flight descriptors did not throw";
+  } catch (const std::logic_error& e) {
+    EXPECT_NE(std::string(e.what()).find("unattached engine"),
+              std::string::npos);
+  }
 }
 
 // ===========================================================================
@@ -449,6 +482,59 @@ TEST(NbiFailure, ClockResetUnderInflightTransfersThrows) {
                         ctx.harness_sync_reset();  // throws logic_error
                       }),
                std::logic_error);
+  rt.run(2, [](Context& ctx) { ctx.barrier_all(); });  // reusable after
+}
+
+TEST(NbiPro64, FinalizeWithOutstandingNbiNamesPeAndCount) {
+  // Same finalize contract on the TILEPro64 pseudo-DMA path, now with the
+  // structured kFinalizePending error naming the PE and queue depth.
+  Runtime rt(tilesim::tile_pro64());
+  std::atomic<bool> checked{false};
+  EXPECT_THROW(
+      rt.run(2,
+             [&](Context& ctx) {
+               int* buf = ctx.shmalloc_n<int>(64);
+               ctx.barrier_all();
+               if (ctx.my_pe() == 0) {
+                 int src[64] = {};
+                 ctx.put_nbi(buf, src, sizeof(src), 1);
+                 try {
+                   ctx.finalize();
+                 } catch (const tshmem::Error& e) {
+                   EXPECT_EQ(e.code(), tshmem::Errc::kFinalizePending);
+                   const std::string what = e.what();
+                   EXPECT_NE(what.find("PE 0"), std::string::npos) << what;
+                   EXPECT_NE(what.find("1 outstanding"), std::string::npos)
+                       << what;
+                   checked.store(true);
+                   throw;
+                 }
+               }
+             }),
+      std::runtime_error);
+  EXPECT_TRUE(checked.load());
+  rt.run(2, [](Context& ctx) {
+    EXPECT_EQ(ctx.nbi_pending(), 0u);
+    ctx.barrier_all();
+  });
+}
+
+TEST(NbiPro64, ClockResetUnderInflightTransfersThrowsNamingPe) {
+  Runtime rt(tilesim::tile_pro64());
+  try {
+    rt.run(2, [](Context& ctx) {
+      auto* buf = static_cast<std::byte*>(ctx.shmalloc(4096));
+      ctx.barrier_all();
+      ctx.put_nbi(buf, buf + 2048, 1024, 1 - ctx.my_pe());
+      ctx.harness_sync_reset();  // tile 0 resets all engines: throws
+    });
+    FAIL() << "clock reset under in-flight transfers did not throw";
+  } catch (const std::logic_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("PE 0"), std::string::npos) << what;
+    EXPECT_NE(what.find("in-flight descriptor(s)"), std::string::npos)
+        << what;
+  }
   rt.run(2, [](Context& ctx) { ctx.barrier_all(); });  // reusable after
 }
 

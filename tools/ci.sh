@@ -6,9 +6,17 @@
 # sensitive suites (NBI/DMA engine, tmc + tshmem barriers) under
 # ThreadSanitizer and run them race-clean.
 #
+# After the sanitizer stages, the fault-injection campaign (bench/ext_faults)
+# runs twice per seed over a fixed seed set and the outputs are diffed:
+# the deterministic-replay contract (docs/ROBUSTNESS.md) requires the
+# injected-event log, recovery counters, and final virtual clocks to be
+# bit-identical for the same (seed, plan).
+#
 # Usage: tools/ci.sh [build-dir]
 #   TSHMEM_CI_TSAN=0 skips the ThreadSanitizer stage (e.g. toolchains
 #   without libtsan).
+#   TSHMEM_CI_ASAN=0 skips the Address/UB-Sanitizer stage (e.g. toolchains
+#   without libasan/libubsan).
 set -eu
 
 BUILD_DIR="${1:-build}"
@@ -74,5 +82,37 @@ if [ "${TSHMEM_CI_TSAN:-1}" != "0" ]; then
 else
   echo "== tsan: skipped (TSHMEM_CI_TSAN=0)"
 fi
+
+if [ "${TSHMEM_CI_ASAN:-1}" != "0" ]; then
+  echo "== asan+ubsan (test_fault_injection, test_failure_injection, test_nbi)"
+  ASAN_DIR="${BUILD_DIR}-asan"
+  cmake -B "$ASAN_DIR" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined" >/dev/null
+  cmake --build "$ASAN_DIR" -j \
+    --target test_fault_injection test_failure_injection test_nbi
+  # ASan/UBSan abort on the first finding, so a clean gtest pass means a
+  # clean run (including the error/exception paths the fault tests force).
+  "$ASAN_DIR"/tests/test_fault_injection
+  "$ASAN_DIR"/tests/test_failure_injection
+  "$ASAN_DIR"/tests/test_nbi
+else
+  echo "== asan+ubsan: skipped (TSHMEM_CI_ASAN=0)"
+fi
+
+echo "== fault campaign (deterministic replay across seeds)"
+campaign_ok=1
+for seed in 1 7 42; do
+  "$BUILD_DIR"/bench/ext_faults --seed "$seed" > "$tmp_dir/camp_a_$seed.txt"
+  "$BUILD_DIR"/bench/ext_faults --seed "$seed" > "$tmp_dir/camp_b_$seed.txt"
+  if diff -u "$tmp_dir/camp_a_$seed.txt" "$tmp_dir/camp_b_$seed.txt"; then
+    echo "   seed $seed: bit-identical"
+  else
+    echo "   seed $seed: REPLAY DIVERGED"
+    campaign_ok=0
+  fi
+done
+[ "$campaign_ok" = 1 ]
 
 echo "== ci.sh: all green"
