@@ -53,7 +53,11 @@ void campaign_workload(Context& ctx) {
     ctx.barrier_all();
     ctx.put_nbi(dyn, src.data(), 256 * sizeof(int), peer);
     ctx.quiet();
-    ctx.put(stat, stat, 32 * sizeof(int), peer);  // interrupt/bounce path
+    // Interrupt/bounce path. Source and destination halves of the static
+    // object are disjoint: inside one barrier phase every PE reads its own
+    // lower half while a peer writes its upper half, so overlapping them
+    // would be a genuine SHMEM-level race (tshmem-check flags it).
+    ctx.put(stat + 32, stat, 32 * sizeof(int), peer);
     ctx.barrier_all();
     // Heap pressure: a big symmetric request the injected cap denies on
     // every PE at once (a denial is collective, like the allocation).

@@ -1,0 +1,92 @@
+// Vector clocks for the tshmem-check happens-before race detector
+// (docs/ANALYSIS.md). One logical clock component per *actor*: PE i owns
+// component i, PE i's asynchronous DMA engine owns component npes + i, so
+// `_nbi` traffic is ordered independently of the issuing PE until a
+// shmem_quiet joins the engine's clock back into its owner.
+//
+// Header-only and dependency-free: the detector (race.hpp) and its unit
+// tests are the only intended users.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace tshmem::analysis {
+
+/// A release epoch: actor `actor` at its local clock value `clk`. Shadow
+/// cells store epochs instead of whole clocks (FastTrack-style): the access
+/// happened-before a later event iff that event's vector clock has caught
+/// up with the actor's component.
+struct Epoch {
+  std::int32_t actor = -1;
+  std::uint64_t clk = 0;
+};
+
+class VectorClock {
+ public:
+  VectorClock() = default;
+  explicit VectorClock(std::size_t actors) : c_(actors, 0) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return c_.size(); }
+
+  [[nodiscard]] std::uint64_t at(std::size_t actor) const noexcept {
+    return actor < c_.size() ? c_[actor] : 0;
+  }
+
+  /// Bumps `actor`'s own component (a release creates a new epoch).
+  void tick(std::size_t actor) {
+    grow(actor + 1);
+    ++c_[actor];
+  }
+
+  void set(std::size_t actor, std::uint64_t value) {
+    grow(actor + 1);
+    c_[actor] = value;
+  }
+
+  /// Component-wise max (the happens-before join).
+  void join(const VectorClock& other) {
+    grow(other.c_.size());
+    for (std::size_t i = 0; i < other.c_.size(); ++i) {
+      c_[i] = std::max(c_[i], other.c_[i]);
+    }
+  }
+
+  /// True when the event that produced `e` happened-before the point in
+  /// time this clock represents.
+  [[nodiscard]] bool covers(const Epoch& e) const noexcept {
+    return e.actor >= 0 && at(static_cast<std::size_t>(e.actor)) >= e.clk;
+  }
+
+  /// True when every component of this clock is <= the other's (this
+  /// point-in-time happened-before or equals the other).
+  [[nodiscard]] bool dominated_by(const VectorClock& other) const noexcept {
+    for (std::size_t i = 0; i < c_.size(); ++i) {
+      if (c_[i] > other.at(i)) return false;
+    }
+    return true;
+  }
+
+  [[nodiscard]] Epoch epoch_of(std::size_t actor) const noexcept {
+    return Epoch{static_cast<std::int32_t>(actor), at(actor)};
+  }
+
+  friend bool operator==(const VectorClock& a, const VectorClock& b) {
+    const std::size_t n = std::max(a.c_.size(), b.c_.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      if (a.at(i) != b.at(i)) return false;
+    }
+    return true;
+  }
+
+ private:
+  void grow(std::size_t n) {
+    if (c_.size() < n) c_.resize(n, 0);
+  }
+
+  std::vector<std::uint64_t> c_;
+};
+
+}  // namespace tshmem::analysis

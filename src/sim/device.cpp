@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <thread>
 
+#include "sim/sync_observer.hpp"
+
 namespace tilesim {
 
 namespace {
@@ -117,6 +119,24 @@ void Device::host_sync() {
   if (!host_barrier_) {
     throw std::logic_error("host_sync called outside Device::run");
   }
+  // A host rendezvous is a real synchronization of every active tile (it is
+  // how benchmarks separate measurement phases), so it is reported to the
+  // sync observer (tshmem-check) as a rendezvous. The arrive callback runs
+  // before this thread arrives, and std::barrier opens only after every
+  // thread arrived, so all arrive callbacks complete before any release
+  // callback — the SyncObserver contract. Each tile participates in every
+  // host_sync of a run, so its own call count is a consistent generation.
+  SyncObserver* observer = sync_observer_;
+  Tile* self = current();
+  if (observer != nullptr && self != nullptr) {
+    const std::uint64_t gen =
+        host_sync_seq_[static_cast<std::size_t>(self->id())]++;
+    observer->on_rendezvous_arrive(host_barrier_.get(), gen, self->id());
+    host_barrier_->arrive_and_wait();
+    observer->on_rendezvous_release(host_barrier_.get(), gen, self->id(),
+                                    active_tiles_);
+    return;
+  }
   host_barrier_->arrive_and_wait();
 }
 
@@ -139,6 +159,7 @@ void Device::run(int active_tiles, const std::function<void(Tile&)>& fn) {
   }
   active_tiles_ = active_tiles;
   host_barrier_ = std::make_unique<std::barrier<>>(active_tiles);
+  host_sync_seq_.assign(tiles_.size(), 0);
   // Force-clear DMA engines: a previous job that threw with outstanding
   // non-blocking transfers must not leak descriptors into this one.
   for (auto& t : tiles_) t->dma().clear();

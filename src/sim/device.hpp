@@ -22,6 +22,7 @@
 namespace tilesim {
 
 class Device;
+class SyncObserver;  // sim/sync_observer.hpp
 
 /// One tile of the mesh. Owned by Device; bound 1:1 to a host thread for
 /// the duration of a Device::run() call.
@@ -148,6 +149,18 @@ class Device {
     return watchdog_ && watchdog_->enabled() ? watchdog_ : nullptr;
   }
 
+  /// Attach (or detach with nullptr) a rendezvous-synchronization observer
+  /// (sim/sync_observer.hpp): the TMC spin/sync barriers report arrival
+  /// and release of every participant while attached. Same contract as
+  /// the tracer/fault engine: must outlive the attachment, never advances
+  /// virtual time, and the nullptr default keeps the fast path zero-cost.
+  void attach_sync_observer(SyncObserver* observer) noexcept {
+    sync_observer_ = observer;
+  }
+  [[nodiscard]] SyncObserver* sync_observer() const noexcept {
+    return sync_observer_;
+  }
+
  private:
   const DeviceConfig* cfg_;
   Topology topo_;
@@ -155,9 +168,11 @@ class Device {
   std::vector<std::unique_ptr<Tile>> tiles_;
   std::unique_ptr<std::barrier<>> host_barrier_;
   int active_tiles_ = 0;
+  std::vector<std::uint64_t> host_sync_seq_;  // per-tile host_sync phase
   TraceRecorder* tracer_ = nullptr;
   FaultEngine* fault_ = nullptr;
   const Watchdog* watchdog_ = nullptr;
+  SyncObserver* sync_observer_ = nullptr;
   bool cache_probes_ = false;
   std::atomic<std::uint64_t> clock_generation_{0};
 };

@@ -1,12 +1,21 @@
-// Watchdog-aware condition-variable wait, shared by every blocking
-// virtual-time rendezvous (UDN queues, barriers). With no watchdog
-// attached this is exactly cv.wait(lk, pred); with one attached the wait
-// wakes every `timeout` and hands control to on_timeout, which is expected
-// to throw a diagnostic tshmem::Error instead of letting the tile hang.
+// Watchdog-aware blocking primitives, shared by every blocking wait in the
+// tree (UDN queues, barriers, mPIPE/STN receives, SHMEM waits and locks).
+// These are the ONLY place src/ is allowed to block on a condition variable
+// or spin-yield: tools/tshmem_lint.py (rules raw-condvar-wait and
+// unbounded-spin) machine-checks that every other blocking wait routes
+// through here, so the "every blocking wait is bounded by the watchdog"
+// invariant of docs/ROBUSTNESS.md holds by construction, not convention.
+//
+// With no watchdog attached guarded_wait is exactly cv.wait(lk, pred); with
+// one attached the wait wakes every `timeout` and hands control to
+// on_timeout, which is expected to throw a diagnostic tshmem::Error instead
+// of letting the tile hang.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
+#include <thread>
 
 #include "sim/device.hpp"
 #include "sim/fault.hpp"
@@ -28,6 +37,40 @@ void guarded_wait(const Device& device, std::unique_lock<std::mutex>& lk,
     lk.unlock();
     wd->on_timeout(tile, what);
     lk.lock();
+  }
+}
+
+/// Nullable-device variant for components whose Device is optional (the
+/// tmc barriers): a null device degrades to the plain wait.
+template <typename Pred>
+void guarded_wait(const Device* device, std::unique_lock<std::mutex>& lk,
+                  std::condition_variable& cv, int tile, const char* what,
+                  Pred pred) {
+  if (device == nullptr) {
+    cv.wait(lk, pred);
+    return;
+  }
+  guarded_wait(*device, lk, cv, tile, what, pred);
+}
+
+/// Watchdog-aware spin loop: retries `attempt` (which may have side
+/// effects — e.g. a CAS that advances virtual time per try) until it
+/// returns true, yielding between tries. Used by shmem_wait_until and
+/// shmem_set_lock, whose progress comes from another PE's plain store
+/// rather than a condition variable.
+template <typename Attempt>
+void guarded_spin(const Device& device, int tile, const char* what,
+                  Attempt attempt) {
+  const Watchdog* wd = device.watchdog();
+  auto deadline = wd != nullptr
+                      ? std::chrono::steady_clock::now() + wd->timeout
+                      : std::chrono::steady_clock::time_point::max();
+  while (!attempt()) {
+    std::this_thread::yield();
+    if (wd != nullptr && std::chrono::steady_clock::now() >= deadline) {
+      wd->on_timeout(tile, what);
+      deadline = std::chrono::steady_clock::now() + wd->timeout;
+    }
   }
 }
 

@@ -1,0 +1,33 @@
+// Observer interface for host-level rendezvous synchronization (the TMC
+// spin/sync barriers). Mirrors the TraceRecorder/FaultEngine attachment
+// pattern: the interface lives in sim — the bottom layer — so tmc can
+// notify it without an upward dependency, while the only implementation
+// (the tshmem-check race detector, src/analysis/race.hpp) lives above.
+//
+// Contract: a rendezvous is a *true* barrier — every participant's
+// on_rendezvous_arrive completes (host order) before any participant's
+// on_rendezvous_release runs, which makes the all-join performed by the
+// detector deterministic regardless of host thread scheduling. Callbacks
+// must never advance a SimClock (bit-identical on/off contract).
+#pragma once
+
+#include <cstdint>
+
+namespace tilesim {
+
+class SyncObserver {
+ public:
+  virtual ~SyncObserver() = default;
+
+  /// Tile `tile` arrived at rendezvous instance (`barrier`, `generation`).
+  virtual void on_rendezvous_arrive(const void* barrier,
+                                    std::uint64_t generation, int tile) = 0;
+
+  /// Tile `tile` was released from the same instance; `parties` is the
+  /// total participant count (the observer uses it to retire the slot).
+  virtual void on_rendezvous_release(const void* barrier,
+                                     std::uint64_t generation, int tile,
+                                     int parties) = 0;
+};
+
+}  // namespace tilesim

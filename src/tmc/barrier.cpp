@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "sim/guarded_wait.hpp"
+#include "sim/sync_observer.hpp"
 
 namespace tmc {
 
@@ -24,9 +25,19 @@ std::uint64_t VtBarrier::waits() const {
 
 void VtBarrier::wait(Tile& self) {
   const ps_t arrival = self.clock().now();
+  // Rendezvous observer (tshmem-check): arrivals are reported under the
+  // barrier lock — every arrive completes before any release — so the
+  // detector's all-join is deterministic. Purely observational; never
+  // touches a SimClock.
+  tilesim::SyncObserver* observer =
+      device_ != nullptr ? device_->sync_observer() : nullptr;
   std::unique_lock lk(mu_);
   ++waits_;
   max_arrival_ = std::max(max_arrival_, arrival);
+  const std::uint64_t my_generation = generation_;
+  if (observer != nullptr) {
+    observer->on_rendezvous_arrive(this, my_generation, self.id());
+  }
   if (++arrived_ == parties_) {
     release_time_ = release_fn_(max_arrival_, parties_);
     arrived_ = 0;
@@ -34,18 +45,21 @@ void VtBarrier::wait(Tile& self) {
     ++generation_;
     lk.unlock();
     cv_.notify_all();
+    if (observer != nullptr) {
+      observer->on_rendezvous_release(this, my_generation, self.id(),
+                                      parties_);
+    }
     self.clock().advance_to(release_time_);
     return;
   }
-  const std::uint64_t my_generation = generation_;
-  if (device_ != nullptr) {
-    tilesim::guarded_wait(*device_, lk, cv_, self.id(), "barrier wait",
-                          [&] { return generation_ != my_generation; });
-  } else {
-    cv_.wait(lk, [&] { return generation_ != my_generation; });
-  }
+  tilesim::guarded_wait(device_, lk, cv_, self.id(), "barrier wait",
+                        [&] { return generation_ != my_generation; });
   const ps_t release = release_time_;
   lk.unlock();
+  if (observer != nullptr) {
+    observer->on_rendezvous_release(this, my_generation, self.id(),
+                                    parties_);
+  }
   self.clock().advance_to(release);
 }
 

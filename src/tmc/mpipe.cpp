@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "sim/guarded_wait.hpp"
+
 namespace tmc {
 
 MpipeLink::MpipeLink(MpipeEngine& a, MpipeEngine& b) {
@@ -114,7 +116,8 @@ MpipePacket MpipeEngine::recv(Tile& receiver, int ring_index) {
   MpipePacket pkt;
   {
     std::unique_lock lk(ring.mu);
-    ring.cv.wait(lk, [&] { return !ring.packets.empty(); });
+    tilesim::guarded_wait(*device_, lk, ring.cv, receiver.id(), "mpipe recv",
+                          [&] { return !ring.packets.empty(); });
     pkt = std::move(ring.packets.front());
     ring.packets.pop_front();
   }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "sim/guarded_wait.hpp"
+
 namespace tmc {
 
 namespace {
@@ -121,7 +123,8 @@ StnMessage StaticNetwork::recv(Tile& receiver, int route) {
   StnMessage msg;
   {
     std::unique_lock lk(r.mu);
-    r.cv.wait(lk, [&] { return !r.messages.empty(); });
+    tilesim::guarded_wait(*device_, lk, r.cv, receiver.id(), "stn recv",
+                          [&] { return !r.messages.empty(); });
     msg = std::move(r.messages.front());
     r.messages.pop_front();
   }

@@ -273,6 +273,20 @@ void shmem_set_lock(long* lock);
 void shmem_clear_lock(long* lock);
 [[nodiscard]] int shmem_test_lock(long* lock);
 
+// --- instrumented local access (tshmem-check extension; docs/ANALYSIS.md) ---
+// Plain local loads/stores of symmetric objects are invisible to the
+// runtime, so checked kernels access their own copies through these to give
+// tshmem-check the local side of a conflict. With the detector off they are
+// plain (atomic, for 4/8-byte types) accesses with no extra cost.
+template <typename T>
+[[nodiscard]] T shmem_local_read(const T* p) {
+  return ctx().sym_load(p);
+}
+template <typename T>
+void shmem_local_write(T* p, T value) {
+  ctx().sym_store(p, value);
+}
+
 // --- cache control (spec §8.8, deprecated no-ops on cache-coherent Tilera) ----
 void shmem_clear_cache_inv();
 void shmem_set_cache_inv();

@@ -159,6 +159,11 @@ void Context::shfree(void* p) {
     rt_->check_symmetric_arg(pe_, offset, "shfree(offset)");
   }
   try {
+    if (race_ != nullptr && p != nullptr) {
+      // Forget shadow state for the block: a recycled allocation must not
+      // inherit stale epochs from its previous life.
+      race_->on_heap_free(p, heap_.allocation_size(p));
+    }
     heap_.free(p);
   } catch (const std::invalid_argument& e) {
     // Foreign or corrupted pointer: surface the structured error instead of
@@ -174,6 +179,9 @@ void Context::shfree(void* p) {
 void* Context::shrealloc(void* p, std::size_t bytes) {
   if (met_) met_->alloc_calls->inc();
   tile_->charge_calls(1);
+  if (race_ != nullptr && p != nullptr) {
+    race_->on_heap_free(p, heap_.allocation_size(p));
+  }
   void* out = heap_.realloc(p, bytes);
   barrier_all();
   return out;
@@ -302,6 +310,27 @@ void Context::transfer(void* target, const void* source, std::size_t bytes,
     throw std::invalid_argument(
         is_put ? "shmem put: target is not a symmetric object"
                : "shmem get: source is not a symmetric object");
+  }
+
+  if (race_ != nullptr) {
+    // tshmem-check: record both sides before the copy (non-symmetric local
+    // sides are ignored by the detector). Elemental puts also publish a
+    // release clock on the target granule, pairing with shmem_wait_until.
+    const char* site = is_put ? "shmem_put" : "shmem_get";
+    const std::uint64_t vt = tile_->clock().now();
+    if (is_put) {
+      void* rem = remote_addr(target, pe);
+      race_->on_access(pe_, false, analysis::AccessKind::kRead, source,
+                       bytes, site, vt);
+      race_->on_access(pe_, false, analysis::AccessKind::kWrite, rem, bytes,
+                       site, vt);
+      if (bytes == 4 || bytes == 8) race_->on_release(pe_, rem);
+    } else {
+      race_->on_access(pe_, false, analysis::AccessKind::kRead,
+                       remote_addr(source, pe), bytes, site, vt);
+      race_->on_access(pe_, false, analysis::AccessKind::kWrite, target,
+                       bytes, site, vt);
+    }
   }
 
   const bool remote_is_dynamic = remote_cls == AddrClass::kDynamic;
@@ -478,6 +507,13 @@ void Context::transfer_nbi(void* target, const void* source,
   // the issuing tile's caches, so no cache probe sees this stream.
   do_memcpy_visible(dst, src, bytes);
   if (is_put && pe != pe_) rt_->note_delivery(pe, d.complete_ps);
+  if (race_ != nullptr) {
+    // The DMA pseudo-actor performs the transfer: unordered with this PE's
+    // subsequent program until shmem_quiet joins the engine back.
+    race_->on_nbi_issue(pe_, src, dst, bytes,
+                        is_put ? "shmem_put_nbi" : "shmem_get_nbi",
+                        d.start_ps, d.complete_ps);
+  }
   if (tilesim::TraceRecorder* tracer = tile_->device().tracer();
       tracer != nullptr) {
     tracer->record(pe_, tilesim::TraceKind::kCopy, d.start_ps, d.complete_ps,
@@ -533,6 +569,7 @@ void Context::quiet() {
   // empty DMA queue this is the whole operation — the pre-NBI behavior,
   // bit-identical with the paper's figures.
   tmc::mem_fence(*tile_);
+  if (race_ != nullptr) race_->on_quiet(pe_);
 }
 
 void Context::fence() {
@@ -554,6 +591,9 @@ void Context::fence() {
 // ===========================================================================
 
 void Context::send_ctrl(int dst_pe, int queue, const CtrlMsg& msg) {
+  if (race_ != nullptr) {
+    race_->on_ctrl_send(pe_, dst_pe, queue, static_cast<int>(msg.tag));
+  }
   const std::uint64_t words[2] = {msg.word0(), msg.aux};
   rt_->udn().send(*tile_, dst_pe, queue, words);
 }
@@ -565,6 +605,12 @@ CtrlMsg Context::recv_ctrl(int queue, MsgTag tag, int src_pe,
   // arrival time (virtual time would then depend on host scheduling).
   const tilesim::ps_t wait_begin = tile_->clock().now();
   auto consume = [&](int src, tilesim::ps_t arrival) {
+    if (race_ != nullptr) {
+      // Join the clock snapshot of the *matched* message: the tag+FIFO
+      // discipline mirrors this function's own stash-or-match logic, so the
+      // edge is protocol-determined, not host-schedule-determined.
+      race_->on_ctrl_consume(pe_, src, queue, static_cast<int>(tag));
+    }
     tile_->clock().advance_to(arrival);
     if (tilesim::TraceRecorder* tracer = tile_->device().tracer();
         tracer != nullptr) {
@@ -744,7 +790,8 @@ void Context::charge_atomic(int pe) {
   tile_->clock().advance(cost);
 }
 
-void Context::atomic_engine(void* target, int pe,
+void Context::atomic_engine(void* target, int pe, std::size_t bytes,
+                            const char* site,
                             const std::function<void(void*)>& op) {
   if (pe < 0 || pe >= num_pes()) {
     throw std::out_of_range("atomic: PE out of range");
@@ -755,6 +802,12 @@ void Context::atomic_engine(void* target, int pe,
   }
   if (met_) met_->atomic_calls->inc();
   charge_atomic(pe);
+  if (race_ != nullptr) {
+    // Acquire-check-release on the target granule; even a failed CAS
+    // acquires, which is what makes lock spin loops race-free.
+    race_->on_atomic(pe_, remote_addr(target, pe), bytes, site,
+                     tile_->clock().now());
+  }
   if (cls == AddrClass::kDynamic || pe == pe_) {
     op(remote_addr(target, pe));
     if (pe != pe_) rt_->note_delivery(pe, tile_->clock().now());
@@ -778,13 +831,12 @@ void Context::atomic_engine(void* target, int pe,
 void Context::set_lock(long* lock) {
   rt_->note_op(pe_, "shmem_set_lock");
   if (met_) met_->lock_ops->inc();
-  const tilesim::Watchdog* wd = tile_->device().watchdog();
-  auto deadline = wd != nullptr
-                      ? std::chrono::steady_clock::now() + wd->timeout
-                      : std::chrono::steady_clock::time_point::max();
-  for (;;) {
+  // Each failed CAS is a full attempt (it advances virtual time via the
+  // atomic cost model); the guarded spin bounds the retry loop with the
+  // watchdog like every other blocking wait in the tree.
+  tilesim::guarded_spin(tile_->device(), pe_, "shmem_set_lock", [&] {
     long prev = 0;
-    atomic_engine(lock, 0, [&](void* addr) {
+    atomic_engine(lock, 0, sizeof(long), "shmem_set_lock", [&](void* addr) {
       std::atomic_ref<long> ref(*static_cast<long*>(addr));
       long expected = 0;
       if (ref.compare_exchange_strong(expected, 1 + pe_,
@@ -794,23 +846,16 @@ void Context::set_lock(long* lock) {
         prev = expected;
       }
     });
-    if (prev == 0) {
-      rt_->note_lock_delta(pe_, +1);
-      return;
-    }
-    std::this_thread::yield();
-    if (wd != nullptr && std::chrono::steady_clock::now() >= deadline) {
-      wd->on_timeout(pe_, "shmem_set_lock");
-      deadline = std::chrono::steady_clock::now() + wd->timeout;
-    }
-  }
+    return prev == 0;
+  });
+  rt_->note_lock_delta(pe_, +1);
 }
 
 void Context::clear_lock(long* lock) {
   rt_->note_op(pe_, "shmem_clear_lock");
   if (met_) met_->lock_ops->inc();
   quiet();  // spec: releases after outstanding stores complete
-  atomic_engine(lock, 0, [&](void* addr) {
+  atomic_engine(lock, 0, sizeof(long), "shmem_clear_lock", [&](void* addr) {
     std::atomic_ref<long> ref(*static_cast<long*>(addr));
     const long cur = ref.load(std::memory_order_acquire);
     if (cur != 1 + pe_) {
@@ -824,7 +869,7 @@ void Context::clear_lock(long* lock) {
 int Context::test_lock(long* lock) {
   if (met_) met_->lock_ops->inc();
   long prev = 0;
-  atomic_engine(lock, 0, [&](void* addr) {
+  atomic_engine(lock, 0, sizeof(long), "shmem_test_lock", [&](void* addr) {
     std::atomic_ref<long> ref(*static_cast<long*>(addr));
     long expected = 0;
     if (!ref.compare_exchange_strong(expected, 1 + pe_,

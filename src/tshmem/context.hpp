@@ -20,6 +20,7 @@
 #include "obs/metrics.hpp"
 #include "obs/scoped_timer.hpp"
 #include "sim/clock.hpp"
+#include "sim/guarded_wait.hpp"
 #include "tshmem/messages.hpp"
 #include "tshmem/runtime.hpp"
 #include "tshmem/symheap.hpp"
@@ -257,6 +258,44 @@ class Context {
   void charge_mem_ops(std::uint64_t n) { tile_->charge_mem_ops(n); }
   void charge_calls(std::uint64_t n) { tile_->charge_calls(n); }
 
+  // --- instrumented local access (tshmem-check; docs/ANALYSIS.md) ----------
+  /// Local load/store through the race detector: plain local accesses to
+  /// symmetric objects are invisible to the runtime, so checked kernels
+  /// read/write their own copies via these to give tshmem-check the local
+  /// side of a conflict. With the detector off they are plain (atomic, for
+  /// 4/8-byte types) accesses with zero extra cost; they never advance
+  /// virtual time beyond what the plain access would.
+  template <typename T>
+  [[nodiscard]] T sym_load(const T* p) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T out;
+    if constexpr (sizeof(T) == 4 || sizeof(T) == 8) {
+      std::atomic_ref<T> ref(*const_cast<T*>(p));
+      out = ref.load(std::memory_order_acquire);
+    } else {
+      std::memcpy(&out, const_cast<const T*>(p), sizeof(T));
+    }
+    if (race_ != nullptr) {
+      race_->on_access(pe_, false, analysis::AccessKind::kRead, p, sizeof(T),
+                       "local_read", clock().now());
+    }
+    return out;
+  }
+  template <typename T>
+  void sym_store(T* p, T value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if constexpr (sizeof(T) == 4 || sizeof(T) == 8) {
+      std::atomic_ref<T> ref(*p);
+      ref.store(value, std::memory_order_release);
+    } else {
+      std::memcpy(p, &value, sizeof(T));
+    }
+    if (race_ != nullptr) {
+      race_->on_access(pe_, false, analysis::AccessKind::kWrite, p, sizeof(T),
+                       "local_write", clock().now());
+    }
+  }
+
   // --- harness helpers -----------------------------------------------------
   /// Zero-virtual-cost rendezvous + clock reset (benchmark phases).
   void harness_sync_reset() { tile_->device().sync_and_reset_clocks(); }
@@ -281,6 +320,7 @@ class Context {
   BarrierAlgo barrier_algo_;
   bool finalized_ = false;
   std::unique_ptr<PeMetrics> met_;  ///< null when metrics are disabled
+  analysis::RaceDetector* race_ = nullptr;  ///< tshmem-check (set by Runtime)
 
   std::map<std::uint32_t, std::uint32_t> barrier_seq_;   // active-set id -> seq
   std::map<std::uint32_t, std::uint32_t> collective_seq_;
@@ -344,7 +384,9 @@ class Context {
   void charge_atomic(int pe);
   /// Runs `op` atomically against the symmetric object `target` on `pe`;
   /// used by all atomic ops. `op` receives the resolved host address.
-  void atomic_engine(void* target, int pe,
+  /// `bytes`/`site` feed tshmem-check's acquire-release shadow check.
+  void atomic_engine(void* target, int pe, std::size_t bytes,
+                     const char* site,
                      const std::function<void(void*)>& op);
 
   friend class Runtime;
@@ -387,19 +429,18 @@ void Context::wait_until(volatile T* ivar, Cmp cmp, T value) {
   // remote delivery into this PE, ordering us after the releasing put.
   auto* nv = const_cast<T*>(const_cast<const volatile T*>(ivar));
   std::atomic_ref<T> ref(*nv);
-  const tilesim::Watchdog* wd = tile_->device().watchdog();
-  auto deadline = wd != nullptr
-                      ? std::chrono::steady_clock::now() + wd->timeout
-                      : std::chrono::steady_clock::time_point::max();
-  while (!compare(cmp, ref.load(std::memory_order_acquire), value)) {
-    std::this_thread::yield();
-    if (wd != nullptr && std::chrono::steady_clock::now() >= deadline) {
-      wd->on_timeout(pe_, "shmem_wait_until");
-      deadline = std::chrono::steady_clock::now() + wd->timeout;
-    }
-  }
+  tilesim::guarded_spin(tile_->device(), pe_, "shmem_wait_until", [&] {
+    return compare(cmp, ref.load(std::memory_order_acquire), value);
+  });
   clock().advance_to(rt_->last_delivery(pe_));
   clock().advance(rt_->config().shmem_call_overhead_ps);
+  if (race_ != nullptr) {
+    // The satisfied wait acquires the release clock the elemental put
+    // published on this granule, then counts as an ordered read of it.
+    race_->on_acquire(pe_, nv);
+    race_->on_access(pe_, false, analysis::AccessKind::kRead, nv, sizeof(T),
+                     "shmem_wait_until", clock().now());
+  }
 }
 
 template <typename T>
@@ -474,7 +515,7 @@ T Context::swap(T* target, T value, int pe) {
   static_assert(std::is_trivially_copyable_v<T> &&
                 (sizeof(T) == 4 || sizeof(T) == 8));
   T old{};
-  atomic_engine(target, pe, [&](void* addr) {
+  atomic_engine(target, pe, sizeof(T), "shmem_swap", [&](void* addr) {
     if constexpr (std::is_integral_v<T>) {
       std::atomic_ref<T> ref(*static_cast<T*>(addr));
       old = ref.exchange(value, std::memory_order_acq_rel);
@@ -496,7 +537,7 @@ template <typename T>
 T Context::cswap(T* target, T cond, T value, int pe) {
   static_assert(std::is_integral_v<T>);
   T old = cond;
-  atomic_engine(target, pe, [&](void* addr) {
+  atomic_engine(target, pe, sizeof(T), "shmem_cswap", [&](void* addr) {
     std::atomic_ref<T> ref(*static_cast<T*>(addr));
     T expected = cond;
     if (!ref.compare_exchange_strong(expected, value,
@@ -513,7 +554,7 @@ template <typename T>
 T Context::fadd(T* target, T value, int pe) {
   static_assert(std::is_integral_v<T>);
   T old{};
-  atomic_engine(target, pe, [&](void* addr) {
+  atomic_engine(target, pe, sizeof(T), "shmem_fadd", [&](void* addr) {
     std::atomic_ref<T> ref(*static_cast<T*>(addr));
     old = ref.fetch_add(value, std::memory_order_acq_rel);
   });

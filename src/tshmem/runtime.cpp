@@ -40,6 +40,17 @@ tilesim::FaultPlan fault_plan_env(const tilesim::FaultPlan& fallback) {
   if (v == nullptr) return fallback;
   return tilesim::FaultPlan::parse(v);
 }
+
+analysis::RaceMode racecheck_env(analysis::RaceMode fallback) {
+  const char* v = std::getenv("TSHMEM_RACECHECK");
+  if (v == nullptr) return fallback;
+  const std::string_view s(v);
+  if (s.empty() || s == "0" || s == "false" || s == "off") {
+    return analysis::RaceMode::kOff;
+  }
+  if (s == "2" || s == "fail") return analysis::RaceMode::kFail;
+  return analysis::RaceMode::kReport;
+}
 }  // namespace
 
 StaticRegistry::StaticRegistry(std::size_t arena_bytes)
@@ -117,6 +128,11 @@ Runtime::Runtime(const DeviceConfig& cfg, RuntimeOptions opts)
                   : 0);
         });
   }
+
+  racecheck_mode_ = racecheck_env(opts.racecheck);
+  racecheck_granule_ = static_cast<std::size_t>(
+      int_env("TSHMEM_RACECHECK_GRANULE",
+              static_cast<int>(opts.racecheck_granule)));
 
   const int wd_ms = int_env("TSHMEM_WATCHDOG_MS", opts.watchdog_ms);
   if (wd_ms > 0) {
@@ -305,9 +321,34 @@ void Runtime::setup_job(int npes) {
       contexts_.back()->heap().set_alloc_cap(fault_engine_->heap_cap_bytes());
     }
   }
+  if (racecheck_mode_ != analysis::RaceMode::kOff) {
+    analysis::RaceDetector::Options ropts;
+    ropts.granule = racecheck_granule_;
+    race_detector_ = std::make_unique<analysis::RaceDetector>(npes, ropts);
+    for (int pe = 0; pe < npes; ++pe) {
+      race_detector_->add_region(pe, /*is_static=*/false, partition_base(pe),
+                                 opts_.heap_per_pe);
+      race_detector_->add_region(pe, /*is_static=*/true, private_base(pe),
+                                 opts_.private_per_pe);
+    }
+    device_.attach_sync_observer(race_detector_.get());
+    for (auto& ctx : contexts_) {
+      ctx->race_ = race_detector_.get();
+    }
+  }
 }
 
 void Runtime::teardown_job() {
+  if (race_detector_ != nullptr) {
+    // Harvest before the per-run detector dies; reports accumulate across
+    // run() calls until clear_race_reports().
+    auto found = race_detector_->reports();
+    race_reports_.insert(race_reports_.end(),
+                         std::make_move_iterator(found.begin()),
+                         std::make_move_iterator(found.end()));
+    device_.attach_sync_observer(nullptr);
+    race_detector_.reset();
+  }
   contexts_.clear();
   private_arenas_.clear();
   delivery_.clear();
@@ -336,6 +377,7 @@ void Runtime::run(int npes, const std::function<void(Context&)>& fn) {
                 "Runtime::run called while another job is already running on "
                 "this runtime (one job at a time; see docs/ROBUSTNESS.md)");
   }
+  const std::size_t reports_before = race_reports_.size();
   try {
     setup_job(npes);
   } catch (...) {
@@ -362,6 +404,17 @@ void Runtime::run(int npes, const std::function<void(Context&)>& fn) {
   scrape_run_stats();
   teardown_job();
   running_.store(false, std::memory_order_release);
+  if (racecheck_mode_ == analysis::RaceMode::kFail &&
+      race_reports_.size() > reports_before) {
+    const std::size_t found = race_reports_.size() - reports_before;
+    std::ostringstream os;
+    os << "tshmem-check found " << found << " data race(s) (TSHMEM_RACECHECK="
+       << "fail; docs/ANALYSIS.md):";
+    for (std::size_t i = reports_before; i < race_reports_.size(); ++i) {
+      os << "\n  " << race_reports_[i].describe();
+    }
+    throw Error(Errc::kRaceDetected, os.str());
+  }
 }
 
 obs::MetricsSnapshot Runtime::metrics() const {
@@ -452,6 +505,17 @@ void Runtime::scrape_run_stats() {
       .set(static_cast<std::int64_t>(statics_.bytes_used()));
   registry_.gauge("shmem.statics.objects", -1)
       .set(static_cast<std::int64_t>(statics_.object_count()));
+
+  // tshmem-check accounting (docs/ANALYSIS.md). The detector is per-run,
+  // so its stats are already this run's values.
+  if (race_detector_ != nullptr) {
+    const analysis::RaceDetector::Stats rs = race_detector_->stats();
+    registry_.counter("analysis.accesses.checked", -1)
+        .add(rs.checked_accesses);
+    registry_.counter("analysis.sync.edges", -1).add(rs.sync_edges);
+    registry_.counter("analysis.races.reported", -1).add(rs.race_pairs);
+    registry_.counter("analysis.races.dropped", -1).add(rs.dropped_reports);
+  }
 
   // Injected-fault families: one counter per (site, tile) that fired. The
   // engine log is cumulative across runs, so scrape deltas per key.

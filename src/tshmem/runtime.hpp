@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/race.hpp"
 #include "obs/metrics.hpp"
 #include "sim/device.hpp"
 #include "tmc/barrier.hpp"
@@ -102,6 +103,20 @@ struct RuntimeOptions {
   /// bit-identical. The TSHMEM_FAULT_PLAN environment variable, when set,
   /// replaces this field (parsed by tilesim::FaultPlan::parse).
   tilesim::FaultPlan fault_plan;
+  /// tshmem-check: virtual-time happens-before race detection over the
+  /// symmetric heap (src/analysis; docs/ANALYSIS.md). kOff attaches no
+  /// detector (zero cost); kReport collects structured RaceReports
+  /// (Runtime::race_reports()); kFail additionally throws
+  /// Error(kRaceDetected) when a run ends with findings. Instrumentation
+  /// never advances a SimClock, so virtual time stays bit-identical in
+  /// every mode. The TSHMEM_RACECHECK environment variable overrides this
+  /// field ("0"/"off" -> kOff, "fail"/"2" -> kFail, else kReport).
+  analysis::RaceMode racecheck = analysis::RaceMode::kOff;
+  /// Shadow-memory granule in bytes (power of two in [1, 64]); accesses
+  /// to disjoint bytes of one granule never conflict thanks to per-byte
+  /// masks, so the granule trades host memory for lookup locality only.
+  /// The TSHMEM_RACECHECK_GRANULE environment variable overrides it.
+  std::size_t racecheck_granule = 8;
 };
 
 class Runtime {
@@ -190,6 +205,22 @@ class Runtime {
   /// timeout, usable any time during run().
   [[nodiscard]] std::string watchdog_report() const;
 
+  // --- race checking (src/analysis; docs/ANALYSIS.md) ----------------------
+  /// Effective mode after the TSHMEM_RACECHECK override.
+  [[nodiscard]] analysis::RaceMode racecheck_mode() const noexcept {
+    return racecheck_mode_;
+  }
+  /// Detector for the running job; nullptr outside run() or when off.
+  [[nodiscard]] analysis::RaceDetector* race_detector() noexcept {
+    return race_detector_.get();
+  }
+  /// All findings accumulated across run() calls, canonically ordered.
+  [[nodiscard]] const std::vector<analysis::RaceReport>& race_reports()
+      const noexcept {
+    return race_reports_;
+  }
+  void clear_race_reports() { race_reports_.clear(); }
+
   // --- metrics (src/obs) ---------------------------------------------------
   [[nodiscard]] bool metrics_enabled() const noexcept {
     return metrics_enabled_;
@@ -221,6 +252,10 @@ class Runtime {
   std::unique_ptr<tilesim::FaultEngine> fault_engine_;  // null = no faults
   tilesim::Watchdog watchdog_;
   bool debug_validation_ = false;
+  analysis::RaceMode racecheck_mode_ = analysis::RaceMode::kOff;
+  std::size_t racecheck_granule_ = 8;
+  std::unique_ptr<analysis::RaceDetector> race_detector_;  // per-run
+  std::vector<analysis::RaceReport> race_reports_;
   std::vector<std::unique_ptr<PeState>> pe_states_;
   std::atomic<bool> running_{false};
 

@@ -25,6 +25,7 @@ enum class Errc : int {
   kCmemMapFailed = 8,   ///< common-memory mapping failed after bounded retry
   kRunInProgress = 9,   ///< Runtime::run while a job is already running
   kFinalizePending = 10,  ///< finalize with outstanding non-blocking work
+  kRaceDetected = 11,   ///< tshmem-check found a data race (kFail mode)
 };
 
 [[nodiscard]] constexpr const char* errc_name(Errc c) noexcept {
@@ -39,6 +40,7 @@ enum class Errc : int {
     case Errc::kCmemMapFailed: return "cmem_map_failed";
     case Errc::kRunInProgress: return "run_in_progress";
     case Errc::kFinalizePending: return "finalize_pending";
+    case Errc::kRaceDetected: return "race_detected";
   }
   return "unknown";
 }

@@ -57,7 +57,9 @@ TEST_F(MsgPassingTest, RendezvousBlocksSenderUntilRecv) {
       const auto blocked = std::chrono::steady_clock::now() - t0;
       EXPECT_GE(blocked, kRecvDelay - std::chrono::milliseconds(2));
     } else {
-      std::this_thread::sleep_for(kRecvDelay);
+      // Deliberate delay so the sender demonstrably blocks; not a wait
+      // loop, so the Watchdog wrapper does not apply.
+      std::this_thread::sleep_for(kRecvDelay);  // tshmem-lint: allow(R002)
       std::vector<std::byte> out(8);
       (void)mp.recv(tile, 0, 1, out);
     }

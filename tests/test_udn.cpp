@@ -182,7 +182,10 @@ TEST_F(UdnTest, FlowControlBlocksWhenQueueFull) {
       udn_.send(tile, 1, 0, words);  // fills most of the queue
       udn_.send(tile, 1, 0, words);  // must block until drained
     } else {
-      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      // Deliberate delay so the sender demonstrably blocks; not a wait
+      // loop, so the Watchdog wrapper does not apply.
+      std::this_thread::sleep_for(  // tshmem-lint: allow(R002)
+          std::chrono::milliseconds(20));
       EXPECT_EQ(udn_.queued_words(1, 0), 100u);
       (void)udn_.recv(tile, 0);
       (void)udn_.recv(tile, 0);

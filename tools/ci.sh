@@ -12,11 +12,22 @@
 # injected-event log, recovery counters, and final virtual clocks to be
 # bit-identical for the same (seed, plan).
 #
+# The static-analysis stages (docs/ANALYSIS.md) follow: the tshmem_lint
+# rule pack over the whole tree, clang-tidy over compile_commands.json when
+# the binary is available, and the tshmem-check racecheck stage — every
+# figure bench plus ext_overlap/ext_faults runs under TSHMEM_RACECHECK=fail
+# and its stdout is diffed against the detector-off run (the detector must
+# find nothing AND move nothing), then the ext_races gallery asserts the
+# detector still flags each seeded bug.
+#
 # Usage: tools/ci.sh [build-dir]
 #   TSHMEM_CI_TSAN=0 skips the ThreadSanitizer stage (e.g. toolchains
 #   without libtsan).
 #   TSHMEM_CI_ASAN=0 skips the Address/UB-Sanitizer stage (e.g. toolchains
 #   without libasan/libubsan).
+#   TSHMEM_CI_TIDY=0 skips clang-tidy (it is also skipped, loudly, when
+#   no clang-tidy binary is on PATH).
+#   TSHMEM_CI_RACECHECK=0 skips the tshmem-check racecheck stage.
 set -eu
 
 BUILD_DIR="${1:-build}"
@@ -99,6 +110,57 @@ if [ "${TSHMEM_CI_ASAN:-1}" != "0" ]; then
   "$ASAN_DIR"/tests/test_nbi
 else
   echo "== asan+ubsan: skipped (TSHMEM_CI_ASAN=0)"
+fi
+
+echo "== lint (tools/tshmem_lint.py)"
+python3 tools/tshmem_lint.py src bench tests
+
+if [ "${TSHMEM_CI_TIDY:-1}" != "0" ]; then
+  if command -v clang-tidy >/dev/null 2>&1; then
+    echo "== clang-tidy (.clang-tidy over compile_commands.json)"
+    if command -v run-clang-tidy >/dev/null 2>&1; then
+      run-clang-tidy -quiet -p "$BUILD_DIR" "src/.*\.cpp"
+    else
+      # Fall back to invoking clang-tidy directly on the main sources.
+      find src -name '*.cpp' -print0 |
+        xargs -0 clang-tidy -quiet -p "$BUILD_DIR"
+    fi
+  else
+    echo "== clang-tidy: skipped (no clang-tidy on PATH)"
+  fi
+else
+  echo "== clang-tidy: skipped (TSHMEM_CI_TIDY=0)"
+fi
+
+if [ "${TSHMEM_CI_RACECHECK:-1}" != "0" ]; then
+  echo "== racecheck (tshmem-check over the figure benches)"
+  racecheck_ok=1
+  for b in fig03_memcpy_bandwidth fig04_udn_latency fig05_tmc_barriers \
+           fig06_putget_dynamic fig07_putget_static fig08_tshmem_barrier \
+           fig09_broadcast_push fig10_broadcast_pull fig11_fcollect \
+           fig12_reduction fig13_fft2d fig14_cbir ext_overlap ext_faults; do
+    "$BUILD_DIR"/bench/"$b" > "$tmp_dir/rc_off_$b.txt"
+    if ! TSHMEM_RACECHECK=fail "$BUILD_DIR"/bench/"$b" \
+        > "$tmp_dir/rc_on_$b.txt"; then
+      echo "   $b: RACE REPORTED"
+      racecheck_ok=0
+      continue
+    fi
+    if diff -u "$tmp_dir/rc_off_$b.txt" "$tmp_dir/rc_on_$b.txt" >/dev/null
+    then
+      echo "   $b: clean, bit-identical"
+    else
+      echo "   $b: OUTPUT MOVED UNDER DETECTOR"
+      racecheck_ok=0
+    fi
+  done
+  [ "$racecheck_ok" = 1 ]
+  echo "== racecheck gallery (ext_races: seeded bugs must be flagged)"
+  "$BUILD_DIR"/bench/ext_races > "$tmp_dir/ext_races.txt" ||
+    { cat "$tmp_dir/ext_races.txt"; exit 1; }
+  tail -1 "$tmp_dir/ext_races.txt"
+else
+  echo "== racecheck: skipped (TSHMEM_CI_RACECHECK=0)"
 fi
 
 echo "== fault campaign (deterministic replay across seeds)"
