@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <sstream>
 #include <stdexcept>
 
 namespace bench {
@@ -41,20 +42,24 @@ void emit(const Cli& cli, const Table& table) {
 }
 
 // ===========================================================================
-// Telemetry (--metrics-json / --trace-json)
+// Telemetry (--metrics-json / --trace-json / --profile-json /
+//            --profile-folded)
 // ===========================================================================
 
 Telemetry::Telemetry(const Cli& cli)
     : metrics_path_(cli.get_string("metrics-json", "")),
-      trace_path_(cli.get_string("trace-json", "")) {}
+      trace_path_(cli.get_string("trace-json", "")),
+      profile_json_path_(cli.get_string("profile-json", "")),
+      profile_folded_path_(cli.get_string("profile-folded", "")) {}
 
 void Telemetry::configure(tshmem::RuntimeOptions& opts) const {
   if (metrics_requested()) opts.metrics = true;
+  if (profile_requested()) opts.profile = true;
 }
 
 void Telemetry::attach(tshmem::Runtime& rt) {
   if (!trace_requested()) return;
-  if (attached_ != nullptr) {
+  if (attached_ != nullptr || attached_device_ != nullptr) {
     throw std::logic_error(
         "Telemetry::attach: collect() the previous runtime first");
   }
@@ -66,14 +71,70 @@ void Telemetry::attach(tshmem::Runtime& rt) {
 
 void Telemetry::collect(tshmem::Runtime& rt) {
   if (metrics_requested()) snapshots_.push_back(rt.metrics());
+  const obs::Profiler* profiler =
+      profile_requested() ? rt.profiler() : nullptr;
+  std::vector<std::pair<std::string, obs::ProfileReport>> harvested;
+  if (profiler != nullptr) {
+    harvested.emplace_back(std::string(rt.config().short_name),
+                           profiler->report());
+  }
   if (attached_ == &rt && recorder_ != nullptr) {
     rt.device().attach_tracer(nullptr);
+    if (!harvested.empty()) {
+      // Layer the critical path's wait edges onto this runtime's track as
+      // Perfetto flow arrows (same pid as the track created below).
+      std::vector<obs::TraceFlow> flows = obs::profile_flow_events(
+          harvested.front().second, next_pid_, next_flow_id_);
+      next_flow_id_ += flows.size();
+      flows_.insert(flows_.end(), flows.begin(), flows.end());
+    }
     tracks_.push_back(obs::TraceTrack{
         next_pid_++, std::string(rt.config().short_name),
         recorder_->events()});
     recorder_.reset();
     attached_ = nullptr;
   }
+  for (auto& named : harvested) reports_.push_back(std::move(named));
+}
+
+void Telemetry::attach(tilesim::Device& device) {
+  if (attached_ != nullptr || attached_device_ != nullptr) {
+    throw std::logic_error(
+        "Telemetry::attach: collect() the previous device first");
+  }
+  if (trace_requested()) {
+    recorder_ = std::make_unique<tilesim::TraceRecorder>(device.tile_count());
+    device.attach_tracer(recorder_.get());
+  }
+  if (profile_requested()) {
+    device_profiler_ = std::make_unique<obs::Profiler>(device);
+    device.attach_profiler(device_profiler_.get());
+  }
+  attached_device_ = &device;
+}
+
+void Telemetry::collect(tilesim::Device& device, const std::string& name) {
+  if (attached_device_ != &device) return;
+  std::vector<std::pair<std::string, obs::ProfileReport>> harvested;
+  if (device_profiler_ != nullptr) {
+    harvested.emplace_back(name, device_profiler_->report());
+    device.attach_profiler(nullptr);
+    device_profiler_.reset();
+  }
+  if (recorder_ != nullptr) {
+    device.attach_tracer(nullptr);
+    if (!harvested.empty()) {
+      std::vector<obs::TraceFlow> flows = obs::profile_flow_events(
+          harvested.front().second, next_pid_, next_flow_id_);
+      next_flow_id_ += flows.size();
+      flows_.insert(flows_.end(), flows.begin(), flows.end());
+    }
+    tracks_.push_back(
+        obs::TraceTrack{next_pid_++, name, recorder_->events()});
+    recorder_.reset();
+  }
+  for (auto& named : harvested) reports_.push_back(std::move(named));
+  attached_device_ = nullptr;
 }
 
 void Telemetry::write() {
@@ -91,8 +152,54 @@ void Telemetry::write() {
     if (!os) {
       throw std::runtime_error("cannot write trace JSON to " + trace_path_);
     }
-    obs::write_chrome_trace_json(os, tracks_);
+    obs::write_chrome_trace_json(os, tracks_, flows_);
     std::cout << "wrote trace JSON: " << trace_path_ << "\n";
+  }
+  if (!profile_json_path_.empty()) {
+    std::ofstream os(profile_json_path_);
+    if (!os) {
+      throw std::runtime_error("cannot write profile JSON to " +
+                               profile_json_path_);
+    }
+    if (reports_.size() == 1) {
+      obs::write_profile_json(os, reports_.front().second);
+    } else {
+      // Several runtimes in one process (device sweeps): wrap each run's
+      // report under its name so the file stays a single JSON document.
+      os << "{\n  \"schema\": \"" << obs::kProfileSchema
+         << "\",\n  \"runs\": [";
+      bool first = true;
+      for (const auto& [name, report] : reports_) {
+        os << (first ? "\n" : ",\n") << "    {\"name\": \"" << name
+           << "\", \"profile\": ";
+        obs::write_profile_json(os, report);
+        os << "}";
+        first = false;
+      }
+      os << "\n  ]\n}\n";
+    }
+    std::cout << "wrote profile JSON: " << profile_json_path_ << "\n";
+  }
+  if (!profile_folded_path_.empty()) {
+    std::ofstream os(profile_folded_path_);
+    if (!os) {
+      throw std::runtime_error("cannot write folded profile to " +
+                               profile_folded_path_);
+    }
+    for (const auto& [name, report] : reports_) {
+      if (reports_.size() == 1) {
+        obs::write_profile_folded(os, report);
+      } else {
+        // Prefix each stack with the run name to keep sweeps separable.
+        std::ostringstream ss;
+        obs::write_profile_folded(ss, report);
+        std::istringstream is(ss.str());
+        for (std::string line; std::getline(is, line);) {
+          os << name << ";" << line << "\n";
+        }
+      }
+    }
+    std::cout << "wrote folded profile: " << profile_folded_path_ << "\n";
   }
 }
 

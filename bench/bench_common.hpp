@@ -4,12 +4,15 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <iostream>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "obs/exporters.hpp"
+#include "obs/profiler.hpp"
 #include "sim/config.hpp"
 #include "sim/trace.hpp"
 #include "tshmem/runtime.hpp"
@@ -49,8 +52,10 @@ void print_checks(const std::string& experiment,
 void emit(const Cli& cli, const Table& table);
 
 /// Telemetry flags every Runtime-based bench accepts:
-///   --metrics-json <path>  metrics snapshot dump (schema tshmem.metrics.v1)
-///   --trace-json <path>    Chrome trace-event / Perfetto JSON timeline
+///   --metrics-json <path>    metrics snapshot dump (schema tshmem.metrics.v1)
+///   --trace-json <path>      Chrome trace-event / Perfetto JSON timeline
+///   --profile-json <path>    critical-path profile (schema tshmem.profile.v1)
+///   --profile-folded <path>  collapsed stacks for flamegraph.pl / speedscope
 ///
 /// Usage per Runtime (benches sweeping devices create several):
 ///   bench::Telemetry telemetry(cli);
@@ -62,6 +67,14 @@ void emit(const Cli& cli, const Table& table);
 ///   telemetry.collect(rt);              // after the runtime's last run()
 ///   ...
 ///   telemetry.write();                  // once, at the end of main()
+///
+/// Raw-Device benches (no Runtime) use the Device overloads instead:
+///   telemetry.attach(device);
+///   ... workload ...
+///   telemetry.collect(device, cfg->short_name);
+///
+/// When both --trace-json and a profile flag are given, the trace JSON also
+/// carries the critical path's wait edges as Perfetto flow arrows.
 ///
 /// Without the flags every call is a cheap no-op, and instrumentation is
 /// host-side only, so measured virtual times are identical either way.
@@ -75,17 +88,29 @@ class Telemetry {
   [[nodiscard]] bool trace_requested() const noexcept {
     return !trace_path_.empty();
   }
+  [[nodiscard]] bool profile_requested() const noexcept {
+    return !profile_json_path_.empty() || !profile_folded_path_.empty();
+  }
 
-  /// Turns on RuntimeOptions::metrics when --metrics-json was passed.
+  /// Turns on RuntimeOptions::metrics / ::profile per the flags passed.
   void configure(tshmem::RuntimeOptions& opts) const;
 
   /// Attaches a virtual-time tracer to the runtime's device when
-  /// --trace-json was passed.
+  /// --trace-json was passed. (The profiler is owned by the Runtime itself,
+  /// enabled via configure().)
   void attach(tshmem::Runtime& rt);
 
-  /// Harvests the runtime's metrics snapshot and timeline, detaching the
-  /// tracer. Call once per Runtime, after its last run().
+  /// Harvests the runtime's metrics snapshot, profile report, and timeline,
+  /// detaching the tracer. Call once per Runtime, after its last run().
   void collect(tshmem::Runtime& rt);
+
+  /// Raw-Device variant: attaches a tracer and/or a Telemetry-owned
+  /// profiler directly to `device` (for benches with no Runtime).
+  void attach(tilesim::Device& device);
+
+  /// Harvests and detaches what attach(Device&) installed. `name` labels
+  /// the trace track / profile run (use the device short name).
+  void collect(tilesim::Device& device, const std::string& name);
 
   /// Writes any requested files and prints one line per file written.
   void write();
@@ -93,11 +118,18 @@ class Telemetry {
  private:
   std::string metrics_path_;
   std::string trace_path_;
+  std::string profile_json_path_;
+  std::string profile_folded_path_;
   std::vector<obs::MetricsSnapshot> snapshots_;
   std::vector<obs::TraceTrack> tracks_;
+  std::vector<obs::TraceFlow> flows_;
+  std::vector<std::pair<std::string, obs::ProfileReport>> reports_;
   std::unique_ptr<tilesim::TraceRecorder> recorder_;
+  std::unique_ptr<obs::Profiler> device_profiler_;
   tshmem::Runtime* attached_ = nullptr;
+  tilesim::Device* attached_device_ = nullptr;
   int next_pid_ = 0;
+  std::uint64_t next_flow_id_ = 0;
 };
 
 }  // namespace bench

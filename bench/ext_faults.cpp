@@ -74,11 +74,17 @@ struct CampaignResult {
   std::vector<tilesim::ps_t> final_clocks;
 };
 
-CampaignResult run_campaign(const FaultPlan& plan, int npes) {
+// `telemetry` (nullable) gates profiling/tracing: the first campaign run
+// carries it, the in-process replay runs bare so the identity check stays
+// a comparison between a telemetry-on and telemetry-off run.
+CampaignResult run_campaign(const FaultPlan& plan, int npes,
+                            bench::Telemetry* telemetry) {
   tshmem::RuntimeOptions opts;
   opts.metrics = true;
   opts.fault_plan = plan;
+  if (telemetry != nullptr) telemetry->configure(opts);
   tshmem::Runtime rt(tilesim::tile_gx36(), opts);
+  if (telemetry != nullptr) telemetry->attach(rt);
   CampaignResult r;
   r.final_clocks.assign(static_cast<std::size_t>(npes), 0);
   rt.run(npes, [&](Context& ctx) {
@@ -86,6 +92,7 @@ CampaignResult run_campaign(const FaultPlan& plan, int npes) {
     r.final_clocks[static_cast<std::size_t>(ctx.my_pe())] =
         ctx.clock().now();
   });
+  if (telemetry != nullptr) telemetry->collect(rt);
   if (rt.fault_engine() != nullptr) r.events = rt.fault_engine()->events();
   r.metrics = rt.metrics();
   return r;
@@ -114,8 +121,9 @@ int main(int argc, char** argv) {
   const FaultPlan plan = campaign_plan(seed);
   std::cout << "plan: " << plan.describe() << "\n\n";
 
-  const CampaignResult first = run_campaign(plan, npes);
-  const CampaignResult replay = run_campaign(plan, npes);
+  bench::Telemetry telemetry(cli);
+  const CampaignResult first = run_campaign(plan, npes, &telemetry);
+  const CampaignResult replay = run_campaign(plan, npes, nullptr);
   const bool identical = first.events == replay.events &&
                          first.metrics == replay.metrics &&
                          first.final_clocks == replay.final_clocks;
@@ -166,5 +174,6 @@ int main(int argc, char** argv) {
   checks.push_back({"udn retries cover drops+corrupts",
                     drops > 0 ? retries / drops : 1.0, 1.0, "x"});
   bench::print_checks("Fault campaign", checks);
+  telemetry.write();
   return identical ? 0 : 1;
 }

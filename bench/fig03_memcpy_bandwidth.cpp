@@ -43,9 +43,11 @@ int main(int argc, char** argv) {
 
   tshmem_util::Table table({"size", "device", "pairing", "MB/s"});
   std::vector<bench::PaperCheck> checks;
+  bench::Telemetry telemetry(cli);
 
   for (const auto* cfg : bench::devices_from_cli(cli)) {
     tilesim::Device device(*cfg);
+    telemetry.attach(device);
     tmc::CommonMemory cmem(2 * max_bytes + (1 << 20));
     auto* shared_src = static_cast<std::byte*>(
         cmem.map("src", max_bytes, tilesim::Homing::kHashForHome, 0));
@@ -97,9 +99,11 @@ int main(int argc, char** argv) {
         }
       }
     });
+    telemetry.collect(device, std::string(cfg->short_name));
   }
 
   bench::emit(cli, table);
   bench::print_checks("Figure 3", checks);
+  telemetry.write();
   return 0;
 }

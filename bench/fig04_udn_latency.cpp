@@ -49,10 +49,12 @@ int main(int argc, char** argv) {
   tshmem_util::Table table(
       {"type", "direction", "sender", "receiver", "gx36 (ns)", "pro64 (ns)"});
   std::vector<bench::PaperCheck> checks;
+  bench::Telemetry telemetry(cli);
 
   // Measure all cases on one device; returns ns per case.
   auto measure = [&](const tilesim::DeviceConfig& cfg) {
     tilesim::Device device(cfg);
+    telemetry.attach(device);
     tmc::UdnFabric udn(device);
     std::vector<double> ns(std::size(kCases), 0.0);
     // Map virtual CPU numbers of the 6x6 area onto the physical mesh.
@@ -77,6 +79,7 @@ int main(int argc, char** argv) {
         device.host_sync();
       }
     });
+    telemetry.collect(device, std::string(cfg.short_name));
     return ns;
   };
 
@@ -132,5 +135,6 @@ int main(int argc, char** argv) {
   bench::emit(cli, thr);
 
   bench::print_checks("Figure 4 / Table III", checks);
+  telemetry.write();
   return 0;
 }

@@ -38,9 +38,11 @@ int main(int argc, char** argv) {
   tshmem_util::Table table(
       {"tiles", "device", "spin (us)", "sync (us)"});
   std::vector<bench::PaperCheck> checks;
+  bench::Telemetry telemetry(cli);
 
   for (const auto* cfg : bench::devices_from_cli(cli)) {
     tilesim::Device device(*cfg);
+    telemetry.attach(device);
     for (int tiles = 2; tiles <= 36; tiles += 2) {
       const auto spin = measured_latency<tmc::SpinBarrier>(device, tiles);
       const auto sync = measured_latency<tmc::SyncBarrier>(device, tiles);
@@ -56,9 +58,11 @@ int main(int argc, char** argv) {
                           "us"});
       }
     }
+    telemetry.collect(device, std::string(cfg->short_name));
   }
 
   bench::emit(cli, table);
   bench::print_checks("Figure 5", checks);
+  telemetry.write();
   return 0;
 }

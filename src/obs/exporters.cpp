@@ -122,6 +122,12 @@ void write_trace_event(std::ostream& os, int pid,
 
 void write_chrome_trace_json(std::ostream& os,
                              const std::vector<TraceTrack>& tracks) {
+  write_chrome_trace_json(os, tracks, {});
+}
+
+void write_chrome_trace_json(std::ostream& os,
+                             const std::vector<TraceTrack>& tracks,
+                             const std::vector<TraceFlow>& flows) {
   os << "{\n  \"displayTimeUnit\": \"ns\",\n  \"traceEvents\": [";
   bool first = true;
   for (const TraceTrack& track : tracks) {
@@ -141,6 +147,21 @@ void write_chrome_trace_json(std::ostream& os,
     for (const auto& e : track.events) {
       write_trace_event(os, track.pid, e, false);
     }
+  }
+  for (const TraceFlow& f : flows) {
+    char sts[64];
+    char fts[64];
+    std::snprintf(sts, sizeof(sts), "%.6f", ps_to_trace_us(f.src_ps));
+    std::snprintf(fts, sizeof(fts), "%.6f", ps_to_trace_us(f.dst_ps));
+    os << (first ? "\n" : ",\n") << "    {\"name\": \""
+       << json_escape(f.name) << "\", \"cat\": \"wait_edge\", \"ph\": \"s\""
+       << ", \"id\": " << f.id << ", \"ts\": " << sts << ", \"pid\": "
+       << f.pid << ", \"tid\": " << f.src_tile << "}";
+    first = false;
+    os << ",\n    {\"name\": \"" << json_escape(f.name)
+       << "\", \"cat\": \"wait_edge\", \"ph\": \"f\", \"bp\": \"e\""
+       << ", \"id\": " << f.id << ", \"ts\": " << fts << ", \"pid\": "
+       << f.pid << ", \"tid\": " << f.dst_tile << "}";
   }
   os << (first ? "" : "\n  ") << "]\n}\n";
 }

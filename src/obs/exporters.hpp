@@ -38,10 +38,29 @@ void write_metrics_json(std::ostream& os,
 /// Single-run convenience overload.
 void write_metrics_json(std::ostream& os, const MetricsSnapshot& snapshot);
 
+/// A wait-for dependency rendered as a Perfetto flow arrow: producer
+/// (src_tile @ src_ps) -> consumer (dst_tile @ dst_ps) inside process
+/// `pid`. Emitted as paired "s"/"f" events by write_chrome_trace_json.
+struct TraceFlow {
+  int pid = 0;
+  std::uint64_t id = 0;  ///< flow id, unique within the trace
+  std::string name;
+  int src_tile = 0;
+  tilesim::ps_t src_ps = 0;
+  int dst_tile = 0;
+  tilesim::ps_t dst_ps = 0;
+};
+
 /// Writes Chrome trace-event JSON ("X" complete events plus process/thread
 /// metadata). Event timestamps/durations convert ps -> us (fractional).
 void write_chrome_trace_json(std::ostream& os,
                              const std::vector<TraceTrack>& tracks);
+
+/// As above, plus profiler wait-edge flow arrows ("s"/"f" events) layered
+/// onto the tracks.
+void write_chrome_trace_json(std::ostream& os,
+                             const std::vector<TraceTrack>& tracks,
+                             const std::vector<TraceFlow>& flows);
 
 /// Single-device convenience overload (pid 0).
 void write_chrome_trace_json(std::ostream& os,

@@ -207,4 +207,51 @@ class MetricsRegistry {
   std::vector<std::unique_ptr<Shard>> shards_;
 };
 
+// ===========================================================================
+// Sanctioned instrumentation entry points (lint rule R005)
+// ===========================================================================
+//
+// Instrumentation sites outside src/obs/ must resolve handles and mutate
+// metrics through these helpers, not by calling MetricsRegistry::counter /
+// gauge / histogram directly — tools/tshmem_lint.py rule R005 audits that,
+// which keeps every instrumentation site greppable and reviewable in one
+// place. (Inside src/obs/ and in tests the raw registry API is fine.)
+
+/// Resolves a stable counter handle (hot paths resolve once, then update
+/// lock-free through the pointer).
+[[nodiscard]] inline Counter* counter_handle(MetricsRegistry& reg,
+                                             std::string_view name, int pe) {
+  return &reg.counter(name, pe);
+}
+
+[[nodiscard]] inline Gauge* gauge_handle(MetricsRegistry& reg,
+                                         std::string_view name, int pe) {
+  return &reg.gauge(name, pe);
+}
+
+[[nodiscard]] inline Log2Histogram* histogram_handle(MetricsRegistry& reg,
+                                                     std::string_view name,
+                                                     int pe) {
+  return &reg.histogram(name, pe);
+}
+
+/// One-shot counter add for cold paths (scrapes, error paths) that have no
+/// cached handle.
+inline void add_count(MetricsRegistry& reg, std::string_view name, int pe,
+                      std::uint64_t delta) {
+  reg.counter(name, pe).add(delta);
+}
+
+/// One-shot gauge set for cold paths.
+inline void set_level(MetricsRegistry& reg, std::string_view name, int pe,
+                      std::int64_t v) {
+  reg.gauge(name, pe).set(v);
+}
+
+/// One-shot histogram sample for cold paths.
+inline void record_sample(MetricsRegistry& reg, std::string_view name, int pe,
+                          std::uint64_t sample) {
+  reg.histogram(name, pe).record(sample);
+}
+
 }  // namespace obs

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "sim/profile_hook.hpp"
 #include "sim/sync_observer.hpp"
 
 namespace tilesim {
@@ -104,6 +105,12 @@ void Device::enable_cache_probes() {
 }
 
 void Device::reset_clocks() {
+  // Epoch boundary for the profiler: reset_clocks() is only legal from
+  // single-threaded safe points, so the sink may read every tile's final
+  // clock value here, before anything is zeroed.
+  if (profiler_ != nullptr) {
+    profiler_->on_clock_reset();  // tshmem-lint: allow(R005)
+  }
   // DMA engines first: an engine with in-flight transfers must fail the
   // reset *before* any clock is zeroed (stale future completion timestamps
   // would otherwise poison advance_to after the reset).

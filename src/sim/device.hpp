@@ -23,6 +23,7 @@ namespace tilesim {
 
 class Device;
 class SyncObserver;  // sim/sync_observer.hpp
+class ProfileSink;   // sim/profile_hook.hpp
 
 /// One tile of the mesh. Owned by Device; bound 1:1 to a host thread for
 /// the duration of a Device::run() call.
@@ -161,6 +162,17 @@ class Device {
     return sync_observer_;
   }
 
+  /// Attach (or detach with nullptr) the virtual-time profiler sink
+  /// (sim/profile_hook.hpp): span begin/end and wait-for edges are reported
+  /// while attached, and reset_clocks() notifies it at every epoch
+  /// boundary. Same contract as the tracer/fault engine: must outlive the
+  /// attachment, never advances virtual time, and the nullptr default keeps
+  /// the fast path zero-cost.
+  void attach_profiler(ProfileSink* profiler) noexcept {
+    profiler_ = profiler;
+  }
+  [[nodiscard]] ProfileSink* profiler() const noexcept { return profiler_; }
+
  private:
   const DeviceConfig* cfg_;
   Topology topo_;
@@ -173,6 +185,7 @@ class Device {
   FaultEngine* fault_ = nullptr;
   const Watchdog* watchdog_ = nullptr;
   SyncObserver* sync_observer_ = nullptr;
+  ProfileSink* profiler_ = nullptr;
   bool cache_probes_ = false;
   std::atomic<std::uint64_t> clock_generation_{0};
 };

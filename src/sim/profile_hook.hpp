@@ -1,0 +1,112 @@
+// Observer interface for the virtual-time profiler (ISSUE 7 tentpole).
+//
+// Mirrors the TraceRecorder/FaultEngine/SyncObserver attachment pattern:
+// the interface lives in sim — the bottom layer — so tmc and tshmem can
+// report spans and wait edges without an upward dependency, while the only
+// implementation (obs::Profiler, src/obs/profiler.hpp) lives above.
+//
+// Contract: callbacks must never advance a SimClock (the bit-identical
+// profile-on/off contract, CI-enforced like metrics and tshmem-check), and
+// every callback for one tile is invoked from that tile's own thread in
+// program order. on_clock_reset is only invoked from the single-threaded
+// safe points reset_clocks() already requires (between run()s, or from one
+// tile after host_sync), so the sink may read every tile's clock there.
+//
+// Call sites outside src/obs/ must go through the ProfSpan RAII helper and
+// prof_wait_edge() below — the sanctioned entry points lint rule R005
+// audits (tools/tshmem_lint.py).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/device.hpp"
+
+namespace tilesim {
+
+/// Phase taxonomy of a span / wait edge: where a PE's virtual time goes.
+enum class ProfPhase : std::uint8_t {
+  kCompute = 0,  ///< residual — time under no instrumented span
+  kUdn,          ///< UDN receive / control-message wait
+  kDma,          ///< data movement: put/get, NBI issue, quiet drain
+  kBarrier,      ///< barrier algorithms (token, broadcast-release, spin)
+  kCollective,   ///< broadcast / collect / reduce phases
+  kLock,         ///< atomics and OpenSHMEM locks
+  kWait,         ///< shmem_wait_until and other guarded waits
+};
+
+inline constexpr int kProfPhaseCount = 7;
+
+[[nodiscard]] constexpr const char* prof_phase_name(ProfPhase p) noexcept {
+  switch (p) {
+    case ProfPhase::kCompute: return "compute";
+    case ProfPhase::kUdn: return "udn_wait";
+    case ProfPhase::kDma: return "dma";
+    case ProfPhase::kBarrier: return "barrier";
+    case ProfPhase::kCollective: return "collective";
+    case ProfPhase::kLock: return "lock";
+    case ProfPhase::kWait: return "guarded_wait";
+  }
+  return "?";
+}
+
+class ProfileSink {
+ public:
+  virtual ~ProfileSink() = default;
+
+  /// Tile `tile` entered span (`phase`, `site`) at virtual time `now`.
+  /// `site` must be a static string (stored by pointer).
+  virtual void on_span_begin(int tile, ProfPhase phase, const char* site,
+                             ps_t now) = 0;
+
+  /// Tile `tile` left its innermost open span at virtual time `now`.
+  virtual void on_span_end(int tile, ps_t now) = 0;
+
+  /// Tile `tile`'s clock jumped from `from_ps` to `to_ps` waiting on a
+  /// timestamp produced by `src_tile` (-1 when the producer is unknown,
+  /// the tile itself for its own DMA engine). `fallback` classifies the
+  /// edge when no span is open on the waiter. Only emitted for real jumps
+  /// (to_ps > from_ps).
+  virtual void on_wait_edge(int tile, int src_tile, ProfPhase fallback,
+                            const char* site, ps_t from_ps, ps_t to_ps) = 0;
+
+  /// All tile clocks are about to reset to zero (epoch boundary). Invoked
+  /// single-threaded before the reset, so current clock values are final.
+  virtual void on_clock_reset() = 0;
+};
+
+/// Null-safe RAII span: zero-cost (one pointer load) when no profiler is
+/// attached. The site string must be static.
+class ProfSpan {
+ public:
+  ProfSpan(Tile& tile, ProfPhase phase, const char* site)
+      : sink_(tile.device().profiler()), tile_(&tile) {
+    if (sink_ != nullptr) {
+      sink_->on_span_begin(tile.id(), phase, site, tile.clock().now());
+    }
+  }
+
+  ~ProfSpan() {
+    if (sink_ != nullptr) {
+      sink_->on_span_end(tile_->id(), tile_->clock().now());
+    }
+  }
+
+  ProfSpan(const ProfSpan&) = delete;
+  ProfSpan& operator=(const ProfSpan&) = delete;
+
+ private:
+  ProfileSink* sink_;
+  Tile* tile_;
+};
+
+/// Records a wait-for edge against the attached profiler (no-op without
+/// one, or when the clock did not actually jump).
+inline void prof_wait_edge(Tile& tile, int src_tile, ProfPhase fallback,
+                           const char* site, ps_t from_ps, ps_t to_ps) {
+  if (ProfileSink* sink = tile.device().profiler();
+      sink != nullptr && to_ps > from_ps) {
+    sink->on_wait_edge(tile.id(), src_tile, fallback, site, from_ps, to_ps);
+  }
+}
+
+}  // namespace tilesim

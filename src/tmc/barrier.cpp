@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "sim/guarded_wait.hpp"
+#include "sim/profile_hook.hpp"
 #include "sim/sync_observer.hpp"
 
 namespace tmc {
@@ -33,16 +34,26 @@ void VtBarrier::wait(Tile& self) {
       device_ != nullptr ? device_->sync_observer() : nullptr;
   std::unique_lock lk(mu_);
   ++waits_;
-  max_arrival_ = std::max(max_arrival_, arrival);
+  // Track which tile produced max_arrival_ so the profiler's release edge
+  // can name its producer. Strictly-later arrival wins; ties keep the
+  // lowest tile id so the attribution is deterministic across schedules.
+  if (arrived_ == 0 || arrival > max_arrival_ ||
+      (arrival == max_arrival_ && self.id() < max_arrival_tile_)) {
+    max_arrival_ = std::max(max_arrival_, arrival);
+    max_arrival_tile_ = self.id();
+  }
   const std::uint64_t my_generation = generation_;
   if (observer != nullptr) {
     observer->on_rendezvous_arrive(this, my_generation, self.id());
   }
   if (++arrived_ == parties_) {
     release_time_ = release_fn_(max_arrival_, parties_);
+    release_src_ = max_arrival_tile_;
     arrived_ = 0;
     max_arrival_ = 0;
+    max_arrival_tile_ = -1;
     ++generation_;
+    const int release_src = release_src_;
     lk.unlock();
     cv_.notify_all();
     if (observer != nullptr) {
@@ -50,17 +61,22 @@ void VtBarrier::wait(Tile& self) {
                                       parties_);
     }
     self.clock().advance_to(release_time_);
+    tilesim::prof_wait_edge(self, release_src, tilesim::ProfPhase::kBarrier,
+                            "tmc_barrier", arrival, self.clock().now());
     return;
   }
   tilesim::guarded_wait(device_, lk, cv_, self.id(), "barrier wait",
                         [&] { return generation_ != my_generation; });
   const ps_t release = release_time_;
+  const int release_src = release_src_;
   lk.unlock();
   if (observer != nullptr) {
     observer->on_rendezvous_release(this, my_generation, self.id(),
                                     parties_);
   }
   self.clock().advance_to(release);
+  tilesim::prof_wait_edge(self, release_src, tilesim::ProfPhase::kBarrier,
+                          "tmc_barrier", arrival, self.clock().now());
 }
 
 SpinBarrier::SpinBarrier(Device& device, int parties)

@@ -56,7 +56,9 @@ class VtBarrier {
   std::uint64_t generation_ = 0;
   std::uint64_t waits_ = 0;
   ps_t max_arrival_ = 0;
+  int max_arrival_tile_ = -1;  ///< last arriver (min-id tie-break)
   ps_t release_time_ = 0;
+  int release_src_ = -1;  ///< producer of release_time_ (profiler edge)
 };
 
 /// TMC spin barrier: use only with one task per tile (paper §III-D).

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "sim/fault.hpp"
+#include "sim/profile_hook.hpp"
 
 namespace tmc {
 
@@ -67,6 +68,8 @@ void InterruptController::raise(Tile& requester, int target_tile,
     ++state.serviced;
   }
   // The requester learns of completion (an acknowledgment over the UDN).
+  tilesim::prof_wait_edge(requester, target_tile, tilesim::ProfPhase::kDma,
+                          "interrupt", raise_time, completion);
   requester.clock().advance_to(completion);
 }
 

@@ -5,6 +5,7 @@
 
 #include "sim/fault.hpp"
 #include "sim/guarded_wait.hpp"
+#include "sim/profile_hook.hpp"
 #include "sim/topology.hpp"
 #include "util/error.hpp"
 
@@ -232,6 +233,8 @@ UdnPacket UdnFabric::recv(Tile& receiver, int queue) {
   }
   q.cv_space.notify_all();
   verify_checksum(pkt, receiver.id());
+  tilesim::prof_wait_edge(receiver, pkt.src_tile, tilesim::ProfPhase::kUdn,
+                          "udn_recv", receiver.clock().now(), pkt.arrival_ps);
   receiver.clock().advance_to(pkt.arrival_ps);
   receiver.clock().advance(device_->config().udn_rx_overhead_ps);
   if (tilesim::TraceRecorder* tracer = device_->tracer(); tracer != nullptr) {
@@ -273,6 +276,8 @@ std::optional<UdnPacket> UdnFabric::try_recv(Tile& receiver, int queue) {
   }
   q.cv_space.notify_all();
   verify_checksum(pkt, receiver.id());
+  tilesim::prof_wait_edge(receiver, pkt.src_tile, tilesim::ProfPhase::kUdn,
+                          "udn_recv", receiver.clock().now(), pkt.arrival_ps);
   receiver.clock().advance_to(pkt.arrival_ps);
   receiver.clock().advance(device_->config().udn_rx_overhead_ps);
   return pkt;

@@ -44,6 +44,8 @@ void Context::broadcast(void* target, const void* source, std::size_t bytes,
   obs::ScopedVtTimer vt_metric(tile_->clock(),
                                met_ ? met_->collective_wait_ps : nullptr,
                                met_ ? met_->broadcast_calls : nullptr);
+  tilesim::ProfSpan prof(*tile_, tilesim::ProfPhase::kCollective,
+                         "shmem_broadcast");
   if (met_) met_->broadcast_bytes->add(bytes);
   tile_->clock().advance(rt_->config().shmem_call_overhead_ps);
   const std::uint32_t seq = next_collective_seq(as);
@@ -182,6 +184,8 @@ void Context::collect_engine(void* target, const void* source,
   obs::ScopedVtTimer vt_metric(tile_->clock(),
                                met_ ? met_->collective_wait_ps : nullptr,
                                met_ ? met_->collect_calls : nullptr);
+  tilesim::ProfSpan prof(*tile_, tilesim::ProfPhase::kCollective,
+                         "shmem_collect");
   if (met_) met_->collect_bytes->add(my_bytes);
   tile_->clock().advance(rt_->config().shmem_call_overhead_ps);
   const std::uint32_t seq = next_collective_seq(as);
@@ -321,6 +325,8 @@ void Context::reduce_engine(void* target, const void* source,
   obs::ScopedVtTimer vt_metric(tile_->clock(),
                                met_ ? met_->collective_wait_ps : nullptr,
                                met_ ? met_->reduce_calls : nullptr);
+  tilesim::ProfSpan prof(*tile_, tilesim::ProfPhase::kCollective,
+                         "shmem_reduce");
   if (met_) met_->reduce_bytes->add(nreduce * elem_size);
   tile_->clock().advance(rt_->config().shmem_call_overhead_ps);
   const std::uint32_t seq = next_collective_seq(as);

@@ -5,6 +5,7 @@
 
 #include "sim/fault.hpp"
 #include "sim/mem_model.hpp"
+#include "sim/profile_hook.hpp"
 #include "tmc/barrier.hpp"
 #include "util/error.hpp"
 
@@ -28,35 +29,35 @@ Context::Context(Runtime& rt, int pe, Tile& tile, std::byte* partition,
   if (rt.metrics_enabled()) {
     obs::MetricsRegistry& reg = rt.metrics_registry();
     met_ = std::make_unique<PeMetrics>(PeMetrics{
-        &reg.counter("shmem.put.calls", pe),
-        &reg.counter("shmem.put.bytes", pe),
-        &reg.histogram("shmem.put.latency_ps", pe),
-        &reg.counter("shmem.get.calls", pe),
-        &reg.counter("shmem.get.bytes", pe),
-        &reg.histogram("shmem.get.latency_ps", pe),
-        &reg.counter("shmem.barrier.calls", pe),
-        &reg.histogram("shmem.barrier.wait_ps", pe),
-        &reg.counter("shmem.broadcast.calls", pe),
-        &reg.counter("shmem.broadcast.bytes", pe),
-        &reg.counter("shmem.collect.calls", pe),
-        &reg.counter("shmem.collect.bytes", pe),
-        &reg.counter("shmem.reduce.calls", pe),
-        &reg.counter("shmem.reduce.bytes", pe),
-        &reg.histogram("shmem.collective.wait_ps", pe),
-        &reg.counter("shmem.atomic.calls", pe),
-        &reg.counter("shmem.lock.ops", pe),
-        &reg.counter("shmem.wait.calls", pe),
-        &reg.histogram("shmem.wait.latency_ps", pe),
-        &reg.counter("shmem.heap.alloc.calls", pe),
-        &reg.counter("shmem.heap.free.calls", pe),
-        &reg.counter("shmem.interrupt.services", pe),
-        &reg.counter("shmem.nbi.issued", pe),
-        &reg.counter("shmem.nbi.retired", pe),
-        &reg.counter("shmem.nbi.bytes", pe),
-        &reg.gauge("shmem.nbi.queue_depth", pe),
-        &reg.histogram("shmem.nbi.quiet_wait_ps", pe),
-        &reg.histogram("shmem.nbi.overlap_pct", pe),
-        &reg.counter("recovery.nbi.sync_fallbacks", pe),
+        obs::counter_handle(reg, "shmem.put.calls", pe),
+        obs::counter_handle(reg, "shmem.put.bytes", pe),
+        obs::histogram_handle(reg, "shmem.put.latency_ps", pe),
+        obs::counter_handle(reg, "shmem.get.calls", pe),
+        obs::counter_handle(reg, "shmem.get.bytes", pe),
+        obs::histogram_handle(reg, "shmem.get.latency_ps", pe),
+        obs::counter_handle(reg, "shmem.barrier.calls", pe),
+        obs::histogram_handle(reg, "shmem.barrier.wait_ps", pe),
+        obs::counter_handle(reg, "shmem.broadcast.calls", pe),
+        obs::counter_handle(reg, "shmem.broadcast.bytes", pe),
+        obs::counter_handle(reg, "shmem.collect.calls", pe),
+        obs::counter_handle(reg, "shmem.collect.bytes", pe),
+        obs::counter_handle(reg, "shmem.reduce.calls", pe),
+        obs::counter_handle(reg, "shmem.reduce.bytes", pe),
+        obs::histogram_handle(reg, "shmem.collective.wait_ps", pe),
+        obs::counter_handle(reg, "shmem.atomic.calls", pe),
+        obs::counter_handle(reg, "shmem.lock.ops", pe),
+        obs::counter_handle(reg, "shmem.wait.calls", pe),
+        obs::histogram_handle(reg, "shmem.wait.latency_ps", pe),
+        obs::counter_handle(reg, "shmem.heap.alloc.calls", pe),
+        obs::counter_handle(reg, "shmem.heap.free.calls", pe),
+        obs::counter_handle(reg, "shmem.interrupt.services", pe),
+        obs::counter_handle(reg, "shmem.nbi.issued", pe),
+        obs::counter_handle(reg, "shmem.nbi.retired", pe),
+        obs::counter_handle(reg, "shmem.nbi.bytes", pe),
+        obs::gauge_handle(reg, "shmem.nbi.queue_depth", pe),
+        obs::histogram_handle(reg, "shmem.nbi.quiet_wait_ps", pe),
+        obs::histogram_handle(reg, "shmem.nbi.overlap_pct", pe),
+        obs::counter_handle(reg, "recovery.nbi.sync_fallbacks", pe),
     });
   }
 }
@@ -293,6 +294,8 @@ void Context::transfer(void* target, const void* source, std::size_t bytes,
       tile_->clock(),
       met_ ? (is_put ? met_->put_latency_ps : met_->get_latency_ps)
            : nullptr);
+  tilesim::ProfSpan prof(*tile_, tilesim::ProfPhase::kDma,
+                         is_put ? "shmem_put" : "shmem_get");
   if (met_) {
     (is_put ? met_->put_calls : met_->get_calls)->inc();
     (is_put ? met_->put_bytes : met_->get_bytes)->add(bytes);
@@ -469,6 +472,8 @@ void Context::transfer_nbi(void* target, const void* source,
     transfer(target, source, bytes, pe, is_put, {});
     return;
   }
+  tilesim::ProfSpan prof(*tile_, tilesim::ProfPhase::kDma,
+                         is_put ? "shmem_put_nbi" : "shmem_get_nbi");
   const AddrClass local_cls = classify(is_put ? source : target);
   tile_->clock().advance(rt_->config().shmem_call_overhead_ps +
                          rt_->config().dma_issue_ps);
@@ -544,11 +549,16 @@ void Context::get_nbi(void* target, const void* source, std::size_t bytes,
 
 void Context::quiet() {
   rt_->note_op(pe_, "shmem_quiet");
+  tilesim::ProfSpan prof(*tile_, tilesim::ProfPhase::kDma, "shmem_quiet");
   tilesim::DmaEngine& dma = tile_->dma();
   if (dma.pending() != 0) {
     const ps_t before = tile_->clock().now();
     const tilesim::DmaEngine::DrainResult drained = dma.drain_all();
     tile_->clock().advance_to(drained.max_complete_ps);
+    // The engine is this PE's own DMA pseudo-actor, so the wait edge points
+    // at ourselves: the bound is our earlier issue stream, not another PE.
+    tilesim::prof_wait_edge(*tile_, pe_, tilesim::ProfPhase::kDma,
+                            "dma_drain", before, drained.max_complete_ps);
     if (met_) {
       met_->nbi_retired->add(drained.retired);
       met_->nbi_queue_depth->set(0);
@@ -573,6 +583,7 @@ void Context::quiet() {
 }
 
 void Context::fence() {
+  tilesim::ProfSpan prof(*tile_, tilesim::ProfPhase::kDma, "shmem_fence");
   if (tile_->dma().pending() == 0) {
     // §IV-C2: with nothing in flight shmem_fence() stays an alias of
     // shmem_quiet(), keeping existing figure results bit-identical.
@@ -612,6 +623,11 @@ CtrlMsg Context::recv_ctrl(int queue, MsgTag tag, int src_pe,
       race_->on_ctrl_consume(pe_, src, queue, static_cast<int>(tag));
     }
     tile_->clock().advance_to(arrival);
+    // No span here on purpose: the wait time must attribute to whatever
+    // enclosing phase (barrier/collective) issued the receive; the edge
+    // records which PE's send bounded us.
+    tilesim::prof_wait_edge(*tile_, src, tilesim::ProfPhase::kUdn, "ctrl",
+                            wait_begin, arrival);
     if (tilesim::TraceRecorder* tracer = tile_->device().tracer();
         tracer != nullptr) {
       tracer->record(pe_, tilesim::TraceKind::kMessage, wait_begin,
@@ -672,6 +688,8 @@ void Context::barrier(const ActiveSet& as, BarrierAlgo algo) {
   obs::ScopedVtTimer vt_metric(tile_->clock(),
                                met_ ? met_->barrier_wait_ps : nullptr,
                                met_ ? met_->barrier_calls : nullptr);
+  tilesim::ProfSpan prof(*tile_, tilesim::ProfPhase::kBarrier,
+                         "shmem_barrier");
   // A barrier also completes outstanding puts (OpenSHMEM semantics).
   quiet();
   if (as.pe_size == 1) return;
@@ -801,6 +819,7 @@ void Context::atomic_engine(void* target, int pe, std::size_t bytes,
     throw std::invalid_argument("atomic: target is not a symmetric object");
   }
   if (met_) met_->atomic_calls->inc();
+  tilesim::ProfSpan prof(*tile_, tilesim::ProfPhase::kLock, site);
   charge_atomic(pe);
   if (race_ != nullptr) {
     // Acquire-check-release on the target granule; even a failed CAS

@@ -21,6 +21,7 @@
 #include "obs/scoped_timer.hpp"
 #include "sim/clock.hpp"
 #include "sim/guarded_wait.hpp"
+#include "sim/profile_hook.hpp"
 #include "tshmem/messages.hpp"
 #include "tshmem/runtime.hpp"
 #include "tshmem/symheap.hpp"
@@ -423,6 +424,8 @@ void Context::wait_until(volatile T* ivar, Cmp cmp, T value) {
   rt_->note_op(pe_, "shmem_wait_until");
   obs::ScopedVtTimer vt_metric(clock(), met_ ? met_->wait_ps : nullptr,
                                met_ ? met_->wait_calls : nullptr);
+  tilesim::ProfSpan prof_span(*tile_, tilesim::ProfPhase::kWait,
+                              "shmem_wait_until");
   // Point-to-point sync: poll the symmetric variable. Remote elemental puts
   // store atomically (see do_memcpy_visible), so an atomic load here pairs
   // with them. Virtual time: on success the clock advances to the latest
@@ -432,7 +435,15 @@ void Context::wait_until(volatile T* ivar, Cmp cmp, T value) {
   tilesim::guarded_spin(tile_->device(), pe_, "shmem_wait_until", [&] {
     return compare(cmp, ref.load(std::memory_order_acquire), value);
   });
-  clock().advance_to(rt_->last_delivery(pe_));
+  {
+    const ps_t wait_from = clock().now();
+    const ps_t delivered = rt_->last_delivery(pe_);
+    clock().advance_to(delivered);
+    // The delivering PE is not identifiable from the timestamp slot alone,
+    // so the edge's producer is unknown (-1).
+    tilesim::prof_wait_edge(*tile_, -1, tilesim::ProfPhase::kWait,
+                            "delivery", wait_from, delivered);
+  }
   clock().advance(rt_->config().shmem_call_overhead_ps);
   if (race_ != nullptr) {
     // The satisfied wait acquires the release clock the elemental put

@@ -111,6 +111,12 @@ Runtime::Runtime(const DeviceConfig& cfg, RuntimeOptions opts)
     device_.enable_cache_probes();
   }
 
+  profile_enabled_ = bool_env("TSHMEM_PROFILE", opts.profile);
+  if (profile_enabled_) {
+    profiler_ = std::make_unique<obs::Profiler>(device_);
+    device_.attach_profiler(profiler_.get());
+  }
+
   debug_validation_ = bool_env("TSHMEM_DEBUG", opts.debug_validation);
 
   // Fault injection: only a non-empty effective plan attaches an engine,
@@ -201,7 +207,7 @@ void* Runtime::map_with_retry(const std::string& name, std::size_t bytes,
         throw;
       }
       if (metrics_enabled_) {
-        registry_.counter("recovery.cmem.map_retries", tile).add(1);
+        obs::add_count(registry_, "recovery.cmem.map_retries", tile, 1);
       }
     }
   }
@@ -437,20 +443,20 @@ void Runtime::scrape_run_stats() {
     const Tile& tile = device_.tile(pe);
     // busy/idle cover the interval since the last clock reset — with
     // harness_sync_reset() benches, the final measured phase.
-    registry_.counter("sim.tile.busy_ps", pe).add(tile.clock().busy_ps());
-    registry_.counter("sim.tile.idle_ps", pe).add(tile.clock().idle_ps());
+    obs::add_count(registry_, "sim.tile.busy_ps", pe, tile.clock().busy_ps());
+    obs::add_count(registry_, "sim.tile.idle_ps", pe, tile.clock().idle_ps());
 
     const auto traffic = udn_.traffic(pe);
     auto& up = scraped_udn_[static_cast<std::size_t>(pe)];
-    registry_.counter("udn.packets", pe).add(delta(traffic.packets,
-                                                   up.packets));
-    registry_.counter("udn.words", pe).add(delta(traffic.words, up.words));
-    registry_.counter("udn.hops", pe).add(delta(traffic.hops, up.hops));
+    obs::add_count(registry_, "udn.packets", pe,
+                   delta(traffic.packets, up.packets));
+    obs::add_count(registry_, "udn.words", pe, delta(traffic.words, up.words));
+    obs::add_count(registry_, "udn.hops", pe, delta(traffic.hops, up.hops));
     if (fault_engine_ != nullptr) {
-      registry_.counter("recovery.udn.retries", pe)
-          .add(delta(traffic.retries, up.retries));
-      registry_.counter("recovery.udn.backoff_ps", pe)
-          .add(delta(traffic.backoff_ps, up.backoff_ps));
+      obs::add_count(registry_, "recovery.udn.retries", pe,
+                     delta(traffic.retries, up.retries));
+      obs::add_count(registry_, "recovery.udn.backoff_ps", pe,
+                     delta(traffic.backoff_ps, up.backoff_ps));
     } else {
       up.retries = traffic.retries;
       up.backoff_ps = traffic.backoff_ps;
@@ -460,35 +466,35 @@ void Runtime::scrape_run_stats() {
         probe != nullptr) {
       const tilesim::AccessCounts& c = probe->counts();
       auto& cp = scraped_cache_[static_cast<std::size_t>(pe)];
-      registry_.counter("cache.l1_hits", pe).add(delta(c.l1, cp.l1));
-      registry_.counter("cache.l2_hits", pe).add(delta(c.l2, cp.l2));
-      registry_.counter("cache.ddc_hits", pe).add(delta(c.ddc, cp.ddc));
-      registry_.counter("cache.dram_accesses", pe).add(delta(c.dram,
-                                                             cp.dram));
+      obs::add_count(registry_, "cache.l1_hits", pe, delta(c.l1, cp.l1));
+      obs::add_count(registry_, "cache.l2_hits", pe, delta(c.l2, cp.l2));
+      obs::add_count(registry_, "cache.ddc_hits", pe, delta(c.ddc, cp.ddc));
+      obs::add_count(registry_, "cache.dram_accesses", pe,
+                     delta(c.dram, cp.dram));
     }
 
     Context& ctx = *contexts_[static_cast<std::size_t>(pe)];
-    registry_.gauge("shmem.heap.bytes_in_use", pe)
-        .set(static_cast<std::int64_t>(ctx.heap().bytes_in_use()));
-    registry_.gauge("shmem.heap.blocks", pe)
-        .set(static_cast<std::int64_t>(ctx.heap().block_count()));
+    obs::set_level(registry_, "shmem.heap.bytes_in_use", pe,
+                   static_cast<std::int64_t>(ctx.heap().bytes_in_use()));
+    obs::set_level(registry_, "shmem.heap.blocks", pe,
+                   static_cast<std::int64_t>(ctx.heap().block_count()));
 
     // DMA engines are cleared at every Device::run entry, so their stats
     // are already this run's values (peak depth covers the last phase when
     // benches reset clocks mid-run).
     const tilesim::DmaStats dma = tile.dma().stats();
-    registry_.gauge("sim.dma.peak_pending", pe)
-        .set(static_cast<std::int64_t>(dma.peak_pending));
+    obs::set_level(registry_, "sim.dma.peak_pending", pe,
+                   static_cast<std::int64_t>(dma.peak_pending));
   }
 
   // Device-wide aggregates use pe = -1.
   const tmc::CommonMemory::Stats cs = cmem_.stats();
-  registry_.counter("tmc.cmem.maps", -1).add(delta(cs.maps,
-                                                   scraped_cmem_.maps));
-  registry_.counter("tmc.cmem.unmaps", -1).add(delta(cs.unmaps,
-                                                     scraped_cmem_.unmaps));
-  registry_.gauge("tmc.cmem.peak_bytes", -1)
-      .set(static_cast<std::int64_t>(cs.peak_bytes));
+  obs::add_count(registry_, "tmc.cmem.maps", -1,
+                 delta(cs.maps, scraped_cmem_.maps));
+  obs::add_count(registry_, "tmc.cmem.unmaps", -1,
+                 delta(cs.unmaps, scraped_cmem_.unmaps));
+  obs::set_level(registry_, "tmc.cmem.peak_bytes", -1,
+                 static_cast<std::int64_t>(cs.peak_bytes));
 
   // Spin barriers are per-run objects (cleared in teardown), so their wait
   // totals are already this run's delta.
@@ -499,22 +505,23 @@ void Runtime::scrape_run_stats() {
       spins += barrier->waits();
     }
   }
-  registry_.counter("tmc.barrier.spin_waits", -1).add(spins);
+  obs::add_count(registry_, "tmc.barrier.spin_waits", -1, spins);
 
-  registry_.gauge("shmem.statics.bytes_used", -1)
-      .set(static_cast<std::int64_t>(statics_.bytes_used()));
-  registry_.gauge("shmem.statics.objects", -1)
-      .set(static_cast<std::int64_t>(statics_.object_count()));
+  obs::set_level(registry_, "shmem.statics.bytes_used", -1,
+                 static_cast<std::int64_t>(statics_.bytes_used()));
+  obs::set_level(registry_, "shmem.statics.objects", -1,
+                 static_cast<std::int64_t>(statics_.object_count()));
 
   // tshmem-check accounting (docs/ANALYSIS.md). The detector is per-run,
   // so its stats are already this run's values.
   if (race_detector_ != nullptr) {
     const analysis::RaceDetector::Stats rs = race_detector_->stats();
-    registry_.counter("analysis.accesses.checked", -1)
-        .add(rs.checked_accesses);
-    registry_.counter("analysis.sync.edges", -1).add(rs.sync_edges);
-    registry_.counter("analysis.races.reported", -1).add(rs.race_pairs);
-    registry_.counter("analysis.races.dropped", -1).add(rs.dropped_reports);
+    obs::add_count(registry_, "analysis.accesses.checked", -1,
+                   rs.checked_accesses);
+    obs::add_count(registry_, "analysis.sync.edges", -1, rs.sync_edges);
+    obs::add_count(registry_, "analysis.races.reported", -1, rs.race_pairs);
+    obs::add_count(registry_, "analysis.races.dropped", -1,
+                   rs.dropped_reports);
   }
 
   // Injected-fault families: one counter per (site, tile) that fired. The
@@ -527,12 +534,11 @@ void Runtime::scrape_run_stats() {
     for (const auto& [key, cur] : counts) {
       std::uint64_t& prev = scraped_fault_[key];
       if (cur > prev) {
-        registry_
-            .counter(std::string("fault.") +
-                         tilesim::fault_site_name(
-                             static_cast<tilesim::FaultSite>(key.first)),
-                     key.second)
-            .add(cur - prev);
+        obs::add_count(registry_,
+                       std::string("fault.") +
+                           tilesim::fault_site_name(
+                               static_cast<tilesim::FaultSite>(key.first)),
+                       key.second, cur - prev);
         prev = cur;
       }
     }

@@ -21,6 +21,7 @@
 
 #include "analysis/race.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "sim/device.hpp"
 #include "tmc/barrier.hpp"
 #include "tmc/common_memory.hpp"
@@ -85,6 +86,14 @@ struct RuntimeOptions {
   /// metrics on or off. The TSHMEM_METRICS environment variable overrides
   /// this field ("0"/"false"/"off" disable, any other value enables).
   bool metrics = false;
+  /// Enable the virtual-time critical-path profiler (src/obs/profiler;
+  /// docs/PROFILING.md): per-PE span stacks, wait-for edges, and a
+  /// critical-path report, exported as tshmem.profile.v1 JSON, collapsed
+  /// flamegraph stacks, and Perfetto flow events. Purely observational —
+  /// the profiler never advances a SimClock, so virtual-time results are
+  /// bit-identical with profiling on or off (CI-enforced). The
+  /// TSHMEM_PROFILE environment variable overrides this field.
+  bool profile = false;
   /// Opt-in debug validation (docs/ROBUSTNESS.md): put/get/NBI arguments
   /// are checked for invalid PEs, non-symmetric addresses, and
   /// out-of-bounds transfers, surfacing structured tshmem::Error codes.
@@ -235,6 +244,15 @@ class Runtime {
   /// run() returns (the teardown scrape has completed by then).
   [[nodiscard]] obs::MetricsSnapshot metrics() const;
 
+  // --- profiling (src/obs/profiler; docs/PROFILING.md) ---------------------
+  [[nodiscard]] bool profile_enabled() const noexcept {
+    return profile_enabled_;
+  }
+  /// Critical-path profiler attached to this runtime's device; nullptr
+  /// unless the profile option / TSHMEM_PROFILE enabled it. Call its
+  /// report() only outside run().
+  [[nodiscard]] obs::Profiler* profiler() noexcept { return profiler_.get(); }
+
  private:
   RuntimeOptions opts_;
   Device device_;
@@ -277,6 +295,8 @@ class Runtime {
 
   // --- metrics state -------------------------------------------------------
   bool metrics_enabled_ = false;
+  bool profile_enabled_ = false;
+  std::unique_ptr<obs::Profiler> profiler_;  // null unless profiling enabled
   obs::MetricsRegistry registry_;
   int last_npes_ = 0;
   // Scrape baselines: the sim/tmc layers keep cumulative internal stats;

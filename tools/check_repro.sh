@@ -5,8 +5,10 @@
 #
 # Also writes a machine-readable summary to $SUMMARY_JSON (default
 # repro_summary.json in the current directory): per-bench pass/fail, check
-# counts, and the audited ratios, so CI and cross-PR tooling can diff
-# reproduction health without re-parsing bench stdout.
+# counts, the audited ratios, host wall-clock seconds, and the simulated
+# virtual completion time (total_vt_ps, harvested via --profile-json; null
+# for benches without profiler support), so CI and cross-PR tooling can
+# diff reproduction health and perf trajectory without re-parsing stdout.
 #
 # Usage: tools/check_repro.sh [build-dir] [min-ratio] [max-ratio]
 #        SUMMARY_JSON=path tools/check_repro.sh ...
@@ -23,7 +25,8 @@ if [ ! -d "$BUILD_DIR/bench" ]; then
 fi
 
 tmp_out="$(mktemp)"
-trap 'rm -f "$tmp_out"' EXIT
+tmp_prof="$(mktemp)"
+trap 'rm -f "$tmp_out" "$tmp_prof"' EXIT
 
 status=0
 total_checks=0
@@ -47,11 +50,35 @@ for bench in "$BUILD_DIR"/bench/*; do
   bench_checks=0
   bench_bad=0
   check_entries=""
-  if ! "$bench" > "$tmp_out" 2>&1; then
+  # Wall-clock around the run; virtual completion time via the bench's
+  # --profile-json (benches without profiler support ignore the flag and
+  # leave the file empty -> total_vt_ps stays null).
+  : > "$tmp_prof"
+  t0="$(date +%s%N)"
+  if ! "$bench" --profile-json "$tmp_prof" > "$tmp_out" 2>&1; then
+    t1="$(date +%s%N)"
+    wall_s="$(awk -v a="$t0" -v b="$t1" 'BEGIN{printf "%.3f", (b-a)/1e9}')"
+    total_vt_ps="null"
     echo "   BENCH FAILED (non-zero exit)"
     bench_status="error"
     status=1
   else
+    t1="$(date +%s%N)"
+    wall_s="$(awk -v a="$t0" -v b="$t1" 'BEGIN{printf "%.3f", (b-a)/1e9}')"
+    total_vt_ps="$(python3 - "$tmp_prof" <<'EOF'
+import json, sys
+try:
+    with open(sys.argv[1]) as f:
+        doc = json.load(f)
+    if doc.get("schema") != "tshmem.profile.v1":
+        raise ValueError
+    runs = ([r["profile"] for r in doc["runs"]]
+            if "runs" in doc else [doc])
+    print(sum(r.get("total_vt_ps", 0) for r in runs))
+except Exception:
+    print("null")
+EOF
+)"
     # Parse check rows: inside a "reproduction check" block, the last column
     # is the measured/paper ratio (or "-" when no paper value exists).
     in_block=0
@@ -63,6 +90,7 @@ for bench in "$BUILD_DIR"/bench/*; do
       [ "$in_block" = 1 ] || continue
       case "$line" in
         quantity*|---*) continue ;;
+        wrote\ *) continue ;;  # telemetry "wrote ... JSON: path" lines
       esac
       ratio="$(printf '%s\n' "$line" | awk '{print $NF}')"
       case "$ratio" in
@@ -90,6 +118,8 @@ for bench in "$BUILD_DIR"/bench/*; do
   bench_entry="$bench_entry \"status\": \"$bench_status\","
   bench_entry="$bench_entry \"checks\": $bench_checks,"
   bench_entry="$bench_entry \"out_of_band\": $bench_bad,"
+  bench_entry="$bench_entry \"wall_s\": $wall_s,"
+  bench_entry="$bench_entry \"total_vt_ps\": $total_vt_ps,"
   bench_entry="$bench_entry \"results\": [$check_entries]}"
   bench_entries="$bench_entries${bench_entries:+,
     }$bench_entry"

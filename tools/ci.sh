@@ -18,7 +18,10 @@
 # figure bench plus ext_overlap/ext_faults runs under TSHMEM_RACECHECK=fail
 # and its stdout is diffed against the detector-off run (the detector must
 # find nothing AND move nothing), then the ext_races gallery asserts the
-# detector still flags each seeded bug.
+# detector still flags each seeded bug. The same loop re-runs every bench
+# under TSHMEM_PROFILE=1 and requires bit-identical stdout: the
+# critical-path profiler observes virtual time but never advances it
+# (docs/PROFILING.md).
 #
 # Usage: tools/ci.sh [build-dir]
 #   TSHMEM_CI_TSAN=0 skips the ThreadSanitizer stage (e.g. toolchains
@@ -28,6 +31,9 @@
 #   TSHMEM_CI_TIDY=0 skips clang-tidy (it is also skipped, loudly, when
 #   no clang-tidy binary is on PATH).
 #   TSHMEM_CI_RACECHECK=0 skips the tshmem-check racecheck stage.
+#   TSHMEM_CI_PERF=0 skips the perf-trajectory stage (tools/perf_run.py:
+#   wall + virtual-time per bench, schema tshmem.bench.v1, failing on a
+#   >25% wall-clock regression against the newest committed BENCH_*.json).
 set -eu
 
 BUILD_DIR="${1:-build}"
@@ -153,6 +159,22 @@ if [ "${TSHMEM_CI_RACECHECK:-1}" != "0" ]; then
       echo "   $b: OUTPUT MOVED UNDER DETECTOR"
       racecheck_ok=0
     fi
+    # Profiler identity: the critical-path profiler observes virtual time
+    # but must never advance it (docs/PROFILING.md), so profiler-on stdout
+    # must be bit-identical too.
+    if ! TSHMEM_PROFILE=1 "$BUILD_DIR"/bench/"$b" \
+        > "$tmp_dir/prof_on_$b.txt"; then
+      echo "   $b: FAILED UNDER PROFILER"
+      racecheck_ok=0
+      continue
+    fi
+    if diff -u "$tmp_dir/rc_off_$b.txt" "$tmp_dir/prof_on_$b.txt" >/dev/null
+    then
+      echo "   $b: profiler-on bit-identical"
+    else
+      echo "   $b: OUTPUT MOVED UNDER PROFILER"
+      racecheck_ok=0
+    fi
   done
   [ "$racecheck_ok" = 1 ]
   echo "== racecheck gallery (ext_races: seeded bugs must be flagged)"
@@ -161,6 +183,34 @@ if [ "${TSHMEM_CI_RACECHECK:-1}" != "0" ]; then
   tail -1 "$tmp_dir/ext_races.txt"
 else
   echo "== racecheck: skipped (TSHMEM_CI_RACECHECK=0)"
+fi
+
+if [ "${TSHMEM_CI_PERF:-1}" != "0" ]; then
+  echo "== perf trajectory (tools/perf_run.py -> tshmem.bench.v1)"
+  python3 tools/perf_run.py --selftest
+  perf_json="$tmp_dir/bench_ci.json"
+  # The CI run writes to a temp path (committed BENCH_<n>.json files are
+  # produced by explicit perf_run.py invocations); the diff against the
+  # newest committed BENCH_*.json still runs and fails the stage on a
+  # >25% wall-clock regression when a prior file exists.
+  python3 tools/perf_run.py --build-dir "$BUILD_DIR" --out "$perf_json" \
+    --max-wall-regression 1.25
+  python3 - "$perf_json" <<'EOF'
+import json, sys
+sys.path.insert(0, "tools")
+from perf_run import validate
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+validate(doc)
+ok = [b for b in doc["benches"] if b["exit_code"] == 0]
+vt = [b for b in ok if b["total_vt_ps"]]
+assert len(ok) == len(doc["benches"]), "bench failures"
+assert vt, "no bench produced a virtual-time profile"
+print(f"perf OK: {len(ok)} benches, {len(vt)} with profiles, "
+      f"total wall {doc['totals']['wall_s']:.1f}s")
+EOF
+else
+  echo "== perf trajectory: skipped (TSHMEM_CI_PERF=0)"
 fi
 
 echo "== fault campaign (deterministic replay across seeds)"

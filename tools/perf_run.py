@@ -1,0 +1,295 @@
+#!/usr/bin/env python3
+"""Perf trajectory harness (docs/PROFILING.md).
+
+Runs the figure benches (fig03..fig14) plus the extension benches
+(ext_overlap, ext_faults), recording for each:
+
+  - host wall-clock seconds (time.monotonic around the process), and
+  - simulated virtual time + critical-path summary, harvested from the
+    bench's own --profile-json output (schema tshmem.profile.v1).
+
+The results land in BENCH_<n>.json at the repo root (schema
+tshmem.bench.v1), where <n> is one past the highest existing BENCH index.
+When a prior BENCH_*.json exists, the new run is diffed against the newest
+one: a bench whose wall-clock grew by more than --max-wall-regression
+(default 1.25x) fails the run, and virtual-time changes are reported as
+informational drift (virtual time moves only when the model changes, so a
+drift line is a review prompt, not an error).
+
+Usage:
+  tools/perf_run.py [--build-dir build] [--out PATH]
+                    [--max-wall-regression 1.25] [--selftest]
+
+Exit codes: 0 ok, 1 wall-clock regression or failed bench, 2 bad usage.
+"""
+
+import argparse
+import json
+import os
+import re
+import subprocess
+import sys
+import tempfile
+import time
+
+SCHEMA = "tshmem.bench.v1"
+PROFILE_SCHEMA = "tshmem.profile.v1"
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+# Each bench runs on one device where it accepts --device; fig04 measures
+# both devices unconditionally (Table III needs the pair), so its profile
+# arrives in the multi-run wrapper form.
+BENCHES = [
+    ("fig03_memcpy_bandwidth", ["--device", "gx36"]),
+    ("fig04_udn_latency", []),
+    ("fig05_tmc_barriers", ["--device", "gx36"]),
+    ("fig06_putget_dynamic", ["--device", "gx36"]),
+    ("fig07_putget_static", ["--device", "gx36"]),
+    ("fig08_tshmem_barrier", ["--device", "gx36"]),
+    ("fig09_broadcast_push", ["--device", "gx36"]),
+    ("fig10_broadcast_pull", ["--device", "gx36"]),
+    ("fig11_fcollect", ["--device", "gx36"]),
+    ("fig12_reduction", ["--device", "gx36"]),
+    ("fig13_fft2d", ["--device", "gx36"]),
+    ("fig14_cbir", ["--device", "gx36"]),
+    ("ext_overlap", ["--device", "gx36"]),
+    ("ext_faults", []),
+]
+
+
+def profile_reports(doc):
+    """Yields the tshmem.profile.v1 report objects inside `doc`, which is
+    either a bare report or the multi-run {"runs": [...]} wrapper."""
+    if not isinstance(doc, dict) or doc.get("schema") != PROFILE_SCHEMA:
+        return []
+    if "runs" in doc:
+        return [r["profile"] for r in doc["runs"]]
+    return [doc]
+
+
+def summarize_profile(doc):
+    """Extracts (total_vt_ps, dominant_phase, dominant_share, phase_ps)
+    from a profile JSON document; null-tolerant (returns Nones)."""
+    reports = profile_reports(doc)
+    if not reports:
+        return None, None, None, None
+    total_vt = sum(r.get("total_vt_ps", 0) for r in reports)
+    # Dominant phase: from the run with the most virtual time.
+    main = max(reports, key=lambda r: r.get("total_vt_ps", 0))
+    crit = main.get("critical_path", {})
+    phase_ps = {p["phase"]: p["total_ps"] for p in main.get("phases", [])}
+    return (total_vt, crit.get("dominant_phase"),
+            crit.get("dominant_share"), phase_ps)
+
+
+def run_bench(build_dir, name, args):
+    binary = os.path.join(build_dir, "bench", name)
+    entry = {
+        "name": name,
+        "args": args,
+        "exit_code": None,
+        "wall_s": None,
+        "total_vt_ps": None,
+        "dominant_phase": None,
+        "dominant_share": None,
+        "phase_ps": None,
+    }
+    if not os.path.exists(binary):
+        entry["exit_code"] = -1
+        print(f"  {name}: MISSING ({binary})", file=sys.stderr)
+        return entry
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tf:
+        profile_path = tf.name
+    try:
+        cmd = [binary] + args + ["--profile-json", profile_path]
+        t0 = time.monotonic()
+        proc = subprocess.run(cmd, stdout=subprocess.DEVNULL,
+                              stderr=subprocess.DEVNULL, check=False)
+        entry["wall_s"] = round(time.monotonic() - t0, 4)
+        entry["exit_code"] = proc.returncode
+        try:
+            with open(profile_path) as f:
+                doc = json.load(f)
+        except (OSError, json.JSONDecodeError):
+            doc = None
+        (entry["total_vt_ps"], entry["dominant_phase"],
+         entry["dominant_share"], entry["phase_ps"]) = summarize_profile(doc)
+    finally:
+        os.unlink(profile_path)
+    vt = entry["total_vt_ps"]
+    print(f"  {name}: wall {entry['wall_s']:.2f}s, vt "
+          f"{vt if vt is not None else '?'} ps, dominant "
+          f"{entry['dominant_phase']}")
+    return entry
+
+
+def bench_index(out_path):
+    """Next BENCH index: one past the highest existing, floor 7."""
+    if out_path:
+        m = re.search(r"BENCH_(\d+)\.json$", os.path.basename(out_path))
+        if m:
+            return int(m.group(1))
+    best = 6
+    for fn in os.listdir(ROOT):
+        m = re.fullmatch(r"BENCH_(\d+)\.json", fn)
+        if m:
+            best = max(best, int(m.group(1)))
+    return best + 1
+
+
+def prior_bench(this_index):
+    """Newest BENCH_*.json with index < this_index, or None."""
+    best, path = -1, None
+    for fn in os.listdir(ROOT):
+        m = re.fullmatch(r"BENCH_(\d+)\.json", fn)
+        if m and best < int(m.group(1)) < this_index:
+            best, path = int(m.group(1)), os.path.join(ROOT, fn)
+    return path
+
+
+def validate(doc):
+    """Schema-shape check for tshmem.bench.v1; raises AssertionError."""
+    assert doc["schema"] == SCHEMA, doc.get("schema")
+    assert isinstance(doc["bench_index"], int)
+    assert isinstance(doc["benches"], list) and doc["benches"]
+    for b in doc["benches"]:
+        assert isinstance(b["name"], str) and b["name"]
+        assert isinstance(b["exit_code"], int)
+        assert b["wall_s"] is None or isinstance(b["wall_s"], (int, float))
+        assert b["total_vt_ps"] is None or isinstance(b["total_vt_ps"], int)
+        if b["dominant_share"] is not None:
+            assert 0.0 <= b["dominant_share"] <= 1.0
+    t = doc["totals"]
+    assert isinstance(t["wall_s"], (int, float))
+    assert isinstance(t["total_vt_ps"], int)
+
+
+def diff_against(prior_path, doc, max_wall_regression):
+    """Compares per-bench wall/vt against a prior BENCH file. Returns a
+    list of hard failures (wall regressions)."""
+    try:
+        with open(prior_path) as f:
+            prior = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"  prior {prior_path} unreadable ({e}); skipping diff")
+        return []
+    old = {b["name"]: b for b in prior.get("benches", [])}
+    failures = []
+    for b in doc["benches"]:
+        o = old.get(b["name"])
+        if o is None:
+            print(f"  {b['name']}: new bench (no prior)")
+            continue
+        if b["wall_s"] and o.get("wall_s"):
+            ratio = b["wall_s"] / o["wall_s"]
+            if ratio > max_wall_regression:
+                failures.append(
+                    f"{b['name']}: wall {o['wall_s']:.2f}s -> "
+                    f"{b['wall_s']:.2f}s ({ratio:.2f}x > "
+                    f"{max_wall_regression:.2f}x)")
+        if (b["total_vt_ps"] is not None and
+                o.get("total_vt_ps") is not None and
+                b["total_vt_ps"] != o["total_vt_ps"]):
+            print(f"  {b['name']}: virtual time drift "
+                  f"{o['total_vt_ps']} -> {b['total_vt_ps']} ps (model "
+                  f"change? informational)")
+    return failures
+
+
+def selftest():
+    """Validates the schema checker and regression math on synthetic data
+    (no binaries needed; used by tests/test_profiler.cpp)."""
+    doc = {
+        "schema": SCHEMA,
+        "bench_index": 7,
+        "build_dir": "build",
+        "benches": [{
+            "name": "fig08_tshmem_barrier", "args": [], "exit_code": 0,
+            "wall_s": 1.0, "total_vt_ps": 1000, "dominant_phase": "barrier",
+            "dominant_share": 0.8, "phase_ps": {"barrier": 800},
+        }],
+        "totals": {"wall_s": 1.0, "total_vt_ps": 1000},
+    }
+    validate(doc)
+    # The wrapper and bare forms of a profile doc both summarize.
+    bare = {"schema": PROFILE_SCHEMA, "total_vt_ps": 5,
+            "phases": [{"phase": "compute", "total_ps": 5}],
+            "critical_path": {"dominant_phase": "compute",
+                              "dominant_share": 1.0}}
+    assert summarize_profile(bare)[0] == 5
+    wrapped = {"schema": PROFILE_SCHEMA,
+               "runs": [{"name": "gx36", "profile": bare},
+                        {"name": "pro64", "profile": bare}]}
+    assert summarize_profile(wrapped)[0] == 10
+    assert summarize_profile(None) == (None, None, None, None)
+    # Regression math: 1.3x wall on a 1.25x threshold must fail.
+    with tempfile.NamedTemporaryFile("w", suffix=".json",
+                                     delete=False) as tf:
+        json.dump(doc, tf)
+        prior = tf.name
+    try:
+        worse = json.loads(json.dumps(doc))
+        worse["benches"][0]["wall_s"] = 1.3
+        assert diff_against(prior, worse, 1.25)
+        assert not diff_against(prior, worse, 1.5)
+    finally:
+        os.unlink(prior)
+    print("perf_run selftest OK")
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--build-dir", default=os.path.join(ROOT, "build"))
+    ap.add_argument("--out", default=None,
+                    help="output path (default BENCH_<n>.json at repo root)")
+    ap.add_argument("--max-wall-regression", type=float, default=1.25,
+                    help="fail when wall_s grows past this ratio vs prior")
+    ap.add_argument("--selftest", action="store_true",
+                    help="validate schema/diff logic on synthetic data")
+    opts = ap.parse_args()
+    if opts.selftest:
+        return selftest()
+
+    index = bench_index(opts.out)
+    out_path = opts.out or os.path.join(ROOT, f"BENCH_{index}.json")
+    print(f"perf_run: {len(BENCHES)} benches -> {out_path}")
+
+    benches = [run_bench(opts.build_dir, name, args)
+               for name, args in BENCHES]
+    failed = [b["name"] for b in benches if b["exit_code"] != 0]
+    doc = {
+        "schema": SCHEMA,
+        "bench_index": index,
+        "build_dir": os.path.relpath(opts.build_dir, ROOT),
+        "benches": benches,
+        "totals": {
+            "wall_s": round(sum(b["wall_s"] or 0 for b in benches), 4),
+            "total_vt_ps": sum(b["total_vt_ps"] or 0 for b in benches),
+        },
+    }
+    validate(doc)
+    with open(out_path, "w") as f:
+        json.dump(doc, f, indent=2)
+        f.write("\n")
+    print(f"wrote {out_path} (total wall {doc['totals']['wall_s']:.1f}s, "
+          f"total vt {doc['totals']['total_vt_ps']} ps)")
+
+    prior = prior_bench(index)
+    failures = []
+    if prior:
+        print(f"diff vs {os.path.basename(prior)} "
+              f"(max wall regression {opts.max_wall_regression:.2f}x):")
+        failures = diff_against(prior, doc, opts.max_wall_regression)
+        for f_ in failures:
+            print(f"  REGRESSION {f_}", file=sys.stderr)
+    else:
+        print("no prior BENCH_*.json; baseline run")
+
+    if failed:
+        print(f"failed benches: {', '.join(failed)}", file=sys.stderr)
+    return 1 if (failures or failed) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -22,6 +22,16 @@ that generic tooling (clang-tidy, TSan) cannot express:
                             passed as a remote/symmetric argument of a
                             shmem_* call. Remote addresses must point into
                             the symmetric heap (shmalloc) or static arena.
+  R005 raw-obs-mutation     Direct MetricsRegistry mutation (.counter() /
+                            .gauge() / .histogram()) or direct ProfileSink
+                            callback invocation (->on_span_begin() etc.)
+                            outside src/obs/ and sim/profile_hook.hpp.
+                            Instrumentation must go through the obs helpers
+                            (obs::add_count, obs::counter_handle, ...,
+                            tilesim::ProfSpan, tilesim::prof_wait_edge) so
+                            every mutation site stays auditable and the
+                            profiler's never-advances-a-clock contract has
+                            a single enforcement surface.
 
 Suppress a finding with a trailing comment on the offending line:
     do_thing();  // tshmem-lint: allow(R003)
@@ -263,10 +273,49 @@ class FileScanner:
                     "from shmalloc() or the static arena",
                 )
 
+    # --- R005: raw metrics/profiler mutation outside the obs helpers ------
+
+    # Registry mutators. Matched only on lines that look like registry use
+    # (`reg.counter(...)`, `registry_->gauge(...)`); the obs:: helper names
+    # (counter_handle, add_count, ...) deliberately do not match.
+    R005_METRICS_RE = re.compile(
+        r"(\.|->)\s*(counter|gauge|histogram)\s*\("
+    )
+    # Direct ProfileSink callback invocation; only the profiler plumbing
+    # (src/obs/, sim/profile_hook.hpp, sim/device.cpp's reset fan-out) may
+    # call these — everything else uses ProfSpan / prof_wait_edge.
+    R005_PROFILER_RE = re.compile(
+        r"(\.|->)\s*on_(span_begin|span_end|wait_edge|clock_reset)\s*\("
+    )
+    R005_EXEMPT = ("src/obs/", "sim/profile_hook.hpp", "tests/")
+
+    def rule_raw_obs_mutation(self) -> None:
+        path = self.display.replace(os.sep, "/")
+        if any(e in path for e in self.R005_EXEMPT):
+            return
+        for i, line in enumerate(self.lines, 1):
+            if self.R005_METRICS_RE.search(line):
+                self.report(
+                    "R005", i,
+                    "direct MetricsRegistry mutation; use the obs:: helpers "
+                    "(obs::add_count / obs::set_level / obs::record_sample / "
+                    "obs::counter_handle, src/obs/metrics.hpp) so "
+                    "instrumentation sites stay auditable",
+                )
+            if self.R005_PROFILER_RE.search(line):
+                self.report(
+                    "R005", i,
+                    "direct ProfileSink callback call; use tilesim::ProfSpan "
+                    "/ tilesim::prof_wait_edge (sim/profile_hook.hpp) so the "
+                    "profiler's no-clock-advance contract has one "
+                    "enforcement surface",
+                )
+
     def scan(self) -> list[Finding]:
         self.rule_guarded_wait()
         self.rule_nbi_quiet()
         self.rule_non_symmetric()
+        self.rule_raw_obs_mutation()
         return self.findings
 
 
