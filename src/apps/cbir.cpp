@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <limits>
 #include <stdexcept>
 
 #include "util/rng.hpp"
@@ -39,8 +40,8 @@ void generate_image(std::span<std::uint8_t> out, int width, int height,
   }
 }
 
-Feature autocorrelogram(std::span<const std::uint8_t> img, int width,
-                        int height, tshmem::Context* charge_to) {
+Extracted extract_feature(std::span<const std::uint8_t> img, int width,
+                          int height) {
   if (img.size() != static_cast<std::size_t>(width) *
                         static_cast<std::size_t>(height)) {
     throw std::invalid_argument("autocorrelogram: image size mismatch");
@@ -74,19 +75,69 @@ Feature autocorrelogram(std::span<const std::uint8_t> img, int width,
       }
     }
   }
-  if (charge_to != nullptr) charge_to->charge_int_ops(ops);
-  Feature f{};
+  Extracted e;
+  e.ops = ops;
   for (std::size_t di = 0; di < kDistances.size(); ++di) {
     for (int b = 0; b < kBins; ++b) {
       const std::uint32_t total = counts[static_cast<std::size_t>(b)] * 4;
-      f[di * kBins + static_cast<std::size_t>(b)] =
+      e.feature[di * kBins + static_cast<std::size_t>(b)] =
           total == 0 ? 0.0f
                      : static_cast<float>(hits[di * kBins +
                                                static_cast<std::size_t>(b)]) /
                            static_cast<float>(total);
     }
   }
-  return f;
+  return e;
+}
+
+Feature autocorrelogram(std::span<const std::uint8_t> img, int width,
+                        int height, tshmem::Context* charge_to) {
+  const Extracted e = extract_feature(img, width, height);
+  if (charge_to != nullptr) charge_to->charge_int_ops(e.ops);
+  return e.feature;
+}
+
+FeatureCache& FeatureCache::shared() {
+  static FeatureCache cache;
+  return cache;
+}
+
+const Extracted& FeatureCache::seeded(std::span<const std::uint8_t> img,
+                                      int width, int height,
+                                      std::uint64_t image_seed) {
+  const Key key{image_seed, width, height};
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      ++hits_;
+      return it->second;
+    }
+  }
+  // Extract outside the lock so concurrent PEs still parallelize misses.
+  // The image is a pure function of (image_seed, width, height), so a lost
+  // insertion race produced the identical value; first insert wins.
+  Extracted e = extract_feature(img, width, height);
+  std::lock_guard<std::mutex> lk(mu_);
+  auto [it, inserted] = map_.try_emplace(key, e);
+  if (!inserted) ++hits_;
+  return it->second;
+}
+
+std::size_t FeatureCache::size() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return map_.size();
+}
+
+std::uint64_t FeatureCache::hits() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return hits_;
+}
+
+void FeatureCache::clear() {
+  std::lock_guard<std::mutex> lk(mu_);
+  map_.clear();
+  hits_ = 0;
 }
 
 float feature_distance(const Feature& a, const Feature& b,
@@ -140,25 +191,36 @@ QueryResult run_query(tshmem::Context& ctx, const Params& p) {
         std::span<std::uint8_t>(images + static_cast<std::size_t>(i) * px, px),
         p.width, p.height, p.seed + static_cast<std::uint64_t>(my_first + i));
   }
+  const std::uint64_t query_seed =
+      p.seed +
+      static_cast<std::uint64_t>(p.query_index % std::max(p.images, 1));
   std::vector<std::uint8_t> query_img(px);
-  generate_image(query_img, p.width, p.height,
-                 p.seed + static_cast<std::uint64_t>(
-                              p.query_index % std::max(p.images, 1)));
+  generate_image(query_img, p.width, p.height, query_seed);
 
   ctx.harness_sync_reset();
   QueryResult out;
   const auto t0 = ctx.clock().now();
 
   // --- parallel phase: extract + score my block ---------------------------
-  const Feature qf = autocorrelogram(query_img, p.width, p.height, &ctx);
+  // Extraction goes through the seed-keyed FeatureCache: hits replay the
+  // cached op count through the same single charge the cold path issues, so
+  // virtual time is bit-identical to recomputing while the host skips the
+  // (dominant) extraction work on repeat scoring passes.
+  FeatureCache& fcache = FeatureCache::shared();
+  const Extracted& qe =
+      fcache.seeded(query_img, p.width, p.height, query_seed);
+  ctx.charge_int_ops(qe.ops);
+  const Feature qf = qe.feature;
   for (int i = 0; i < my_count; ++i) {
-    const Feature f = autocorrelogram(
+    const Extracted& e = fcache.seeded(
         std::span<const std::uint8_t>(
             images + static_cast<std::size_t>(i) * px, px),
-        p.width, p.height, &ctx);
+        p.width, p.height,
+        p.seed + static_cast<std::uint64_t>(my_first + i));
+    ctx.charge_int_ops(e.ops);
     std::memcpy(features + static_cast<std::size_t>(i) * kFeatureLen,
-                f.data(), sizeof(Feature));
-    scores[i] = feature_distance(qf, f, &ctx);
+                e.feature.data(), sizeof(Feature));
+    scores[i] = feature_distance(qf, e.feature, &ctx);
   }
   ctx.quiet();
   ctx.barrier_all();
@@ -212,9 +274,11 @@ QueryResult run_query(tshmem::Context& ctx, const Params& p) {
       const int local = g % per_pe;
       ctx.get(img.data(), images + static_cast<std::size_t>(local) * px, px,
               pe);
-      const Feature f = autocorrelogram(img, p.width, p.height, &ctx);
+      const Extracted& e = fcache.seeded(
+          img, p.width, p.height, p.seed + static_cast<std::uint64_t>(g));
+      ctx.charge_int_ops(e.ops);
       out.ranking[static_cast<std::size_t>(k)].first =
-          feature_distance(qf, f, &ctx);
+          feature_distance(qf, e.feature, &ctx);
     }
     std::sort(out.ranking.begin(),
               out.ranking.begin() + std::min<int>(rescan, p.images));
@@ -239,6 +303,128 @@ QueryResult run_query(tshmem::Context& ctx, const Params& p) {
   ctx.shfree(features);
   ctx.shfree(images);
   return out;
+}
+
+// ===========================================================================
+// ShardIndex — precomputed per-shard feature index (serving path)
+// ===========================================================================
+
+namespace {
+
+/// Packed per-query candidate for the argmin reduction. Trivially copyable
+/// so reduce_custom can move it through symmetric memory byte-wise.
+struct ScoredHit {
+  float distance;
+  std::int32_t image;
+};
+static_assert(sizeof(ScoredHit) == 8);
+
+/// Fold: min by distance, ties broken toward the lower global image index
+/// so the merged verdict is independent of PE order.
+void min_hit_apply(void* acc, const void* in, std::size_t n) {
+  auto* a = static_cast<ScoredHit*>(acc);
+  const auto* b = static_cast<const ScoredHit*>(in);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (b[i].distance < a[i].distance ||
+        (b[i].distance == a[i].distance && b[i].image < a[i].image)) {
+      a[i] = b[i];
+    }
+  }
+}
+
+}  // namespace
+
+ShardIndex::ShardIndex(tshmem::Context& ctx, const Params& p, int first,
+                       int count)
+    : first_(first), count_(count) {
+  if (count < 1) throw std::invalid_argument("ShardIndex: need >= 1 image");
+  if (first < 0) throw std::invalid_argument("ShardIndex: negative first");
+  const int npes = ctx.num_pes();
+  const int me = ctx.my_pe();
+  per_pe_ = (count + npes - 1) / npes;
+  const int my_first = std::min(count, me * per_pe_);
+  my_count_ = std::min(count - my_first, per_pe_);
+  features_ = ctx.shmalloc_n<float>(static_cast<std::size_t>(per_pe_) *
+                                    kFeatureLen);
+  if (features_ == nullptr) {
+    throw std::runtime_error("ShardIndex: symmetric heap exhausted");
+  }
+  const std::size_t px = static_cast<std::size_t>(p.width) *
+                         static_cast<std::size_t>(p.height);
+  std::vector<std::uint8_t> img(px);
+  FeatureCache& fcache = FeatureCache::shared();
+  for (int i = 0; i < my_count_; ++i) {
+    const std::uint64_t s =
+        p.seed + static_cast<std::uint64_t>(first + my_first + i);
+    generate_image(img, p.width, p.height, s);
+    const Extracted& e = fcache.seeded(img, p.width, p.height, s);
+    ctx.charge_int_ops(e.ops);
+    std::memcpy(features_ + static_cast<std::size_t>(i) * kFeatureLen,
+                e.feature.data(), sizeof(Feature));
+  }
+  ctx.quiet();
+  ctx.barrier_all();
+}
+
+void ShardIndex::destroy(tshmem::Context& ctx) {
+  ctx.barrier_all();
+  if (features_ != nullptr) {
+    ctx.shfree(features_);
+    features_ = nullptr;
+  }
+}
+
+void ShardIndex::query_batch(tshmem::Context& ctx,
+                             std::span<const Feature> queries,
+                             std::span<Hit> out) const {
+  if (out.size() != queries.size()) {
+    throw std::invalid_argument("ShardIndex::query_batch: span mismatch");
+  }
+  if (queries.empty()) return;
+  if (features_ == nullptr) {
+    throw std::runtime_error("ShardIndex::query_batch: index destroyed");
+  }
+  const int me = ctx.my_pe();
+  const int my_first = std::min(count_, me * per_pe_);
+  // reduce_custom reads every PE's source remotely and pull-broadcasts the
+  // target, so both legs live in symmetric memory.
+  auto* local = ctx.shmalloc_n<ScoredHit>(queries.size());
+  auto* merged = ctx.shmalloc_n<ScoredHit>(queries.size());
+  if (local == nullptr || merged == nullptr) {
+    throw std::runtime_error("ShardIndex::query_batch: heap exhausted");
+  }
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    ScoredHit best{std::numeric_limits<float>::max(), -1};
+    Feature f;
+    for (int i = 0; i < my_count_; ++i) {
+      std::memcpy(f.data(),
+                  features_ + static_cast<std::size_t>(i) * kFeatureLen,
+                  sizeof(Feature));
+      const float d = feature_distance(queries[q], f, &ctx);
+      const auto g = static_cast<std::int32_t>(first_ + my_first + i);
+      if (d < best.distance ||
+          (d == best.distance && g < best.image)) {
+        best = ScoredHit{d, g};
+      }
+    }
+    // Candidate tracking: compare + conditional update per scanned row.
+    ctx.charge_int_ops(static_cast<std::uint64_t>(my_count_) * 2 + 4);
+    local[q] = best;
+  }
+  ctx.quiet();
+  ctx.reduce_custom(merged, local, queries.size(), sizeof(ScoredHit),
+                    &min_hit_apply, /*is_fp=*/false, ctx.world());
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    out[q] = Hit{static_cast<int>(merged[q].image), merged[q].distance};
+  }
+  ctx.shfree(merged);
+  ctx.shfree(local);
+}
+
+Hit ShardIndex::query(tshmem::Context& ctx, const Feature& qf) const {
+  Hit h;
+  query_batch(ctx, std::span<const Feature>(&qf, 1), std::span<Hit>(&h, 1));
+  return h;
 }
 
 }  // namespace apps::cbir

@@ -1,0 +1,95 @@
+#include "obs/quantiles.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace obs {
+
+namespace {
+
+struct BucketView {
+  int bucket;
+  std::uint64_t count;
+};
+
+/// Shared engine: type-7 (linear interpolation between order statistics)
+/// quantile over log2 buckets. `buckets` must be ascending by index and
+/// hold only non-zero counts summing to `total`.
+std::uint64_t quantile_engine(const BucketView* buckets, std::size_t nbuckets,
+                              std::uint64_t total, std::uint64_t lo,
+                              std::uint64_t hi, double q) {
+  if (q < 0.0 || q > 1.0) {
+    throw std::invalid_argument("histogram_quantile: q outside [0, 1]");
+  }
+  if (total == 0 || nbuckets == 0) return 0;
+  // Rank of the interpolated order statistic among N sorted samples. The
+  // extreme order statistics are known exactly from the envelope — the
+  // first sample IS the min and the last IS the max — which also tames
+  // the top bucket, whose nominal range would otherwise dominate.
+  const double rank = q * static_cast<double>(total - 1);
+  if (rank <= 0.0) return lo;
+  if (rank >= static_cast<double>(total - 1)) return hi;
+  std::uint64_t before = 0;
+  for (std::size_t i = 0; i < nbuckets; ++i) {
+    const std::uint64_t n = buckets[i].count;
+    const double last_in_bucket = static_cast<double>(before + n - 1);
+    if (rank <= last_in_bucket) {
+      // Spread the bucket's samples uniformly across its value range and
+      // interpolate. Within-bucket position in [0, 1]:
+      const double pos =
+          n > 1 ? (rank - static_cast<double>(before)) /
+                      static_cast<double>(n - 1)
+                : 0.5;
+      const std::uint64_t lower = Log2Histogram::bucket_lower(buckets[i].bucket);
+      std::uint64_t upper = Log2Histogram::bucket_upper(buckets[i].bucket);
+      // The exact envelope tightens the edge buckets (and tames bucket 64,
+      // whose nominal upper bound is 2^64 - 1).
+      upper = std::min(upper, hi);
+      const std::uint64_t lo_b = std::max(lower, lo);
+      if (upper <= lo_b) return std::clamp(lo_b, lo, hi);
+      const double v = static_cast<double>(lo_b) +
+                       pos * static_cast<double>(upper - lo_b);
+      return std::clamp(static_cast<std::uint64_t>(v), lo, hi);
+    }
+    before += n;
+  }
+  return hi;  // q == 1 or floating-point slop past the last bucket
+}
+
+}  // namespace
+
+std::uint64_t histogram_quantile(const Log2Histogram& h, double q) {
+  BucketView views[Log2Histogram::kBuckets];
+  std::size_t n = 0;
+  for (int b = 0; b < Log2Histogram::kBuckets; ++b) {
+    const std::uint64_t c = h.bucket_count(b);
+    if (c > 0) views[n++] = BucketView{b, c};
+  }
+  const std::uint64_t total = h.count();
+  const std::uint64_t lo = total > 0 ? h.min() : 0;
+  return quantile_engine(views, n, total, lo, h.max(), q);
+}
+
+std::uint64_t histogram_quantile(const HistogramSample& s, double q) {
+  std::vector<BucketView> views;
+  views.reserve(s.buckets.size());
+  for (const HistogramBucket& b : s.buckets) {
+    if (b.count > 0) views.push_back(BucketView{b.bucket, b.count});
+  }
+  return quantile_engine(views.data(), views.size(), s.count, s.min, s.max,
+                         q);
+}
+
+LatencyQuantiles latency_quantiles(const Log2Histogram& h) {
+  return LatencyQuantiles{histogram_quantile(h, 0.50),
+                          histogram_quantile(h, 0.99),
+                          histogram_quantile(h, 0.999)};
+}
+
+LatencyQuantiles latency_quantiles(const HistogramSample& s) {
+  return LatencyQuantiles{histogram_quantile(s, 0.50),
+                          histogram_quantile(s, 0.99),
+                          histogram_quantile(s, 0.999)};
+}
+
+}  // namespace obs

@@ -1,0 +1,44 @@
+// Quantile extraction from log2-bucketed histograms (serving tentpole).
+//
+// A Log2Histogram stores only bucket counts plus exact min/max/sum, so a
+// quantile is necessarily an estimate: the rank is located in its bucket
+// and linearly interpolated across the bucket's value range. The error is
+// bounded by the bucket width (a factor of 2), and the estimate is clamped
+// to the exact [min, max] envelope, which makes single-sample and
+// single-bucket histograms exact and keeps the saturated top bucket
+// (whose upper bound is 2^64-1) from producing absurd tails.
+//
+// Shared by the svc serving report (p50/p99/p999 virtual-time latency) and
+// any bench that wants tail percentiles out of an obs histogram.
+#pragma once
+
+#include <cstdint>
+
+#include "obs/metrics.hpp"
+
+namespace obs {
+
+/// Interpolated quantile of the recorded samples; `q` in [0, 1].
+/// q=0 returns min(), q=1 returns max(). An empty histogram returns 0.
+/// Throws std::invalid_argument when q is outside [0, 1].
+[[nodiscard]] std::uint64_t histogram_quantile(const Log2Histogram& h,
+                                               double q);
+
+/// Snapshot variant (sparse bucket list, as exported to metrics JSON).
+[[nodiscard]] std::uint64_t histogram_quantile(const HistogramSample& s,
+                                               double q);
+
+/// The three tail points every serving report carries.
+struct LatencyQuantiles {
+  std::uint64_t p50 = 0;
+  std::uint64_t p99 = 0;
+  std::uint64_t p999 = 0;
+
+  friend bool operator==(const LatencyQuantiles&,
+                         const LatencyQuantiles&) = default;
+};
+
+[[nodiscard]] LatencyQuantiles latency_quantiles(const Log2Histogram& h);
+[[nodiscard]] LatencyQuantiles latency_quantiles(const HistogramSample& s);
+
+}  // namespace obs

@@ -18,6 +18,7 @@ const char* fault_site_name(FaultSite site) noexcept {
     case FaultSite::kTileStall: return "tile.stall";
     case FaultSite::kCmemMapFail: return "cmem.map_fail";
     case FaultSite::kHeapCap: return "heap.cap";
+    case FaultSite::kShardStall: return "shard.stall";
   }
   return "unknown";
 }
@@ -26,7 +27,8 @@ bool FaultPlan::empty() const noexcept {
   return udn_drop_rate == 0.0 && udn_corrupt_rate == 0.0 &&
          udn_delay_rate == 0.0 && dma_stall_rate == 0.0 &&
          dma_desc_fail_rate == 0.0 && tile_stall_rate == 0.0 &&
-         cmem_map_fail_rate == 0.0 && heap_cap_bytes == 0;
+         cmem_map_fail_rate == 0.0 && heap_cap_bytes == 0 &&
+         shard_stall_rate == 0.0;
 }
 
 namespace {
@@ -116,6 +118,11 @@ FaultPlan FaultPlan::parse(const std::string& spec) {
       plan.cmem_map_fail_rate = parse_rate(entry, value);
     } else if (key == "heap_cap") {
       plan.heap_cap_bytes = static_cast<std::size_t>(parse_u64(entry, value));
+    } else if (key == "shard_stall") {
+      parse_rate_ps(entry, value, plan.shard_stall_rate, plan.shard_stall_ps,
+                    plan.shard_stall_ps);
+    } else if (key == "shard_stall_shard") {
+      plan.shard_stall_shard = static_cast<int>(parse_u64(entry, value));
     } else {
       bad_spec(entry, "unknown key");
     }
@@ -140,6 +147,12 @@ std::string FaultPlan::describe() const {
   }
   if (cmem_map_fail_rate > 0) os << ",cmem_fail=" << cmem_map_fail_rate;
   if (heap_cap_bytes > 0) os << ",heap_cap=" << heap_cap_bytes;
+  if (shard_stall_rate > 0) {
+    os << ",shard_stall=" << shard_stall_rate << ":" << shard_stall_ps;
+    if (shard_stall_shard >= 0) {
+      os << ",shard_stall_shard=" << shard_stall_shard;
+    }
+  }
   if (empty()) os << " (empty)";
   return os.str();
 }
@@ -231,6 +244,20 @@ bool FaultEngine::cmem_map_fails(int tile, ps_t now_ps) {
   }
   record(FaultSite::kCmemMapFail, tile, n, now_ps);
   return true;
+}
+
+ps_t FaultEngine::shard_stall(int shard, ps_t now_ps) {
+  // Targeted plans still consume an ordinal per opportunity on every shard
+  // so decision streams stay aligned when the target changes.
+  const std::uint64_t n = next_opportunity(FaultSite::kShardStall, shard);
+  if (plan_.shard_stall_shard >= 0 && shard != plan_.shard_stall_shard) {
+    return 0;
+  }
+  if (!decide(FaultSite::kShardStall, shard, plan_.shard_stall_rate, n)) {
+    return 0;
+  }
+  record(FaultSite::kShardStall, shard, n, now_ps);
+  return plan_.shard_stall_ps;
 }
 
 void FaultEngine::note_heap_cap_denial(int tile, ps_t now_ps) {

@@ -44,8 +44,9 @@ enum class FaultSite : int {
   kTileStall = 5,   ///< tile loses plan.tile_stall_ps of virtual time
   kCmemMapFail = 6, ///< common-memory map attempt fails
   kHeapCap = 7,     ///< symmetric-heap pressure cap denied an allocation
+  kShardStall = 8,  ///< serving shard loses plan.shard_stall_ps per batch
 };
-inline constexpr int kFaultSiteCount = 8;
+inline constexpr int kFaultSiteCount = 9;
 
 [[nodiscard]] const char* fault_site_name(FaultSite site) noexcept;
 
@@ -83,6 +84,13 @@ struct FaultPlan {
 
   std::size_t heap_cap_bytes = 0;  ///< 0 = uncapped
 
+  /// Serving-layer shard degradation (src/svc; docs/SERVING.md): each batch
+  /// a shard serves is one opportunity to lose shard_stall_ps of virtual
+  /// time. shard_stall_shard targets one shard index (-1 = every shard).
+  double shard_stall_rate = 0.0;
+  ps_t shard_stall_ps = 0;
+  int shard_stall_shard = -1;
+
   /// True when the plan cannot inject anything (all rates/caps zero).
   [[nodiscard]] bool empty() const noexcept;
 
@@ -90,8 +98,8 @@ struct FaultPlan {
   /// e.g. "seed=42,udn_drop=0.01,udn_delay=0.01:50000,dma_stall=0.02:100000,
   /// dma_fail=0.01,tile_stall=0.005:1000000,cmem_fail=0.1,heap_cap=1048576".
   /// Rate:magnitude pairs use "rate:ps". Optional keys: udn_corrupt,
-  /// udn_retries, udn_backoff. Throws std::invalid_argument on malformed
-  /// or unknown entries.
+  /// udn_retries, udn_backoff, shard_stall (rate:ps), shard_stall_shard.
+  /// Throws std::invalid_argument on malformed or unknown entries.
   static FaultPlan parse(const std::string& spec);
 
   /// Human-readable one-line summary (diagnostics, bench headers).
@@ -134,6 +142,11 @@ class FaultEngine {
 
   /// True when a common-memory map attempt by `tile` fails.
   bool cmem_map_fails(int tile, ps_t now_ps);
+
+  /// Virtual-time stall added to one serving batch on `shard` (0 = none).
+  /// The shard index plays the tile role in the decision hash; a plan with
+  /// shard_stall_shard >= 0 stalls only that shard.
+  ps_t shard_stall(int shard, ps_t now_ps);
 
   /// Records a heap-cap denial (the cap verdict itself is a deterministic
   /// threshold check done by the heap so it stays symmetric across PEs).

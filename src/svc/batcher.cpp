@@ -1,0 +1,37 @@
+#include "svc/batcher.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace svc {
+
+Batcher::Batcher(const BatcherConfig& cfg) : cfg_(cfg) {
+  if (cfg_.max_batch < 1) {
+    throw std::invalid_argument("batcher: max_batch must be >= 1");
+  }
+  open_.reserve(static_cast<std::size_t>(cfg_.max_batch));
+}
+
+Batcher::AddResult Batcher::add(const PendingQuery& q, ps_t now_ps) {
+  open_.push_back(q);
+  AddResult r;
+  r.generation = generation_;
+  if (static_cast<int>(open_.size()) >= cfg_.max_batch) {
+    r.full = true;
+  } else if (open_.size() == 1) {
+    r.arm_timer = true;
+    r.deadline_ps = now_ps + cfg_.timeout_ps;
+  }
+  return r;
+}
+
+std::vector<PendingQuery> Batcher::close() {
+  if (open_.empty()) throw std::logic_error("batcher: close of empty batch");
+  ++generation_;
+  std::vector<PendingQuery> out = std::move(open_);
+  open_.clear();
+  open_.reserve(static_cast<std::size_t>(cfg_.max_batch));
+  return out;
+}
+
+}  // namespace svc

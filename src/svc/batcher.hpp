@@ -1,0 +1,71 @@
+// Per-shard request batcher for the serving subsystem (docs/SERVING.md).
+//
+// Coalesces routed queries into batches the shard serves as one
+// ShardIndex::query_batch call, trading a little queueing latency for the
+// batch's amortized per-query cost (one argmin reduction per batch instead
+// of per query). Two knobs close a batch:
+//
+//   max_batch  — the batch closes the moment it reaches this size;
+//   timeout_ps — a partial batch closes this long (virtual time) after its
+//                first query arrived, so a lull can't strand queries.
+//
+// The batcher holds no timers itself: add() tells the caller when to arm
+// one (first query into an empty batch) and close() bumps a generation
+// counter so a stale timer event — one whose batch already closed full —
+// is recognized and dropped by the event loop.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/config.hpp"
+
+namespace svc {
+
+using tilesim::ps_t;
+
+struct BatcherConfig {
+  int max_batch = 8;
+  ps_t timeout_ps = 2'000'000;  ///< 2 µs
+};
+
+/// One routed query waiting in (or moving through) a shard.
+struct PendingQuery {
+  std::uint64_t id = 0;
+  int key = 0;
+  ps_t arrival_ps = 0;
+};
+
+class Batcher {
+ public:
+  explicit Batcher(const BatcherConfig& cfg);
+
+  struct AddResult {
+    bool full = false;        ///< batch hit max_batch: close it now
+    bool arm_timer = false;   ///< first query of a fresh batch
+    ps_t deadline_ps = 0;     ///< timeout deadline when arm_timer is set
+    std::uint64_t generation = 0;  ///< guard for the armed timer
+  };
+
+  /// Adds one query to the open batch at virtual time `now_ps`.
+  AddResult add(const PendingQuery& q, ps_t now_ps);
+
+  /// Takes the open batch (callers check open_size() first) and bumps the
+  /// generation so armed timers for it become stale.
+  [[nodiscard]] std::vector<PendingQuery> close();
+
+  [[nodiscard]] std::size_t open_size() const noexcept {
+    return open_.size();
+  }
+  [[nodiscard]] std::uint64_t generation() const noexcept {
+    return generation_;
+  }
+  [[nodiscard]] const BatcherConfig& config() const noexcept { return cfg_; }
+
+ private:
+  BatcherConfig cfg_;
+  std::vector<PendingQuery> open_;
+  std::uint64_t generation_ = 0;
+};
+
+}  // namespace svc

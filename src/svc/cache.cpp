@@ -1,0 +1,37 @@
+#include "svc/cache.hpp"
+
+namespace svc {
+
+const apps::cbir::Hit* LruCache::get(int key) {
+  if (cap_ == 0) {
+    ++misses_;
+    return nullptr;
+  }
+  const auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  ++hits_;
+  return &it->second->second;
+}
+
+void LruCache::put(int key, const apps::cbir::Hit& value) {
+  if (cap_ == 0) return;
+  const auto it = map_.find(key);
+  if (it != map_.end()) {
+    it->second->second = value;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  if (map_.size() >= cap_) {
+    map_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++evictions_;
+  }
+  lru_.emplace_front(key, value);
+  map_.emplace(key, lru_.begin());
+}
+
+}  // namespace svc

@@ -1,0 +1,50 @@
+// LRU result cache for the serving subsystem (docs/SERVING.md).
+//
+// Maps a query key (database image index) to its retrieval result so
+// repeat queries — the common case under Zipf-skewed traffic — are
+// answered without touching a shard. Classic list + hash-map LRU;
+// capacity 0 disables the cache entirely (every get misses, put is a
+// no-op), which is how the bench measures the uncached path.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <utility>
+
+#include "apps/cbir.hpp"
+
+namespace svc {
+
+class LruCache {
+ public:
+  explicit LruCache(std::size_t capacity) : cap_(capacity) {}
+
+  /// Returns the cached result and promotes the key to most-recent, or
+  /// nullptr on a miss. The pointer stays valid until the next put().
+  [[nodiscard]] const apps::cbir::Hit* get(int key);
+
+  /// Inserts or refreshes a result, evicting the least-recently-used
+  /// entry when at capacity.
+  void put(int key, const apps::cbir::Hit& value);
+
+  [[nodiscard]] std::size_t size() const noexcept { return map_.size(); }
+  [[nodiscard]] std::size_t capacity() const noexcept { return cap_; }
+  [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const noexcept { return misses_; }
+  [[nodiscard]] std::uint64_t evictions() const noexcept {
+    return evictions_;
+  }
+
+ private:
+  using Entry = std::pair<int, apps::cbir::Hit>;
+
+  std::size_t cap_;
+  std::list<Entry> lru_;  ///< front = most recently used
+  std::unordered_map<int, std::list<Entry>::iterator> map_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace svc

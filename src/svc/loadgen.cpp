@@ -1,0 +1,67 @@
+#include "svc/loadgen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace svc {
+
+LoadGen::LoadGen(const LoadGenConfig& cfg) : cfg_(cfg), rng_(cfg.seed) {
+  if (cfg_.key_space < 1) {
+    throw std::invalid_argument("loadgen: key_space must be >= 1");
+  }
+  if (cfg_.start_qps <= 0.0) {
+    throw std::invalid_argument("loadgen: start_qps must be > 0");
+  }
+  if (cfg_.end_qps < 0.0 || cfg_.zipf_s < 0.0) {
+    throw std::invalid_argument("loadgen: negative rate/skew");
+  }
+  key_cdf_.resize(static_cast<std::size_t>(cfg_.key_space));
+  double acc = 0.0;
+  for (int k = 0; k < cfg_.key_space; ++k) {
+    acc += 1.0 / std::pow(static_cast<double>(k + 1), cfg_.zipf_s);
+    key_cdf_[static_cast<std::size_t>(k)] = acc;
+  }
+  for (double& c : key_cdf_) c /= acc;
+}
+
+double LoadGen::rate_at(std::uint64_t i) const noexcept {
+  if (cfg_.end_qps <= 0.0 || cfg_.queries <= 1) return cfg_.start_qps;
+  const double t = static_cast<double>(i) /
+                   static_cast<double>(cfg_.queries - 1);
+  return cfg_.start_qps + (cfg_.end_qps - cfg_.start_qps) * t;
+}
+
+int LoadGen::draw_key() {
+  const double u = rng_.uniform01();
+  const auto it = std::lower_bound(key_cdf_.begin(), key_cdf_.end(), u);
+  const auto idx = static_cast<int>(it - key_cdf_.begin());
+  return std::min(idx, cfg_.key_space - 1);
+}
+
+Arrival LoadGen::next() {
+  if (exhausted()) throw std::logic_error("loadgen: arrival stream drained");
+  // Exponential interarrival at the ramped rate; 1 - u keeps the argument
+  // of log strictly positive (uniform01 can return exactly 0).
+  const double u = rng_.uniform01();
+  const double rate = rate_at(emitted_);
+  const double sec = -std::log1p(-u) / rate;
+  const auto dt = static_cast<ps_t>(std::max(1.0, sec * 1e12));
+  now_ps_ += dt;
+  Arrival a;
+  a.at_ps = now_ps_;
+  a.key = draw_key();
+  a.id = emitted_++;
+  return a;
+}
+
+Arrival LoadGen::next_keyed(ps_t at_ps) {
+  if (exhausted()) throw std::logic_error("loadgen: arrival stream drained");
+  Arrival a;
+  a.at_ps = at_ps;
+  a.key = draw_key();
+  a.id = emitted_++;
+  return a;
+}
+
+}  // namespace svc

@@ -1,0 +1,76 @@
+// Seeded query load generator for the serving subsystem (docs/SERVING.md).
+//
+// Produces a deterministic virtual-time arrival sequence: Poisson
+// interarrivals at a rate that ramps linearly from start_qps to end_qps
+// over the run, with query keys drawn from a Zipf-skewed popularity
+// distribution over the image database. Two drive modes share the same
+// key stream:
+//
+//   - open loop:   next() advances an internal virtual clock by the drawn
+//                  interarrival and stamps the arrival (clients send at
+//                  their own pace, regardless of service backlog);
+//   - closed loop: the service keeps a fixed number of queries in flight
+//                  and calls next_key() at each completion (clients wait
+//                  for their reply before sending again).
+//
+// Determinism: the generator consumes only its own Xoshiro256 stream in
+// program order, so one (seed, config) pair always yields the same
+// arrivals — the foundation of the serve loop's bit-identical replay.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/config.hpp"
+#include "util/rng.hpp"
+
+namespace svc {
+
+using tilesim::ps_t;
+
+struct LoadGenConfig {
+  std::uint64_t seed = 1;
+  std::uint64_t queries = 1'000'000;  ///< total arrivals to emit
+  double start_qps = 100'000.0;       ///< arrival rate at the first query
+  double end_qps = 0.0;               ///< 0 = flat; else linear ramp target
+  double zipf_s = 0.9;                ///< key skew exponent (0 = uniform)
+  int key_space = 5500;               ///< distinct query keys (db images)
+};
+
+struct Arrival {
+  ps_t at_ps = 0;
+  int key = 0;          ///< database image index being queried
+  std::uint64_t id = 0; ///< emission ordinal (0-based)
+};
+
+class LoadGen {
+ public:
+  explicit LoadGen(const LoadGenConfig& cfg);
+
+  [[nodiscard]] bool exhausted() const noexcept {
+    return emitted_ >= cfg_.queries;
+  }
+  [[nodiscard]] std::uint64_t emitted() const noexcept { return emitted_; }
+
+  /// Open-loop arrival: draws an interarrival at the current ramped rate,
+  /// advances the generator clock, and draws the key.
+  Arrival next();
+
+  /// Closed-loop draw: consumes only the key stream (the caller stamps the
+  /// arrival at the completion that triggered it).
+  Arrival next_keyed(ps_t at_ps);
+
+  /// Arrival rate (queries per virtual second) for emission ordinal `i`.
+  [[nodiscard]] double rate_at(std::uint64_t i) const noexcept;
+
+ private:
+  int draw_key();
+
+  LoadGenConfig cfg_;
+  tshmem_util::Xoshiro256 rng_;
+  std::vector<double> key_cdf_;  ///< cumulative Zipf weights, normalized
+  ps_t now_ps_ = 0;
+  std::uint64_t emitted_ = 0;
+};
+
+}  // namespace svc

@@ -1,0 +1,128 @@
+#include "svc/report.hpp"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "obs/exporters.hpp"
+
+namespace svc {
+
+namespace {
+
+/// Fixed-format double: JSON-safe, deterministic across platforms for the
+/// magnitudes a serve run produces.
+std::string fmt(double v, int precision = 3) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+}  // namespace
+
+void write_report_json(std::ostream& os, const ServiceReport& rep,
+                       const ServiceConfig& cfg) {
+  os << "{\n";
+  os << "  \"schema\": \"" << kServeSchema << "\",\n";
+  os << "  \"config\": {\n";
+  os << "    \"shards\": " << rep.shards << ",\n";
+  os << "    \"pes_per_shard\": " << cfg.pes_per_shard << ",\n";
+  os << "    \"images\": " << cfg.db.images << ",\n";
+  os << "    \"seed\": " << cfg.load.seed << ",\n";
+  os << "    \"queries\": " << cfg.load.queries << ",\n";
+  os << "    \"start_qps\": " << fmt(cfg.load.start_qps, 1) << ",\n";
+  os << "    \"end_qps\": " << fmt(cfg.load.end_qps, 1) << ",\n";
+  os << "    \"zipf_s\": " << fmt(cfg.load.zipf_s) << ",\n";
+  os << "    \"key_space\": " << cfg.load.key_space << ",\n";
+  os << "    \"closed_loop\": " << (cfg.closed_loop ? "true" : "false")
+     << ",\n";
+  os << "    \"concurrency\": " << cfg.concurrency << ",\n";
+  os << "    \"max_batch\": " << cfg.batch.max_batch << ",\n";
+  os << "    \"batch_timeout_ps\": " << cfg.batch.timeout_ps << ",\n";
+  os << "    \"cache_capacity\": " << cfg.cache_capacity << ",\n";
+  os << "    \"policy\": \"" << shed_policy_name(cfg.policy) << "\",\n";
+  os << "    \"unhealthy_backlog_ps\": " << cfg.unhealthy_backlog_ps
+     << ",\n";
+  os << "    \"recover_backlog_ps\": " << cfg.recover_backlog_ps << ",\n";
+  os << "    \"fault_plan\": \"" << obs::json_escape(rep.fault_plan)
+     << "\"\n";
+  os << "  },\n";
+  os << "  \"calibration\": [\n";
+  for (std::size_t s = 0; s < rep.calibration.size(); ++s) {
+    const ShardCalibration& c = rep.calibration[s];
+    os << "    {\"shard\": " << s << ", \"first\": " << c.first
+       << ", \"count\": " << c.count << ", \"build_ps\": " << c.build_ps
+       << ", \"setup_ps\": " << c.setup_ps
+       << ", \"per_query_ps\": " << c.per_query_ps << "}"
+       << (s + 1 < rep.calibration.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n";
+  os << "  \"shards\": [\n";
+  for (std::size_t s = 0; s < rep.shard_stats.size(); ++s) {
+    const ShardStats& st = rep.shard_stats[s];
+    os << "    {\"shard\": " << s << ", \"batches\": " << st.batches
+       << ", \"queries\": " << st.queries
+       << ", \"stall_events\": " << st.stall_events
+       << ", \"stall_ps\": " << st.stall_ps
+       << ", \"degraded_episodes\": " << st.degraded_episodes
+       << ", \"recoveries\": " << st.recoveries
+       << ", \"last_recovery_ps\": " << st.last_recovery_ps
+       << ", \"busy_ps\": " << st.busy_ps << "}"
+       << (s + 1 < rep.shard_stats.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n";
+  os << "  \"totals\": {\n";
+  os << "    \"duration_ps\": " << rep.duration_ps << ",\n";
+  os << "    \"offered\": " << rep.offered << ",\n";
+  os << "    \"completed\": " << rep.completed << ",\n";
+  os << "    \"cache_hits\": " << rep.cache_hits << ",\n";
+  os << "    \"shed\": " << rep.shed << ",\n";
+  os << "    \"rerouted\": " << rep.rerouted << ",\n";
+  os << "    \"hung\": " << rep.hung << ",\n";
+  os << "    \"qps\": " << fmt(rep.qps, 1) << ",\n";
+  os << "    \"p50_latency_ps\": " << rep.latency.p50 << ",\n";
+  os << "    \"p99_latency_ps\": " << rep.latency.p99 << ",\n";
+  os << "    \"p999_latency_ps\": " << rep.latency.p999 << ",\n";
+  os << "    \"max_latency_ps\": " << rep.max_latency_ps << ",\n";
+  os << "    \"fault_events\": " << rep.fault_events << "\n";
+  os << "  },\n";
+  os << "  \"shed_error\": \"" << obs::json_escape(rep.shed_error)
+     << "\"\n";
+  os << "}\n";
+}
+
+void print_summary(std::ostream& os, const ServiceReport& rep,
+                   const ServiceConfig& cfg) {
+  os << "--- serving summary ---\n";
+  os << "shards " << rep.shards << " x " << cfg.pes_per_shard
+     << " PEs, db " << cfg.db.images << " images, "
+     << (cfg.closed_loop ? "closed" : "open") << "-loop, policy "
+     << shed_policy_name(cfg.policy) << "\n";
+  for (std::size_t s = 0; s < rep.calibration.size(); ++s) {
+    const ShardCalibration& c = rep.calibration[s];
+    os << "shard " << s << ": images [" << c.first << ", "
+       << c.first + c.count << "), build " << c.build_ps << " ps, batch "
+       << c.setup_ps << " + n*" << c.per_query_ps << " ps\n";
+  }
+  os << "offered " << rep.offered << ", completed " << rep.completed
+     << " (cache " << rep.cache_hits << "), shed " << rep.shed
+     << ", rerouted " << rep.rerouted << ", hung " << rep.hung << "\n";
+  for (std::size_t s = 0; s < rep.shard_stats.size(); ++s) {
+    const ShardStats& st = rep.shard_stats[s];
+    os << "shard " << s << ": " << st.batches << " batches / "
+       << st.queries << " queries, stalls " << st.stall_events << " ("
+       << st.stall_ps << " ps), degraded " << st.degraded_episodes
+       << ", recovered " << st.recoveries << "\n";
+  }
+  if (!rep.shed_error.empty()) {
+    os << "sample shed reply: " << rep.shed_error << "\n";
+  }
+  // The machine-parsable record (tools/perf_run.py, tools/ci.sh).
+  os << "serve: qps=" << fmt(rep.qps, 1) << " p50_ps=" << rep.latency.p50
+     << " p99_ps=" << rep.latency.p99 << " p999_ps=" << rep.latency.p999
+     << " completed=" << rep.completed << " shed=" << rep.shed
+     << " hung=" << rep.hung << " fault_events=" << rep.fault_events
+     << "\n";
+}
+
+}  // namespace svc

@@ -1,0 +1,28 @@
+// Serving-report exporters (docs/SERVING.md).
+//
+// Two views of a ServiceReport:
+//   - write_report_json: the machine-readable "tshmem.serve.v1" document
+//     (stable key order, so byte-level diffs across replays are
+//     meaningful — CI's serve smoke diffs two runs of one seed/plan);
+//   - print_summary: the human block bench/ext_serve prints, including the
+//     one-line "serve:" record tools/perf_run.py harvests QPS and tail
+//     latency from.
+#pragma once
+
+#include <iosfwd>
+
+#include "svc/service.hpp"
+
+namespace svc {
+
+inline constexpr const char* kServeSchema = "tshmem.serve.v1";
+
+/// Writes the full report as deterministic JSON (schema tshmem.serve.v1).
+void write_report_json(std::ostream& os, const ServiceReport& rep,
+                       const ServiceConfig& cfg);
+
+/// Human-readable summary plus the machine-parsable "serve:" line.
+void print_summary(std::ostream& os, const ServiceReport& rep,
+                   const ServiceConfig& cfg);
+
+}  // namespace svc

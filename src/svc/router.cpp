@@ -1,0 +1,66 @@
+#include "svc/router.hpp"
+
+#include <stdexcept>
+
+namespace svc {
+
+namespace {
+
+/// SplitMix64 finalizer: a well-mixed stateless hash so consecutive image
+/// indices spread evenly across shards.
+std::uint64_t mix(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+const char* shed_policy_name(ShedPolicy p) noexcept {
+  switch (p) {
+    case ShedPolicy::kReject: return "reject";
+    case ShedPolicy::kReroute: return "reroute";
+  }
+  return "unknown";
+}
+
+Router::Router(int num_shards, ShedPolicy policy) : policy_(policy) {
+  if (num_shards < 1) {
+    throw std::invalid_argument("router: need >= 1 shard");
+  }
+  healthy_.assign(static_cast<std::size_t>(num_shards), true);
+}
+
+int Router::home_shard(int key) const noexcept {
+  return static_cast<int>(mix(static_cast<std::uint64_t>(key)) %
+                          healthy_.size());
+}
+
+void Router::set_health(int shard, bool healthy) {
+  if (shard < 0 || shard >= num_shards()) {
+    throw std::out_of_range("router: shard index");
+  }
+  healthy_[static_cast<std::size_t>(shard)] = healthy;
+}
+
+bool Router::healthy(int shard) const {
+  if (shard < 0 || shard >= num_shards()) {
+    throw std::out_of_range("router: shard index");
+  }
+  return healthy_[static_cast<std::size_t>(shard)];
+}
+
+Router::Route Router::route(int key) const noexcept {
+  const int home = home_shard(key);
+  if (healthy_[static_cast<std::size_t>(home)]) return Route{home, false};
+  if (policy_ == ShedPolicy::kReject) return Route{-1, false};
+  const int n = num_shards();
+  for (int step = 1; step < n; ++step) {
+    const int s = (home + step) % n;
+    if (healthy_[static_cast<std::size_t>(s)]) return Route{s, true};
+  }
+  return Route{-1, false};  // the whole fleet is degraded
+}
+
+}  // namespace svc

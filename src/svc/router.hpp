@@ -1,0 +1,55 @@
+// Query router for the serving subsystem (docs/SERVING.md).
+//
+// Hashes each query key to its home shard (one cluster device = one
+// shard) and consumes the shard-health signals the service derives from
+// virtual-time backlog watchdogs. A degraded shard sheds load instead of
+// hanging: under kReject its traffic is refused outright (the client gets
+// a structured tshmem::Error(kShardDegraded) reply); under kReroute the
+// ring is scanned for the next healthy shard and only an entirely
+// degraded fleet sheds.
+//
+// The router is pure policy — no counters, no clocks — so routing
+// decisions are trivially deterministic and unit-testable.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace svc {
+
+enum class ShedPolicy {
+  kReject,   ///< degraded home shard: refuse the query
+  kReroute,  ///< degraded home shard: try the next healthy shard
+};
+
+[[nodiscard]] const char* shed_policy_name(ShedPolicy p) noexcept;
+
+class Router {
+ public:
+  Router(int num_shards, ShedPolicy policy);
+
+  [[nodiscard]] int num_shards() const noexcept {
+    return static_cast<int>(healthy_.size());
+  }
+  [[nodiscard]] ShedPolicy policy() const noexcept { return policy_; }
+
+  /// Home shard of a key: SplitMix64 finalizer over the key, mod shards.
+  [[nodiscard]] int home_shard(int key) const noexcept;
+
+  void set_health(int shard, bool healthy);
+  [[nodiscard]] bool healthy(int shard) const;
+
+  struct Route {
+    int shard = -1;         ///< -1 = shed (no shard accepts the query)
+    bool rerouted = false;  ///< true when shard != the degraded home
+  };
+
+  /// Routing verdict for one query under the current health picture.
+  [[nodiscard]] Route route(int key) const noexcept;
+
+ private:
+  ShedPolicy policy_;
+  std::vector<bool> healthy_;
+};
+
+}  // namespace svc

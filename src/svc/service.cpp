@@ -1,0 +1,388 @@
+#include "svc/service.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <queue>
+#include <span>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "svc/cache.hpp"
+#include "util/error.hpp"
+
+namespace svc {
+
+using apps::cbir::Feature;
+using apps::cbir::FeatureCache;
+using apps::cbir::Hit;
+using apps::cbir::ShardIndex;
+
+Service::Service(tshmem::Cluster& cluster, ServiceConfig cfg)
+    : cluster_(cluster), cfg_(cfg) {
+  if (cfg_.pes_per_shard < 1) {
+    throw std::invalid_argument("service: pes_per_shard must be >= 1");
+  }
+  if (cfg_.db.images < cluster_.num_devices()) {
+    throw std::invalid_argument("service: fewer images than shards");
+  }
+  if (cfg_.recover_backlog_ps > cfg_.unhealthy_backlog_ps) {
+    throw std::invalid_argument(
+        "service: recover threshold above the degrade threshold");
+  }
+  if (cfg_.load.key_space > cfg_.db.images) {
+    throw std::invalid_argument("service: key_space exceeds the database");
+  }
+  if (cfg_.closed_loop && cfg_.concurrency < 1) {
+    throw std::invalid_argument("service: closed loop needs concurrency>=1");
+  }
+}
+
+ShardCalibration Service::calibrate_shard(int shard) {
+  const int shards = cluster_.num_devices();
+  if (shard < 0 || shard >= shards) {
+    throw std::out_of_range("service: shard index");
+  }
+  const int per_shard = (cfg_.db.images + shards - 1) / shards;
+  ShardCalibration cal;
+  cal.first = std::min(cfg_.db.images, shard * per_shard);
+  cal.count = std::min(cfg_.db.images - cal.first, per_shard);
+  const int probes = std::max(2, cfg_.batch.max_batch);
+  const apps::cbir::Params db = cfg_.db;
+
+  cluster_.run_shard(shard, cfg_.pes_per_shard, [&](tshmem::Context& ctx) {
+    const auto b0 = ctx.clock().now();
+    ShardIndex index(ctx, db, cal.first, cal.count);
+    const auto b1 = ctx.clock().now();
+    // Probe query features are client-side work: extracted outside the
+    // timed region and not charged to the shard.
+    const std::size_t px = static_cast<std::size_t>(db.width) *
+                           static_cast<std::size_t>(db.height);
+    std::vector<std::uint8_t> img(px);
+    std::vector<Feature> queries(static_cast<std::size_t>(probes));
+    for (int i = 0; i < probes; ++i) {
+      const int key = cal.first + (i * 911) % cal.count;
+      const std::uint64_t s = db.seed + static_cast<std::uint64_t>(key);
+      apps::cbir::generate_image(img, db.width, db.height, s);
+      queries[static_cast<std::size_t>(i)] =
+          FeatureCache::shared().seeded(img, db.width, db.height, s).feature;
+    }
+    std::vector<Hit> out(static_cast<std::size_t>(probes));
+    ctx.barrier_all();
+    const auto t0 = ctx.clock().now();
+    index.query_batch(ctx, std::span<const Feature>(queries.data(), 1),
+                      std::span<Hit>(out.data(), 1));
+    const auto t1 = ctx.clock().now();
+    index.query_batch(ctx, queries, out);
+    const auto t2 = ctx.clock().now();
+    index.destroy(ctx);
+    if (ctx.my_pe() == 0) {
+      const ps_t one = t1 - t0;
+      const ps_t many = t2 - t1;
+      cal.build_ps = b1 - b0;
+      cal.per_query_ps =
+          probes > 1 ? std::max<ps_t>(1, (many - one) / (probes - 1)) : one;
+      cal.setup_ps = one > cal.per_query_ps ? one - cal.per_query_ps : 0;
+    }
+  });
+  return cal;
+}
+
+namespace {
+
+struct Event {
+  enum class Kind { kArrival, kBatchTimeout, kBatchDone };
+
+  ps_t at = 0;
+  std::uint64_t seq = 0;  ///< monotone tiebreak: total event order
+  Kind kind = Kind::kArrival;
+  int shard = -1;
+  std::uint64_t generation = 0;  ///< batch-timeout staleness guard
+  Arrival arrival;
+};
+
+struct EventAfter {
+  bool operator()(const Event& a, const Event& b) const noexcept {
+    if (a.at != b.at) return a.at > b.at;
+    return a.seq > b.seq;
+  }
+};
+
+struct ShardState {
+  explicit ShardState(const BatcherConfig& cfg) : batcher(cfg) {}
+
+  Batcher batcher;
+  std::deque<std::vector<PendingQuery>> queue;  ///< closed, waiting batches
+  std::vector<PendingQuery> running;            ///< batch being served
+  bool busy = false;
+  ps_t busy_until = 0;
+  ps_t queued_est_ps = 0;  ///< estimated service time of `queue`
+  bool degraded = false;
+};
+
+}  // namespace
+
+ServiceReport Service::run() {
+  const int shards = cluster_.num_devices();
+  ServiceReport rep;
+  rep.shards = shards;
+  rep.calibration.reserve(static_cast<std::size_t>(shards));
+  for (int s = 0; s < shards; ++s) {
+    rep.calibration.push_back(calibrate_shard(s));
+  }
+  rep.shard_stats.assign(static_cast<std::size_t>(shards), ShardStats{});
+  rep.fault_plan = cfg_.fault_plan.describe();
+
+  // --- serve phase: deterministic discrete-event loop ---------------------
+  tilesim::FaultEngine faults(cfg_.fault_plan);
+  LoadGen gen(cfg_.load);
+  LruCache cache(cfg_.cache_capacity);
+  Router router(shards, cfg_.policy);
+  std::vector<ShardState> st;
+  st.reserve(static_cast<std::size_t>(shards));
+  for (int s = 0; s < shards; ++s) st.emplace_back(cfg_.batch);
+
+  // Sanctioned instrumentation handles (lint rule R005).
+  auto* m_offered = obs::counter_handle(metrics_, "svc.offered", 0);
+  auto* m_completed = obs::counter_handle(metrics_, "svc.completed", 0);
+  auto* m_shed = obs::counter_handle(metrics_, "svc.shed", 0);
+  auto* m_rerouted = obs::counter_handle(metrics_, "svc.rerouted", 0);
+  auto* m_latency = obs::histogram_handle(metrics_, "svc.latency.ps", 0);
+  auto* m_fill = obs::histogram_handle(metrics_, "svc.batch.fill", 0);
+
+  std::priority_queue<Event, std::vector<Event>, EventAfter> heap;
+  std::uint64_t next_seq = 0;
+  auto push = [&](Event e) {
+    e.seq = next_seq++;
+    heap.push(e);
+  };
+
+  ps_t first_arrival_ps = 0;
+  bool seen_arrival = false;
+  ps_t last_reply_ps = 0;
+  std::uint64_t in_flight = 0;  // accepted or shed-pending window (closed)
+
+  auto est_ps = [&](int shard, std::size_t n) {
+    const ShardCalibration& c = rep.calibration[static_cast<std::size_t>(shard)];
+    return c.setup_ps + static_cast<ps_t>(n) * c.per_query_ps;
+  };
+
+  auto backlog_ps = [&](int shard, ps_t now) {
+    const ShardState& s = st[static_cast<std::size_t>(shard)];
+    const ps_t busy = s.busy ? s.busy_until - now : 0;
+    return busy + s.queued_est_ps;
+  };
+
+  auto update_health = [&](int shard, ps_t now) {
+    ShardState& s = st[static_cast<std::size_t>(shard)];
+    ShardStats& stats = rep.shard_stats[static_cast<std::size_t>(shard)];
+    const ps_t backlog = backlog_ps(shard, now);
+    obs::set_level(metrics_, "svc.shard.backlog.ps", shard,
+                   static_cast<std::int64_t>(backlog));
+    if (!s.degraded && backlog > cfg_.unhealthy_backlog_ps) {
+      s.degraded = true;
+      router.set_health(shard, false);
+      ++stats.degraded_episodes;
+      obs::add_count(metrics_, "svc.shard.degraded", shard, 1);
+    } else if (s.degraded && backlog <= cfg_.recover_backlog_ps) {
+      s.degraded = false;
+      router.set_health(shard, true);
+      ++stats.recoveries;
+      stats.last_recovery_ps = now;
+      obs::add_count(metrics_, "svc.shard.recovered", shard, 1);
+    }
+  };
+
+  auto inject_closed = [&](ps_t now) {
+    while (!gen.exhausted() && in_flight < static_cast<std::uint64_t>(
+                                   cfg_.concurrency)) {
+      push(Event{now, 0, Event::Kind::kArrival, -1, 0, gen.next_keyed(now)});
+      ++in_flight;
+    }
+  };
+
+  auto reply = [&](ps_t at) {
+    last_reply_ps = std::max(last_reply_ps, at);
+    if (cfg_.closed_loop) {
+      --in_flight;
+      inject_closed(at);
+    }
+  };
+
+  auto complete = [&](const PendingQuery& q, ps_t now) {
+    const auto latency = static_cast<std::uint64_t>(now - q.arrival_ps);
+    m_latency->record(latency);
+    rep.max_latency_ps = std::max(rep.max_latency_ps, latency);
+    ++rep.completed;
+    m_completed->add(1);
+    // A query key is a database image, so the exact answer is
+    // self-retrieval at distance 0 (the test_apps_cbir contract).
+    cache.put(q.key, Hit{q.key, 0.0f});
+    reply(now);
+  };
+
+  auto shed = [&](const Arrival& a, ps_t now) {
+    ++rep.shed;
+    m_shed->add(1);
+    if (rep.shed_error.empty()) {
+      std::ostringstream msg;
+      msg << "query " << a.id << " (key " << a.key << ") shed at " << now
+          << " ps: home shard " << router.home_shard(a.key)
+          << " degraded and no healthy shard accepts "
+          << shed_policy_name(cfg_.policy) << " traffic";
+      rep.shed_error = tshmem::Error(tshmem::Errc::kShardDegraded,
+                                     msg.str())
+                           .what();
+    }
+    reply(now);
+  };
+
+  auto try_start = [&](int shard, ps_t now) {
+    ShardState& s = st[static_cast<std::size_t>(shard)];
+    if (s.busy || s.queue.empty()) return;
+    s.running = std::move(s.queue.front());
+    s.queue.pop_front();
+    ShardStats& stats = rep.shard_stats[static_cast<std::size_t>(shard)];
+    const ps_t est = est_ps(shard, s.running.size());
+    s.queued_est_ps -= est;
+    const ps_t stall = faults.shard_stall(shard, now);
+    if (stall > 0) {
+      ++stats.stall_events;
+      stats.stall_ps += stall;
+      obs::add_count(metrics_, "svc.shard.stall.events", shard, 1);
+      obs::add_count(metrics_, "svc.shard.stall.ps", shard,
+                     static_cast<std::uint64_t>(stall));
+    }
+    const ps_t service = est + stall;
+    s.busy = true;
+    s.busy_until = now + service;
+    stats.busy_ps += service;
+    ++stats.batches;
+    stats.queries += s.running.size();
+    obs::add_count(metrics_, "svc.shard.batches", shard, 1);
+    obs::add_count(metrics_, "svc.shard.queries", shard,
+                   s.running.size());
+    m_fill->record(s.running.size());
+    push(Event{s.busy_until, 0, Event::Kind::kBatchDone, shard, 0, {}});
+  };
+
+  auto close_batch = [&](int shard, ps_t now) {
+    ShardState& s = st[static_cast<std::size_t>(shard)];
+    std::vector<PendingQuery> batch = s.batcher.close();
+    s.queued_est_ps += est_ps(shard, batch.size());
+    s.queue.push_back(std::move(batch));
+    update_health(shard, now);
+    try_start(shard, now);
+  };
+
+  // Seed the arrival stream.
+  if (cfg_.load.queries == 0) {
+    throw std::invalid_argument("service: zero queries");
+  }
+  if (cfg_.closed_loop) {
+    inject_closed(0);
+  } else {
+    const Arrival a = gen.next();
+    push(Event{a.at_ps, 0, Event::Kind::kArrival, -1, 0, a});
+  }
+
+  while (!heap.empty()) {
+    const Event e = heap.top();
+    heap.pop();
+    const ps_t now = e.at;
+    switch (e.kind) {
+      case Event::Kind::kArrival: {
+        const Arrival a{now, e.arrival.key, e.arrival.id};
+        if (!seen_arrival) {
+          seen_arrival = true;
+          first_arrival_ps = now;
+        }
+        ++rep.offered;
+        m_offered->add(1);
+        // Open loop: keep the arrival stream going regardless of outcome.
+        if (!cfg_.closed_loop && !gen.exhausted()) {
+          const Arrival next = gen.next();
+          push(Event{next.at_ps, 0, Event::Kind::kArrival, -1, 0, next});
+        }
+        if (const Hit* hit = cache.get(a.key); hit != nullptr) {
+          ++rep.cache_hits;
+          const ps_t done = now + cfg_.cache_hit_ps;
+          m_latency->record(static_cast<std::uint64_t>(cfg_.cache_hit_ps));
+          rep.max_latency_ps = std::max(
+              rep.max_latency_ps,
+              static_cast<std::uint64_t>(cfg_.cache_hit_ps));
+          ++rep.completed;
+          m_completed->add(1);
+          reply(done);
+          break;
+        }
+        const Router::Route route = router.route(a.key);
+        if (route.shard < 0) {
+          shed(a, now);
+          break;
+        }
+        if (route.rerouted) {
+          ++rep.rerouted;
+          m_rerouted->add(1);
+        }
+        ShardState& s = st[static_cast<std::size_t>(route.shard)];
+        const Batcher::AddResult added =
+            s.batcher.add(PendingQuery{a.id, a.key, now}, now);
+        if (added.full) {
+          close_batch(route.shard, now);
+        } else if (added.arm_timer) {
+          push(Event{added.deadline_ps, 0, Event::Kind::kBatchTimeout,
+                     route.shard, added.generation, {}});
+        }
+        break;
+      }
+      case Event::Kind::kBatchTimeout: {
+        ShardState& s = st[static_cast<std::size_t>(e.shard)];
+        if (s.batcher.generation() != e.generation ||
+            s.batcher.open_size() == 0) {
+          break;  // stale: the batch already closed full
+        }
+        close_batch(e.shard, now);
+        break;
+      }
+      case Event::Kind::kBatchDone: {
+        ShardState& s = st[static_cast<std::size_t>(e.shard)];
+        std::vector<PendingQuery> batch = std::move(s.running);
+        s.running.clear();
+        s.busy = false;
+        for (const PendingQuery& q : batch) complete(q, now);
+        update_health(e.shard, now);
+        try_start(e.shard, now);
+        break;
+      }
+    }
+  }
+
+  // Every accepted query must have drained: stranded open batches or
+  // queued work would be a shed-not-hang violation.
+  std::uint64_t stranded = 0;
+  for (const ShardState& s : st) {
+    stranded += s.batcher.open_size() + s.running.size();
+    for (const auto& b : s.queue) stranded += b.size();
+  }
+  rep.hung = rep.offered - rep.completed - rep.shed;
+  if (stranded != rep.hung) {
+    throw std::logic_error("service: completion accounting diverged");
+  }
+  obs::add_count(metrics_, "svc.hung", 0, rep.hung);
+  obs::add_count(metrics_, "svc.cache.hits", 0, cache.hits());
+  obs::add_count(metrics_, "svc.cache.misses", 0, cache.misses());
+  obs::add_count(metrics_, "svc.cache.evictions", 0, cache.evictions());
+  rep.cache_hits = cache.hits();
+  rep.fault_events = faults.event_count();
+  rep.duration_ps =
+      last_reply_ps > first_arrival_ps ? last_reply_ps - first_arrival_ps : 0;
+  if (rep.duration_ps > 0) {
+    rep.qps = static_cast<double>(rep.completed) /
+              (static_cast<double>(rep.duration_ps) * 1e-12);
+  }
+  rep.latency = obs::latency_quantiles(*m_latency);
+  return rep;
+}
+
+}  // namespace svc

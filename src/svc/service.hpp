@@ -1,0 +1,119 @@
+// Sharded CBIR query-serving service over the mPIPE cluster (tentpole of
+// docs/SERVING.md; the ROADMAP's "production-scale serving scenario").
+//
+// One cluster device = one shard; each shard holds a block of the image
+// database as a precomputed apps::cbir::ShardIndex spread over its PEs.
+// Serving proceeds in two phases, both in virtual time:
+//
+//   1. Calibrate — per shard, a real TSHMEM job (Cluster::run_shard)
+//      builds the ShardIndex and times query_batch at batch sizes 1 and
+//      max_batch, yielding the linear batch cost model
+//      t(b) = setup_ps + b * per_query_ps.
+//   2. Serve — a deterministic discrete-event loop drives millions of
+//      generated arrivals through router -> LRU cache -> batcher -> the
+//      calibrated shard model, recording per-query latency into log2
+//      histograms. Events are ordered by (virtual time, sequence), so a
+//      (seed, fault plan) pair replays bit-identically.
+//
+// Degradation (PR-3 fault engine, FaultSite::kShardStall): a stalling
+// shard's virtual-time backlog crosses unhealthy_backlog_ps and the
+// router stops feeding it — queries are refused with a structured
+// tshmem::Error(kShardDegraded) or rerouted per ShedPolicy — until the
+// backlog drains below recover_backlog_ps, which is recorded as a
+// recovery. Accepted batches always run to completion, so a degraded
+// shard sheds load rather than hanging: zero hung queries, bounded tail
+// latency.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "apps/cbir.hpp"
+#include "obs/metrics.hpp"
+#include "obs/quantiles.hpp"
+#include "sim/fault.hpp"
+#include "svc/batcher.hpp"
+#include "svc/loadgen.hpp"
+#include "svc/router.hpp"
+#include "tshmem/cluster.hpp"
+
+namespace svc {
+
+struct ServiceConfig {
+  int pes_per_shard = 4;
+  apps::cbir::Params db;  ///< db.images = total database, blocked by shard
+  LoadGenConfig load;
+  BatcherConfig batch;
+  std::size_t cache_capacity = 4096;
+  ShedPolicy policy = ShedPolicy::kReject;
+  bool closed_loop = false;
+  int concurrency = 64;           ///< in-flight window in closed-loop mode
+  ps_t cache_hit_ps = 150'000;    ///< modeled lookup + reply cost (150 ns)
+  /// Backlog watchdog: degrade above ~5 default batches of queued service
+  /// time, recover once the queue is nearly drained.
+  ps_t unhealthy_backlog_ps = 5'000'000'000;  ///< 5 ms
+  ps_t recover_backlog_ps = 1'000'000'000;    ///< 1 ms
+  tilesim::FaultPlan fault_plan;  ///< kShardStall is the serving site
+};
+
+/// Batch cost model measured on the real shard (virtual time).
+struct ShardCalibration {
+  ps_t build_ps = 0;      ///< ShardIndex construction
+  ps_t setup_ps = 0;      ///< fixed per-batch cost (collectives, dispatch)
+  ps_t per_query_ps = 0;  ///< marginal cost per query in a batch
+  int first = 0;          ///< database slice this shard owns
+  int count = 0;
+};
+
+struct ShardStats {
+  std::uint64_t batches = 0;
+  std::uint64_t queries = 0;
+  std::uint64_t stall_events = 0;  ///< injected kShardStall hits
+  ps_t stall_ps = 0;               ///< total injected stall
+  std::uint64_t degraded_episodes = 0;
+  std::uint64_t recoveries = 0;
+  ps_t busy_ps = 0;                ///< total batch service time
+  ps_t last_recovery_ps = 0;       ///< virtual time of the last recovery
+};
+
+struct ServiceReport {
+  int shards = 0;
+  std::vector<ShardCalibration> calibration;
+  std::vector<ShardStats> shard_stats;
+  ps_t duration_ps = 0;       ///< first arrival to last reply
+  std::uint64_t offered = 0;
+  std::uint64_t completed = 0;  ///< answered (cache hits included)
+  std::uint64_t cache_hits = 0;
+  std::uint64_t shed = 0;       ///< refused with kShardDegraded
+  std::uint64_t rerouted = 0;
+  std::uint64_t hung = 0;       ///< offered - completed - shed (must be 0)
+  double qps = 0.0;             ///< completed per virtual second
+  obs::LatencyQuantiles latency{};  ///< p50/p99/p999 over completed (ps)
+  std::uint64_t max_latency_ps = 0;
+  std::uint64_t fault_events = 0;   ///< injected-event log size
+  std::string fault_plan;           ///< FaultPlan::describe()
+  std::string shed_error;           ///< sample structured shed error ("" if
+                                    ///< nothing was shed)
+};
+
+class Service {
+ public:
+  Service(tshmem::Cluster& cluster, ServiceConfig cfg);
+
+  /// Phase 1 for one shard: real cluster job, returns the cost model.
+  ShardCalibration calibrate_shard(int shard);
+
+  /// Calibrates every shard, then runs the serve loop to completion.
+  ServiceReport run();
+
+  /// svc.* metrics recorded by the last run() (docs/OBSERVABILITY.md).
+  [[nodiscard]] obs::MetricsRegistry& metrics() noexcept { return metrics_; }
+
+ private:
+  tshmem::Cluster& cluster_;
+  ServiceConfig cfg_;
+  obs::MetricsRegistry metrics_;
+};
+
+}  // namespace svc

@@ -63,6 +63,11 @@ tmc::MpipeEngine& Cluster::mpipe(int device) {
   return *engines_[static_cast<std::size_t>(device)];
 }
 
+void Cluster::run_shard(int device, int pes,
+                        const std::function<void(Context&)>& fn) {
+  runtime(device).run(pes, fn);
+}
+
 void Cluster::run(int pes_per_device,
                   const std::function<void(ClusterContext&)>& fn) {
   pes_per_dev_ = pes_per_device;

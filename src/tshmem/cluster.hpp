@@ -47,6 +47,12 @@ class Cluster {
   void run(int pes_per_device,
            const std::function<void(ClusterContext&)>& fn);
 
+  /// Runs `fn` as an SPMD job on ONE device's runtime — the serving layer's
+  /// per-shard job hook (one device = one shard; src/svc, docs/SERVING.md).
+  /// The job sees a plain single-device Context; cluster links are idle.
+  void run_shard(int device, int pes,
+                 const std::function<void(Context&)>& fn);
+
   [[nodiscard]] Runtime& runtime(int device);
   [[nodiscard]] tmc::MpipeEngine& mpipe(int device);
   [[nodiscard]] int num_devices() const noexcept { return num_devices_; }

@@ -26,6 +26,7 @@ enum class Errc : int {
   kRunInProgress = 9,   ///< Runtime::run while a job is already running
   kFinalizePending = 10,  ///< finalize with outstanding non-blocking work
   kRaceDetected = 11,   ///< tshmem-check found a data race (kFail mode)
+  kShardDegraded = 12,  ///< serving router shed a query from a degraded shard
 };
 
 [[nodiscard]] constexpr const char* errc_name(Errc c) noexcept {
@@ -41,6 +42,7 @@ enum class Errc : int {
     case Errc::kRunInProgress: return "run_in_progress";
     case Errc::kFinalizePending: return "finalize_pending";
     case Errc::kRaceDetected: return "race_detected";
+    case Errc::kShardDegraded: return "shard_degraded";
   }
   return "unknown";
 }

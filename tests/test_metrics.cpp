@@ -14,6 +14,7 @@
 #include "obs/exporters.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/quantiles.hpp"
 #include "obs/scoped_timer.hpp"
 #include "sim/clock.hpp"
 #include "tshmem/context.hpp"
@@ -509,6 +510,92 @@ TEST(Metrics, EnvVarOverridesRuntimeOption) {
     EXPECT_FALSE(rt.metrics_enabled());
   }
   ::unsetenv("TSHMEM_METRICS");
+}
+
+// ===========================================================================
+// Quantile extraction (obs/quantiles.hpp, serving tentpole)
+// ===========================================================================
+
+TEST(Quantiles, EmptyHistogramReturnsZero) {
+  Log2Histogram h;
+  EXPECT_EQ(obs::histogram_quantile(h, 0.0), 0u);
+  EXPECT_EQ(obs::histogram_quantile(h, 0.5), 0u);
+  EXPECT_EQ(obs::histogram_quantile(h, 1.0), 0u);
+  EXPECT_EQ(obs::latency_quantiles(h), obs::LatencyQuantiles{});
+}
+
+TEST(Quantiles, OutOfRangeQThrows) {
+  Log2Histogram h;
+  h.record(42);
+  EXPECT_THROW((void)obs::histogram_quantile(h, -0.01),
+               std::invalid_argument);
+  EXPECT_THROW((void)obs::histogram_quantile(h, 1.01),
+               std::invalid_argument);
+}
+
+TEST(Quantiles, SingleSampleIsExactAtEveryQ) {
+  Log2Histogram h;
+  h.record(12345);
+  for (const double q : {0.0, 0.25, 0.5, 0.99, 0.999, 1.0}) {
+    EXPECT_EQ(obs::histogram_quantile(h, q), 12345u) << "q=" << q;
+  }
+}
+
+TEST(Quantiles, SingleBucketInterpolatesWithinMinMaxEnvelope) {
+  // All samples in bucket 10 ([512, 1023]); the envelope [600, 1000]
+  // must clip the interpolation.
+  Log2Histogram h;
+  h.record(600);
+  h.record(800);
+  h.record(1000);
+  EXPECT_EQ(obs::histogram_quantile(h, 0.0), 600u);
+  EXPECT_EQ(obs::histogram_quantile(h, 1.0), 1000u);
+  const std::uint64_t p50 = obs::histogram_quantile(h, 0.5);
+  EXPECT_GE(p50, 600u);
+  EXPECT_LE(p50, 1000u);
+}
+
+TEST(Quantiles, SaturatedTopBucketStaysWithinMax) {
+  // Bucket 64's nominal upper bound is 2^64 - 1; the exact max must cap
+  // the tail instead of exploding it.
+  Log2Histogram h;
+  const std::uint64_t top = std::numeric_limits<std::uint64_t>::max() - 7;
+  for (int i = 0; i < 10; ++i) h.record(100);
+  h.record(top);
+  EXPECT_EQ(obs::histogram_quantile(h, 1.0), top);
+  EXPECT_LE(obs::histogram_quantile(h, 0.999), top);
+  EXPECT_GE(obs::histogram_quantile(h, 0.999), 100u);
+}
+
+TEST(Quantiles, TailOrderingAcrossBuckets) {
+  // 900 fast + 90 medium + 10 slow: p50 fast, p99 medium+, p999 slow.
+  Log2Histogram h;
+  for (int i = 0; i < 900; ++i) h.record(1'000);
+  for (int i = 0; i < 90; ++i) h.record(1'000'000);
+  for (int i = 0; i < 10; ++i) h.record(100'000'000);
+  const obs::LatencyQuantiles lq = obs::latency_quantiles(h);
+  EXPECT_LE(lq.p50, lq.p99);
+  EXPECT_LE(lq.p99, lq.p999);
+  EXPECT_LE(lq.p50, 2'047u);             // inside the fast bucket
+  EXPECT_GE(lq.p999, 67'108'864u);       // inside the slow bucket
+  EXPECT_LE(lq.p999, 100'000'000u);      // capped by the exact max
+}
+
+TEST(Quantiles, SnapshotSampleAgreesWithLiveHistogram) {
+  MetricsRegistry reg;
+  Log2Histogram& h = reg.histogram("svc.latency.ps", 0);
+  std::uint64_t v = 17;
+  for (int i = 0; i < 500; ++i) {
+    h.record(v);
+    v = v * 2'654'435'761u % 10'000'000u + 1;
+  }
+  const MetricsSnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  for (const double q : {0.0, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+    EXPECT_EQ(obs::histogram_quantile(h, q),
+              obs::histogram_quantile(snap.histograms[0], q))
+        << "q=" << q;
+  }
 }
 
 }  // namespace

@@ -1,0 +1,403 @@
+// Tests for the serving subsystem (src/svc, docs/SERVING.md): load
+// generator determinism, batcher coalescing and timeout arming, LRU
+// hit/eviction behavior, router shed/reroute policy, ShardIndex
+// correctness on a real runtime, and end-to-end serve runs over a real
+// 2-device cluster — including bit-identical replay per (seed, fault
+// plan) and shed-not-hang under an injected shard stall.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "apps/cbir.hpp"
+#include "sim/config.hpp"
+#include "sim/fault.hpp"
+#include "svc/batcher.hpp"
+#include "svc/cache.hpp"
+#include "svc/loadgen.hpp"
+#include "svc/report.hpp"
+#include "svc/router.hpp"
+#include "svc/service.hpp"
+#include "tshmem/cluster.hpp"
+#include "tshmem/runtime.hpp"
+
+namespace {
+
+using apps::cbir::Feature;
+using apps::cbir::FeatureCache;
+using apps::cbir::Hit;
+using svc::Arrival;
+using svc::Batcher;
+using svc::BatcherConfig;
+using svc::LoadGen;
+using svc::LoadGenConfig;
+using svc::LruCache;
+using svc::PendingQuery;
+using svc::Router;
+using svc::ServiceConfig;
+using svc::ServiceReport;
+using svc::ShedPolicy;
+
+// ===========================================================================
+// Load generator
+// ===========================================================================
+
+TEST(LoadGen, DeterministicPerSeed) {
+  LoadGenConfig cfg;
+  cfg.seed = 42;
+  cfg.queries = 5000;
+  cfg.start_qps = 50'000.0;
+  cfg.end_qps = 200'000.0;
+  cfg.key_space = 300;
+  LoadGen a(cfg);
+  LoadGen b(cfg);
+  for (int i = 0; i < 5000; ++i) {
+    const Arrival x = a.next();
+    const Arrival y = b.next();
+    EXPECT_EQ(x.at_ps, y.at_ps);
+    EXPECT_EQ(x.key, y.key);
+    EXPECT_EQ(x.id, y.id);
+  }
+  EXPECT_TRUE(a.exhausted());
+  EXPECT_THROW(a.next(), std::logic_error);
+}
+
+TEST(LoadGen, DifferentSeedsDiverge) {
+  LoadGenConfig cfg;
+  cfg.queries = 100;
+  LoadGen a(cfg);
+  cfg.seed = 2;
+  LoadGen b(cfg);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next().at_ps == b.next().at_ps) ++same;
+  }
+  EXPECT_LT(same, 100);
+}
+
+TEST(LoadGen, ArrivalsAreMonotoneAndKeysInRange) {
+  LoadGenConfig cfg;
+  cfg.queries = 2000;
+  cfg.key_space = 64;
+  LoadGen gen(cfg);
+  tilesim::ps_t last = 0;
+  while (!gen.exhausted()) {
+    const Arrival a = gen.next();
+    EXPECT_GT(a.at_ps, last);
+    last = a.at_ps;
+    EXPECT_GE(a.key, 0);
+    EXPECT_LT(a.key, 64);
+  }
+}
+
+TEST(LoadGen, RampInterpolatesRates) {
+  LoadGenConfig cfg;
+  cfg.queries = 1001;
+  cfg.start_qps = 10'000.0;
+  cfg.end_qps = 110'000.0;
+  LoadGen gen(cfg);
+  EXPECT_DOUBLE_EQ(gen.rate_at(0), 10'000.0);
+  EXPECT_DOUBLE_EQ(gen.rate_at(500), 60'000.0);
+  EXPECT_DOUBLE_EQ(gen.rate_at(1000), 110'000.0);
+}
+
+TEST(LoadGen, ZipfSkewsTowardLowKeys) {
+  LoadGenConfig cfg;
+  cfg.queries = 20'000;
+  cfg.key_space = 1000;
+  cfg.zipf_s = 1.0;
+  LoadGen gen(cfg);
+  std::uint64_t head = 0;
+  while (!gen.exhausted()) {
+    if (gen.next().key < 100) ++head;
+  }
+  // Under Zipf(1.0) the top 10% of keys carry well over half the mass.
+  EXPECT_GT(head, 10'000u);
+}
+
+// ===========================================================================
+// Batcher
+// ===========================================================================
+
+TEST(Batcher, ClosesWhenFull) {
+  Batcher b(BatcherConfig{3, 1'000'000});
+  const auto r1 = b.add(PendingQuery{0, 10, 100}, 100);
+  EXPECT_TRUE(r1.arm_timer);
+  EXPECT_FALSE(r1.full);
+  EXPECT_EQ(r1.deadline_ps, 1'000'100u);
+  const auto r2 = b.add(PendingQuery{1, 11, 200}, 200);
+  EXPECT_FALSE(r2.arm_timer);
+  EXPECT_FALSE(r2.full);
+  const auto r3 = b.add(PendingQuery{2, 12, 300}, 300);
+  EXPECT_TRUE(r3.full);
+  const auto batch = b.close();
+  ASSERT_EQ(batch.size(), 3u);
+  EXPECT_EQ(batch[0].key, 10);
+  EXPECT_EQ(batch[2].arrival_ps, 300u);
+  EXPECT_EQ(b.open_size(), 0u);
+}
+
+TEST(Batcher, GenerationInvalidatesStaleTimers) {
+  Batcher b(BatcherConfig{2, 5'000});
+  const auto r1 = b.add(PendingQuery{0, 1, 0}, 0);
+  const std::uint64_t gen0 = r1.generation;
+  b.add(PendingQuery{1, 2, 10}, 10);  // full
+  (void)b.close();
+  EXPECT_NE(b.generation(), gen0);  // the armed timer for gen0 is stale
+  // A fresh batch arms a fresh timer under the new generation.
+  const auto r2 = b.add(PendingQuery{2, 3, 20}, 20);
+  EXPECT_TRUE(r2.arm_timer);
+  EXPECT_EQ(r2.generation, b.generation());
+}
+
+TEST(Batcher, CloseOfEmptyThrows) {
+  Batcher b(BatcherConfig{4, 1000});
+  EXPECT_THROW(b.close(), std::logic_error);
+}
+
+// ===========================================================================
+// LRU cache
+// ===========================================================================
+
+TEST(LruCache, HitPromotesAndEvictsLeastRecent) {
+  LruCache c(2);
+  c.put(1, Hit{1, 0.0f});
+  c.put(2, Hit{2, 0.0f});
+  ASSERT_NE(c.get(1), nullptr);  // promotes key 1
+  c.put(3, Hit{3, 0.0f});        // evicts key 2 (least recent)
+  EXPECT_EQ(c.get(2), nullptr);
+  EXPECT_NE(c.get(1), nullptr);
+  EXPECT_NE(c.get(3), nullptr);
+  EXPECT_EQ(c.evictions(), 1u);
+  EXPECT_EQ(c.hits(), 3u);
+  EXPECT_EQ(c.misses(), 1u);
+}
+
+TEST(LruCache, ZeroCapacityIsDisabled) {
+  LruCache c(0);
+  c.put(1, Hit{1, 0.0f});
+  EXPECT_EQ(c.get(1), nullptr);
+  EXPECT_EQ(c.size(), 0u);
+}
+
+TEST(LruCache, PutRefreshesExistingKey) {
+  LruCache c(2);
+  c.put(1, Hit{1, 1.0f});
+  c.put(2, Hit{2, 0.0f});
+  c.put(1, Hit{1, 0.5f});  // refresh: key 1 becomes most recent
+  c.put(3, Hit{3, 0.0f});  // evicts key 2
+  const Hit* h = c.get(1);
+  ASSERT_NE(h, nullptr);
+  EXPECT_FLOAT_EQ(h->distance, 0.5f);
+  EXPECT_EQ(c.get(2), nullptr);
+}
+
+// ===========================================================================
+// Router
+// ===========================================================================
+
+TEST(Router, HashSpreadsKeysAcrossShards) {
+  Router r(4, ShedPolicy::kReject);
+  std::set<int> seen;
+  for (int k = 0; k < 256; ++k) {
+    const int s = r.home_shard(k);
+    EXPECT_GE(s, 0);
+    EXPECT_LT(s, 4);
+    seen.insert(s);
+    EXPECT_EQ(s, r.home_shard(k));  // stable
+  }
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(Router, RejectShedsDegradedHome) {
+  Router r(2, ShedPolicy::kReject);
+  int key = 0;
+  while (r.home_shard(key) != 1) ++key;
+  r.set_health(1, false);
+  const auto route = r.route(key);
+  EXPECT_EQ(route.shard, -1);
+  r.set_health(1, true);
+  EXPECT_EQ(r.route(key).shard, 1);
+}
+
+TEST(Router, RerouteFindsNextHealthyShardOrSheds) {
+  Router r(3, ShedPolicy::kReroute);
+  int key = 0;
+  while (r.home_shard(key) != 0) ++key;
+  r.set_health(0, false);
+  const auto route = r.route(key);
+  EXPECT_EQ(route.shard, 1);
+  EXPECT_TRUE(route.rerouted);
+  r.set_health(1, false);
+  EXPECT_EQ(r.route(key).shard, 2);
+  r.set_health(2, false);
+  EXPECT_EQ(r.route(key).shard, -1);  // whole fleet degraded
+}
+
+// ===========================================================================
+// ShardIndex on a real runtime
+// ===========================================================================
+
+TEST(ShardIndex, SelfRetrievalAtDistanceZero) {
+  apps::cbir::Params p;
+  p.images = 24;
+  p.width = 32;
+  p.height = 32;
+  tshmem::Runtime rt(tilesim::tile_gx36());
+  rt.run(4, [&](tshmem::Context& ctx) {
+    apps::cbir::ShardIndex index(ctx, p, 0, p.images);
+    std::vector<std::uint8_t> img(static_cast<std::size_t>(p.width) *
+                                  p.height);
+    // Query with the exact feature of images 5 and 17: the index must
+    // return them at distance 0 on every PE.
+    std::vector<Feature> queries;
+    for (const int k : {5, 17}) {
+      apps::cbir::generate_image(img, p.width, p.height,
+                                 p.seed + static_cast<std::uint64_t>(k));
+      queries.push_back(FeatureCache::shared()
+                            .seeded(img, p.width, p.height,
+                                    p.seed + static_cast<std::uint64_t>(k))
+                            .feature);
+    }
+    std::vector<Hit> out(2);
+    index.query_batch(ctx, queries, out);
+    EXPECT_EQ(out[0].image, 5);
+    EXPECT_FLOAT_EQ(out[0].distance, 0.0f);
+    EXPECT_EQ(out[1].image, 17);
+    EXPECT_FLOAT_EQ(out[1].distance, 0.0f);
+    const Hit single = index.query(ctx, queries[0]);
+    EXPECT_EQ(single.image, 5);
+    index.destroy(ctx);
+  });
+}
+
+// ===========================================================================
+// End-to-end service over a real 2-device cluster
+// ===========================================================================
+
+ServiceConfig small_service_config() {
+  ServiceConfig cfg;
+  cfg.pes_per_shard = 2;
+  cfg.db.images = 64;
+  cfg.db.width = 32;
+  cfg.db.height = 32;
+  cfg.load.seed = 7;
+  cfg.load.queries = 4000;
+  cfg.load.start_qps = 20'000.0;
+  cfg.load.end_qps = 120'000.0;
+  cfg.load.key_space = 64;
+  cfg.batch.max_batch = 4;
+  cfg.batch.timeout_ps = 2'000'000;
+  cfg.cache_capacity = 32;
+  return cfg;
+}
+
+std::string report_fingerprint(const ServiceReport& rep,
+                               const ServiceConfig& cfg) {
+  std::ostringstream os;
+  svc::write_report_json(os, rep, cfg);
+  return os.str();
+}
+
+TEST(Service, HealthyRunCompletesEverything) {
+  tshmem::ClusterOptions opts;
+  opts.runtime.heap_per_pe = 8 << 20;
+  tshmem::Cluster cluster(tilesim::tile_gx36(), opts, 2);
+  const ServiceConfig cfg = small_service_config();
+  svc::Service service(cluster, cfg);
+  const ServiceReport rep = service.run();
+  EXPECT_EQ(rep.offered, 4000u);
+  EXPECT_EQ(rep.completed + rep.shed, rep.offered);
+  EXPECT_EQ(rep.hung, 0u);
+  EXPECT_GT(rep.qps, 0.0);
+  EXPECT_GT(rep.cache_hits, 0u);
+  EXPECT_LE(rep.latency.p50, rep.latency.p99);
+  EXPECT_LE(rep.latency.p99, rep.latency.p999);
+  EXPECT_EQ(rep.fault_events, 0u);
+  ASSERT_EQ(rep.calibration.size(), 2u);
+  EXPECT_GT(rep.calibration[0].per_query_ps, 0);
+  EXPECT_EQ(rep.calibration[0].count, 32);
+  EXPECT_EQ(rep.calibration[1].first, 32);
+}
+
+TEST(Service, ReplayIsBitIdenticalPerSeedAndPlan) {
+  tshmem::ClusterOptions opts;
+  opts.runtime.heap_per_pe = 8 << 20;
+  tshmem::Cluster cluster(tilesim::tile_gx36(), opts, 2);
+  ServiceConfig cfg = small_service_config();
+  cfg.fault_plan = tilesim::FaultPlan::parse(
+      "seed=3,shard_stall=0.1:30000000000");
+  svc::Service s1(cluster, cfg);
+  const std::string a = report_fingerprint(s1.run(), cfg);
+  svc::Service s2(cluster, cfg);
+  const std::string b = report_fingerprint(s2.run(), cfg);
+  EXPECT_EQ(a, b);
+  // A different load seed must change the outcome.
+  cfg.load.seed = 8;
+  svc::Service s3(cluster, cfg);
+  const std::string c = report_fingerprint(s3.run(), cfg);
+  EXPECT_NE(a, c);
+}
+
+TEST(Service, StalledShardShedsInsteadOfHanging) {
+  tshmem::ClusterOptions opts;
+  opts.runtime.heap_per_pe = 8 << 20;
+  tshmem::Cluster cluster(tilesim::tile_gx36(), opts, 2);
+  ServiceConfig cfg = small_service_config();
+  // Every batch on shard 1 loses 30 ms: far past the 5 ms backlog
+  // watchdog, so the router must shed its traffic and record recoveries
+  // once the backlog drains.
+  cfg.fault_plan = tilesim::FaultPlan::parse(
+      "seed=3,shard_stall=1.0:30000000000,shard_stall_shard=1");
+  svc::Service service(cluster, cfg);
+  const ServiceReport rep = service.run();
+  EXPECT_EQ(rep.hung, 0u);
+  EXPECT_GT(rep.shed, 0u);
+  EXPECT_EQ(rep.completed + rep.shed, rep.offered);
+  const svc::ShardStats& stalled = rep.shard_stats[1];
+  EXPECT_GT(stalled.stall_events, 0u);
+  EXPECT_GT(stalled.degraded_episodes, 0u);
+  EXPECT_GT(stalled.recoveries, 0u);
+  EXPECT_EQ(rep.shard_stats[0].stall_events, 0u);
+  EXPECT_FALSE(rep.shed_error.empty());
+  EXPECT_NE(rep.shed_error.find("shard_degraded"), std::string::npos);
+  // Accepted queries drain with bounded tail latency: a handful of
+  // 30 ms stalled batches at most, never an unbounded hang.
+  EXPECT_LT(rep.max_latency_ps, 200'000'000'000u);  // 200 ms
+}
+
+TEST(Service, RerouteSendsTrafficToHealthyShard) {
+  tshmem::ClusterOptions opts;
+  opts.runtime.heap_per_pe = 8 << 20;
+  tshmem::Cluster cluster(tilesim::tile_gx36(), opts, 2);
+  ServiceConfig cfg = small_service_config();
+  cfg.policy = ShedPolicy::kReroute;
+  cfg.fault_plan = tilesim::FaultPlan::parse(
+      "seed=3,shard_stall=1.0:30000000000,shard_stall_shard=1");
+  svc::Service service(cluster, cfg);
+  const ServiceReport rep = service.run();
+  EXPECT_EQ(rep.hung, 0u);
+  EXPECT_GT(rep.rerouted, 0u);
+  EXPECT_EQ(rep.completed + rep.shed, rep.offered);
+  // The healthy shard absorbs the degraded shard's traffic.
+  EXPECT_GT(rep.shard_stats[0].queries, rep.shard_stats[1].queries);
+}
+
+TEST(Service, ClosedLoopKeepsWindowAndCompletes) {
+  tshmem::ClusterOptions opts;
+  opts.runtime.heap_per_pe = 8 << 20;
+  tshmem::Cluster cluster(tilesim::tile_gx36(), opts, 2);
+  ServiceConfig cfg = small_service_config();
+  cfg.closed_loop = true;
+  cfg.concurrency = 16;
+  cfg.load.queries = 2000;
+  svc::Service service(cluster, cfg);
+  const ServiceReport rep = service.run();
+  EXPECT_EQ(rep.offered, 2000u);
+  EXPECT_EQ(rep.completed + rep.shed, rep.offered);
+  EXPECT_EQ(rep.hung, 0u);
+}
+
+}  // namespace

@@ -23,6 +23,11 @@
 # critical-path profiler observes virtual time but never advances it
 # (docs/PROFILING.md).
 #
+# The serving smoke stage closes the run (docs/SERVING.md): a shortened
+# ramped ext_serve run must sustain non-zero QPS with nothing hung, and a
+# shard-stall fault plan must shed load (structured rejects) rather than
+# hang, replaying bit-identically.
+#
 # Usage: tools/ci.sh [build-dir]
 #   TSHMEM_CI_TSAN=0 skips the ThreadSanitizer stage (e.g. toolchains
 #   without libtsan).
@@ -144,9 +149,15 @@ if [ "${TSHMEM_CI_RACECHECK:-1}" != "0" ]; then
   for b in fig03_memcpy_bandwidth fig04_udn_latency fig05_tmc_barriers \
            fig06_putget_dynamic fig07_putget_static fig08_tshmem_barrier \
            fig09_broadcast_push fig10_broadcast_pull fig11_fcollect \
-           fig12_reduction fig13_fft2d fig14_cbir ext_overlap ext_faults; do
-    "$BUILD_DIR"/bench/"$b" > "$tmp_dir/rc_off_$b.txt"
-    if ! TSHMEM_RACECHECK=fail "$BUILD_DIR"/bench/"$b" \
+           fig12_reduction fig13_fft2d fig14_cbir ext_overlap ext_faults \
+           ext_serve; do
+    # The serving bench gets a shortened load so the triple run (off /
+    # detector-on / profiler-on) stays cheap; stdout must still be
+    # bit-identical in all three.
+    args=""
+    [ "$b" = ext_serve ] && args="--queries 50000 --images 256 --pes 2"
+    "$BUILD_DIR"/bench/"$b" $args > "$tmp_dir/rc_off_$b.txt"
+    if ! TSHMEM_RACECHECK=fail "$BUILD_DIR"/bench/"$b" $args \
         > "$tmp_dir/rc_on_$b.txt"; then
       echo "   $b: RACE REPORTED"
       racecheck_ok=0
@@ -162,7 +173,7 @@ if [ "${TSHMEM_CI_RACECHECK:-1}" != "0" ]; then
     # Profiler identity: the critical-path profiler observes virtual time
     # but must never advance it (docs/PROFILING.md), so profiler-on stdout
     # must be bit-identical too.
-    if ! TSHMEM_PROFILE=1 "$BUILD_DIR"/bench/"$b" \
+    if ! TSHMEM_PROFILE=1 "$BUILD_DIR"/bench/"$b" $args \
         > "$tmp_dir/prof_on_$b.txt"; then
       echo "   $b: FAILED UNDER PROFILER"
       racecheck_ok=0
@@ -226,5 +237,51 @@ for seed in 1 7 42; do
   fi
 done
 [ "$campaign_ok" = 1 ]
+
+echo "== serving smoke (ext_serve: ramp, shed-not-hang, replay)"
+serve_args="--queries 50000 --images 256 --pes 2"
+# Healthy ramped run: the service must sustain a non-zero QPS with every
+# offered query answered (ext_serve itself exits 1 on hung queries).
+"$BUILD_DIR"/bench/ext_serve $serve_args > "$tmp_dir/serve_ok.txt"
+# Degraded run: every batch on shard 1 loses 20 ms, far past the backlog
+# watchdog. The shed-not-hang verdict (docs/SERVING.md): load is refused
+# with a structured error, never stranded. Run twice and diff — one
+# (seed, fault plan) pair must replay bit-identically.
+serve_plan="seed=7,shard_stall=1.0:20000000000,shard_stall_shard=1"
+"$BUILD_DIR"/bench/ext_serve $serve_args --fault-plan "$serve_plan" \
+  > "$tmp_dir/serve_fault_a.txt"
+"$BUILD_DIR"/bench/ext_serve $serve_args --fault-plan "$serve_plan" \
+  > "$tmp_dir/serve_fault_b.txt"
+if ! diff -u "$tmp_dir/serve_fault_a.txt" "$tmp_dir/serve_fault_b.txt"; then
+  echo "   serving replay DIVERGED"
+  exit 1
+fi
+python3 - "$tmp_dir/serve_ok.txt" "$tmp_dir/serve_fault_a.txt" <<'EOF'
+import re
+import sys
+
+line = re.compile(r"^serve: qps=(?P<qps>[0-9.]+) p50_ps=\d+ p99_ps=\d+ "
+                  r"p999_ps=\d+ completed=(?P<completed>\d+) "
+                  r"shed=(?P<shed>\d+) hung=(?P<hung>\d+) "
+                  r"fault_events=(?P<faults>\d+)", re.MULTILINE)
+
+def parse(path):
+    with open(path) as f:
+        m = line.search(f.read())
+    assert m, f"{path}: no serve summary line"
+    return m
+
+ok = parse(sys.argv[1])
+assert float(ok.group("qps")) > 0.0, "healthy run: zero QPS"
+assert ok.group("hung") == "0", "healthy run: hung queries"
+assert ok.group("shed") == "0", "healthy run: shed without a fault plan"
+
+fault = parse(sys.argv[2])
+assert int(fault.group("faults")) > 0, "fault run: no injected stalls"
+assert int(fault.group("shed")) > 0, "fault run: degraded shard did not shed"
+assert fault.group("hung") == "0", "fault run: hung queries (shed-not-hang)"
+print(f"serving OK: healthy qps={ok.group('qps')}, degraded "
+      f"shed={fault.group('shed')} hung=0, replay bit-identical")
+EOF
 
 echo "== ci.sh: all green"

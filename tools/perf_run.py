@@ -54,7 +54,16 @@ BENCHES = [
     ("fig14_cbir", ["--device", "gx36"]),
     ("ext_overlap", ["--device", "gx36"]),
     ("ext_faults", []),
+    # Serving subsystem (docs/SERVING.md): a shortened ramp that still
+    # exercises cold cache -> warm cache; the full run is the 1M default.
+    ("ext_serve", ["--queries", "200000"]),
 ]
+
+# ext_serve prints one machine-readable summary line; its QPS and tail
+# latency land in the bench entry (docs/SERVING.md).
+SERVE_LINE = re.compile(
+    r"^serve: qps=(?P<qps>[0-9.]+) p50_ps=\d+ p99_ps=(?P<p99>\d+)",
+    re.MULTILINE)
 
 
 def profile_reports(doc):
@@ -93,6 +102,8 @@ def run_bench(build_dir, name, args):
         "dominant_phase": None,
         "dominant_share": None,
         "phase_ps": None,
+        "qps": None,
+        "p99_latency_ps": None,
     }
     if not os.path.exists(binary):
         entry["exit_code"] = -1
@@ -103,10 +114,15 @@ def run_bench(build_dir, name, args):
     try:
         cmd = [binary] + args + ["--profile-json", profile_path]
         t0 = time.monotonic()
-        proc = subprocess.run(cmd, stdout=subprocess.DEVNULL,
-                              stderr=subprocess.DEVNULL, check=False)
+        proc = subprocess.run(cmd, stdout=subprocess.PIPE,
+                              stderr=subprocess.DEVNULL, check=False,
+                              text=True, errors="replace")
         entry["wall_s"] = round(time.monotonic() - t0, 4)
         entry["exit_code"] = proc.returncode
+        m = SERVE_LINE.search(proc.stdout or "")
+        if m:
+            entry["qps"] = float(m.group("qps"))
+            entry["p99_latency_ps"] = int(m.group("p99"))
         try:
             with open(profile_path) as f:
                 doc = json.load(f)
@@ -117,9 +133,11 @@ def run_bench(build_dir, name, args):
     finally:
         os.unlink(profile_path)
     vt = entry["total_vt_ps"]
+    serve = (f", qps {entry['qps']:.0f} p99 {entry['p99_latency_ps']} ps"
+             if entry["qps"] is not None else "")
     print(f"  {name}: wall {entry['wall_s']:.2f}s, vt "
           f"{vt if vt is not None else '?'} ps, dominant "
-          f"{entry['dominant_phase']}")
+          f"{entry['dominant_phase']}{serve}")
     return entry
 
 
@@ -159,6 +177,9 @@ def validate(doc):
         assert b["total_vt_ps"] is None or isinstance(b["total_vt_ps"], int)
         if b["dominant_share"] is not None:
             assert 0.0 <= b["dominant_share"] <= 1.0
+        if b.get("qps") is not None:
+            assert b["qps"] > 0.0
+            assert isinstance(b["p99_latency_ps"], int)
     t = doc["totals"]
     assert isinstance(t["wall_s"], (int, float))
     assert isinstance(t["total_vt_ps"], int)
@@ -222,6 +243,15 @@ def selftest():
                         {"name": "pro64", "profile": bare}]}
     assert summarize_profile(wrapped)[0] == 10
     assert summarize_profile(None) == (None, None, None, None)
+    # The ext_serve summary line parses into (qps, p99).
+    m = SERVE_LINE.search("banner\nserve: qps=51627.4 p50_ps=210000 "
+                          "p99_ps=266239913 p999_ps=536870911 "
+                          "completed=1000000 shed=0 hung=0 fault_events=0\n")
+    assert m and float(m.group("qps")) == 51627.4
+    assert int(m.group("p99")) == 266239913
+    doc["benches"][0]["qps"] = 51627.4
+    doc["benches"][0]["p99_latency_ps"] = 266239913
+    validate(doc)
     # Regression math: 1.3x wall on a 1.25x threshold must fail.
     with tempfile.NamedTemporaryFile("w", suffix=".json",
                                      delete=False) as tf:
