@@ -50,11 +50,24 @@ Telemetry::Telemetry(const Cli& cli)
     : metrics_path_(cli.get_string("metrics-json", "")),
       trace_path_(cli.get_string("trace-json", "")),
       profile_json_path_(cli.get_string("profile-json", "")),
-      profile_folded_path_(cli.get_string("profile-folded", "")) {}
+      profile_folded_path_(cli.get_string("profile-folded", "")),
+      timeseries_path_(cli.get_string("timeseries-json", "")),
+      blackbox_path_(cli.get_string("blackbox-json", "")),
+      timeseries_window_ps_(
+          cli.get_int("timeseries-window-ps", 1'000'000'000)) {}
 
 void Telemetry::configure(tshmem::RuntimeOptions& opts) const {
   if (metrics_requested()) opts.metrics = true;
   if (profile_requested()) opts.profile = true;
+  if (timeseries_requested()) {
+    opts.timeseries_window_ps = timeseries_window_ps_;
+  }
+  if (blackbox_requested()) {
+    // Doubles as the Runtime's crash-dump path: a tshmem::Error or watchdog
+    // timeout mid-run leaves its post-mortem at the same file the bench
+    // would have written.
+    opts.blackbox_path = blackbox_path_;
+  }
 }
 
 void Telemetry::attach(tshmem::Runtime& rt) {
@@ -71,6 +84,16 @@ void Telemetry::attach(tshmem::Runtime& rt) {
 
 void Telemetry::collect(tshmem::Runtime& rt) {
   if (metrics_requested()) snapshots_.push_back(rt.metrics());
+  if (timeseries_requested() && rt.timeseries() != nullptr) {
+    timeseries_.emplace_back(std::string(rt.config().short_name),
+                             rt.timeseries()->report());
+  }
+  if (blackbox_requested()) {
+    std::ostringstream os;
+    if (rt.write_blackbox(os, "bench snapshot (end of run)", 0)) {
+      blackbox_doc_ = os.str();
+    }
+  }
   const obs::Profiler* profiler =
       profile_requested() ? rt.profiler() : nullptr;
   std::vector<std::pair<std::string, obs::ProfileReport>> harvested;
@@ -179,6 +202,39 @@ void Telemetry::write() {
       os << "\n  ]\n}\n";
     }
     std::cout << "wrote profile JSON: " << profile_json_path_ << "\n";
+  }
+  if (timeseries_requested()) {
+    std::ofstream os(timeseries_path_);
+    if (!os) {
+      throw std::runtime_error("cannot write timeseries JSON to " +
+                               timeseries_path_);
+    }
+    if (timeseries_.size() == 1) {
+      obs::write_timeseries_json(os, timeseries_.front().second);
+    } else {
+      // Several runtimes in one process (device sweeps): wrap each run.
+      os << "{\n  \"schema\": \"" << obs::kTimeseriesSchema
+         << "\",\n  \"runs\": [";
+      bool first = true;
+      for (const auto& [name, report] : timeseries_) {
+        os << (first ? "\n" : ",\n") << "    {\"name\": \"" << name
+           << "\", \"timeseries\": ";
+        obs::write_timeseries_json(os, report);
+        os << "}";
+        first = false;
+      }
+      os << "\n  ]\n}\n";
+    }
+    std::cout << "wrote timeseries JSON: " << timeseries_path_ << "\n";
+  }
+  if (blackbox_requested() && !blackbox_doc_.empty()) {
+    std::ofstream os(blackbox_path_);
+    if (!os) {
+      throw std::runtime_error("cannot write blackbox JSON to " +
+                               blackbox_path_);
+    }
+    os << blackbox_doc_;
+    std::cout << "wrote blackbox JSON: " << blackbox_path_ << "\n";
   }
   if (!profile_folded_path_.empty()) {
     std::ofstream os(profile_folded_path_);

@@ -56,6 +56,12 @@ void emit(const Cli& cli, const Table& table);
 ///   --trace-json <path>      Chrome trace-event / Perfetto JSON timeline
 ///   --profile-json <path>    critical-path profile (schema tshmem.profile.v1)
 ///   --profile-folded <path>  collapsed stacks for flamegraph.pl / speedscope
+///   --timeseries-json <path> windowed virtual-time telemetry
+///                            (schema tshmem.timeseries.v1)
+///   --timeseries-window-ps <n>  window width (default 1e9 ps = 1 ms)
+///   --blackbox-json <path>   flight-recorder dump (schema tshmem.blackbox.v1;
+///                            also the Runtime's crash-dump path, so an Error
+///                            mid-run leaves a post-mortem there)
 ///
 /// Usage per Runtime (benches sweeping devices create several):
 ///   bench::Telemetry telemetry(cli);
@@ -91,6 +97,12 @@ class Telemetry {
   [[nodiscard]] bool profile_requested() const noexcept {
     return !profile_json_path_.empty() || !profile_folded_path_.empty();
   }
+  [[nodiscard]] bool timeseries_requested() const noexcept {
+    return !timeseries_path_.empty();
+  }
+  [[nodiscard]] bool blackbox_requested() const noexcept {
+    return !blackbox_path_.empty();
+  }
 
   /// Turns on RuntimeOptions::metrics / ::profile per the flags passed.
   void configure(tshmem::RuntimeOptions& opts) const;
@@ -120,6 +132,11 @@ class Telemetry {
   std::string trace_path_;
   std::string profile_json_path_;
   std::string profile_folded_path_;
+  std::string timeseries_path_;
+  std::string blackbox_path_;
+  tilesim::ps_t timeseries_window_ps_ = 0;
+  std::vector<std::pair<std::string, obs::TimeSeriesReport>> timeseries_;
+  std::string blackbox_doc_;  ///< last collected runtime's dump
   std::vector<obs::MetricsSnapshot> snapshots_;
   std::vector<obs::TraceTrack> tracks_;
   std::vector<obs::TraceFlow> flows_;

@@ -11,6 +11,14 @@
 // Flags: --seed N   campaign seed (default 1; ci.sh sweeps several)
 //        --pes N    PEs to run (default 4)
 //        --csv      CSV table output
+//        --hang-demo       instead of the campaign, deliberately hang PE 0
+//                          under a tile_stall plan until the host-time
+//                          watchdog trips; with --blackbox-json the runtime
+//                          leaves a tshmem.blackbox.v1 post-mortem there
+//                          (the tools/ci.sh triage smoke feeds it to
+//                          tools/triage.py)
+//        --watchdog-ms N   hang-demo watchdog (default 2000; the
+//                          TSHMEM_WATCHDOG_MS env var still overrides)
 #include <iostream>
 #include <string>
 #include <vector>
@@ -19,6 +27,7 @@
 #include "sim/fault.hpp"
 #include "tshmem/context.hpp"
 #include "tshmem/runtime.hpp"
+#include "util/error.hpp"
 
 namespace {
 
@@ -107,12 +116,51 @@ std::uint64_t counter_total(const obs::MetricsSnapshot& m,
   return total;
 }
 
+// --hang-demo: a genuine host-time hang (the campaign's tile_stall site is
+// virtual-time only and can never trip the wall-clock watchdog). PE 0
+// blocks in shmem_wait_until on a flag no peer ever sets; the watchdog
+// throws Error(kWatchdogTimeout), and with --blackbox-json the aborting
+// runtime dumps its flight-recorder post-mortem there on the way out.
+int run_hang_demo(const tshmem_util::Cli& cli, std::uint64_t seed,
+                  int npes) {
+  bench::Telemetry telemetry(cli);
+  tshmem::RuntimeOptions opts;
+  FaultPlan plan = FaultPlan::parse("tile_stall=0.5:200000");
+  plan.seed = seed;
+  opts.fault_plan = plan;
+  opts.watchdog_ms = static_cast<int>(cli.get_int("watchdog-ms", 2000));
+  telemetry.configure(opts);
+  std::cout << "hang demo: PE 0 waits on a flag no peer ever sets under "
+               "plan " << plan.describe() << "\n";
+  tshmem::Runtime rt(tilesim::tile_gx36(), opts);
+  telemetry.attach(rt);
+  try {
+    rt.run(npes, [&](Context& ctx) {
+      long* flag = ctx.shmalloc_n<long>(1);
+      *flag = 0;
+      ctx.barrier_all();
+      if (ctx.my_pe() == 0) {
+        ctx.wait_until(flag, tshmem::Cmp::kNe, 0L);  // never satisfied
+      }
+    });
+  } catch (const tshmem::Error& e) {
+    std::cout << "hang demo: runtime aborted as expected: " << e.what()
+              << "\n";
+    return 0;
+  }
+  std::cerr << "hang demo: watchdog did not trip\n";
+  return 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  const tshmem_util::Cli cli(argc, argv, {"csv"});
+  const tshmem_util::Cli cli(argc, argv, {"csv", "hang-demo"});
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
   const int npes = static_cast<int>(cli.get_int("pes", 4));
+  if (cli.get_flag("hang-demo")) {
+    return run_hang_demo(cli, seed, npes);
+  }
   tshmem_util::print_banner(
       std::cout, "Fault campaign",
       "deterministic fault injection + recovery on TILE-Gx36 (seed " +

@@ -35,6 +35,18 @@
 //                          "seed=3,shard_stall=0.3:40000000,shard_stall_shard=1")
 //        --json PATH       write the tshmem.serve.v1 report
 //        --metrics-json PATH  write the svc.* metrics snapshot
+//        --timeseries-json PATH  write the windowed svc.* timeline
+//                          (tshmem.timeseries.v1: per-window QPS, latency
+//                          quantiles, shed/degrade/recover rates). The
+//                          window sums are reconciled exactly against the
+//                          end-of-run svc.* totals; any mismatch fails the
+//                          bench.
+//        --timeseries-window-ps N  window width (default 1e9 = 1 ms)
+//        --blackbox-json PATH  flight-recorder post-mortem
+//                          (tshmem.blackbox.v1). Written by the service on
+//                          the first shard degradation; if nothing
+//                          degraded, an end-of-run snapshot is written
+//                          instead.
 //        --profile-json PATH  per-shard critical-path profiles of the real
 //                          calibration jobs (tshmem.profile.v1 wrapper form,
 //                          as tools/perf_run.py harvests)
@@ -87,6 +99,13 @@ int main(int argc, char** argv) {
     std::cerr << "unknown --policy " << policy << " (reject|reroute)\n";
     return 2;
   }
+  const std::string ts_path = cli.get_string("timeseries-json", "");
+  const std::string bb_path = cli.get_string("blackbox-json", "");
+  if (!ts_path.empty()) {
+    cfg.timeseries_window_ps = static_cast<svc::ps_t>(
+        cli.get_int("timeseries-window-ps", 1'000'000'000));
+  }
+  cfg.blackbox_path = bb_path;
   std::string plan_spec = cli.get_string("fault-plan", "");
   if (plan_spec.empty()) {
     if (const char* env = std::getenv("TSHMEM_FAULT_PLAN")) plan_spec = env;
@@ -133,6 +152,55 @@ int main(int argc, char** argv) {
     }
     out << "\n  ]\n}\n";
     std::cout << "wrote " << profile_path << "\n";
+  }
+
+  if (!ts_path.empty() && service.timeseries() != nullptr) {
+    const obs::TimeSeriesReport tsrep = service.timeseries()->report();
+    {
+      std::ofstream out(ts_path);
+      obs::write_timeseries_json(out, tsrep);
+      std::cout << "wrote " << ts_path << "\n";
+    }
+    // Exact reconciliation: every per-window count must sum back to the
+    // end-of-run svc.* totals — a dropped or double-counted window is a
+    // telemetry bug, not noise.
+    auto series_total = [&](const std::string& name) -> std::uint64_t {
+      for (const auto& s : tsrep.series) {
+        if (s.name != name) continue;
+        std::uint64_t windows = 0;
+        for (const auto& w : s.windows) windows += w.count;
+        if (windows != s.total_count) return ~0ull;  // internal mismatch
+        return s.total_count;
+      }
+      return 0;
+    };
+    bool ok = true;
+    auto check = [&](const char* name, std::uint64_t expect) {
+      const std::uint64_t got = series_total(name);
+      if (got != expect) {
+        std::cerr << "FAIL: timeseries " << name << " windows sum to "
+                  << got << ", end-of-run total is " << expect << "\n";
+        ok = false;
+      }
+    };
+    check("svc.offered", rep.offered);
+    check("svc.completed", rep.completed);
+    check("svc.shed", rep.shed);
+    check("svc.latency.ps", rep.completed);
+    if (!ok) return 1;
+    std::cout << "timeseries reconciliation: OK (offered " << rep.offered
+              << ", completed " << rep.completed << ", shed " << rep.shed
+              << " across " << tsrep.series.size() << " series)\n";
+  }
+  if (!bb_path.empty()) {
+    // The service dumps on the first degradation; quiet runs still get an
+    // end-of-run snapshot so the triage tooling always has input.
+    std::ifstream probe(bb_path);
+    if (!probe.good()) {
+      std::ofstream out(bb_path);
+      service.write_blackbox(out, "serve snapshot (end of run)", 0);
+    }
+    std::cout << "wrote " << bb_path << "\n";
   }
 
   // Shed-not-hang invariant: every offered query was answered or refused.

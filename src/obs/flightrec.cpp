@@ -1,0 +1,238 @@
+#include "obs/flightrec.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <stdexcept>
+
+#include "obs/exporters.hpp"
+#include "obs/timeseries.hpp"
+
+namespace obs {
+
+namespace {
+
+// Static "event.<kind>" series labels so the per-event tap does not
+// allocate. Index = FlightKind value.
+const std::string& event_series_name(tilesim::FlightKind kind) {
+  static const std::vector<std::string> names = [] {
+    std::vector<std::string> v;
+    v.reserve(tilesim::kFlightKindCount);
+    for (int i = 0; i < tilesim::kFlightKindCount; ++i) {
+      v.emplace_back(std::string("event.") +
+                     fr_kind_name(static_cast<tilesim::FlightKind>(i)));
+    }
+    return v;
+  }();
+  return names[static_cast<std::size_t>(kind)];
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(int npes, std::size_t capacity)
+    : npes_(npes), capacity_(capacity) {
+  if (npes < 1) throw std::invalid_argument("FlightRecorder: npes < 1");
+  if (capacity < 1) {
+    throw std::invalid_argument("FlightRecorder: capacity < 1");
+  }
+  rings_.reserve(static_cast<std::size_t>(npes));
+  for (int i = 0; i < npes; ++i) {
+    rings_.push_back(std::make_unique<PeRing>());
+    rings_.back()->ring.resize(capacity);
+  }
+}
+
+FlightRecorder::FlightRecorder(const tilesim::Device& device,
+                               std::size_t capacity)
+    : FlightRecorder(device.tile_count(), capacity) {
+  device_ = &device;
+}
+
+FlightRecorder::~FlightRecorder() { set_tap(nullptr); }
+
+void FlightRecorder::set_tap(TimeSeries* ts) {
+  if (tap_ == ts) return;
+  if (tap_ != nullptr) {
+    flush_tap();
+    tap_->set_flush_hook(nullptr);
+  }
+  tap_ = ts;
+  tap_window_ps_ = 0;
+  if (tap_ != nullptr) {
+    tap_window_ps_ = tap_->window_ps();
+    tap_->set_flush_hook([this] { flush_tap(); });
+  }
+}
+
+void FlightRecorder::flush_cell(PeRing& r) {
+  TapCell& c = r.tap;
+  if (!c.dirty) return;
+  for (int k = 0; k < tilesim::kFlightKindCount; ++k) {
+    std::uint64_t& n = c.counts[static_cast<std::size_t>(k)];
+    if (n == 0) continue;
+    tap_->series_add_window(
+        event_series_name(static_cast<tilesim::FlightKind>(k)), c.window, n);
+    n = 0;
+  }
+  c.dirty = false;
+}
+
+void FlightRecorder::flush_tap() {
+  if (tap_ == nullptr) return;
+  for (const std::unique_ptr<PeRing>& r : rings_) flush_cell(*r);
+}
+
+void FlightRecorder::on_event(int tile, tilesim::FlightKind kind,
+                              const char* site, tilesim::ps_t vt, int peer,
+                              std::uint64_t bytes, int errc) {
+  record_event(tile, kind, site, vt, peer, bytes, errc);
+}
+
+void FlightRecorder::on_clock_reset() {
+  if (device_ == nullptr) return;
+  // Single-threaded safe point (the FlightSink contract): every tile's
+  // clock is final, so the finished epoch's extent is their max.
+  tilesim::ps_t extent = 0;
+  for (int i = 0; i < device_->tile_count(); ++i) {
+    extent = std::max(extent, device_->tile(i).clock().now());
+  }
+  if (extent == 0) return;
+  epoch_base_ps_.fetch_add(extent, std::memory_order_relaxed);
+  if (tap_ != nullptr) tap_->fold_epoch(extent);
+}
+
+void FlightRecorder::record_event(int pe, tilesim::FlightKind kind,
+                                  const char* site, tilesim::ps_t vt,
+                                  int peer, std::uint64_t bytes, int errc) {
+  if (pe < 0 || pe >= npes_) return;  // unattributed (standalone engines)
+  const tilesim::ps_t folded =
+      epoch_base_ps_.load(std::memory_order_relaxed) + vt;
+  PeRing& r = *rings_[static_cast<std::size_t>(pe)];
+  // Single writer (this PE's thread): plain slot stores, published by the
+  // release store of next_seq below.
+  const std::uint64_t seq = r.next_seq.load(std::memory_order_relaxed);
+  FrEvent& slot = r.ring[static_cast<std::size_t>(seq % capacity_)];
+  slot.vt = folded;
+  slot.seq = seq;
+  slot.pe = pe;
+  slot.kind = kind;
+  slot.site = site;
+  slot.peer = peer;
+  slot.bytes = bytes;
+  slot.errc = static_cast<std::int32_t>(errc);
+  r.next_seq.store(seq + 1, std::memory_order_release);
+  if (tap_ != nullptr) {
+    // Batched tap: bump the local (kind, window) count; flush the cell's
+    // aggregates only when this PE's window advances. The window is
+    // resolved here from the recorder's own fold (identical to the tap's —
+    // folds are forwarded), so the flush path skips the epoch-base add.
+    TapCell& c = r.tap;
+    const std::uint64_t w = static_cast<std::uint64_t>(folded) /
+                            static_cast<std::uint64_t>(tap_window_ps_);
+    if (c.dirty && c.window != w) flush_cell(r);
+    c.window = w;
+    c.counts[static_cast<std::size_t>(kind)] += 1;
+    c.dirty = true;
+  }
+}
+
+tilesim::ps_t FlightRecorder::epoch_base_ps() const {
+  return epoch_base_ps_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t FlightRecorder::total_recorded(int pe) const {
+  if (pe < 0 || pe >= npes_) return 0;
+  const PeRing& r = *rings_[static_cast<std::size_t>(pe)];
+  return r.next_seq.load(std::memory_order_acquire);
+}
+
+std::vector<FrEvent> FlightRecorder::snapshot(int pe) const {
+  if (pe < 0 || pe >= npes_) {
+    throw std::out_of_range("FlightRecorder::snapshot: pe out of range");
+  }
+  const PeRing& r = *rings_[static_cast<std::size_t>(pe)];
+  // Lock-free read racing a lock-free writer: the acquire load makes
+  // every slot below `n` fully visible; slots the writer overwrote while
+  // we copied are exactly those whose seq fell below the post-copy window
+  // start, so they are dropped. In practice dumps race a writer only when
+  // a blackbox is taken while peer PEs still run; post-run snapshots see
+  // a quiescent ring and lose nothing.
+  std::vector<FrEvent> out;
+  const std::uint64_t n = r.next_seq.load(std::memory_order_acquire);
+  const std::uint64_t first = n > capacity_ ? n - capacity_ : 0;
+  out.reserve(static_cast<std::size_t>(n - first));
+  for (std::uint64_t s = first; s < n; ++s) {
+    out.push_back(r.ring[static_cast<std::size_t>(s % capacity_)]);
+  }
+  const std::uint64_t n2 = r.next_seq.load(std::memory_order_acquire);
+  const std::uint64_t safe_first = n2 > capacity_ ? n2 - capacity_ : 0;
+  if (safe_first > first) {
+    const std::uint64_t drop = std::min(safe_first - first,
+                                        static_cast<std::uint64_t>(out.size()));
+    out.erase(out.begin(),
+              out.begin() + static_cast<std::ptrdiff_t>(drop));
+  }
+  return out;
+}
+
+std::vector<FrEvent> FlightRecorder::merged() const {
+  std::vector<FrEvent> all;
+  for (int pe = 0; pe < npes_; ++pe) {
+    const std::vector<FrEvent> s = snapshot(pe);
+    all.insert(all.end(), s.begin(), s.end());
+  }
+  std::stable_sort(all.begin(), all.end(),
+                   [](const FrEvent& a, const FrEvent& b) {
+                     if (a.vt != b.vt) return a.vt < b.vt;
+                     if (a.pe != b.pe) return a.pe < b.pe;
+                     return a.seq < b.seq;
+                   });
+  return all;
+}
+
+namespace {
+
+void write_event_json(std::ostream& os, const FrEvent& e) {
+  os << "{\"vt\": " << e.vt << ", \"seq\": " << e.seq << ", \"pe\": "
+     << e.pe << ", \"kind\": \"" << fr_kind_name(e.kind) << "\", \"site\": \""
+     << json_escape(e.site) << "\", \"peer\": " << e.peer << ", \"bytes\": "
+     << e.bytes << ", \"errc\": " << e.errc << "}";
+}
+
+}  // namespace
+
+void write_blackbox_json(std::ostream& os, const FlightRecorder& fr,
+                         const BlackboxInfo& info) {
+  os << "{\"schema\": \"" << kBlackboxSchema << "\",\n";
+  os << " \"source\": \"" << json_escape(info.source) << "\",\n";
+  os << " \"reason\": \"" << json_escape(info.reason) << "\",\n";
+  os << " \"errc\": " << info.errc << ",\n";
+  os << " \"errc_name\": \"" << json_escape(info.errc_name) << "\",\n";
+  os << " \"board\": \"" << json_escape(info.board) << "\",\n";
+  os << " \"fault_plan\": \"" << json_escape(info.fault_plan) << "\",\n";
+  os << " \"npes\": " << fr.npes() << ",\n";
+  os << " \"capacity\": " << fr.capacity() << ",\n";
+  os << " \"pes\": [";
+  for (int pe = 0; pe < fr.npes(); ++pe) {
+    if (pe != 0) os << ",";
+    os << "\n  {\"pe\": " << pe << ", \"total_recorded\": "
+       << fr.total_recorded(pe) << ", \"events\": [";
+    const std::vector<FrEvent> events = fr.snapshot(pe);
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      if (i != 0) os << ",";
+      os << "\n    ";
+      write_event_json(os, events[i]);
+    }
+    os << "]}";
+  }
+  os << "\n ],\n";
+  os << " \"merged\": [";
+  const std::vector<FrEvent> merged = fr.merged();
+  for (std::size_t i = 0; i < merged.size(); ++i) {
+    if (i != 0) os << ",";
+    os << "\n  ";
+    write_event_json(os, merged[i]);
+  }
+  os << "\n ]}\n";
+}
+
+}  // namespace obs

@@ -1,0 +1,131 @@
+#include "obs/timeseries.hpp"
+
+#include <ostream>
+#include <stdexcept>
+
+#include "obs/exporters.hpp"
+#include "obs/quantiles.hpp"
+
+namespace obs {
+
+TimeSeries::TimeSeries(tilesim::ps_t window_ps) : window_ps_(window_ps) {
+  if (window_ps <= 0) {
+    throw std::invalid_argument("TimeSeries window_ps must be positive");
+  }
+}
+
+TimeSeries::Cell& TimeSeries::cell_at(const std::string& name,
+                                      tilesim::ps_t vt) {
+  const auto folded = static_cast<std::uint64_t>(epoch_base_ps_ + vt);
+  const std::uint64_t window =
+      folded / static_cast<std::uint64_t>(window_ps_);
+  return series_[name][window];
+}
+
+void TimeSeries::series_add(const std::string& name, tilesim::ps_t vt,
+                            std::uint64_t delta) {
+  std::scoped_lock lk(mu_);
+  cell_at(name, vt).count += delta;
+}
+
+void TimeSeries::series_sample(const std::string& name, tilesim::ps_t vt,
+                               std::uint64_t value) {
+  std::scoped_lock lk(mu_);
+  Cell& c = cell_at(name, vt);
+  c.count += 1;
+  if (!c.hist) c.hist = std::make_unique<Log2Histogram>();
+  c.hist->record(value);
+}
+
+void TimeSeries::series_add_window(const std::string& name,
+                                   std::uint64_t window_index,
+                                   std::uint64_t delta) {
+  std::scoped_lock lk(mu_);
+  series_[name][window_index].count += delta;
+}
+
+void TimeSeries::set_flush_hook(std::function<void()> hook) {
+  std::scoped_lock lk(mu_);
+  flush_hook_ = std::move(hook);
+}
+
+void TimeSeries::fold_epoch(tilesim::ps_t extent) {
+  std::scoped_lock lk(mu_);
+  epoch_base_ps_ += extent;
+}
+
+tilesim::ps_t TimeSeries::epoch_base_ps() const {
+  std::scoped_lock lk(mu_);
+  return epoch_base_ps_;
+}
+
+TimeSeriesReport TimeSeries::report() const {
+  // Run the flush hook (the FlightRecorder's batched tap) outside mu_ —
+  // flushing re-enters through series_add_window, which locks it.
+  std::function<void()> hook;
+  {
+    std::scoped_lock lk(mu_);
+    hook = flush_hook_;
+  }
+  if (hook) hook();
+  std::scoped_lock lk(mu_);
+  TimeSeriesReport rep;
+  rep.window_ps = window_ps_;
+  rep.series.reserve(series_.size());
+  for (const auto& [name, windows] : series_) {
+    SeriesTimeline tl;
+    tl.name = name;
+    tl.windows.reserve(windows.size());
+    for (const auto& [index, cell] : windows) {
+      SeriesWindow w;
+      w.index = index;
+      w.start_ps = static_cast<tilesim::ps_t>(
+          index * static_cast<std::uint64_t>(window_ps_));
+      w.count = cell.count;
+      if (cell.hist && cell.hist->count() > 0) {
+        w.has_samples = true;
+        w.sum = cell.hist->sum();
+        w.min = cell.hist->min();
+        w.max = cell.hist->max();
+        const LatencyQuantiles q = latency_quantiles(*cell.hist);
+        w.p50 = q.p50;
+        w.p99 = q.p99;
+        w.p999 = q.p999;
+      }
+      tl.total_count += cell.count;
+      tl.windows.push_back(w);
+    }
+    rep.series.push_back(std::move(tl));
+  }
+  return rep;
+}
+
+void write_timeseries_json(std::ostream& os, const TimeSeriesReport& report) {
+  os << "{\"schema\": \"" << kTimeseriesSchema << "\",\n";
+  os << " \"window_ps\": " << report.window_ps << ",\n";
+  os << " \"series\": [";
+  bool first_series = true;
+  for (const SeriesTimeline& tl : report.series) {
+    if (!first_series) os << ",";
+    first_series = false;
+    os << "\n  {\"name\": \"" << json_escape(tl.name) << "\", "
+       << "\"total_count\": " << tl.total_count << ", \"windows\": [";
+    bool first_window = true;
+    for (const SeriesWindow& w : tl.windows) {
+      if (!first_window) os << ",";
+      first_window = false;
+      os << "\n    {\"index\": " << w.index << ", \"start_ps\": "
+         << w.start_ps << ", \"count\": " << w.count;
+      if (w.has_samples) {
+        os << ", \"sum\": " << w.sum << ", \"min\": " << w.min
+           << ", \"max\": " << w.max << ", \"p50\": " << w.p50
+           << ", \"p99\": " << w.p99 << ", \"p999\": " << w.p999;
+      }
+      os << "}";
+    }
+    os << "]}";
+  }
+  os << "\n ]}\n";
+}
+
+}  // namespace obs

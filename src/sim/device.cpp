@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "sim/flight_hook.hpp"
 #include "sim/profile_hook.hpp"
 #include "sim/sync_observer.hpp"
 
@@ -96,6 +97,13 @@ const Tile& Device::tile(int id) const {
 
 Tile* Device::current() noexcept { return g_current_tile; }
 
+void Device::attach_flight(FlightSink* flight) noexcept {
+  flight_ = flight;
+  // DMA engines carry no Device back-pointer (they predate the sink and are
+  // constructible standalone), so the attachment is fanned out to them.
+  for (auto& t : tiles_) t->dma().set_flight(flight);
+}
+
 void Device::enable_cache_probes() {
   if (cache_probes_) return;
   for (auto& t : tiles_) {
@@ -105,11 +113,14 @@ void Device::enable_cache_probes() {
 }
 
 void Device::reset_clocks() {
-  // Epoch boundary for the profiler: reset_clocks() is only legal from
-  // single-threaded safe points, so the sink may read every tile's final
-  // clock value here, before anything is zeroed.
+  // Epoch boundary for the profiler and flight recorder: reset_clocks() is
+  // only legal from single-threaded safe points, so the sinks may read every
+  // tile's final clock value here, before anything is zeroed.
   if (profiler_ != nullptr) {
     profiler_->on_clock_reset();  // tshmem-lint: allow(R005)
+  }
+  if (flight_ != nullptr) {
+    flight_->on_clock_reset();  // tshmem-lint: allow(R005, R006)
   }
   // DMA engines first: an engine with in-flight transfers must fail the
   // reset *before* any clock is zeroed (stale future completion timestamps

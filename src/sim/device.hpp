@@ -24,6 +24,7 @@ namespace tilesim {
 class Device;
 class SyncObserver;  // sim/sync_observer.hpp
 class ProfileSink;   // sim/profile_hook.hpp
+class FlightSink;    // sim/flight_hook.hpp
 
 /// One tile of the mesh. Owned by Device; bound 1:1 to a host thread for
 /// the duration of a Device::run() call.
@@ -173,6 +174,16 @@ class Device {
   }
   [[nodiscard]] ProfileSink* profiler() const noexcept { return profiler_; }
 
+  /// Attach (or detach with nullptr) the flight-recorder sink
+  /// (sim/flight_hook.hpp): instrumented operations report compact event
+  /// records while attached, and reset_clocks() notifies it at every epoch
+  /// boundary. Also plumbs the sink into each tile's DMA engine (which has
+  /// no Device back-pointer). Same contract as the tracer/fault engine:
+  /// must outlive the attachment, never advances virtual time, and the
+  /// nullptr default keeps the fast path zero-cost.
+  void attach_flight(FlightSink* flight) noexcept;
+  [[nodiscard]] FlightSink* flight() const noexcept { return flight_; }
+
  private:
   const DeviceConfig* cfg_;
   Topology topo_;
@@ -186,6 +197,7 @@ class Device {
   const Watchdog* watchdog_ = nullptr;
   SyncObserver* sync_observer_ = nullptr;
   ProfileSink* profiler_ = nullptr;
+  FlightSink* flight_ = nullptr;
   bool cache_probes_ = false;
   std::atomic<std::uint64_t> clock_generation_{0};
 };

@@ -1,0 +1,127 @@
+// Observer interface for the virtual-time flight recorder (ISSUE 9
+// tentpole).
+//
+// Mirrors the ProfileSink attachment pattern (sim/profile_hook.hpp): the
+// interface lives in sim — the bottom layer — so tmc, tshmem and svc can
+// report events without an upward dependency, while the only implementation
+// (obs::FlightRecorder, src/obs/flightrec.hpp) lives above.
+//
+// Contract: callbacks must never advance a SimClock (the bit-identical
+// recorder-on/off contract, CI-enforced like metrics/profiler/tshmem-check),
+// and every event for one tile is reported from that tile's own thread in
+// program order, stamped with that tile's own clock — which is what makes
+// ring contents deterministic across host schedules. on_clock_reset is only
+// invoked from the single-threaded safe points reset_clocks() already
+// requires, so the sink may read every tile's clock there to fold the
+// finished epoch into its timeline.
+//
+// Call sites outside src/obs/ must go through flight_event() below (or the
+// obs::fr_record/ts_add/ts_sample helpers) — the sanctioned entry points
+// lint rule R006 audits (tools/tshmem_lint.py).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/device.hpp"
+
+namespace tilesim {
+
+/// Compact taxonomy of a flight-recorder event: what a PE was doing.
+enum class FlightKind : std::uint8_t {
+  kPut = 0,       ///< blocking shmem_put family
+  kGet,           ///< blocking shmem_get family
+  kPutNbi,        ///< non-blocking put issue
+  kGetNbi,        ///< non-blocking get issue
+  kQuiet,         ///< shmem_quiet completion
+  kFence,         ///< shmem_fence
+  kBarrier,       ///< shmem_barrier / barrier_all exit
+  kBroadcast,     ///< broadcast collective exit
+  kCollect,       ///< collect / fcollect exit
+  kReduce,        ///< reduction exit
+  kAtomic,        ///< atomic memory operation
+  kLock,          ///< set/clear/test lock completion
+  kAlloc,         ///< shmalloc / shrealloc / shmemalign
+  kFree,          ///< shfree
+  kCtrlSend,      ///< TSHMEM control-message send
+  kCtrlRecv,      ///< TSHMEM control-message consume (tag-matched)
+  kWaitBegin,     ///< entered a bounded blocking wait (guarded_wait/spin)
+  kWaitEnd,       ///< left a bounded blocking wait
+  kUdnSend,       ///< UDN packet injected
+  kUdnRecv,       ///< UDN packet consumed (clock-advancing receive)
+  kDmaIssue,      ///< DMA descriptor posted
+  kDmaDrain,      ///< DMA queue drained (quiet)
+  kFaultRetry,    ///< recovery retry (UDN backoff, cmem remap, ...)
+  kError,         ///< structured tshmem::Error raised at this PE
+  kSvcArrival,    ///< serving: query arrived
+  kSvcComplete,   ///< serving: query completed
+  kSvcShed,       ///< serving: query shed
+  kSvcDegraded,   ///< serving: shard marked degraded
+  kSvcRecovered,  ///< serving: shard recovered
+  kSvcBatch,      ///< serving: batch dispatched to a shard
+};
+
+inline constexpr int kFlightKindCount = 30;
+
+[[nodiscard]] constexpr const char* fr_kind_name(FlightKind k) noexcept {
+  switch (k) {
+    case FlightKind::kPut: return "put";
+    case FlightKind::kGet: return "get";
+    case FlightKind::kPutNbi: return "put_nbi";
+    case FlightKind::kGetNbi: return "get_nbi";
+    case FlightKind::kQuiet: return "quiet";
+    case FlightKind::kFence: return "fence";
+    case FlightKind::kBarrier: return "barrier";
+    case FlightKind::kBroadcast: return "broadcast";
+    case FlightKind::kCollect: return "collect";
+    case FlightKind::kReduce: return "reduce";
+    case FlightKind::kAtomic: return "atomic";
+    case FlightKind::kLock: return "lock";
+    case FlightKind::kAlloc: return "alloc";
+    case FlightKind::kFree: return "free";
+    case FlightKind::kCtrlSend: return "ctrl_send";
+    case FlightKind::kCtrlRecv: return "ctrl_recv";
+    case FlightKind::kWaitBegin: return "wait_begin";
+    case FlightKind::kWaitEnd: return "wait_end";
+    case FlightKind::kUdnSend: return "udn_send";
+    case FlightKind::kUdnRecv: return "udn_recv";
+    case FlightKind::kDmaIssue: return "dma_issue";
+    case FlightKind::kDmaDrain: return "dma_drain";
+    case FlightKind::kFaultRetry: return "fault_retry";
+    case FlightKind::kError: return "error";
+    case FlightKind::kSvcArrival: return "svc_arrival";
+    case FlightKind::kSvcComplete: return "svc_complete";
+    case FlightKind::kSvcShed: return "svc_shed";
+    case FlightKind::kSvcDegraded: return "svc_degraded";
+    case FlightKind::kSvcRecovered: return "svc_recovered";
+    case FlightKind::kSvcBatch: return "svc_batch";
+  }
+  return "?";
+}
+
+class FlightSink {
+ public:
+  virtual ~FlightSink() = default;
+
+  /// Tile `tile` performed `kind` at site `site` (static string, stored by
+  /// pointer) at virtual time `vt` (epoch-local; the sink folds epochs).
+  /// `peer` is the remote PE involved (-1 when none), `bytes` the payload
+  /// size (or a kind-specific count), `errc` a tshmem::Errc value (0 = ok).
+  virtual void on_event(int tile, FlightKind kind, const char* site, ps_t vt,
+                        int peer, std::uint64_t bytes, int errc) = 0;
+
+  /// All tile clocks are about to reset to zero (epoch boundary). Invoked
+  /// single-threaded before the reset, so current clock values are final.
+  virtual void on_clock_reset() = 0;
+};
+
+/// Null-safe sanctioned entry point: zero-cost (one pointer load) when no
+/// recorder is attached. The site string must be static.
+inline void flight_event(const Device& device, int tile, FlightKind kind,
+                         const char* site, ps_t vt, int peer = -1,
+                         std::uint64_t bytes = 0, int errc = 0) {
+  if (FlightSink* sink = device.flight(); sink != nullptr) {
+    sink->on_event(tile, kind, site, vt, peer, bytes, errc);
+  }
+}
+
+}  // namespace tilesim

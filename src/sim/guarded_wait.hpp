@@ -19,6 +19,7 @@
 
 #include "sim/device.hpp"
 #include "sim/fault.hpp"
+#include "sim/flight_hook.hpp"
 
 namespace tilesim {
 
@@ -26,9 +27,14 @@ template <typename Pred>
 void guarded_wait(const Device& device, std::unique_lock<std::mutex>& lk,
                   std::condition_variable& cv, int tile, const char* what,
                   Pred pred) {
+  // Flight-recorder bracket: the clock cannot advance inside a cv wait, so
+  // begin and end carry the same virtual time — host-schedule independent.
+  const ps_t wait_vt = device.tile(tile).clock().now();
+  flight_event(device, tile, FlightKind::kWaitBegin, what, wait_vt);
   const Watchdog* wd = device.watchdog();
   if (wd == nullptr) {
     cv.wait(lk, pred);
+    flight_event(device, tile, FlightKind::kWaitEnd, what, wait_vt);
     return;
   }
   while (!cv.wait_for(lk, wd->timeout, pred)) {
@@ -38,6 +44,7 @@ void guarded_wait(const Device& device, std::unique_lock<std::mutex>& lk,
     wd->on_timeout(tile, what);
     lk.lock();
   }
+  flight_event(device, tile, FlightKind::kWaitEnd, what, wait_vt);
 }
 
 /// Nullable-device variant for components whose Device is optional (the
@@ -61,6 +68,11 @@ void guarded_wait(const Device* device, std::unique_lock<std::mutex>& lk,
 template <typename Attempt>
 void guarded_spin(const Device& device, int tile, const char* what,
                   Attempt attempt) {
+  // Begin-only bracket: attempts may advance virtual time (a failed lock
+  // CAS charges the atomic cost model), so the matching end event belongs
+  // to the caller, which records it after merging the final timestamp.
+  flight_event(device, tile, FlightKind::kWaitBegin, what,
+               device.tile(tile).clock().now());
   const Watchdog* wd = device.watchdog();
   auto deadline = wd != nullptr
                       ? std::chrono::steady_clock::now() + wd->timeout

@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <deque>
+#include <fstream>
 #include <queue>
 #include <span>
 #include <sstream>
 #include <stdexcept>
 #include <vector>
 
+#include "sim/flight_hook.hpp"
 #include "svc/cache.hpp"
 #include "util/error.hpp"
 
@@ -36,6 +38,40 @@ Service::Service(tshmem::Cluster& cluster, ServiceConfig cfg)
   if (cfg_.closed_loop && cfg_.concurrency < 1) {
     throw std::invalid_argument("service: closed loop needs concurrency>=1");
   }
+  if (cfg_.timeseries_window_ps > 0 || !cfg_.blackbox_path.empty()) {
+    cfg_.flightrec = true;
+  }
+  if (cfg_.flightrec) {
+    flightrec_ = std::make_unique<obs::FlightRecorder>(
+        cluster_.num_devices(), cfg_.flightrec_capacity);
+    if (cfg_.timeseries_window_ps > 0) {
+      timeseries_ =
+          std::make_unique<obs::TimeSeries>(cfg_.timeseries_window_ps);
+      flightrec_->set_tap(timeseries_.get());
+    }
+  }
+}
+
+bool Service::write_blackbox(std::ostream& os, const std::string& reason,
+                             int errc) {
+  if (flightrec_ == nullptr) return false;
+  obs::BlackboxInfo info;
+  info.reason = reason;
+  info.errc = errc;
+  info.errc_name =
+      errc != 0 ? tshmem::errc_name(static_cast<tshmem::Errc>(errc)) : "";
+  info.fault_plan = cfg_.fault_plan.describe();
+  info.source = "svc";
+  obs::write_blackbox_json(os, *flightrec_, info);
+  return true;
+}
+
+void Service::dump_blackbox(const std::string& reason, int errc) {
+  if (flightrec_ == nullptr || cfg_.blackbox_path.empty()) return;
+  if (blackbox_written_) return;  // keep the *first* incident's rings
+  std::ofstream os(cfg_.blackbox_path);
+  if (!os) return;
+  blackbox_written_ = write_blackbox(os, reason, errc);
 }
 
 ShardCalibration Service::calibrate_shard(int shard) {
@@ -149,6 +185,10 @@ ServiceReport Service::run() {
   auto* m_rerouted = obs::counter_handle(metrics_, "svc.rerouted", 0);
   auto* m_latency = obs::histogram_handle(metrics_, "svc.latency.ps", 0);
   auto* m_fill = obs::histogram_handle(metrics_, "svc.batch.fill", 0);
+  // Flight-recorder / time-series handles are null-safe: when disabled the
+  // helpers are no-ops and the serve loop is untouched (rule R006).
+  obs::FlightRecorder* fr = flightrec_.get();
+  obs::TimeSeries* ts = timeseries_.get();
 
   std::priority_queue<Event, std::vector<Event>, EventAfter> heap;
   std::uint64_t next_seq = 0;
@@ -184,12 +224,23 @@ ServiceReport Service::run() {
       router.set_health(shard, false);
       ++stats.degraded_episodes;
       obs::add_count(metrics_, "svc.shard.degraded", shard, 1);
+      obs::fr_record(fr, shard, tilesim::FlightKind::kSvcDegraded,
+                     "svc_degrade", now, -1, 0,
+                     static_cast<int>(tshmem::Errc::kShardDegraded));
+      obs::ts_add(ts, "svc.degraded", now);
+      dump_blackbox("shard " + std::to_string(shard) +
+                        " degraded: virtual-time backlog crossed "
+                        "unhealthy_backlog_ps",
+                    static_cast<int>(tshmem::Errc::kShardDegraded));
     } else if (s.degraded && backlog <= cfg_.recover_backlog_ps) {
       s.degraded = false;
       router.set_health(shard, true);
       ++stats.recoveries;
       stats.last_recovery_ps = now;
       obs::add_count(metrics_, "svc.shard.recovered", shard, 1);
+      obs::fr_record(fr, shard, tilesim::FlightKind::kSvcRecovered,
+                     "svc_recover", now);
+      obs::ts_add(ts, "svc.recovered", now);
     }
   };
 
@@ -209,12 +260,16 @@ ServiceReport Service::run() {
     }
   };
 
-  auto complete = [&](const PendingQuery& q, ps_t now) {
+  auto complete = [&](const PendingQuery& q, ps_t now, int shard) {
     const auto latency = static_cast<std::uint64_t>(now - q.arrival_ps);
     m_latency->record(latency);
     rep.max_latency_ps = std::max(rep.max_latency_ps, latency);
     ++rep.completed;
     m_completed->add(1);
+    obs::fr_record(fr, shard, tilesim::FlightKind::kSvcComplete,
+                   "svc_complete", now, -1, 1);
+    obs::ts_add(ts, "svc.completed", now);
+    obs::ts_sample(ts, "svc.latency.ps", now, latency);
     // A query key is a database image, so the exact answer is
     // self-retrieval at distance 0 (the test_apps_cbir contract).
     cache.put(q.key, Hit{q.key, 0.0f});
@@ -224,6 +279,10 @@ ServiceReport Service::run() {
   auto shed = [&](const Arrival& a, ps_t now) {
     ++rep.shed;
     m_shed->add(1);
+    obs::fr_record(fr, router.home_shard(a.key),
+                   tilesim::FlightKind::kSvcShed, "svc_shed", now, -1, 1,
+                   static_cast<int>(tshmem::Errc::kShardDegraded));
+    obs::ts_add(ts, "svc.shed", now);
     if (rep.shed_error.empty()) {
       std::ostringstream msg;
       msg << "query " << a.id << " (key " << a.key << ") shed at " << now
@@ -263,6 +322,8 @@ ServiceReport Service::run() {
     obs::add_count(metrics_, "svc.shard.queries", shard,
                    s.running.size());
     m_fill->record(s.running.size());
+    obs::fr_record(fr, shard, tilesim::FlightKind::kSvcBatch, "svc_batch",
+                   now, -1, s.running.size());
     push(Event{s.busy_until, 0, Event::Kind::kBatchDone, shard, 0, {}});
   };
 
@@ -299,6 +360,10 @@ ServiceReport Service::run() {
         }
         ++rep.offered;
         m_offered->add(1);
+        const int home = router.home_shard(a.key);
+        obs::fr_record(fr, home, tilesim::FlightKind::kSvcArrival,
+                       "svc_arrival", now, -1, 1);
+        obs::ts_add(ts, "svc.offered", now);
         // Open loop: keep the arrival stream going regardless of outcome.
         if (!cfg_.closed_loop && !gen.exhausted()) {
           const Arrival next = gen.next();
@@ -313,6 +378,11 @@ ServiceReport Service::run() {
               static_cast<std::uint64_t>(cfg_.cache_hit_ps));
           ++rep.completed;
           m_completed->add(1);
+          obs::fr_record(fr, home, tilesim::FlightKind::kSvcComplete,
+                         "svc_cache_hit", done, -1, 1);
+          obs::ts_add(ts, "svc.completed", done);
+          obs::ts_sample(ts, "svc.latency.ps", done,
+                         static_cast<std::uint64_t>(cfg_.cache_hit_ps));
           reply(done);
           break;
         }
@@ -350,7 +420,7 @@ ServiceReport Service::run() {
         std::vector<PendingQuery> batch = std::move(s.running);
         s.running.clear();
         s.busy = false;
-        for (const PendingQuery& q : batch) complete(q, now);
+        for (const PendingQuery& q : batch) complete(q, now, e.shard);
         update_health(e.shard, now);
         try_start(e.shard, now);
         break;

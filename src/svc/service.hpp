@@ -26,12 +26,16 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "apps/cbir.hpp"
+#include "obs/flightrec.hpp"
 #include "obs/metrics.hpp"
 #include "obs/quantiles.hpp"
+#include "obs/timeseries.hpp"
 #include "sim/fault.hpp"
 #include "svc/batcher.hpp"
 #include "svc/loadgen.hpp"
@@ -55,6 +59,14 @@ struct ServiceConfig {
   ps_t unhealthy_backlog_ps = 5'000'000'000;  ///< 5 ms
   ps_t recover_backlog_ps = 1'000'000'000;    ///< 1 ms
   tilesim::FaultPlan fault_plan;  ///< kShardStall is the serving site
+  /// Flight recorder over the serve loop: one ring per shard, fed by the
+  /// deterministic event loop (docs/OBSERVABILITY.md). Zero virtual cost.
+  bool flightrec = false;
+  std::size_t flightrec_capacity = obs::FlightRecorder::kDefaultCapacity;
+  ps_t timeseries_window_ps = 0;  ///< >0 adds windowed svc.* telemetry
+                                  ///< (implies flightrec)
+  std::string blackbox_path;      ///< dump a post-mortem here on the first
+                                  ///< shard degradation (implies flightrec)
 };
 
 /// Batch cost model measured on the real shard (virtual time).
@@ -110,10 +122,30 @@ class Service {
   /// svc.* metrics recorded by the last run() (docs/OBSERVABILITY.md).
   [[nodiscard]] obs::MetricsRegistry& metrics() noexcept { return metrics_; }
 
+  /// Last-N serve-loop events per shard (null unless cfg.flightrec).
+  [[nodiscard]] obs::FlightRecorder* flightrec() noexcept {
+    return flightrec_.get();
+  }
+
+  /// Windowed svc.* telemetry (null unless cfg.timeseries_window_ps > 0).
+  [[nodiscard]] obs::TimeSeries* timeseries() noexcept {
+    return timeseries_.get();
+  }
+
+  /// Writes a tshmem.blackbox.v1 post-mortem (source "svc") to `os`.
+  /// Returns false when the flight recorder is disabled.
+  bool write_blackbox(std::ostream& os, const std::string& reason,
+                      int errc = 0);
+
  private:
+  void dump_blackbox(const std::string& reason, int errc);
+
   tshmem::Cluster& cluster_;
   ServiceConfig cfg_;
   obs::MetricsRegistry metrics_;
+  std::unique_ptr<obs::FlightRecorder> flightrec_;
+  std::unique_ptr<obs::TimeSeries> timeseries_;
+  bool blackbox_written_ = false;
 };
 
 }  // namespace svc

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "sim/fault.hpp"
+#include "sim/flight_hook.hpp"
 #include "sim/guarded_wait.hpp"
 #include "sim/profile_hook.hpp"
 #include "sim/topology.hpp"
@@ -147,6 +148,10 @@ void UdnFabric::send(Tile& sender, int dst_tile, int queue,
         break;
       }
       if (attempt >= plan.udn_max_retries) {
+        tilesim::flight_event(
+            *device_, sender.id(), tilesim::FlightKind::kError, "udn_send",
+            sender.clock().now(), dst_tile, 0,
+            static_cast<int>(tshmem::Errc::kRetriesExhausted));
         throw tshmem::Error(
             tshmem::Errc::kRetriesExhausted,
             "UDN send from PE " + std::to_string(sender.id()) + " to PE " +
@@ -160,6 +165,10 @@ void UdnFabric::send(Tile& sender, int dst_tile, int queue,
       traffic.retries.fetch_add(1, std::memory_order_relaxed);
       traffic.backoff_ps.fetch_add(static_cast<std::uint64_t>(backoff),
                                    std::memory_order_relaxed);
+      tilesim::flight_event(*device_, sender.id(),
+                            tilesim::FlightKind::kFaultRetry, "udn_retry",
+                            sender.clock().now(), dst_tile,
+                            static_cast<std::uint64_t>(backoff));
       ++attempt;
     }
   }
@@ -194,6 +203,9 @@ void UdnFabric::send(Tile& sender, int dst_tile, int queue,
             device_->topology().hops(sender.id(), dst_tile)),
         std::memory_order_relaxed);
   }
+  tilesim::flight_event(*device_, sender.id(), tilesim::FlightKind::kUdnSend,
+                        "udn_send", sender.clock().now(), dst_tile,
+                        words.size() * sizeof(std::uint64_t));
 }
 
 void UdnFabric::send1(Tile& sender, int dst_tile, int queue,
@@ -243,6 +255,13 @@ UdnPacket UdnFabric::recv(Tile& receiver, int queue) {
                    "udn q" + std::to_string(queue) + " from " +
                        std::to_string(pkt.src_tile));
   }
+  // recv_raw/try_recv are deliberately NOT reported: tag-matched consumers
+  // (recv_ctrl) pull packets in host-arrival order before matching, so only
+  // the clock-advancing receive here is program-order deterministic.
+  tilesim::flight_event(*device_, receiver.id(),
+                        tilesim::FlightKind::kUdnRecv, "udn_recv",
+                        receiver.clock().now(), pkt.src_tile,
+                        pkt.payload.size() * sizeof(std::uint64_t));
   return pkt;
 }
 

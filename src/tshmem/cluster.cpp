@@ -10,12 +10,18 @@ namespace tshmem {
 
 namespace {
 
-// Classification tags for the leader-protocol packets (mPIPE exact-match
-// rules route them to ring 0 on each engine).
+// Classification tags for the leader-protocol packets. Each traffic class
+// gets its OWN notification ring: recv() is FIFO-any-tag within a ring, and
+// packets from different senders have no cross-device ordering guarantee —
+// on one ring, a fast leader's broadcast data can overtake another leader's
+// still-unsent barrier release and be consumed as it (observed as a rare
+// ThreeDeviceBroadcastFromMiddleDevice failure under host load).
 constexpr std::uint32_t kTagBarrier = 0x7001;
 constexpr std::uint32_t kTagBarrierRelease = 0x7002;
 constexpr std::uint32_t kTagBcastData = 0x7003;
-constexpr int kLeaderRing = 0;
+constexpr int kBarrierRing = 0;  ///< gather tokens at device 0's leader
+constexpr int kReleaseRing = 1;  ///< device 0's releases to other leaders
+constexpr int kBcastRing = 2;    ///< broadcast data chunks
 
 }  // namespace
 
@@ -33,9 +39,9 @@ Cluster::Cluster(const DeviceConfig& cfg, ClusterOptions opts,
     runtimes_.push_back(std::make_unique<Runtime>(cfg, opts_.runtime));
     engines_.push_back(std::make_unique<tmc::MpipeEngine>(
         runtimes_.back()->device(), d, opts_.mpipe));
-    engines_.back()->add_rule(kTagBarrier, kLeaderRing);
-    engines_.back()->add_rule(kTagBarrierRelease, kLeaderRing);
-    engines_.back()->add_rule(kTagBcastData, kLeaderRing);
+    engines_.back()->add_rule(kTagBarrier, kBarrierRing);
+    engines_.back()->add_rule(kTagBarrierRelease, kReleaseRing);
+    engines_.back()->add_rule(kTagBcastData, kBcastRing);
   }
   // Full mesh: one link per device pair.
   for (int a = 0; a < num_devices_; ++a) {
@@ -208,7 +214,7 @@ void ClusterContext::barrier_all() {
       // Device 0's leader collects every other leader's token, then
       // releases them.
       for (int d = 1; d < cluster_->num_devices(); ++d) {
-        (void)engine.recv(local_->tile(), kLeaderRing);
+        (void)engine.recv(local_->tile(), kBarrierRing);
       }
       tmc::MpipePacket release = token;
       release.l2_tag = kTagBarrierRelease;
@@ -217,7 +223,7 @@ void ClusterContext::barrier_all() {
       }
     } else {
       engine.egress(local_->tile(), 0, token);
-      (void)engine.recv(local_->tile(), kLeaderRing);
+      (void)engine.recv(local_->tile(), kReleaseRing);
     }
   }
   // Second local barrier propagates the leader's release (and its virtual
@@ -259,7 +265,7 @@ void ClusterContext::broadcast(void* target, const void* source,
       tmc::MpipeEngine& engine = cluster_->mpipe(device_);
       auto* out = static_cast<std::byte*>(target);
       for (std::size_t off = 0; off < bytes; off += jumbo) {
-        const tmc::MpipePacket pkt = engine.recv(local_->tile(), kLeaderRing);
+        const tmc::MpipePacket pkt = engine.recv(local_->tile(), kBcastRing);
         const std::size_t len = std::min(jumbo, bytes - off);
         if (pkt.payload.size() != len) {
           throw std::runtime_error("cluster broadcast: chunk size mismatch");

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cstring>
 
+#include "obs/timeseries.hpp"
 #include "sim/fault.hpp"
+#include "sim/flight_hook.hpp"
 #include "sim/mem_model.hpp"
 #include "sim/profile_hook.hpp"
 #include "tmc/barrier.hpp"
@@ -132,6 +134,8 @@ void* Context::shmalloc(std::size_t bytes) {
   }
   void* p = heap_.alloc(bytes);
   note_heap_denial(p, bytes);
+  tilesim::flight_event(tile_->device(), pe_, tilesim::FlightKind::kAlloc,
+                        "shmalloc", tile_->clock().now(), -1, bytes);
   barrier_all();
   return p;
 }
@@ -174,6 +178,8 @@ void Context::shfree(void* p) {
     throw Error(Errc::kForeignFree,
                 "shfree on PE " + std::to_string(pe_) + ": " + e.what());
   }
+  tilesim::flight_event(tile_->device(), pe_, tilesim::FlightKind::kFree,
+                        "shfree", tile_->clock().now());
   barrier_all();
 }
 
@@ -301,6 +307,13 @@ void Context::transfer(void* target, const void* source, std::size_t bytes,
     (is_put ? met_->put_bytes : met_->get_bytes)->add(bytes);
   }
   tile_->clock().advance(rt_->config().shmem_call_overhead_ps);
+  // One event per call at issue time, regardless of which servicing path
+  // (local copy / interrupt / bounce) the transfer takes below.
+  tilesim::flight_event(tile_->device(), pe_,
+                        is_put ? tilesim::FlightKind::kPut
+                               : tilesim::FlightKind::kGet,
+                        is_put ? "shmem_put" : "shmem_get",
+                        tile_->clock().now(), pe, bytes);
   if (bytes == 0) return;
 
   // `target` is the destination *on PE pe* for puts / locally for gets;
@@ -531,6 +544,11 @@ void Context::transfer_nbi(void* target, const void* source,
     met_->nbi_queue_depth->set(
         static_cast<std::int64_t>(tile_->dma().pending()));
   }
+  tilesim::flight_event(tile_->device(), pe_,
+                        is_put ? tilesim::FlightKind::kPutNbi
+                               : tilesim::FlightKind::kGetNbi,
+                        is_put ? "shmem_put_nbi" : "shmem_get_nbi",
+                        tile_->clock().now(), pe, bytes);
 }
 
 void Context::put_nbi(void* target, const void* source, std::size_t bytes,
@@ -580,6 +598,8 @@ void Context::quiet() {
   // bit-identical with the paper's figures.
   tmc::mem_fence(*tile_);
   if (race_ != nullptr) race_->on_quiet(pe_);
+  tilesim::flight_event(tile_->device(), pe_, tilesim::FlightKind::kQuiet,
+                        "shmem_quiet", tile_->clock().now());
 }
 
 void Context::fence() {
@@ -595,6 +615,8 @@ void Context::fence() {
   // A fence therefore drains the CPU store buffer but NOT the engine — the
   // clock never jumps to a completion timestamp here.
   tmc::mem_fence(*tile_);
+  tilesim::flight_event(tile_->device(), pe_, tilesim::FlightKind::kFence,
+                        "shmem_fence", tile_->clock().now());
 }
 
 // ===========================================================================
@@ -607,6 +629,9 @@ void Context::send_ctrl(int dst_pe, int queue, const CtrlMsg& msg) {
   }
   const std::uint64_t words[2] = {msg.word0(), msg.aux};
   rt_->udn().send(*tile_, dst_pe, queue, words);
+  tilesim::flight_event(tile_->device(), pe_, tilesim::FlightKind::kCtrlSend,
+                        "ctrl_send", tile_->clock().now(), dst_pe,
+                        sizeof(words));
 }
 
 CtrlMsg Context::recv_ctrl(int queue, MsgTag tag, int src_pe,
@@ -635,6 +660,10 @@ CtrlMsg Context::recv_ctrl(int queue, MsgTag tag, int src_pe,
                      "ctrl q" + std::to_string(queue) + " from " +
                          std::to_string(src));
     }
+    // Recorded on *match*, not packet arrival: the tag+FIFO discipline makes
+    // this edge protocol-determined even when arrivals race.
+    tilesim::flight_event(tile_->device(), pe_, tilesim::FlightKind::kCtrlRecv,
+                          "ctrl_recv", tile_->clock().now(), src);
   };
   auto& stash = ctrl_stash_[queue];
   for (std::size_t i = 0; i < stash.size(); ++i) {
@@ -690,21 +719,30 @@ void Context::barrier(const ActiveSet& as, BarrierAlgo algo) {
                                met_ ? met_->barrier_calls : nullptr);
   tilesim::ProfSpan prof(*tile_, tilesim::ProfPhase::kBarrier,
                          "shmem_barrier");
+  const ps_t bar_begin = tile_->clock().now();
   // A barrier also completes outstanding puts (OpenSHMEM semantics).
   quiet();
-  if (as.pe_size == 1) return;
-  const std::uint32_t seq = next_barrier_seq(as);
-  switch (algo) {
-    case BarrierAlgo::kLinearToken:
-      barrier_linear(as, seq);
-      break;
-    case BarrierAlgo::kBroadcastRelease:
-      barrier_broadcast_release(as, seq);
-      break;
-    case BarrierAlgo::kTmcSpin:
-      barrier_tmc_spin(as);
-      break;
+  if (as.pe_size > 1) {
+    const std::uint32_t seq = next_barrier_seq(as);
+    switch (algo) {
+      case BarrierAlgo::kLinearToken:
+        barrier_linear(as, seq);
+        break;
+      case BarrierAlgo::kBroadcastRelease:
+        barrier_broadcast_release(as, seq);
+        break;
+      case BarrierAlgo::kTmcSpin:
+        barrier_tmc_spin(as);
+        break;
+    }
   }
+  // bytes carries the barrier's virtual duration (arrival skew + release).
+  const ps_t bar_end = tile_->clock().now();
+  tilesim::flight_event(tile_->device(), pe_, tilesim::FlightKind::kBarrier,
+                        "shmem_barrier", bar_end, -1,
+                        static_cast<std::uint64_t>(bar_end - bar_begin));
+  obs::ts_sample(ts_, "shmem.barrier.ps", bar_end,
+                 static_cast<std::uint64_t>(bar_end - bar_begin));
 }
 
 void Context::barrier_linear(const ActiveSet& as, std::uint32_t seq) {
@@ -827,6 +865,8 @@ void Context::atomic_engine(void* target, int pe, std::size_t bytes,
     race_->on_atomic(pe_, remote_addr(target, pe), bytes, site,
                      tile_->clock().now());
   }
+  tilesim::flight_event(tile_->device(), pe_, tilesim::FlightKind::kAtomic,
+                        site, tile_->clock().now(), pe, bytes);
   if (cls == AddrClass::kDynamic || pe == pe_) {
     op(remote_addr(target, pe));
     if (pe != pe_) rt_->note_delivery(pe, tile_->clock().now());
@@ -867,6 +907,12 @@ void Context::set_lock(long* lock) {
     });
     return prev == 0;
   });
+  // Close the guarded spin's kWaitBegin: the acquiring CAS's timestamp is
+  // the deterministic end of the lock wait.
+  tilesim::flight_event(tile_->device(), pe_, tilesim::FlightKind::kWaitEnd,
+                        "shmem_set_lock", tile_->clock().now());
+  tilesim::flight_event(tile_->device(), pe_, tilesim::FlightKind::kLock,
+                        "shmem_set_lock", tile_->clock().now(), 0);
   rt_->note_lock_delta(pe_, +1);
 }
 
@@ -882,6 +928,8 @@ void Context::clear_lock(long* lock) {
     }
     ref.store(0, std::memory_order_release);
   });
+  tilesim::flight_event(tile_->device(), pe_, tilesim::FlightKind::kLock,
+                        "shmem_clear_lock", tile_->clock().now(), 0);
   rt_->note_lock_delta(pe_, -1);
 }
 
@@ -896,6 +944,8 @@ int Context::test_lock(long* lock) {
       prev = expected;
     }
   });
+  tilesim::flight_event(tile_->device(), pe_, tilesim::FlightKind::kLock,
+                        "shmem_test_lock", tile_->clock().now(), 0);
   if (prev == 0) rt_->note_lock_delta(pe_, +1);
   return prev == 0 ? 0 : 1;
 }

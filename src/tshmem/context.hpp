@@ -20,6 +20,7 @@
 #include "obs/metrics.hpp"
 #include "obs/scoped_timer.hpp"
 #include "sim/clock.hpp"
+#include "sim/flight_hook.hpp"
 #include "sim/guarded_wait.hpp"
 #include "sim/profile_hook.hpp"
 #include "tshmem/messages.hpp"
@@ -322,6 +323,7 @@ class Context {
   bool finalized_ = false;
   std::unique_ptr<PeMetrics> met_;  ///< null when metrics are disabled
   analysis::RaceDetector* race_ = nullptr;  ///< tshmem-check (set by Runtime)
+  obs::TimeSeries* ts_ = nullptr;  ///< windowed telemetry (set by Runtime)
 
   std::map<std::uint32_t, std::uint32_t> barrier_seq_;   // active-set id -> seq
   std::map<std::uint32_t, std::uint32_t> collective_seq_;
@@ -445,6 +447,11 @@ void Context::wait_until(volatile T* ivar, Cmp cmp, T value) {
                             "delivery", wait_from, delivered);
   }
   clock().advance(rt_->config().shmem_call_overhead_ps);
+  // Closes the kWaitBegin the guarded spin recorded: the spin's attempt
+  // count is host-schedule dependent, so only this post-merge timestamp is
+  // deterministic.
+  tilesim::flight_event(tile_->device(), pe_, tilesim::FlightKind::kWaitEnd,
+                        "shmem_wait_until", clock().now());
   if (race_ != nullptr) {
     // The satisfied wait acquires the release clock the elemental put
     // published on this granule, then counts as an ordered read of it.

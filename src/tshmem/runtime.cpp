@@ -2,10 +2,12 @@
 
 #include <chrono>
 #include <cstdlib>
+#include <fstream>
 #include <sstream>
 #include <stdexcept>
 #include <string_view>
 
+#include "sim/flight_hook.hpp"
 #include "tshmem/context.hpp"
 #include "util/error.hpp"
 
@@ -33,6 +35,17 @@ int int_env(const char* name, int fallback) {
   const char* v = std::getenv(name);
   if (v == nullptr || *v == '\0') return fallback;
   return std::atoi(v);
+}
+
+long long ll_env(const char* name, long long fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return std::atoll(v);
+}
+
+std::string str_env(const char* name, const std::string& fallback) {
+  const char* v = std::getenv(name);
+  return v == nullptr ? fallback : std::string(v);
 }
 
 tilesim::FaultPlan fault_plan_env(const tilesim::FaultPlan& fallback) {
@@ -117,6 +130,29 @@ Runtime::Runtime(const DeviceConfig& cfg, RuntimeOptions opts)
     device_.attach_profiler(profiler_.get());
   }
 
+  // Flight recorder / time series (docs/OBSERVABILITY.md). A window width
+  // or a blackbox path implies the recorder: the aggregator is fed by the
+  // recorder's tap, and a post-mortem dump needs rings to dump.
+  flightrec_enabled_ = bool_env("TSHMEM_FLIGHTREC", opts.flightrec);
+  long long ts_window = ll_env(
+      "TSHMEM_TIMESERIES_WINDOW_PS",
+      static_cast<long long>(opts.timeseries_window_ps));
+  if (ts_window < 0) ts_window = 0;
+  timeseries_window_ps_ = static_cast<ps_t>(ts_window);
+  blackbox_path_ = str_env("TSHMEM_BLACKBOX", opts.blackbox_path);
+  if (timeseries_window_ps_ > 0 || !blackbox_path_.empty()) {
+    flightrec_enabled_ = true;
+  }
+  if (flightrec_enabled_) {
+    flightrec_ = std::make_unique<obs::FlightRecorder>(
+        device_, opts.flightrec_capacity);
+    if (timeseries_window_ps_ > 0) {
+      timeseries_ = std::make_unique<obs::TimeSeries>(timeseries_window_ps_);
+      flightrec_->set_tap(timeseries_.get());
+    }
+    device_.attach_flight(flightrec_.get());
+  }
+
   debug_validation_ = bool_env("TSHMEM_DEBUG", opts.debug_validation);
 
   // Fault injection: only a non-empty effective plan attaches an engine,
@@ -144,6 +180,11 @@ Runtime::Runtime(const DeviceConfig& cfg, RuntimeOptions opts)
   if (wd_ms > 0) {
     watchdog_.timeout = std::chrono::milliseconds(wd_ms);
     watchdog_.on_timeout = [this, wd_ms](int tile, const char* what) {
+      // Stamp the trigger into the dying PE's ring before throwing, so the
+      // blackbox dump and tools/triage.py can name the stalled op directly.
+      tilesim::flight_event(device_, tile, tilesim::FlightKind::kError, what,
+                            device_.tile(tile).clock().now(), -1, 0,
+                            static_cast<int>(Errc::kWatchdogTimeout));
       throw Error(Errc::kWatchdogTimeout,
                   "PE " + std::to_string(tile) + " stuck in '" + what +
                       "' for over " + std::to_string(wd_ms) + " ms\n" +
@@ -342,6 +383,11 @@ void Runtime::setup_job(int npes) {
       ctx->race_ = race_detector_.get();
     }
   }
+  if (timeseries_ != nullptr) {
+    for (auto& ctx : contexts_) {
+      ctx->ts_ = timeseries_.get();
+    }
+  }
 }
 
 void Runtime::teardown_job() {
@@ -402,7 +448,20 @@ void Runtime::run(int npes, const std::function<void(Context&)>& fn) {
       }
       g_current_context = nullptr;
     });
+  } catch (const Error& e) {
+    // Post-mortem before teardown: the diagnostic board and per-PE rings
+    // still describe the dying job here.
+    maybe_dump_blackbox(e.what(), static_cast<int>(e.code()));
+    teardown_job();
+    running_.store(false, std::memory_order_release);
+    throw;
+  } catch (const std::exception& e) {
+    maybe_dump_blackbox(e.what(), 0);
+    teardown_job();
+    running_.store(false, std::memory_order_release);
+    throw;
   } catch (...) {
+    maybe_dump_blackbox("unknown exception", 0);
     teardown_job();
     running_.store(false, std::memory_order_release);
     throw;
@@ -425,6 +484,29 @@ void Runtime::run(int npes, const std::function<void(Context&)>& fn) {
 
 obs::MetricsSnapshot Runtime::metrics() const {
   return registry_.snapshot(config().short_name, last_npes_);
+}
+
+bool Runtime::write_blackbox(std::ostream& os, const std::string& reason,
+                             int errc) {
+  if (flightrec_ == nullptr) return false;
+  obs::BlackboxInfo info;
+  info.reason = reason;
+  info.errc = errc;
+  info.errc_name = errc != 0 ? errc_name(static_cast<Errc>(errc)) : "";
+  info.board = watchdog_report();
+  if (fault_engine_ != nullptr) {
+    info.fault_plan = fault_engine_->plan().describe();
+  }
+  info.source = "runtime";
+  obs::write_blackbox_json(os, *flightrec_, info);
+  return true;
+}
+
+void Runtime::maybe_dump_blackbox(const std::string& reason, int errc) {
+  if (flightrec_ == nullptr || blackbox_path_.empty()) return;
+  std::ofstream os(blackbox_path_);
+  if (!os) return;  // an unwritable dump path must not mask the real error
+  write_blackbox(os, reason, errc);
 }
 
 void Runtime::scrape_run_stats() {

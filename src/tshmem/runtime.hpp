@@ -20,8 +20,10 @@
 #include <vector>
 
 #include "analysis/race.hpp"
+#include "obs/flightrec.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profiler.hpp"
+#include "obs/timeseries.hpp"
 #include "sim/device.hpp"
 #include "tmc/barrier.hpp"
 #include "tmc/common_memory.hpp"
@@ -126,6 +128,29 @@ struct RuntimeOptions {
   /// masks, so the granule trades host memory for lookup locality only.
   /// The TSHMEM_RACECHECK_GRANULE environment variable overrides it.
   std::size_t racecheck_granule = 8;
+  /// Enable the per-PE flight recorder (src/obs/flightrec;
+  /// docs/OBSERVABILITY.md): a fixed-capacity ring of compact event records
+  /// per PE, written from every instrumented layer. Purely observational —
+  /// recording never advances a SimClock, so virtual-time results are
+  /// bit-identical recorder on/off (CI-enforced). The TSHMEM_FLIGHTREC
+  /// environment variable overrides this field.
+  bool flightrec = false;
+  /// Ring capacity per PE (events); the newest overwrite the oldest.
+  std::size_t flightrec_capacity = obs::FlightRecorder::kDefaultCapacity;
+  /// Fixed virtual-time window width for the time-series aggregator
+  /// (src/obs/timeseries): per-window event counts and latency quantiles,
+  /// exported as tshmem.timeseries.v1. 0 disables. A positive width
+  /// implies flightrec (the recorder feeds the aggregator's "event.*"
+  /// series and forwards epoch folds). The TSHMEM_TIMESERIES_WINDOW_PS
+  /// environment variable overrides this field.
+  ps_t timeseries_window_ps = 0;
+  /// When non-empty, any tshmem::Error escaping a job (watchdog timeouts
+  /// included) writes a tshmem.blackbox.v1 post-mortem dump to this path
+  /// before teardown — the last-N events of every PE, merged by virtual
+  /// time, plus the diagnostic board and active fault plan. Render it with
+  /// tools/triage.py. Implies flightrec. The TSHMEM_BLACKBOX environment
+  /// variable overrides this field.
+  std::string blackbox_path;
 };
 
 class Runtime {
@@ -253,6 +278,27 @@ class Runtime {
   /// report() only outside run().
   [[nodiscard]] obs::Profiler* profiler() noexcept { return profiler_.get(); }
 
+  // --- flight recorder / time series (src/obs; docs/OBSERVABILITY.md) ------
+  [[nodiscard]] bool flightrec_enabled() const noexcept {
+    return flightrec_enabled_;
+  }
+  /// Flight recorder attached to this runtime's device; nullptr unless the
+  /// flightrec option / TSHMEM_FLIGHTREC (or an implying option) enabled it.
+  [[nodiscard]] obs::FlightRecorder* flightrec() noexcept {
+    return flightrec_.get();
+  }
+  /// Windowed time-series aggregator; nullptr unless timeseries_window_ps /
+  /// TSHMEM_TIMESERIES_WINDOW_PS is positive.
+  [[nodiscard]] obs::TimeSeries* timeseries() noexcept {
+    return timeseries_.get();
+  }
+  /// Writes a tshmem.blackbox.v1 dump describing `reason` to `os`. Returns
+  /// false (writing nothing) when no flight recorder is attached. Usable
+  /// any time; the runtime calls it itself, to blackbox_path, when a job
+  /// dies with an exception.
+  bool write_blackbox(std::ostream& os, const std::string& reason,
+                      int errc = 0);
+
  private:
   RuntimeOptions opts_;
   Device device_;
@@ -296,7 +342,12 @@ class Runtime {
   // --- metrics state -------------------------------------------------------
   bool metrics_enabled_ = false;
   bool profile_enabled_ = false;
+  bool flightrec_enabled_ = false;
+  ps_t timeseries_window_ps_ = 0;
+  std::string blackbox_path_;
   std::unique_ptr<obs::Profiler> profiler_;  // null unless profiling enabled
+  std::unique_ptr<obs::TimeSeries> timeseries_;    // null unless windowed
+  std::unique_ptr<obs::FlightRecorder> flightrec_; // null unless recording
   obs::MetricsRegistry registry_;
   int last_npes_ = 0;
   // Scrape baselines: the sim/tmc layers keep cumulative internal stats;
@@ -309,6 +360,10 @@ class Runtime {
 
   void setup_job(int npes);
   void teardown_job();
+  /// Writes the post-mortem dump to blackbox_path_ (no-op when unset or no
+  /// recorder). Called before teardown so the diagnostic board still sees
+  /// the dying job's PEs.
+  void maybe_dump_blackbox(const std::string& reason, int errc);
   /// cmem map with bounded retry against injected map faults (recovered
   /// attempts are counted in recovery.cmem.map_retries).
   void* map_with_retry(const std::string& name, std::size_t bytes,

@@ -1,0 +1,342 @@
+// Tests for the virtual-time flight recorder + windowed time series
+// (obs/flightrec, obs/timeseries — ISSUE 9 tentpole): ring wraparound,
+// deterministic ring contents across host schedules, window-boundary and
+// epoch-fold edge cases, the tshmem.timeseries.v1 / tshmem.blackbox.v1
+// JSON shapes, post-mortem dumps on watchdog timeouts and shard
+// degradation, and the zero-virtual-cost contract (bit-identical end
+// clocks recorder on/off).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/flightrec.hpp"
+#include "obs/json.hpp"
+#include "obs/timeseries.hpp"
+#include "sim/device.hpp"
+#include "sim/fault.hpp"
+#include "sim/flight_hook.hpp"
+#include "svc/service.hpp"
+#include "tshmem/cluster.hpp"
+#include "tshmem/context.hpp"
+#include "tshmem/runtime.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using obs::FlightRecorder;
+using obs::FrEvent;
+using obs::JsonValue;
+using obs::TimeSeries;
+using obs::TimeSeriesReport;
+using tilesim::FlightKind;
+using tilesim::ps_t;
+using tshmem::Context;
+
+// ===========================================================================
+// Ring mechanics (recorder driven directly)
+// ===========================================================================
+
+TEST(FlightRecorder, RingWrapsKeepingNewest) {
+  FlightRecorder fr(1, 4);
+  for (int i = 0; i < 10; ++i) {
+    fr.record_event(0, FlightKind::kPut, "put", 100 * i, i % 3, 8, 0);
+  }
+  EXPECT_EQ(fr.total_recorded(0), 10u);
+  const std::vector<FrEvent> snap = fr.snapshot(0);
+  ASSERT_EQ(snap.size(), 4u);
+  // Oldest to newest: the last four of the ten recorded events.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(snap[static_cast<std::size_t>(i)].seq,
+              static_cast<std::uint64_t>(6 + i));
+    EXPECT_EQ(snap[static_cast<std::size_t>(i)].vt, 100 * (6 + i));
+  }
+}
+
+TEST(FlightRecorder, MergedOrdersByTimePeSeq) {
+  FlightRecorder fr(3, 8);
+  fr.record_event(2, FlightKind::kBarrier, "bar", 500, -1, 0, 0);
+  fr.record_event(0, FlightKind::kPut, "put", 500, 1, 8, 0);
+  fr.record_event(1, FlightKind::kGet, "get", 100, 0, 8, 0);
+  const std::vector<FrEvent> merged = fr.merged();
+  ASSERT_EQ(merged.size(), 3u);
+  EXPECT_EQ(merged[0].pe, 1);  // earliest vt first
+  EXPECT_EQ(merged[1].pe, 0);  // vt tie broken by pe
+  EXPECT_EQ(merged[2].pe, 2);
+}
+
+// The ring's contract: events arrive per PE in program order with that
+// PE's own virtual clock, so ring contents are a pure function of the
+// (deterministic) protocol — identical across host thread schedules.
+TEST(FlightRecorder, RingContentsDeterministicAcrossRuns) {
+  auto run_once = [] {
+    tshmem::RuntimeOptions opts;
+    opts.flightrec = true;
+    opts.flightrec_capacity = 64;
+    tshmem::Runtime rt(tilesim::tile_gx36(), opts);
+    rt.run(4, [](Context& ctx) {
+      int* buf = ctx.shmalloc_n<int>(64);
+      ctx.barrier_all();
+      for (int round = 0; round < 3; ++round) {
+        const int peer = (ctx.my_pe() + 1) % ctx.num_pes();
+        std::vector<int> src(64, ctx.my_pe());
+        ctx.put(buf, src.data(), 64 * sizeof(int), peer);
+        ctx.barrier_all();
+      }
+      ctx.shfree(buf);
+    });
+    std::vector<std::string> lines;
+    for (const FrEvent& e : rt.flightrec()->merged()) {
+      std::ostringstream os;
+      os << e.vt << " " << e.pe << " " << e.seq << " "
+         << tilesim::fr_kind_name(e.kind) << " " << e.site << " " << e.peer
+         << " " << e.bytes << " " << e.errc;
+      lines.push_back(os.str());
+    }
+    return lines;
+  };
+  const std::vector<std::string> a = run_once();
+  const std::vector<std::string> b = run_once();
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+}
+
+// ===========================================================================
+// Epoch folding (Device::reset_clocks boundaries)
+// ===========================================================================
+
+TEST(FlightRecorder, DeviceAttachedFoldsEpochAtClockReset) {
+  tilesim::Device device(tilesim::tile_gx36());
+  FlightRecorder fr(device, 16);
+  device.attach_flight(&fr);
+  device.tile(0).clock().advance(300);
+  device.tile(1).clock().advance(750);  // epoch extent = max tile clock
+  tilesim::flight_event(device, 0, FlightKind::kPut, "put", 300, 1, 8, 0);
+  device.reset_clocks();
+  EXPECT_EQ(fr.epoch_base_ps(), 750);
+  // Post-reset events arrive epoch-local and are folded onto the
+  // monotone run timeline.
+  tilesim::flight_event(device, 0, FlightKind::kGet, "get", 10, 1, 8, 0);
+  const std::vector<FrEvent> snap = fr.snapshot(0);
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0].vt, 300);
+  EXPECT_EQ(snap[1].vt, 760);
+  device.attach_flight(nullptr);
+}
+
+TEST(TimeSeries, EpochFoldOffsetsLaterObservations) {
+  TimeSeries ts(100);
+  ts.series_add("x", 40, 1);   // window 0
+  ts.fold_epoch(250);
+  ts.series_add("x", 40, 1);   // folded to 290 -> window 2
+  ts.fold_epoch(60);           // base 310
+  ts.series_add("x", 0, 1);    // folded to 310 -> window 3
+  const TimeSeriesReport rep = ts.report();
+  ASSERT_EQ(rep.series.size(), 1u);
+  ASSERT_EQ(rep.series[0].windows.size(), 3u);
+  EXPECT_EQ(rep.series[0].windows[0].index, 0u);
+  EXPECT_EQ(rep.series[0].windows[1].index, 2u);
+  EXPECT_EQ(rep.series[0].windows[1].start_ps, 200);
+  EXPECT_EQ(rep.series[0].windows[2].index, 3u);
+  EXPECT_EQ(rep.series[0].total_count, 3u);
+}
+
+// ===========================================================================
+// Window aggregation
+// ===========================================================================
+
+TEST(TimeSeries, WindowBoundariesAreHalfOpen) {
+  TimeSeries ts(100);
+  ts.series_add("x", 0, 1);
+  ts.series_add("x", 99, 1);   // still window 0
+  ts.series_add("x", 100, 1);  // first vt of window 1
+  ts.series_add("x", 199, 1);
+  ts.series_add("x", 200, 1);  // window 2
+  const TimeSeriesReport rep = ts.report();
+  ASSERT_EQ(rep.series.size(), 1u);
+  const auto& w = rep.series[0].windows;
+  ASSERT_EQ(w.size(), 3u);
+  EXPECT_EQ(w[0].count, 2u);
+  EXPECT_EQ(w[1].count, 2u);
+  EXPECT_EQ(w[1].start_ps, 100);
+  EXPECT_EQ(w[2].count, 1u);
+  EXPECT_EQ(rep.series[0].total_count, 5u);
+}
+
+TEST(TimeSeries, SamplesCarryQuantilesAndCounts) {
+  TimeSeries ts(1000);
+  for (std::uint64_t v : {10u, 20u, 30u, 40u, 1000u}) {
+    ts.series_sample("lat", 500, v);
+  }
+  const TimeSeriesReport rep = ts.report();
+  ASSERT_EQ(rep.series.size(), 1u);
+  ASSERT_EQ(rep.series[0].windows.size(), 1u);
+  const obs::SeriesWindow& w = rep.series[0].windows[0];
+  EXPECT_TRUE(w.has_samples);
+  EXPECT_EQ(w.count, 5u);  // samples count toward the window count
+  EXPECT_EQ(w.sum, 1100u);
+  EXPECT_EQ(w.min, 10u);
+  EXPECT_EQ(w.max, 1000u);
+  EXPECT_GE(w.p99, w.p50);
+  EXPECT_GE(w.p999, w.p99);
+}
+
+TEST(TimeSeries, JsonReportHasSchemaAndReconcilesCounts) {
+  TimeSeries ts(100);
+  ts.series_add("a", 10, 2);
+  ts.series_sample("b", 150, 7);
+  std::ostringstream os;
+  obs::write_timeseries_json(os, ts.report());
+  const JsonValue doc = JsonValue::parse(os.str());
+  EXPECT_EQ(doc.at("schema").as_string(), "tshmem.timeseries.v1");
+  EXPECT_EQ(doc.at("window_ps").as_int(), 100);
+  const auto& series = doc.at("series").as_array();
+  ASSERT_EQ(series.size(), 2u);
+  for (const JsonValue& s : series) {
+    std::uint64_t windows = 0;
+    for (const JsonValue& w : s.at("windows").as_array()) {
+      windows += w.at("count").as_uint();
+    }
+    EXPECT_EQ(windows, s.at("total_count").as_uint()) << s.at("name").as_string();
+  }
+}
+
+// The recorder tap: every recorded event lands in the aggregator as an
+// "event.<kind>" count, and epoch folds are forwarded.
+TEST(TimeSeries, RecorderTapCountsEvents) {
+  TimeSeries ts(100);
+  FlightRecorder fr(2, 8);
+  fr.set_tap(&ts);
+  fr.record_event(0, FlightKind::kPut, "put", 10, 1, 8, 0);
+  fr.record_event(1, FlightKind::kPut, "put", 110, 0, 8, 0);
+  fr.record_event(0, FlightKind::kBarrier, "bar", 120, -1, 0, 0);
+  const TimeSeriesReport rep = ts.report();
+  ASSERT_EQ(rep.series.size(), 2u);
+  EXPECT_EQ(rep.series[0].name, "event.barrier");
+  EXPECT_EQ(rep.series[0].total_count, 1u);
+  EXPECT_EQ(rep.series[1].name, "event.put");
+  EXPECT_EQ(rep.series[1].total_count, 2u);
+  ASSERT_EQ(rep.series[1].windows.size(), 2u);
+}
+
+// ===========================================================================
+// Post-mortem dumps
+// ===========================================================================
+
+TEST(Blackbox, WatchdogTimeoutDumpNamesTheStuckOp) {
+  tshmem::RuntimeOptions opts;
+  opts.flightrec = true;
+  opts.watchdog_ms = 200;
+  tshmem::Runtime rt(tilesim::tile_gx36(), opts);
+  bool threw = false;
+  try {
+    rt.run(2, [](Context& ctx) {
+      long* flag = ctx.shmalloc_n<long>(1);
+      *flag = 0;
+      ctx.barrier_all();
+      if (ctx.my_pe() == 0) {
+        ctx.wait_until(flag, tshmem::Cmp::kNe, 0L);  // never satisfied
+      }
+    });
+  } catch (const tshmem::Error& e) {
+    threw = true;
+    EXPECT_EQ(e.code(), tshmem::Errc::kWatchdogTimeout);
+  }
+  ASSERT_TRUE(threw);
+  std::ostringstream os;
+  ASSERT_TRUE(rt.write_blackbox(os, "unit test", 7));
+  const JsonValue doc = JsonValue::parse(os.str());
+  EXPECT_EQ(doc.at("schema").as_string(), "tshmem.blackbox.v1");
+  EXPECT_EQ(doc.at("source").as_string(), "runtime");
+  EXPECT_EQ(doc.at("errc_name").as_string(), "watchdog_timeout");
+  // The aborting PE recorded a kError event at the throw site.
+  bool found_error = false;
+  for (const JsonValue& e : doc.at("merged").as_array()) {
+    if (e.at("kind").as_string() == "error") {
+      found_error = true;
+      EXPECT_EQ(e.at("site").as_string(), "shmem_wait_until");
+      EXPECT_EQ(e.at("pe").as_int(), 0);
+      EXPECT_EQ(e.at("errc").as_int(), 7);
+    }
+  }
+  EXPECT_TRUE(found_error);
+}
+
+TEST(Blackbox, ShardDegradationDumpsFromTheService) {
+  tshmem::ClusterOptions opts;
+  opts.runtime.heap_per_pe = 8 << 20;
+  tshmem::Cluster cluster(tilesim::tile_gx36(), opts, 2);
+  svc::ServiceConfig cfg;
+  cfg.pes_per_shard = 2;
+  cfg.db.images = 64;
+  cfg.db.width = 32;
+  cfg.db.height = 32;
+  cfg.load.seed = 7;
+  cfg.load.queries = 4000;
+  cfg.load.start_qps = 20'000.0;
+  cfg.load.end_qps = 120'000.0;
+  cfg.load.key_space = 64;
+  cfg.batch.max_batch = 4;
+  cfg.batch.timeout_ps = 2'000'000;
+  cfg.cache_capacity = 32;
+  cfg.flightrec = true;
+  // The degrade event fires early in the run; a ring deep enough to hold
+  // the whole campaign keeps it visible to the end-of-run dump below.
+  cfg.flightrec_capacity = 16384;
+  cfg.fault_plan = tilesim::FaultPlan::parse(
+      "seed=3,shard_stall=1.0:30000000000,shard_stall_shard=1");
+  svc::Service service(cluster, cfg);
+  const svc::ServiceReport rep = service.run();
+  EXPECT_GT(rep.shed, 0u);
+  std::ostringstream os;
+  ASSERT_TRUE(service.write_blackbox(os, "unit test", 12));
+  const JsonValue doc = JsonValue::parse(os.str());
+  EXPECT_EQ(doc.at("schema").as_string(), "tshmem.blackbox.v1");
+  EXPECT_EQ(doc.at("source").as_string(), "svc");
+  EXPECT_EQ(doc.at("errc_name").as_string(), "shard_degraded");
+  bool degraded = false;
+  bool shed = false;
+  for (const JsonValue& e : doc.at("merged").as_array()) {
+    if (e.at("kind").as_string() == "svc_degraded") degraded = true;
+    if (e.at("kind").as_string() == "svc_shed") shed = true;
+  }
+  EXPECT_TRUE(degraded);
+  EXPECT_TRUE(shed);
+}
+
+// ===========================================================================
+// Zero virtual cost (the contract tools/ci.sh enforces end to end)
+// ===========================================================================
+
+TEST(FlightRecorder, EndClocksBitIdenticalRecorderOnAndOff) {
+  auto end_clocks = [](bool record) {
+    tshmem::RuntimeOptions opts;
+    opts.flightrec = record;
+    if (record) opts.timeseries_window_ps = 1'000'000;
+    tshmem::Runtime rt(tilesim::tile_gx36(), opts);
+    std::vector<ps_t> clocks(4, 0);
+    rt.run(4, [&](Context& ctx) {
+      int* buf = ctx.shmalloc_n<int>(128);
+      ctx.barrier_all();
+      for (int round = 0; round < 4; ++round) {
+        const int peer = (ctx.my_pe() + 1) % ctx.num_pes();
+        std::vector<int> src(128, round);
+        ctx.put(buf, src.data(), 128 * sizeof(int), peer);
+        ctx.put_nbi(buf, src.data(), 64 * sizeof(int), peer);
+        ctx.quiet();
+        ctx.barrier_all();
+      }
+      ctx.shfree(buf);
+      clocks[static_cast<std::size_t>(ctx.my_pe())] = ctx.clock().now();
+    });
+    return clocks;
+  };
+  const std::vector<ps_t> off = end_clocks(false);
+  const std::vector<ps_t> on = end_clocks(true);
+  ASSERT_EQ(off.size(), on.size());
+  EXPECT_EQ(off, on);
+}
+
+}  // namespace

@@ -9,6 +9,11 @@
 # virtual completion time (total_vt_ps, harvested via --profile-json; null
 # for benches without profiler support), so CI and cross-PR tooling can
 # diff reproduction health and perf trajectory without re-parsing stdout.
+# The summary header carries provenance: the git commit the audit ran at
+# (git_sha, plus git_dirty when the tree had local edits) and a SHA-256
+# over the device-model sources (device_config_sha256, src/sim/config.*) —
+# two summaries are comparable only when both hashes match, since virtual
+# time moves whenever the device model does.
 #
 # Usage: tools/check_repro.sh [build-dir] [min-ratio] [max-ratio]
 #        SUMMARY_JSON=path tools/check_repro.sh ...
@@ -27,6 +32,20 @@ fi
 tmp_out="$(mktemp)"
 tmp_prof="$(mktemp)"
 trap 'rm -f "$tmp_out" "$tmp_prof"' EXIT
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+
+# Provenance: the commit this audit ran at, and a hash of the device-model
+# sources (the timing truth every virtual-time number derives from).
+git_sha="$(git -C "$ROOT" rev-parse HEAD 2>/dev/null || echo unknown)"
+git_dirty=false
+if [ "$git_sha" != unknown ] &&
+   ! git -C "$ROOT" diff --quiet HEAD -- 2>/dev/null; then
+  git_dirty=true
+fi
+device_config_sha256="$(cat "$ROOT"/src/sim/config.hpp \
+                            "$ROOT"/src/sim/config.cpp 2>/dev/null \
+                        | sha256sum | awk '{print $1}')"
 
 status=0
 total_checks=0
@@ -128,6 +147,9 @@ done
 {
   echo "{"
   echo "  \"schema\": \"tshmem.repro_summary.v1\","
+  echo "  \"git_sha\": \"$git_sha\","
+  echo "  \"git_dirty\": $git_dirty,"
+  echo "  \"device_config_sha256\": \"$device_config_sha256\","
   echo "  \"min_ratio\": $MIN_RATIO,"
   echo "  \"max_ratio\": $MAX_RATIO,"
   echo "  \"total_checks\": $total_checks,"

@@ -21,12 +21,20 @@
 # detector still flags each seeded bug. The same loop re-runs every bench
 # under TSHMEM_PROFILE=1 and requires bit-identical stdout: the
 # critical-path profiler observes virtual time but never advances it
-# (docs/PROFILING.md).
+# (docs/PROFILING.md). The same loop then runs every bench under
+# TSHMEM_FLIGHTREC=1 + TSHMEM_TIMESERIES_WINDOW_PS and requires
+# bit-identical stdout again: the flight recorder and windowed time series
+# share the profiler's zero-virtual-cost contract (docs/OBSERVABILITY.md).
 #
-# The serving smoke stage closes the run (docs/SERVING.md): a shortened
-# ramped ext_serve run must sustain non-zero QPS with nothing hung, and a
-# shard-stall fault plan must shed load (structured rejects) rather than
-# hang, replaying bit-identically.
+# The serving smoke stage (docs/SERVING.md): a shortened ramped ext_serve
+# run must sustain non-zero QPS with nothing hung, and a shard-stall fault
+# plan must shed load (structured rejects) rather than hang, replaying
+# bit-identically.
+#
+# The triage smoke closes the run (docs/OBSERVABILITY.md): ext_faults
+# --hang-demo strands PE 0 in shmem_wait_until under a short watchdog, the
+# aborting runtime must leave a parseable tshmem.blackbox.v1 post-mortem,
+# and tools/triage.py must render it naming the stuck operation.
 #
 # Usage: tools/ci.sh [build-dir]
 #   TSHMEM_CI_TSAN=0 skips the ThreadSanitizer stage (e.g. toolchains
@@ -186,6 +194,22 @@ if [ "${TSHMEM_CI_RACECHECK:-1}" != "0" ]; then
       echo "   $b: OUTPUT MOVED UNDER PROFILER"
       racecheck_ok=0
     fi
+    # Flight-recorder identity: the recorder and the windowed time series
+    # observe virtual time but must never advance it
+    # (docs/OBSERVABILITY.md), so recorder-on stdout must be bit-identical.
+    if ! TSHMEM_FLIGHTREC=1 TSHMEM_TIMESERIES_WINDOW_PS=1000000000 \
+        "$BUILD_DIR"/bench/"$b" $args > "$tmp_dir/fr_on_$b.txt"; then
+      echo "   $b: FAILED UNDER FLIGHT RECORDER"
+      racecheck_ok=0
+      continue
+    fi
+    if diff -u "$tmp_dir/rc_off_$b.txt" "$tmp_dir/fr_on_$b.txt" >/dev/null
+    then
+      echo "   $b: recorder-on bit-identical"
+    else
+      echo "   $b: OUTPUT MOVED UNDER FLIGHT RECORDER"
+      racecheck_ok=0
+    fi
   done
   [ "$racecheck_ok" = 1 ]
   echo "== racecheck gallery (ext_races: seeded bugs must be flagged)"
@@ -283,5 +307,29 @@ assert fault.group("hung") == "0", "fault run: hung queries (shed-not-hang)"
 print(f"serving OK: healthy qps={ok.group('qps')}, degraded "
       f"shed={fault.group('shed')} hung=0, replay bit-identical")
 EOF
+
+echo "== triage smoke (hang-demo -> blackbox -> tools/triage.py)"
+bb_json="$tmp_dir/blackbox.json"
+# A short watchdog keeps the stage fast; the demo exits 0 when (and only
+# when) the watchdog tripped and the runtime aborted with kWatchdogTimeout.
+"$BUILD_DIR"/bench/ext_faults --hang-demo --watchdog-ms 250 \
+  --blackbox-json "$bb_json" > "$tmp_dir/hang_demo.txt"
+grep -q "runtime aborted as expected" "$tmp_dir/hang_demo.txt"
+python3 - "$bb_json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+assert doc["schema"] == "tshmem.blackbox.v1", doc.get("schema")
+assert doc["source"] == "runtime", doc["source"]
+assert doc["errc_name"] == "watchdog_timeout", doc["errc_name"]
+assert doc["merged"], "blackbox has no merged events"
+errs = [e for e in doc["merged"] if e["kind"] == "error"]
+assert errs and errs[-1]["site"] == "shmem_wait_until", errs
+print(f"blackbox OK: {len(doc['merged'])} merged events, incident on "
+      f"PE {errs[-1]['pe']}")
+EOF
+python3 tools/triage.py "$bb_json" > "$tmp_dir/triage.txt"
+grep -q "stuck op:  'shmem_wait_until'" "$tmp_dir/triage.txt"
+tail -n +3 "$tmp_dir/triage.txt" | head -12
 
 echo "== ci.sh: all green"

@@ -4,21 +4,35 @@
 Runs the figure benches (fig03..fig14) plus the extension benches
 (ext_overlap, ext_faults), recording for each:
 
-  - host wall-clock seconds (time.monotonic around the process), and
+  - host wall-clock seconds (time.monotonic around the process),
   - simulated virtual time + critical-path summary, harvested from the
-    bench's own --profile-json output (schema tshmem.profile.v1).
+    bench's own --profile-json output (schema tshmem.profile.v1), and
+  - flight-recorder overhead: each bench is re-run with TSHMEM_FLIGHTREC=1
+    and TSHMEM_TIMESERIES_WINDOW_PS set (docs/OBSERVABILITY.md), and the
+    wall-clock ratio is gated at --max-recorder-overhead (default 1.05).
+    Gated benches take the best of two runs on *both* sides (recorder-on,
+    and a fresh recorder-off re-run vs the main run) — single-shot wall
+    clocks on a loaded host swing more than the 5% budget being measured.
+    Benches faster than the noise floor (0.3 s) are reported but not
+    gated — process startup noise dominates there. Virtual time is
+    bit-identical on/off by contract; this measures the *host* cost.
 
 The results land in BENCH_<n>.json at the repo root (schema
 tshmem.bench.v1), where <n> is one past the highest existing BENCH index.
 When a prior BENCH_*.json exists, the new run is diffed against the newest
 one: a bench whose wall-clock grew by more than --max-wall-regression
-(default 1.25x) fails the run, and virtual-time changes are reported as
-informational drift (virtual time moves only when the model changes, so a
-drift line is a review prompt, not an error).
+(default 1.25x) fails the run — unless both sides sit under the noise
+floor, where a few hundredths of a second of scheduler jitter can exceed
+any ratio, or unless up to two fresh re-runs come in under the gate
+(a co-tenant load spike during the recorded run is not a code
+regression) — and virtual-time changes are reported as informational drift
+(virtual time moves only when the model changes, so a drift line is a
+review prompt, not an error).
 
 Usage:
   tools/perf_run.py [--build-dir build] [--out PATH]
-                    [--max-wall-regression 1.25] [--selftest]
+                    [--max-wall-regression 1.25]
+                    [--max-recorder-overhead 1.05] [--selftest]
 
 Exit codes: 0 ok, 1 wall-clock regression or failed bench, 2 bad usage.
 """
@@ -65,6 +79,11 @@ SERVE_LINE = re.compile(
     r"^serve: qps=(?P<qps>[0-9.]+) p50_ps=\d+ p99_ps=(?P<p99>\d+)",
     re.MULTILINE)
 
+# Below this baseline wall time the recorder-overhead ratio is noise
+# (process startup and page-cache effects dominate), so it is reported
+# but not gated.
+OVERHEAD_NOISE_FLOOR_S = 0.3
+
 
 def profile_reports(doc):
     """Yields the tshmem.profile.v1 report objects inside `doc`, which is
@@ -104,6 +123,8 @@ def run_bench(build_dir, name, args):
         "phase_ps": None,
         "qps": None,
         "p99_latency_ps": None,
+        "recorder_wall_s": None,
+        "recorder_overhead": None,
     }
     if not os.path.exists(binary):
         entry["exit_code"] = -1
@@ -130,14 +151,46 @@ def run_bench(build_dir, name, args):
             doc = None
         (entry["total_vt_ps"], entry["dominant_phase"],
          entry["dominant_share"], entry["phase_ps"]) = summarize_profile(doc)
+        # Recorder-overhead pass: identical command line, flight recorder
+        # + windowed time series forced on via the environment. Only the
+        # host wall clock may move; virtual time is contract-identical.
+        # Gated benches (above the noise floor) take best-of-2 on both
+        # sides so host load spikes don't masquerade as recorder cost.
+        if entry["exit_code"] == 0:
+            rec_env = dict(os.environ)
+            rec_env["TSHMEM_FLIGHTREC"] = "1"
+            rec_env["TSHMEM_TIMESERIES_WINDOW_PS"] = "1000000000"
+
+            def timed_run(run_env):
+                t0 = time.monotonic()
+                r = subprocess.run(cmd, stdout=subprocess.DEVNULL,
+                                   stderr=subprocess.DEVNULL, check=False,
+                                   env=run_env)
+                return (time.monotonic() - t0) if r.returncode == 0 else None
+
+            gated = (entry["wall_s"] or 0) >= OVERHEAD_NOISE_FLOOR_S
+            on_walls = [timed_run(rec_env)
+                        for _ in range(2 if gated else 1)]
+            on_walls = [w for w in on_walls if w is not None]
+            base = entry["wall_s"]
+            if gated:
+                off_again = timed_run(None)
+                if off_again is not None and base:
+                    base = min(base, off_again)
+            if on_walls and base:
+                entry["recorder_wall_s"] = round(min(on_walls), 4)
+                entry["recorder_overhead"] = round(
+                    entry["recorder_wall_s"] / base, 4)
     finally:
         os.unlink(profile_path)
     vt = entry["total_vt_ps"]
     serve = (f", qps {entry['qps']:.0f} p99 {entry['p99_latency_ps']} ps"
              if entry["qps"] is not None else "")
+    rec = (f", recorder {entry['recorder_overhead']:.2f}x"
+           if entry["recorder_overhead"] is not None else "")
     print(f"  {name}: wall {entry['wall_s']:.2f}s, vt "
           f"{vt if vt is not None else '?'} ps, dominant "
-          f"{entry['dominant_phase']}{serve}")
+          f"{entry['dominant_phase']}{serve}{rec}")
     return entry
 
 
@@ -180,14 +233,21 @@ def validate(doc):
         if b.get("qps") is not None:
             assert b["qps"] > 0.0
             assert isinstance(b["p99_latency_ps"], int)
+        if b.get("recorder_overhead") is not None:
+            assert b["recorder_overhead"] > 0.0
+            assert isinstance(b["recorder_wall_s"], (int, float))
     t = doc["totals"]
     assert isinstance(t["wall_s"], (int, float))
     assert isinstance(t["total_vt_ps"], int)
 
 
-def diff_against(prior_path, doc, max_wall_regression):
+def diff_against(prior_path, doc, max_wall_regression, rerun=None):
     """Compares per-bench wall/vt against a prior BENCH file. Returns a
-    list of hard failures (wall regressions)."""
+    list of hard failures (wall regressions). `rerun`, when given, is a
+    callable mapping a bench name to a fresh wall-clock measurement (or
+    None): a tentative regression is confirmed with up to two re-runs
+    before it fails the gate, so a transient host-load spike during the
+    recorded run doesn't read as a code regression."""
     try:
         with open(prior_path) as f:
             prior = json.load(f)
@@ -202,18 +262,61 @@ def diff_against(prior_path, doc, max_wall_regression):
             print(f"  {b['name']}: new bench (no prior)")
             continue
         if b["wall_s"] and o.get("wall_s"):
-            ratio = b["wall_s"] / o["wall_s"]
+            wall = b["wall_s"]
+            ratio = wall / o["wall_s"]
             if ratio > max_wall_regression:
-                failures.append(
-                    f"{b['name']}: wall {o['wall_s']:.2f}s -> "
-                    f"{b['wall_s']:.2f}s ({ratio:.2f}x > "
-                    f"{max_wall_regression:.2f}x)")
+                if max(wall, o["wall_s"]) < OVERHEAD_NOISE_FLOOR_S:
+                    print(f"  {b['name']}: wall {o['wall_s']:.2f}s -> "
+                          f"{wall:.2f}s ({ratio:.2f}x) under the "
+                          f"noise floor; not gated")
+                elif rerun is not None:
+                    for _ in range(2):
+                        again = rerun(b["name"])
+                        if again is None:
+                            break
+                        wall = min(wall, again)
+                        ratio = wall / o["wall_s"]
+                        if ratio <= max_wall_regression:
+                            break
+                    if ratio > max_wall_regression:
+                        failures.append(
+                            f"{b['name']}: wall {o['wall_s']:.2f}s -> "
+                            f"{wall:.2f}s ({ratio:.2f}x > "
+                            f"{max_wall_regression:.2f}x, re-run "
+                            f"confirmed)")
+                    else:
+                        print(f"  {b['name']}: recorded wall "
+                              f"{b['wall_s']:.2f}s was transient host "
+                              f"load (re-run {wall:.2f}s); not gated")
+                else:
+                    failures.append(
+                        f"{b['name']}: wall {o['wall_s']:.2f}s -> "
+                        f"{wall:.2f}s ({ratio:.2f}x > "
+                        f"{max_wall_regression:.2f}x)")
         if (b["total_vt_ps"] is not None and
                 o.get("total_vt_ps") is not None and
                 b["total_vt_ps"] != o["total_vt_ps"]):
             print(f"  {b['name']}: virtual time drift "
                   f"{o['total_vt_ps']} -> {b['total_vt_ps']} ps (model "
                   f"change? informational)")
+    return failures
+
+
+def overhead_failures(benches, max_recorder_overhead):
+    """Hard failures from the recorder-on re-runs: a bench above the noise
+    floor whose recorder-on wall clock exceeds the allowed ratio."""
+    failures = []
+    for b in benches:
+        ratio = b.get("recorder_overhead")
+        if ratio is None:
+            continue
+        if (b["wall_s"] or 0) < OVERHEAD_NOISE_FLOOR_S:
+            continue
+        if ratio > max_recorder_overhead:
+            failures.append(
+                f"{b['name']}: recorder overhead {ratio:.2f}x > "
+                f"{max_recorder_overhead:.2f}x (wall {b['wall_s']:.2f}s -> "
+                f"{b['recorder_wall_s']:.2f}s)")
     return failures
 
 
@@ -251,7 +354,21 @@ def selftest():
     assert int(m.group("p99")) == 266239913
     doc["benches"][0]["qps"] = 51627.4
     doc["benches"][0]["p99_latency_ps"] = 266239913
+    doc["benches"][0]["recorder_wall_s"] = 1.02
+    doc["benches"][0]["recorder_overhead"] = 1.02
     validate(doc)
+    # Recorder-overhead gate: 1.08x fails a 1.05x gate above the noise
+    # floor; the same ratio on a sub-floor bench is ignored.
+    hot = {"name": "x", "wall_s": 1.0, "recorder_wall_s": 1.08,
+           "recorder_overhead": 1.08}
+    cold = {"name": "y", "wall_s": 0.05, "recorder_wall_s": 0.054,
+            "recorder_overhead": 1.08}
+    assert overhead_failures([hot], 1.05)
+    assert not overhead_failures([hot], 1.10)
+    assert not overhead_failures([cold], 1.05)
+    assert not overhead_failures([{"name": "z", "wall_s": 1.0,
+                                   "recorder_wall_s": None,
+                                   "recorder_overhead": None}], 1.05)
     # Regression math: 1.3x wall on a 1.25x threshold must fail.
     with tempfile.NamedTemporaryFile("w", suffix=".json",
                                      delete=False) as tf:
@@ -262,6 +379,28 @@ def selftest():
         worse["benches"][0]["wall_s"] = 1.3
         assert diff_against(prior, worse, 1.25)
         assert not diff_against(prior, worse, 1.5)
+        # Re-run confirmation: a fresh fast run clears a transient spike; a
+        # fresh slow run confirms the regression.
+        assert not diff_against(prior, worse, 1.25, rerun=lambda name: 1.0)
+        assert diff_against(prior, worse, 1.25, rerun=lambda name: 1.29)
+        assert diff_against(prior, worse, 1.25, rerun=lambda name: None)
+    finally:
+        os.unlink(prior)
+    # A big ratio on a sub-noise-floor bench (scheduler jitter on a
+    # fraction-of-a-second run) must not gate.
+    tiny = json.loads(json.dumps(doc))
+    tiny["benches"][0]["wall_s"] = 0.15
+    with tempfile.NamedTemporaryFile("w", suffix=".json",
+                                     delete=False) as tf:
+        json.dump(tiny, tf)
+        prior = tf.name
+    try:
+        jitter = json.loads(json.dumps(tiny))
+        jitter["benches"][0]["wall_s"] = 0.25
+        assert not diff_against(prior, jitter, 1.25)
+        real = json.loads(json.dumps(tiny))
+        real["benches"][0]["wall_s"] = 5.0
+        assert diff_against(prior, real, 1.25)
     finally:
         os.unlink(prior)
     print("perf_run selftest OK")
@@ -275,6 +414,9 @@ def main():
                     help="output path (default BENCH_<n>.json at repo root)")
     ap.add_argument("--max-wall-regression", type=float, default=1.25,
                     help="fail when wall_s grows past this ratio vs prior")
+    ap.add_argument("--max-recorder-overhead", type=float, default=1.05,
+                    help="fail when the flight-recorder re-run exceeds this "
+                         "wall-clock ratio vs the recorder-off run")
     ap.add_argument("--selftest", action="store_true",
                     help="validate schema/diff logic on synthetic data")
     opts = ap.parse_args()
@@ -305,14 +447,31 @@ def main():
     print(f"wrote {out_path} (total wall {doc['totals']['wall_s']:.1f}s, "
           f"total vt {doc['totals']['total_vt_ps']} ps)")
 
+    failures = overhead_failures(benches, opts.max_recorder_overhead)
+    for f_ in failures:
+        print(f"  RECORDER-OVERHEAD {f_}", file=sys.stderr)
+
+    args_by_name = dict(BENCHES)
+
+    def rerun_bench(name):
+        binary = os.path.join(opts.build_dir, "bench", name)
+        if not os.path.exists(binary):
+            return None
+        t0 = time.monotonic()
+        r = subprocess.run([binary] + args_by_name.get(name, []),
+                           stdout=subprocess.DEVNULL,
+                           stderr=subprocess.DEVNULL, check=False)
+        return (time.monotonic() - t0) if r.returncode == 0 else None
+
     prior = prior_bench(index)
-    failures = []
     if prior:
         print(f"diff vs {os.path.basename(prior)} "
               f"(max wall regression {opts.max_wall_regression:.2f}x):")
-        failures = diff_against(prior, doc, opts.max_wall_regression)
-        for f_ in failures:
+        regressions = diff_against(prior, doc, opts.max_wall_regression,
+                                   rerun=rerun_bench)
+        for f_ in regressions:
             print(f"  REGRESSION {f_}", file=sys.stderr)
+        failures += regressions
     else:
         print("no prior BENCH_*.json; baseline run")
 

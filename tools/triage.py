@@ -1,0 +1,187 @@
+#!/usr/bin/env python3
+"""Render a tshmem.blackbox.v1 post-mortem as an incident report.
+
+Reads the flight-recorder dump the runtime (or svc::Service, or a bench
+--blackbox-json flag) leaves behind, identifies the triggering incident,
+and names:
+
+  * the stuck / failing operation (site + kind + virtual time),
+  * the PEs it was talking to (explicit peer field plus the trigger PE's
+    recent communication partners from the ring),
+  * the last successful synchronization edge the trigger PE completed
+    (barrier / ctrl_recv / udn_recv / wait_end with errc == 0) — i.e. the
+    last point the system is known to have been globally consistent,
+  * what every other PE was doing when the recorder stopped.
+
+Incident selection, in order of preference:
+  1. the last kind == "error" event in the merged stream (runtime dumps
+     record one at the throw site),
+  2. the last wait_begin with no later wait_end on the same PE (a spin
+     that never closed — the classic hang signature),
+  3. the dump's own reason string (snapshot dumps have no incident; the
+     report degrades to a board summary).
+
+Usage:  tools/triage.py BLACKBOX.json
+Exit status: 0 = report rendered, 1 = unparseable / wrong schema,
+             2 = usage error.
+
+Zero dependencies beyond the Python 3 standard library (CI-safe).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+SCHEMA = "tshmem.blackbox.v1"
+
+# Sync-edge kinds: completing one of these with errc == 0 proves the PE
+# made it through a cross-PE ordering point.
+SYNC_KINDS = ("barrier", "ctrl_recv", "udn_recv", "wait_end")
+
+# Kinds whose `peer` field names a communication partner.
+PEER_KINDS = ("put", "get", "put_nbi", "get_nbi", "ctrl_send", "ctrl_recv",
+              "udn_send", "udn_recv", "atomic", "broadcast", "collect",
+              "svc_shed")
+
+
+def fmt_event(e: dict) -> str:
+    parts = [f"vt={e['vt']}ps", f"pe={e['pe']}", e["kind"],
+             f"site='{e['site']}'"]
+    if e.get("peer", -1) >= 0:
+        parts.append(f"peer={e['peer']}")
+    if e.get("bytes", 0):
+        parts.append(f"bytes={e['bytes']}")
+    if e.get("errc", 0):
+        parts.append(f"errc={e['errc']}")
+    return " ".join(parts)
+
+
+def find_incident(merged: list[dict]) -> tuple[dict | None, str]:
+    """Returns (incident event or None, how it was identified)."""
+    for e in reversed(merged):
+        if e["kind"] == "error":
+            return e, "error event recorded at the throw site"
+    # Unclosed wait: last wait_begin per PE with no later wait_end.
+    open_waits: dict[int, dict] = {}
+    for e in merged:
+        if e["kind"] == "wait_begin":
+            open_waits[e["pe"]] = e
+        elif e["kind"] == "wait_end":
+            open_waits.pop(e["pe"], None)
+    if open_waits:
+        # The hang is the *earliest* unclosed wait: later ones may just be
+        # peers queueing up behind the original stall.
+        e = min(open_waits.values(), key=lambda w: (w["vt"], w["pe"]))
+        return e, "wait_begin with no matching wait_end (unclosed spin)"
+    return None, "no incident event in the ring (snapshot dump)"
+
+
+def pe_events(merged: list[dict], pe: int) -> list[dict]:
+    return [e for e in merged if e["pe"] == pe]
+
+
+def last_sync_edge(events: list[dict], before: dict | None) -> dict | None:
+    """Last completed sync edge on one PE's stream, before the incident."""
+    best = None
+    for e in events:
+        if before is not None and (e["vt"], e["seq"]) >= (before["vt"],
+                                                          before["seq"]):
+            break
+        if e["kind"] in SYNC_KINDS and e.get("errc", 0) == 0:
+            best = e
+    return best
+
+
+def recent_peers(events: list[dict], limit: int = 32) -> list[int]:
+    peers: list[int] = []
+    for e in reversed(events[-limit:]):
+        p = e.get("peer", -1)
+        if p >= 0 and e["kind"] in PEER_KINDS and p not in peers:
+            peers.append(p)
+    return sorted(peers)
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 2 or argv[1] in ("-h", "--help"):
+        print(__doc__.strip().splitlines()[0], file=sys.stderr)
+        print("usage: tools/triage.py BLACKBOX.json", file=sys.stderr)
+        return 2
+    try:
+        with open(argv[1], encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"triage: cannot read {argv[1]}: {exc}", file=sys.stderr)
+        return 1
+    if not isinstance(doc, dict) or doc.get("schema") != SCHEMA:
+        print(f"triage: {argv[1]} is not a {SCHEMA} document "
+              f"(schema = {doc.get('schema')!r})", file=sys.stderr)
+        return 1
+    merged = doc.get("merged", [])
+    required = ("source", "reason", "errc", "pes")
+    missing = [k for k in required if k not in doc]
+    if missing:
+        print(f"triage: {argv[1]} missing field(s): {', '.join(missing)}",
+              file=sys.stderr)
+        return 1
+
+    print("=" * 72)
+    print(f"tshmem post-mortem triage — {argv[1]}")
+    print("=" * 72)
+    print(f"source:      {doc['source']}")
+    print(f"reason:      {doc['reason'].splitlines()[0]}")
+    errc = doc.get("errc", 0)
+    if errc:
+        print(f"error:       errc={errc} ({doc.get('errc_name', '?')})")
+    plan = doc.get("fault_plan", "")
+    if plan:
+        print(f"fault plan:  {plan}")
+    print(f"recorder:    {doc.get('npes', '?')} PE ring(s), capacity "
+          f"{doc.get('capacity', '?')} events each, "
+          f"{len(merged)} merged event(s)")
+    print()
+
+    incident, how = find_incident(merged)
+    if incident is None:
+        print(f"incident:    {how}")
+    else:
+        pe = incident["pe"]
+        print(f"incident:    {how}")
+        print(f"  stuck op:  '{incident['site']}' ({incident['kind']}) on "
+              f"PE {pe} at vt={incident['vt']}ps")
+        if incident.get("peer", -1) >= 0:
+            print(f"  direct peer: PE {incident['peer']}")
+        mine = pe_events(merged, pe)
+        peers = recent_peers(mine)
+        if peers:
+            print(f"  recent communication partners of PE {pe}: "
+                  f"{', '.join(f'PE {p}' for p in peers)}")
+        edge = last_sync_edge(mine, incident)
+        if edge is not None:
+            print(f"  last successful sync edge on PE {pe}:")
+            print(f"    {fmt_event(edge)}")
+        else:
+            print(f"  no completed sync edge on PE {pe} inside the ring "
+                  f"window")
+    print()
+
+    # What everyone else was doing when the recorder stopped.
+    print("last event per PE:")
+    active = [p for p in doc.get("pes", []) if p.get("events")]
+    for p in active:
+        e = p["events"][-1]
+        marker = " <-- incident" if (incident is not None
+                                     and p["pe"] == incident["pe"]) else ""
+        print(f"  PE {p['pe']:>3}: {fmt_event(e)}{marker}")
+    print()
+
+    board = doc.get("board", "")
+    if board:
+        print("diagnostic board at dump time:")
+        for line in board.splitlines():
+            print(f"  {line}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -33,10 +33,21 @@ that generic tooling (clang-tidy, TSan) cannot express:
                             profiler's never-advances-a-clock contract has
                             a single enforcement surface.
 
+  R006 raw-flight-mutation  Direct flight-recorder / time-series mutation
+                            (.record_event() / .series_add() /
+                            .series_sample() / .fold_epoch() / .on_event())
+                            outside src/obs/ and sim/flight_hook.hpp.
+                            Instrumentation must go through obs::fr_record,
+                            obs::ts_add, obs::ts_sample, or
+                            tilesim::flight_event so the recorder's
+                            zero-virtual-cost contract (docs/OBSERVABILITY.md)
+                            has a single enforcement surface.
+
 Suppress a finding with a trailing comment on the offending line:
     do_thing();  // tshmem-lint: allow(R003)
 
 Usage:  tools/tshmem_lint.py [PATHS...]       (default: src bench tests)
+        tools/tshmem_lint.py --self-test      (rule regression check)
 Exit status: 0 = clean, 1 = findings, 2 = usage error.
 
 Only the Python standard library is used.
@@ -311,11 +322,40 @@ class FileScanner:
                     "enforcement surface",
                 )
 
+    # --- R006: raw flight-recorder / time-series mutation ------------------
+
+    # Ring/window mutators and the FlightSink callback. The sanctioned
+    # spellings (obs::fr_record, obs::ts_add, obs::ts_sample,
+    # tilesim::flight_event) are free functions and do not match.
+    R006_RE = re.compile(
+        r"(\.|->)\s*(record_event|series_add_window|series_add"
+        r"|series_sample|fold_epoch|set_flush_hook"
+        r"|on_event)\s*\("
+    )
+    R006_EXEMPT = ("src/obs/", "sim/flight_hook.hpp", "tests/")
+
+    def rule_raw_flight_mutation(self) -> None:
+        path = self.display.replace(os.sep, "/")
+        if any(e in path for e in self.R006_EXEMPT):
+            return
+        for i, line in enumerate(self.lines, 1):
+            if self.R006_RE.search(line):
+                self.report(
+                    "R006", i,
+                    "direct flight-recorder/time-series mutation; use "
+                    "obs::fr_record / obs::ts_add / obs::ts_sample "
+                    "(src/obs/flightrec.hpp, src/obs/timeseries.hpp) or "
+                    "tilesim::flight_event (sim/flight_hook.hpp) so the "
+                    "recorder's zero-virtual-cost contract has one "
+                    "enforcement surface",
+                )
+
     def scan(self) -> list[Finding]:
         self.rule_guarded_wait()
         self.rule_nbi_quiet()
         self.rule_non_symmetric()
         self.rule_raw_obs_mutation()
+        self.rule_raw_flight_mutation()
         return self.findings
 
 
@@ -334,7 +374,60 @@ def iter_sources(paths: list[str]) -> list[tuple[str, str]]:
     return sorted(out, key=lambda t: t[1])
 
 
+def self_test() -> int:
+    """Rule regression check: scans synthetic sources from a temp tree and
+    asserts each rule fires where expected and honors its suppression."""
+    import tempfile
+
+    cases = {
+        # (filename, source, expected rule hits as {rule: count})
+        "src/tshmem/r006_case.cpp": (
+            "void f(obs::FlightRecorder* fr, obs::TimeSeries* ts) {\n"
+            "  fr->record_event(0, k, \"s\", 1);\n"           # R006
+            "  ts->series_add(\"n\", 1, 1);\n"                # R006
+            "  ts->series_sample(\"n\", 1, 2);\n"             # R006
+            "  ts->fold_epoch(5);  // tshmem-lint: allow(R006)\n"  # allowed
+            "  obs::fr_record(fr, 0, k, \"s\", 1);\n"         # sanctioned
+            "  obs::ts_add(ts, \"n\", 1);\n"                  # sanctioned
+            "}\n",
+            {"R006": 3},
+        ),
+        # The obs implementation itself is exempt.
+        "src/obs/r006_exempt.cpp": (
+            "void g(obs::TimeSeries* ts) { ts->series_add(\"n\", 1, 1); }\n",
+            {},
+        ),
+        "src/tshmem/r005_case.cpp": (
+            "void h(obs::MetricsRegistry& reg) {\n"
+            "  reg.counter(\"x\", 0);\n"                      # R005
+            "}\n",
+            {"R005": 1},
+        ),
+    }
+    failures = []
+    with tempfile.TemporaryDirectory() as tmp:
+        for rel, (source, expected) in cases.items():
+            full = os.path.join(tmp, rel)
+            os.makedirs(os.path.dirname(full), exist_ok=True)
+            with open(full, "w", encoding="utf-8") as f:
+                f.write(source)
+            findings = FileScanner(full, rel).scan()
+            got: dict[str, int] = {}
+            for finding in findings:
+                got[finding.rule] = got.get(finding.rule, 0) + 1
+            if got != expected:
+                failures.append(f"{rel}: expected {expected}, got {got}")
+    for msg in failures:
+        print(f"tshmem_lint self-test FAIL: {msg}", file=sys.stderr)
+    if not failures:
+        print(f"tshmem_lint self-test: {len(cases)} case(s) OK",
+              file=sys.stderr)
+    return 1 if failures else 0
+
+
 def main(argv: list[str]) -> int:
+    if argv[1:] == ["--self-test"]:
+        return self_test()
     paths = argv[1:] or ["src", "bench", "tests"]
     for p in paths:
         if not os.path.exists(p):
