@@ -13,7 +13,16 @@
 // (seed, fault plan) pair produces bit-identical output across runs and
 // under the race detector / profiler (tools/ci.sh diffs them).
 //
-// Flags: --devices N       cluster devices = shards (default 2)
+// Replication (docs/SERVING.md failover): --replicas R gives every shard
+// slice R independently calibrated replicas (cluster devices = shards * R;
+// replica r of shard s is device r*shards+s). The router prefers the
+// primary, fails over on degradation or crash, and fails back on recovery.
+// Deadline / CoDel admission control (--deadline-ps, --codel-target-ps)
+// sheds excess queueing at admission instead of letting the tail grow.
+//
+// Flags: --devices N       shard slices (default 2)
+//        --replicas R      replicas per shard slice (default 1; the
+//                          cluster holds N*R devices)
 //        --pes N           PEs per shard (default 4)
 //        --images N        database size (default 5500, as fig14)
 //        --queries N       arrivals to generate (default 1000000)
@@ -31,9 +40,16 @@
 //        --concurrency N   closed-loop window (default 64)
 //        --unhealthy-us N  degrade a shard above this backlog (default 5000)
 //        --recover-us N    recover below this backlog (default 1000)
+//        --deadline-ps N   per-query completion deadline; queries whose
+//                          replica backlog overruns it are refused with
+//                          kDeadlineExceeded (default 0 = off)
+//        --codel-target-ps N   CoDel sojourn target per batcher queue
+//                          (default 0 = off)
+//        --codel-interval-ps N CoDel interval (default 1e10 = 10 ms)
 //        --fault-plan SPEC FaultPlan spec (else $TSHMEM_FAULT_PLAN, e.g.
-//                          "seed=3,shard_stall=0.3:40000000,shard_stall_shard=1")
-//        --json PATH       write the tshmem.serve.v1 report
+//                          "seed=3,shard_stall=0.3:40000000,shard_stall_shard=1"
+//                          or "seed=7,shard_crash=1.0,shard_crash_shard=1")
+//        --json PATH       write the tshmem.serve.v2 report
 //        --metrics-json PATH  write the svc.* metrics snapshot
 //        --timeseries-json PATH  write the windowed svc.* timeline
 //                          (tshmem.timeseries.v1: per-window QPS, latency
@@ -69,7 +85,13 @@ int main(int argc, char** argv) {
       "Sharded CBIR query serving over the mPIPE cluster");
 
   svc::ServiceConfig cfg;
-  const int devices = static_cast<int>(cli.get_int("devices", 2));
+  const int shards = static_cast<int>(cli.get_int("devices", 2));
+  cfg.replicas = static_cast<int>(cli.get_int("replicas", 1));
+  if (cfg.replicas < 1) {
+    std::cerr << "--replicas must be >= 1\n";
+    return 2;
+  }
+  const int devices = shards * cfg.replicas;
   cfg.pes_per_shard = static_cast<int>(cli.get_int("pes", 4));
   cfg.db.images = static_cast<int>(cli.get_int("images", 5500));
   cfg.load.queries =
@@ -90,6 +112,11 @@ int main(int argc, char** argv) {
       static_cast<svc::ps_t>(cli.get_int("unhealthy-us", 5000)) * 1'000'000;
   cfg.recover_backlog_ps =
       static_cast<svc::ps_t>(cli.get_int("recover-us", 1000)) * 1'000'000;
+  cfg.deadline_ps = static_cast<svc::ps_t>(cli.get_int("deadline-ps", 0));
+  cfg.codel.target_ps =
+      static_cast<svc::ps_t>(cli.get_int("codel-target-ps", 0));
+  cfg.codel.interval_ps = static_cast<svc::ps_t>(
+      cli.get_int("codel-interval-ps", 10'000'000'000));
   const std::string policy = cli.get_string("policy", "reject");
   if (policy == "reject") {
     cfg.policy = svc::ShedPolicy::kReject;
@@ -139,14 +166,16 @@ int main(int argc, char** argv) {
   }
   if (!profile_path.empty()) {
     // Wrapper form (several runtimes in one process), as bench_common's
-    // Telemetry writes for device sweeps: one report per shard, covering
-    // the real calibration jobs that ran on it.
+    // Telemetry writes for device sweeps: one report per replica device,
+    // covering the real calibration jobs that ran on it.
     std::ofstream out(profile_path);
     out << "{\n  \"schema\": \"" << obs::kProfileSchema
         << "\",\n  \"runs\": [";
     for (int d = 0; d < devices; ++d) {
-      out << (d == 0 ? "\n" : ",\n") << "    {\"name\": \"shard" << d
-          << "\", \"profile\": ";
+      out << (d == 0 ? "\n" : ",\n") << "    {\"name\": \"shard"
+          << d % shards;
+      if (cfg.replicas > 1) out << "r" << d / shards;
+      out << "\", \"profile\": ";
       obs::write_profile_json(out, cluster.runtime(d).profiler()->report());
       out << "}";
     }

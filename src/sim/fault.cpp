@@ -19,6 +19,8 @@ const char* fault_site_name(FaultSite site) noexcept {
     case FaultSite::kCmemMapFail: return "cmem.map_fail";
     case FaultSite::kHeapCap: return "heap.cap";
     case FaultSite::kShardStall: return "shard.stall";
+    case FaultSite::kShardCrash: return "shard.crash";
+    case FaultSite::kReplicaFlap: return "replica.flap";
   }
   return "unknown";
 }
@@ -28,7 +30,8 @@ bool FaultPlan::empty() const noexcept {
          udn_delay_rate == 0.0 && dma_stall_rate == 0.0 &&
          dma_desc_fail_rate == 0.0 && tile_stall_rate == 0.0 &&
          cmem_map_fail_rate == 0.0 && heap_cap_bytes == 0 &&
-         shard_stall_rate == 0.0;
+         shard_stall_rate == 0.0 && shard_crash_rate == 0.0 &&
+         replica_flap_rate == 0.0;
 }
 
 namespace {
@@ -46,13 +49,21 @@ double parse_rate(const std::string& entry, const std::string& text) {
   } catch (const std::exception&) {
     bad_spec(entry, "expected a rate in [0,1]");
   }
-  if (used != text.size() || rate < 0.0 || rate > 1.0) {
+  // The in-range comparison must be written positively: "nan" parses and
+  // compares false against both bounds, so `rate < 0 || rate > 1` lets a
+  // NaN rate through into every later verdict hash.
+  if (used != text.size() || !(rate >= 0.0 && rate <= 1.0)) {
     bad_spec(entry, "expected a rate in [0,1]");
   }
   return rate;
 }
 
 std::uint64_t parse_u64(const std::string& entry, const std::string& text) {
+  // std::stoull accepts "-50" and wraps it to a huge unsigned value — a
+  // negative magnitude must be a spec error, not a ~2^64 ps stall.
+  if (text.find('-') != std::string::npos) {
+    bad_spec(entry, "expected a non-negative integer");
+  }
   std::size_t used = 0;
   unsigned long long v = 0;
   try {
@@ -123,6 +134,15 @@ FaultPlan FaultPlan::parse(const std::string& spec) {
                     plan.shard_stall_ps);
     } else if (key == "shard_stall_shard") {
       plan.shard_stall_shard = static_cast<int>(parse_u64(entry, value));
+    } else if (key == "shard_crash") {
+      plan.shard_crash_rate = parse_rate(entry, value);
+    } else if (key == "shard_crash_shard") {
+      plan.shard_crash_shard = static_cast<int>(parse_u64(entry, value));
+    } else if (key == "replica_flap") {
+      parse_rate_ps(entry, value, plan.replica_flap_rate,
+                    plan.replica_flap_down_ps, plan.replica_flap_down_ps);
+    } else if (key == "replica_flap_shard") {
+      plan.replica_flap_shard = static_cast<int>(parse_u64(entry, value));
     } else {
       bad_spec(entry, "unknown key");
     }
@@ -151,6 +171,19 @@ std::string FaultPlan::describe() const {
     os << ",shard_stall=" << shard_stall_rate << ":" << shard_stall_ps;
     if (shard_stall_shard >= 0) {
       os << ",shard_stall_shard=" << shard_stall_shard;
+    }
+  }
+  if (shard_crash_rate > 0) {
+    os << ",shard_crash=" << shard_crash_rate;
+    if (shard_crash_shard >= 0) {
+      os << ",shard_crash_shard=" << shard_crash_shard;
+    }
+  }
+  if (replica_flap_rate > 0) {
+    os << ",replica_flap=" << replica_flap_rate << ":"
+       << replica_flap_down_ps;
+    if (replica_flap_shard >= 0) {
+      os << ",replica_flap_shard=" << replica_flap_shard;
     }
   }
   if (empty()) os << " (empty)";
@@ -258,6 +291,34 @@ ps_t FaultEngine::shard_stall(int shard, ps_t now_ps) {
   }
   record(FaultSite::kShardStall, shard, n, now_ps);
   return plan_.shard_stall_ps;
+}
+
+bool FaultEngine::shard_crash(int replica, ps_t now_ps) {
+  // Like shard_stall: targeted plans still consume an ordinal on every
+  // replica so decision streams stay aligned when the target changes.
+  const std::uint64_t n = next_opportunity(FaultSite::kShardCrash, replica);
+  if (plan_.shard_crash_shard >= 0 && replica != plan_.shard_crash_shard) {
+    return false;
+  }
+  if (!decide(FaultSite::kShardCrash, replica, plan_.shard_crash_rate, n)) {
+    return false;
+  }
+  record(FaultSite::kShardCrash, replica, n, now_ps);
+  return true;
+}
+
+ps_t FaultEngine::replica_flap(int replica, ps_t now_ps) {
+  const std::uint64_t n = next_opportunity(FaultSite::kReplicaFlap, replica);
+  if (plan_.replica_flap_shard >= 0 &&
+      replica != plan_.replica_flap_shard) {
+    return 0;
+  }
+  if (!decide(FaultSite::kReplicaFlap, replica, plan_.replica_flap_rate,
+              n)) {
+    return 0;
+  }
+  record(FaultSite::kReplicaFlap, replica, n, now_ps);
+  return plan_.replica_flap_down_ps;
 }
 
 void FaultEngine::note_heap_cap_denial(int tile, ps_t now_ps) {

@@ -45,8 +45,10 @@ enum class FaultSite : int {
   kCmemMapFail = 6, ///< common-memory map attempt fails
   kHeapCap = 7,     ///< symmetric-heap pressure cap denied an allocation
   kShardStall = 8,  ///< serving shard loses plan.shard_stall_ps per batch
+  kShardCrash = 9,  ///< serving replica dies permanently at a seeded point
+  kReplicaFlap = 10,  ///< serving replica crashes, recovers, crashes again
 };
-inline constexpr int kFaultSiteCount = 9;
+inline constexpr int kFaultSiteCount = 11;
 
 [[nodiscard]] const char* fault_site_name(FaultSite site) noexcept;
 
@@ -91,6 +93,19 @@ struct FaultPlan {
   ps_t shard_stall_ps = 0;
   int shard_stall_shard = -1;
 
+  /// Permanent replica failure (docs/SERVING.md failover): each batch a
+  /// replica dispatches is one opportunity to die and never return.
+  /// shard_crash_shard targets one replica slot — the global index
+  /// replica * shards + shard, so slot s is shard s's primary (-1 = any).
+  double shard_crash_rate = 0.0;
+  int shard_crash_shard = -1;
+
+  /// Repeated crash/recover cycles: each batch dispatch is one opportunity
+  /// to crash for replica_flap_down_ps of virtual time, then recover.
+  double replica_flap_rate = 0.0;
+  ps_t replica_flap_down_ps = 0;
+  int replica_flap_shard = -1;
+
   /// True when the plan cannot inject anything (all rates/caps zero).
   [[nodiscard]] bool empty() const noexcept;
 
@@ -98,8 +113,11 @@ struct FaultPlan {
   /// e.g. "seed=42,udn_drop=0.01,udn_delay=0.01:50000,dma_stall=0.02:100000,
   /// dma_fail=0.01,tile_stall=0.005:1000000,cmem_fail=0.1,heap_cap=1048576".
   /// Rate:magnitude pairs use "rate:ps". Optional keys: udn_corrupt,
-  /// udn_retries, udn_backoff, shard_stall (rate:ps), shard_stall_shard.
-  /// Throws std::invalid_argument on malformed or unknown entries.
+  /// udn_retries, udn_backoff, shard_stall (rate:ps), shard_stall_shard,
+  /// shard_crash (rate), shard_crash_shard, replica_flap (rate:down_ps),
+  /// replica_flap_shard. Throws std::invalid_argument on malformed or
+  /// unknown entries — including NaN or out-of-[0,1] rates and negative
+  /// magnitudes, which std::stod/stoull would otherwise accept.
   static FaultPlan parse(const std::string& spec);
 
   /// Human-readable one-line summary (diagnostics, bench headers).
@@ -147,6 +165,15 @@ class FaultEngine {
   /// The shard index plays the tile role in the decision hash; a plan with
   /// shard_stall_shard >= 0 stalls only that shard.
   ps_t shard_stall(int shard, ps_t now_ps);
+
+  /// True when `replica` (a global replica slot) dies at this batch
+  /// dispatch. The caller owns the permanence: the engine stays stateless
+  /// so the (seed, plan) replay contract is untouched.
+  bool shard_crash(int replica, ps_t now_ps);
+
+  /// Down-time for a crash/recover flap fired at this batch dispatch on
+  /// `replica` (0 = none). The caller schedules the recovery.
+  ps_t replica_flap(int replica, ps_t now_ps);
 
   /// Records a heap-cap denial (the cap verdict itself is a deterministic
   /// threshold check done by the heap so it stays symmetric across PEs).

@@ -58,9 +58,13 @@ enum class FlightKind : std::uint8_t {
   kSvcDegraded,   ///< serving: shard marked degraded
   kSvcRecovered,  ///< serving: shard recovered
   kSvcBatch,      ///< serving: batch dispatched to a shard
+  kSvcCrash,      ///< serving: replica died (kShardCrash / kReplicaFlap)
+  kSvcFailover,   ///< serving: queries moved to a surviving replica
+  kSvcFailback,   ///< serving: a primary replica resumed serving
+  kSvcDeadlineDrop,  ///< serving: admission control dropped a query
 };
 
-inline constexpr int kFlightKindCount = 30;
+inline constexpr int kFlightKindCount = 34;
 
 [[nodiscard]] constexpr const char* fr_kind_name(FlightKind k) noexcept {
   switch (k) {
@@ -94,6 +98,10 @@ inline constexpr int kFlightKindCount = 30;
     case FlightKind::kSvcDegraded: return "svc_degraded";
     case FlightKind::kSvcRecovered: return "svc_recovered";
     case FlightKind::kSvcBatch: return "svc_batch";
+    case FlightKind::kSvcCrash: return "svc_crash";
+    case FlightKind::kSvcFailover: return "svc_failover";
+    case FlightKind::kSvcFailback: return "svc_failback";
+    case FlightKind::kSvcDeadlineDrop: return "svc_deadline_drop";
   }
   return "?";
 }

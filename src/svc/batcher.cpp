@@ -1,9 +1,43 @@
 #include "svc/batcher.hpp"
 
+#include <cmath>
 #include <stdexcept>
 #include <utility>
 
 namespace svc {
+
+CodelAdmission::CodelAdmission(const CodelConfig& cfg) : cfg_(cfg) {
+  if (cfg_.target_ps > 0 && cfg_.interval_ps < 1) {
+    throw std::invalid_argument("codel: interval must be >= 1 ps");
+  }
+}
+
+bool CodelAdmission::admit(ps_t sojourn_ps, ps_t now_ps) {
+  if (cfg_.target_ps <= 0) return true;
+  if (sojourn_ps <= cfg_.target_ps) {
+    // Queue healthy again: leave the dropping state entirely.
+    first_above_ps_ = 0;
+    drop_streak_ = 0;
+    return true;
+  }
+  if (first_above_ps_ == 0) {
+    // First sighting above target: give the queue one full interval.
+    first_above_ps_ = now_ps + cfg_.interval_ps;
+    return true;
+  }
+  if (now_ps < first_above_ps_) return true;
+  // Above target for a full interval: drop the newest arrival and shorten
+  // the next interval (CoDel control law — interval / sqrt(streak)).
+  ++drop_streak_;
+  ++drops_;
+  const double shrink =
+      std::sqrt(static_cast<double>(drop_streak_ + 1));
+  first_above_ps_ =
+      now_ps + std::max<ps_t>(1, static_cast<ps_t>(
+                                     static_cast<double>(cfg_.interval_ps) /
+                                     shrink));
+  return false;
+}
 
 Batcher::Batcher(const BatcherConfig& cfg) : cfg_(cfg) {
   if (cfg_.max_batch < 1) {

@@ -34,6 +34,41 @@ struct PendingQuery {
   std::uint64_t id = 0;
   int key = 0;
   ps_t arrival_ps = 0;
+  ps_t deadline_ps = 0;  ///< virtual-time completion deadline (0 = none);
+                         ///< re-checked when a crash requeues the query
+};
+
+/// CoDel-style admission control over one batcher queue
+/// (docs/SERVING.md). The queue's *sojourn time* — the service's
+/// virtual-time backlog estimate, i.e. how long a newly admitted query
+/// would wait — must stay above target_ps for a full interval_ps before
+/// the newest arrival is dropped; once dropping, the control law shortens
+/// the next interval by 1/sqrt(consecutive drops) so a standing queue is
+/// drained firmly, while a transient burst inside one interval is left
+/// alone. Dropping the newest arrival (not the head) keeps already
+/// accepted queries on their original replicas, which is what preserves
+/// the offered == completed + shed + deadline_dropped accounting.
+struct CodelConfig {
+  ps_t target_ps = 0;                  ///< acceptable sojourn (0 = off)
+  ps_t interval_ps = 10'000'000'000;   ///< 10 ms of virtual time
+};
+
+class CodelAdmission {
+ public:
+  explicit CodelAdmission(const CodelConfig& cfg);
+
+  /// Verdict for the newest arrival given the queue's estimated sojourn
+  /// at virtual time `now_ps`: true = admit, false = drop it.
+  bool admit(ps_t sojourn_ps, ps_t now_ps);
+
+  [[nodiscard]] std::uint64_t drops() const noexcept { return drops_; }
+  [[nodiscard]] bool enabled() const noexcept { return cfg_.target_ps > 0; }
+
+ private:
+  CodelConfig cfg_;
+  ps_t first_above_ps_ = 0;     ///< deadline for the current interval
+  std::uint64_t drop_streak_ = 0;  ///< consecutive drops (control law)
+  std::uint64_t drops_ = 0;
 };
 
 class Batcher {

@@ -26,6 +26,7 @@ void write_report_json(std::ostream& os, const ServiceReport& rep,
   os << "  \"schema\": \"" << kServeSchema << "\",\n";
   os << "  \"config\": {\n";
   os << "    \"shards\": " << rep.shards << ",\n";
+  os << "    \"replicas\": " << rep.replicas << ",\n";
   os << "    \"pes_per_shard\": " << cfg.pes_per_shard << ",\n";
   os << "    \"images\": " << cfg.db.images << ",\n";
   os << "    \"seed\": " << cfg.load.seed << ",\n";
@@ -44,13 +45,17 @@ void write_report_json(std::ostream& os, const ServiceReport& rep,
   os << "    \"unhealthy_backlog_ps\": " << cfg.unhealthy_backlog_ps
      << ",\n";
   os << "    \"recover_backlog_ps\": " << cfg.recover_backlog_ps << ",\n";
+  os << "    \"deadline_ps\": " << cfg.deadline_ps << ",\n";
+  os << "    \"codel_target_ps\": " << cfg.codel.target_ps << ",\n";
+  os << "    \"codel_interval_ps\": " << cfg.codel.interval_ps << ",\n";
   os << "    \"fault_plan\": \"" << obs::json_escape(rep.fault_plan)
      << "\"\n";
   os << "  },\n";
   os << "  \"calibration\": [\n";
   for (std::size_t s = 0; s < rep.calibration.size(); ++s) {
     const ShardCalibration& c = rep.calibration[s];
-    os << "    {\"shard\": " << s << ", \"first\": " << c.first
+    os << "    {\"shard\": " << c.shard << ", \"replica\": " << c.replica
+       << ", \"first\": " << c.first
        << ", \"count\": " << c.count << ", \"build_ps\": " << c.build_ps
        << ", \"setup_ps\": " << c.setup_ps
        << ", \"per_query_ps\": " << c.per_query_ps << "}"
@@ -60,12 +65,15 @@ void write_report_json(std::ostream& os, const ServiceReport& rep,
   os << "  \"shards\": [\n";
   for (std::size_t s = 0; s < rep.shard_stats.size(); ++s) {
     const ShardStats& st = rep.shard_stats[s];
-    os << "    {\"shard\": " << s << ", \"batches\": " << st.batches
+    os << "    {\"shard\": " << st.shard << ", \"replica\": " << st.replica
+       << ", \"batches\": " << st.batches
        << ", \"queries\": " << st.queries
        << ", \"stall_events\": " << st.stall_events
        << ", \"stall_ps\": " << st.stall_ps
        << ", \"degraded_episodes\": " << st.degraded_episodes
        << ", \"recoveries\": " << st.recoveries
+       << ", \"crashes\": " << st.crashes << ", \"flaps\": " << st.flaps
+       << ", \"requeued\": " << st.requeued
        << ", \"last_recovery_ps\": " << st.last_recovery_ps
        << ", \"busy_ps\": " << st.busy_ps << "}"
        << (s + 1 < rep.shard_stats.size() ? "," : "") << "\n";
@@ -78,6 +86,13 @@ void write_report_json(std::ostream& os, const ServiceReport& rep,
   os << "    \"cache_hits\": " << rep.cache_hits << ",\n";
   os << "    \"shed\": " << rep.shed << ",\n";
   os << "    \"rerouted\": " << rep.rerouted << ",\n";
+  os << "    \"failover_routed\": " << rep.failover_routed << ",\n";
+  os << "    \"requeued\": " << rep.requeued << ",\n";
+  os << "    \"failbacks\": " << rep.failbacks << ",\n";
+  os << "    \"replica_crashes\": " << rep.replica_crashes << ",\n";
+  os << "    \"replica_lost\": " << rep.replica_lost << ",\n";
+  os << "    \"deadline_dropped\": " << rep.deadline_dropped << ",\n";
+  os << "    \"codel_dropped\": " << rep.codel_dropped << ",\n";
   os << "    \"hung\": " << rep.hung << ",\n";
   os << "    \"qps\": " << fmt(rep.qps, 1) << ",\n";
   os << "    \"p50_latency_ps\": " << rep.latency.p50 << ",\n";
@@ -94,34 +109,51 @@ void write_report_json(std::ostream& os, const ServiceReport& rep,
 void print_summary(std::ostream& os, const ServiceReport& rep,
                    const ServiceConfig& cfg) {
   os << "--- serving summary ---\n";
-  os << "shards " << rep.shards << " x " << cfg.pes_per_shard
-     << " PEs, db " << cfg.db.images << " images, "
+  os << "shards " << rep.shards << " x " << rep.replicas << " replicas x "
+     << cfg.pes_per_shard << " PEs, db " << cfg.db.images << " images, "
      << (cfg.closed_loop ? "closed" : "open") << "-loop, policy "
      << shed_policy_name(cfg.policy) << "\n";
   for (std::size_t s = 0; s < rep.calibration.size(); ++s) {
     const ShardCalibration& c = rep.calibration[s];
-    os << "shard " << s << ": images [" << c.first << ", "
-       << c.first + c.count << "), build " << c.build_ps << " ps, batch "
-       << c.setup_ps << " + n*" << c.per_query_ps << " ps\n";
+    os << "shard " << c.shard << "/r" << c.replica << ": images ["
+       << c.first << ", " << c.first + c.count << "), build " << c.build_ps
+       << " ps, batch " << c.setup_ps << " + n*" << c.per_query_ps
+       << " ps\n";
   }
   os << "offered " << rep.offered << ", completed " << rep.completed
      << " (cache " << rep.cache_hits << "), shed " << rep.shed
      << ", rerouted " << rep.rerouted << ", hung " << rep.hung << "\n";
+  if (rep.replicas > 1 || rep.replica_crashes > 0 ||
+      rep.deadline_dropped > 0) {
+    os << "failover: routed " << rep.failover_routed << ", requeued "
+       << rep.requeued << ", failbacks " << rep.failbacks << ", crashes "
+       << rep.replica_crashes << ", lost " << rep.replica_lost
+       << "; admission drops " << rep.deadline_dropped << " (codel "
+       << rep.codel_dropped << ")\n";
+  }
   for (std::size_t s = 0; s < rep.shard_stats.size(); ++s) {
     const ShardStats& st = rep.shard_stats[s];
-    os << "shard " << s << ": " << st.batches << " batches / "
-       << st.queries << " queries, stalls " << st.stall_events << " ("
-       << st.stall_ps << " ps), degraded " << st.degraded_episodes
-       << ", recovered " << st.recoveries << "\n";
+    os << "shard " << st.shard << "/r" << st.replica << ": " << st.batches
+       << " batches / " << st.queries << " queries, stalls "
+       << st.stall_events << " (" << st.stall_ps << " ps), degraded "
+       << st.degraded_episodes << ", recovered " << st.recoveries;
+    if (st.crashes > 0) {
+      os << ", crashes " << st.crashes << " (flaps " << st.flaps
+         << "), requeued " << st.requeued;
+    }
+    os << "\n";
   }
   if (!rep.shed_error.empty()) {
     os << "sample shed reply: " << rep.shed_error << "\n";
   }
-  // The machine-parsable record (tools/perf_run.py, tools/ci.sh).
+  // The machine-parsable record (tools/perf_run.py, tools/ci.sh). New
+  // fields append after fault_events: the harvesters match the prefix.
   os << "serve: qps=" << fmt(rep.qps, 1) << " p50_ps=" << rep.latency.p50
      << " p99_ps=" << rep.latency.p99 << " p999_ps=" << rep.latency.p999
      << " completed=" << rep.completed << " shed=" << rep.shed
      << " hung=" << rep.hung << " fault_events=" << rep.fault_events
+     << " deadline_drop=" << rep.deadline_dropped
+     << " failover=" << rep.failover_routed << " requeued=" << rep.requeued
      << "\n";
 }
 

@@ -1,12 +1,14 @@
 // Serving-report exporters (docs/SERVING.md).
 //
 // Two views of a ServiceReport:
-//   - write_report_json: the machine-readable "tshmem.serve.v1" document
+//   - write_report_json: the machine-readable "tshmem.serve.v2" document
 //     (stable key order, so byte-level diffs across replays are
-//     meaningful — CI's serve smoke diffs two runs of one seed/plan);
+//     meaningful — CI's serve smoke diffs two runs of one seed/plan; v2
+//     added replication, failover and admission-control fields);
 //   - print_summary: the human block bench/ext_serve prints, including the
 //     one-line "serve:" record tools/perf_run.py harvests QPS and tail
-//     latency from.
+//     latency from (new fields append after fault_events so the existing
+//     prefix regexes keep matching).
 #pragma once
 
 #include <iosfwd>
@@ -15,9 +17,9 @@
 
 namespace svc {
 
-inline constexpr const char* kServeSchema = "tshmem.serve.v1";
+inline constexpr const char* kServeSchema = "tshmem.serve.v2";
 
-/// Writes the full report as deterministic JSON (schema tshmem.serve.v1).
+/// Writes the full report as deterministic JSON (schema tshmem.serve.v2).
 void write_report_json(std::ostream& os, const ServiceReport& rep,
                        const ServiceConfig& cfg);
 

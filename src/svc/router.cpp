@@ -25,42 +25,98 @@ const char* shed_policy_name(ShedPolicy p) noexcept {
   return "unknown";
 }
 
-Router::Router(int num_shards, ShedPolicy policy) : policy_(policy) {
+const char* replica_health_name(ReplicaHealth h) noexcept {
+  switch (h) {
+    case ReplicaHealth::kHealthy: return "healthy";
+    case ReplicaHealth::kDegraded: return "degraded";
+    case ReplicaHealth::kCrashed: return "crashed";
+  }
+  return "unknown";
+}
+
+ReplicaSet::ReplicaSet(int replicas) {
+  if (replicas < 1) {
+    throw std::invalid_argument("replica_set: need >= 1 replica");
+  }
+  state_.assign(static_cast<std::size_t>(replicas),
+                ReplicaHealth::kHealthy);
+}
+
+void ReplicaSet::set_state(int replica, ReplicaHealth h) {
+  if (replica < 0 || replica >= size()) {
+    throw std::out_of_range("replica_set: replica index");
+  }
+  state_[static_cast<std::size_t>(replica)] = h;
+}
+
+ReplicaHealth ReplicaSet::state(int replica) const {
+  if (replica < 0 || replica >= size()) {
+    throw std::out_of_range("replica_set: replica index");
+  }
+  return state_[static_cast<std::size_t>(replica)];
+}
+
+int ReplicaSet::pick() const noexcept {
+  for (std::size_t r = 0; r < state_.size(); ++r) {
+    if (state_[r] == ReplicaHealth::kHealthy) return static_cast<int>(r);
+  }
+  return -1;
+}
+
+Router::Router(int num_shards, ShedPolicy policy, int replicas)
+    : policy_(policy), replicas_(replicas) {
   if (num_shards < 1) {
     throw std::invalid_argument("router: need >= 1 shard");
   }
-  healthy_.assign(static_cast<std::size_t>(num_shards), true);
+  sets_.reserve(static_cast<std::size_t>(num_shards));
+  for (int s = 0; s < num_shards; ++s) sets_.emplace_back(replicas);
 }
 
 int Router::home_shard(int key) const noexcept {
   return static_cast<int>(mix(static_cast<std::uint64_t>(key)) %
-                          healthy_.size());
+                          sets_.size());
 }
 
 void Router::set_health(int shard, bool healthy) {
-  if (shard < 0 || shard >= num_shards()) {
-    throw std::out_of_range("router: shard index");
-  }
-  healthy_[static_cast<std::size_t>(shard)] = healthy;
+  set_replica_health(shard, 0,
+                     healthy ? ReplicaHealth::kHealthy
+                             : ReplicaHealth::kDegraded);
 }
 
 bool Router::healthy(int shard) const {
+  return replica_set(shard).available();
+}
+
+void Router::set_replica_health(int shard, int replica, ReplicaHealth h) {
   if (shard < 0 || shard >= num_shards()) {
     throw std::out_of_range("router: shard index");
   }
-  return healthy_[static_cast<std::size_t>(shard)];
+  sets_[static_cast<std::size_t>(shard)].set_state(replica, h);
+}
+
+ReplicaHealth Router::replica_health(int shard, int replica) const {
+  return replica_set(shard).state(replica);
+}
+
+const ReplicaSet& Router::replica_set(int shard) const {
+  if (shard < 0 || shard >= num_shards()) {
+    throw std::out_of_range("router: shard index");
+  }
+  return sets_[static_cast<std::size_t>(shard)];
 }
 
 Router::Route Router::route(int key) const noexcept {
   const int home = home_shard(key);
-  if (healthy_[static_cast<std::size_t>(home)]) return Route{home, false};
-  if (policy_ == ShedPolicy::kReject) return Route{-1, false};
+  const int r = sets_[static_cast<std::size_t>(home)].pick();
+  if (r >= 0) return Route{home, r, false, r != 0};
+  if (policy_ == ShedPolicy::kReject) return Route{-1, -1, false, false};
   const int n = num_shards();
   for (int step = 1; step < n; ++step) {
     const int s = (home + step) % n;
-    if (healthy_[static_cast<std::size_t>(s)]) return Route{s, true};
+    const int rr = sets_[static_cast<std::size_t>(s)].pick();
+    if (rr >= 0) return Route{s, rr, true, rr != 0};
   }
-  return Route{-1, false};  // the whole fleet is degraded
+  return Route{-1, -1, false, false};  // the whole fleet is unavailable
 }
 
 }  // namespace svc

@@ -1,15 +1,20 @@
 // Query router for the serving subsystem (docs/SERVING.md).
 //
-// Hashes each query key to its home shard (one cluster device = one
-// shard) and consumes the shard-health signals the service derives from
-// virtual-time backlog watchdogs. A degraded shard sheds load instead of
-// hanging: under kReject its traffic is refused outright (the client gets
-// a structured tshmem::Error(kShardDegraded) reply); under kReroute the
-// ring is scanned for the next healthy shard and only an entirely
-// degraded fleet sheds.
+// Hashes each query key to its home shard slice and picks a serving
+// replica from that slice's ReplicaSet. Each shard slice owns R replicas
+// (one cluster device each); the set prefers the primary (replica 0),
+// fails over to the lowest-index healthy backup when the primary is
+// degraded or crashed, and fails back automatically once the primary is
+// healthy again. Only when a slice has no healthy replica at all does the
+// shed policy apply: under kReject its traffic is refused outright (the
+// client gets a structured tshmem::Error reply); under kReroute the shard
+// ring is scanned for the next slice with a healthy replica and only an
+// entirely unavailable fleet sheds.
 //
 // The router is pure policy — no counters, no clocks — so routing
-// decisions are trivially deterministic and unit-testable.
+// decisions are trivially deterministic and unit-testable. Health state is
+// pushed in by the service's virtual-time backlog watchdog and crash
+// handling.
 #pragma once
 
 #include <cstdint>
@@ -18,30 +23,73 @@
 namespace svc {
 
 enum class ShedPolicy {
-  kReject,   ///< degraded home shard: refuse the query
-  kReroute,  ///< degraded home shard: try the next healthy shard
+  kReject,   ///< unavailable home shard: refuse the query
+  kReroute,  ///< unavailable home shard: try the next available shard
 };
 
 [[nodiscard]] const char* shed_policy_name(ShedPolicy p) noexcept;
 
+/// Health of one replica, as the service's watchdog / crash handling sees
+/// it. kDegraded replicas may still drain accepted work; kCrashed replicas
+/// are gone until explicitly revived (replica-flap recovery).
+enum class ReplicaHealth : std::uint8_t {
+  kHealthy = 0,
+  kDegraded = 1,
+  kCrashed = 2,
+};
+
+[[nodiscard]] const char* replica_health_name(ReplicaHealth h) noexcept;
+
+/// Health-tracked replica group of one shard slice. Primary-preferring:
+/// pick() returns replica 0 whenever it is healthy, else the lowest-index
+/// healthy backup (the failover), else -1 (the slice is unavailable).
+class ReplicaSet {
+ public:
+  explicit ReplicaSet(int replicas);
+
+  [[nodiscard]] int size() const noexcept {
+    return static_cast<int>(state_.size());
+  }
+  void set_state(int replica, ReplicaHealth h);
+  [[nodiscard]] ReplicaHealth state(int replica) const;
+
+  /// Serving replica under the current health picture (-1 = none).
+  [[nodiscard]] int pick() const noexcept;
+
+  /// True when pick() would find a replica.
+  [[nodiscard]] bool available() const noexcept { return pick() >= 0; }
+
+ private:
+  std::vector<ReplicaHealth> state_;
+};
+
 class Router {
  public:
-  Router(int num_shards, ShedPolicy policy);
+  Router(int num_shards, ShedPolicy policy, int replicas = 1);
 
   [[nodiscard]] int num_shards() const noexcept {
-    return static_cast<int>(healthy_.size());
+    return static_cast<int>(sets_.size());
   }
+  [[nodiscard]] int replicas() const noexcept { return replicas_; }
   [[nodiscard]] ShedPolicy policy() const noexcept { return policy_; }
 
   /// Home shard of a key: SplitMix64 finalizer over the key, mod shards.
   [[nodiscard]] int home_shard(int key) const noexcept;
 
+  /// Single-replica convenience (the PR-6 surface): sets the primary's
+  /// health. healthy(shard) reports whether the slice can serve at all.
   void set_health(int shard, bool healthy);
   [[nodiscard]] bool healthy(int shard) const;
 
+  void set_replica_health(int shard, int replica, ReplicaHealth h);
+  [[nodiscard]] ReplicaHealth replica_health(int shard, int replica) const;
+  [[nodiscard]] const ReplicaSet& replica_set(int shard) const;
+
   struct Route {
     int shard = -1;         ///< -1 = shed (no shard accepts the query)
-    bool rerouted = false;  ///< true when shard != the degraded home
+    int replica = -1;       ///< serving replica within the shard
+    bool rerouted = false;  ///< true when shard != the unavailable home
+    bool failover = false;  ///< true when replica != the shard's primary
   };
 
   /// Routing verdict for one query under the current health picture.
@@ -49,7 +97,8 @@ class Router {
 
  private:
   ShedPolicy policy_;
-  std::vector<bool> healthy_;
+  int replicas_;
+  std::vector<ReplicaSet> sets_;
 };
 
 }  // namespace svc

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <deque>
 #include <fstream>
+#include <functional>
 #include <queue>
 #include <span>
 #include <sstream>
@@ -25,7 +26,16 @@ Service::Service(tshmem::Cluster& cluster, ServiceConfig cfg)
   if (cfg_.pes_per_shard < 1) {
     throw std::invalid_argument("service: pes_per_shard must be >= 1");
   }
-  if (cfg_.db.images < cluster_.num_devices()) {
+  if (cfg_.replicas < 1) {
+    throw std::invalid_argument("service: replicas must be >= 1");
+  }
+  if (cluster_.num_devices() < cfg_.replicas ||
+      cluster_.num_devices() % cfg_.replicas != 0) {
+    throw std::invalid_argument(
+        "service: cluster devices must be shards * replicas");
+  }
+  shards_ = cluster_.num_devices() / cfg_.replicas;
+  if (cfg_.db.images < shards_) {
     throw std::invalid_argument("service: fewer images than shards");
   }
   if (cfg_.recover_backlog_ps > cfg_.unhealthy_backlog_ps) {
@@ -37,6 +47,9 @@ Service::Service(tshmem::Cluster& cluster, ServiceConfig cfg)
   }
   if (cfg_.closed_loop && cfg_.concurrency < 1) {
     throw std::invalid_argument("service: closed loop needs concurrency>=1");
+  }
+  if (cfg_.deadline_ps < 0 || cfg_.codel.target_ps < 0) {
+    throw std::invalid_argument("service: negative admission thresholds");
   }
   if (cfg_.timeseries_window_ps > 0 || !cfg_.blackbox_path.empty()) {
     cfg_.flightrec = true;
@@ -74,19 +87,24 @@ void Service::dump_blackbox(const std::string& reason, int errc) {
   blackbox_written_ = write_blackbox(os, reason, errc);
 }
 
-ShardCalibration Service::calibrate_shard(int shard) {
-  const int shards = cluster_.num_devices();
-  if (shard < 0 || shard >= shards) {
+ShardCalibration Service::calibrate_replica(int shard, int replica) {
+  if (shard < 0 || shard >= shards_) {
     throw std::out_of_range("service: shard index");
   }
-  const int per_shard = (cfg_.db.images + shards - 1) / shards;
+  if (replica < 0 || replica >= cfg_.replicas) {
+    throw std::out_of_range("service: replica index");
+  }
+  const int device = replica * shards_ + shard;
+  const int per_shard = (cfg_.db.images + shards_ - 1) / shards_;
   ShardCalibration cal;
+  cal.shard = shard;
+  cal.replica = replica;
   cal.first = std::min(cfg_.db.images, shard * per_shard);
   cal.count = std::min(cfg_.db.images - cal.first, per_shard);
   const int probes = std::max(2, cfg_.batch.max_batch);
   const apps::cbir::Params db = cfg_.db;
 
-  cluster_.run_shard(shard, cfg_.pes_per_shard, [&](tshmem::Context& ctx) {
+  cluster_.run_shard(device, cfg_.pes_per_shard, [&](tshmem::Context& ctx) {
     const auto b0 = ctx.clock().now();
     ShardIndex index(ctx, db, cal.first, cal.count);
     const auto b1 = ctx.clock().now();
@@ -127,12 +145,12 @@ ShardCalibration Service::calibrate_shard(int shard) {
 namespace {
 
 struct Event {
-  enum class Kind { kArrival, kBatchTimeout, kBatchDone };
+  enum class Kind { kArrival, kBatchTimeout, kBatchDone, kReplicaRecover };
 
   ps_t at = 0;
   std::uint64_t seq = 0;  ///< monotone tiebreak: total event order
   Kind kind = Kind::kArrival;
-  int shard = -1;
+  int rid = -1;  ///< global replica slot (replica * shards + shard)
   std::uint64_t generation = 0;  ///< batch-timeout staleness guard
   Arrival arrival;
 };
@@ -144,45 +162,59 @@ struct EventAfter {
   }
 };
 
-struct ShardState {
-  explicit ShardState(const BatcherConfig& cfg) : batcher(cfg) {}
+/// Serve-loop state of one replica (one cluster device).
+struct ReplicaState {
+  ReplicaState(const BatcherConfig& bcfg, const CodelConfig& ccfg)
+      : batcher(bcfg), codel(ccfg) {}
 
   Batcher batcher;
+  CodelAdmission codel;  ///< sojourn controller over `queue`
   std::deque<std::vector<PendingQuery>> queue;  ///< closed, waiting batches
   std::vector<PendingQuery> running;            ///< batch being served
   bool busy = false;
   ps_t busy_until = 0;
   ps_t queued_est_ps = 0;  ///< estimated service time of `queue`
   bool degraded = false;
+  bool crashed = false;  ///< kShardCrash (forever) or kReplicaFlap (down)
 };
 
 }  // namespace
 
 ServiceReport Service::run() {
-  const int shards = cluster_.num_devices();
+  const int replicas = cfg_.replicas;
+  const int nrep = shards_ * replicas;
   ServiceReport rep;
-  rep.shards = shards;
-  rep.calibration.reserve(static_cast<std::size_t>(shards));
-  for (int s = 0; s < shards; ++s) {
-    rep.calibration.push_back(calibrate_shard(s));
+  rep.shards = shards_;
+  rep.replicas = replicas;
+  rep.calibration.reserve(static_cast<std::size_t>(nrep));
+  for (int rid = 0; rid < nrep; ++rid) {
+    rep.calibration.push_back(
+        calibrate_replica(rid % shards_, rid / shards_));
   }
-  rep.shard_stats.assign(static_cast<std::size_t>(shards), ShardStats{});
+  rep.shard_stats.assign(static_cast<std::size_t>(nrep), ShardStats{});
+  for (int rid = 0; rid < nrep; ++rid) {
+    rep.shard_stats[static_cast<std::size_t>(rid)].shard = rid % shards_;
+    rep.shard_stats[static_cast<std::size_t>(rid)].replica = rid / shards_;
+  }
   rep.fault_plan = cfg_.fault_plan.describe();
 
   // --- serve phase: deterministic discrete-event loop ---------------------
   tilesim::FaultEngine faults(cfg_.fault_plan);
   LoadGen gen(cfg_.load);
   LruCache cache(cfg_.cache_capacity);
-  Router router(shards, cfg_.policy);
-  std::vector<ShardState> st;
-  st.reserve(static_cast<std::size_t>(shards));
-  for (int s = 0; s < shards; ++s) st.emplace_back(cfg_.batch);
+  Router router(shards_, cfg_.policy, replicas);
+  std::vector<ReplicaState> st;
+  st.reserve(static_cast<std::size_t>(nrep));
+  for (int rid = 0; rid < nrep; ++rid) {
+    st.emplace_back(cfg_.batch, cfg_.codel);
+  }
 
   // Sanctioned instrumentation handles (lint rule R005).
   auto* m_offered = obs::counter_handle(metrics_, "svc.offered", 0);
   auto* m_completed = obs::counter_handle(metrics_, "svc.completed", 0);
   auto* m_shed = obs::counter_handle(metrics_, "svc.shed", 0);
   auto* m_rerouted = obs::counter_handle(metrics_, "svc.rerouted", 0);
+  auto* m_deadline = obs::counter_handle(metrics_, "svc.deadline_drop", 0);
   auto* m_latency = obs::histogram_handle(metrics_, "svc.latency.ps", 0);
   auto* m_fill = obs::histogram_handle(metrics_, "svc.batch.fill", 0);
   // Flight-recorder / time-series handles are null-safe: when disabled the
@@ -202,45 +234,60 @@ ServiceReport Service::run() {
   ps_t last_reply_ps = 0;
   std::uint64_t in_flight = 0;  // accepted or shed-pending window (closed)
 
-  auto est_ps = [&](int shard, std::size_t n) {
-    const ShardCalibration& c = rep.calibration[static_cast<std::size_t>(shard)];
+  auto shard_of = [&](int rid) { return rid % shards_; };
+  auto replica_of = [&](int rid) { return rid / shards_; };
+
+  auto est_ps = [&](int rid, std::size_t n) {
+    const ShardCalibration& c = rep.calibration[static_cast<std::size_t>(rid)];
     return c.setup_ps + static_cast<ps_t>(n) * c.per_query_ps;
   };
 
-  auto backlog_ps = [&](int shard, ps_t now) {
-    const ShardState& s = st[static_cast<std::size_t>(shard)];
+  auto backlog_ps = [&](int rid, ps_t now) {
+    const ReplicaState& s = st[static_cast<std::size_t>(rid)];
     const ps_t busy = s.busy ? s.busy_until - now : 0;
     return busy + s.queued_est_ps;
   };
 
-  auto update_health = [&](int shard, ps_t now) {
-    ShardState& s = st[static_cast<std::size_t>(shard)];
-    ShardStats& stats = rep.shard_stats[static_cast<std::size_t>(shard)];
-    const ps_t backlog = backlog_ps(shard, now);
-    obs::set_level(metrics_, "svc.shard.backlog.ps", shard,
+  auto update_health = [&](int rid, ps_t now) {
+    ReplicaState& s = st[static_cast<std::size_t>(rid)];
+    if (s.crashed) return;  // a dead replica has no backlog to watch
+    ShardStats& stats = rep.shard_stats[static_cast<std::size_t>(rid)];
+    const ps_t backlog = backlog_ps(rid, now);
+    obs::set_level(metrics_, "svc.shard.backlog.ps", rid,
                    static_cast<std::int64_t>(backlog));
     if (!s.degraded && backlog > cfg_.unhealthy_backlog_ps) {
       s.degraded = true;
-      router.set_health(shard, false);
+      router.set_replica_health(shard_of(rid), replica_of(rid),
+                                ReplicaHealth::kDegraded);
       ++stats.degraded_episodes;
-      obs::add_count(metrics_, "svc.shard.degraded", shard, 1);
-      obs::fr_record(fr, shard, tilesim::FlightKind::kSvcDegraded,
+      obs::add_count(metrics_, "svc.shard.degraded", rid, 1);
+      obs::fr_record(fr, rid, tilesim::FlightKind::kSvcDegraded,
                      "svc_degrade", now, -1, 0,
                      static_cast<int>(tshmem::Errc::kShardDegraded));
       obs::ts_add(ts, "svc.degraded", now);
-      dump_blackbox("shard " + std::to_string(shard) +
+      dump_blackbox("shard " + std::to_string(shard_of(rid)) + " replica " +
+                        std::to_string(replica_of(rid)) +
                         " degraded: virtual-time backlog crossed "
                         "unhealthy_backlog_ps",
                     static_cast<int>(tshmem::Errc::kShardDegraded));
     } else if (s.degraded && backlog <= cfg_.recover_backlog_ps) {
       s.degraded = false;
-      router.set_health(shard, true);
+      router.set_replica_health(shard_of(rid), replica_of(rid),
+                                ReplicaHealth::kHealthy);
       ++stats.recoveries;
       stats.last_recovery_ps = now;
-      obs::add_count(metrics_, "svc.shard.recovered", shard, 1);
-      obs::fr_record(fr, shard, tilesim::FlightKind::kSvcRecovered,
+      obs::add_count(metrics_, "svc.shard.recovered", rid, 1);
+      obs::fr_record(fr, rid, tilesim::FlightKind::kSvcRecovered,
                      "svc_recover", now);
       obs::ts_add(ts, "svc.recovered", now);
+      if (replica_of(rid) == 0 && replicas > 1) {
+        // The primary is back: the ReplicaSet prefers it again.
+        ++rep.failbacks;
+        obs::add_count(metrics_, "svc.failover.failbacks", rid, 1);
+        obs::fr_record(fr, rid, tilesim::FlightKind::kSvcFailback,
+                       "svc_failback", now);
+        obs::ts_add(ts, "svc.failback", now);
+      }
     }
   };
 
@@ -260,13 +307,13 @@ ServiceReport Service::run() {
     }
   };
 
-  auto complete = [&](const PendingQuery& q, ps_t now, int shard) {
+  auto complete = [&](const PendingQuery& q, ps_t now, int rid) {
     const auto latency = static_cast<std::uint64_t>(now - q.arrival_ps);
     m_latency->record(latency);
     rep.max_latency_ps = std::max(rep.max_latency_ps, latency);
     ++rep.completed;
     m_completed->add(1);
-    obs::fr_record(fr, shard, tilesim::FlightKind::kSvcComplete,
+    obs::fr_record(fr, rid, tilesim::FlightKind::kSvcComplete,
                    "svc_complete", now, -1, 1);
     obs::ts_add(ts, "svc.completed", now);
     obs::ts_sample(ts, "svc.latency.ps", now, latency);
@@ -276,40 +323,180 @@ ServiceReport Service::run() {
     reply(now);
   };
 
-  auto shed = [&](const Arrival& a, ps_t now) {
+  auto record_shed = [&](std::uint64_t id, int key, ps_t now, int rid,
+                         tshmem::Errc errc, const char* why) {
     ++rep.shed;
     m_shed->add(1);
-    obs::fr_record(fr, router.home_shard(a.key),
-                   tilesim::FlightKind::kSvcShed, "svc_shed", now, -1, 1,
-                   static_cast<int>(tshmem::Errc::kShardDegraded));
+    if (errc == tshmem::Errc::kReplicaLost) {
+      ++rep.replica_lost;
+      obs::add_count(metrics_, "svc.replica.lost", 0, 1);
+    }
+    obs::fr_record(fr, rid, tilesim::FlightKind::kSvcShed, "svc_shed", now,
+                   -1, 1, static_cast<int>(errc));
     obs::ts_add(ts, "svc.shed", now);
     if (rep.shed_error.empty()) {
       std::ostringstream msg;
-      msg << "query " << a.id << " (key " << a.key << ") shed at " << now
-          << " ps: home shard " << router.home_shard(a.key)
-          << " degraded and no healthy shard accepts "
-          << shed_policy_name(cfg_.policy) << " traffic";
-      rep.shed_error = tshmem::Error(tshmem::Errc::kShardDegraded,
-                                     msg.str())
-                           .what();
+      msg << "query " << id << " (key " << key << ") shed at " << now
+          << " ps: " << why;
+      rep.shed_error = tshmem::Error(errc, msg.str()).what();
     }
     reply(now);
   };
 
-  auto try_start = [&](int shard, ps_t now) {
-    ShardState& s = st[static_cast<std::size_t>(shard)];
-    if (s.busy || s.queue.empty()) return;
+  auto shed_arrival = [&](const Arrival& a, ps_t now) {
+    const int home = router.home_shard(a.key);
+    // Distinguish a slice that is merely backlogged from one whose every
+    // replica is gone: clients can retry the former, not the latter.
+    bool all_crashed = true;
+    for (int r = 0; r < replicas; ++r) {
+      if (router.replica_health(home, r) != ReplicaHealth::kCrashed) {
+        all_crashed = false;
+        break;
+      }
+    }
+    std::ostringstream why;
+    why << "home shard " << home
+        << (all_crashed ? " lost every replica" : " degraded")
+        << " and no healthy shard accepts " << shed_policy_name(cfg_.policy)
+        << " traffic";
+    record_shed(a.id, a.key, now, home,
+                all_crashed ? tshmem::Errc::kReplicaLost
+                            : tshmem::Errc::kShardDegraded,
+                why.str().c_str());
+  };
+
+  auto drop_deadline = [&](const PendingQuery& q, ps_t now, int rid,
+                           bool codel) {
+    ++rep.deadline_dropped;
+    if (codel) ++rep.codel_dropped;
+    m_deadline->add(1);
+    if (codel) obs::add_count(metrics_, "svc.codel.drop", rid, 1);
+    obs::fr_record(fr, rid, tilesim::FlightKind::kSvcDeadlineDrop,
+                   codel ? "svc_codel_drop" : "svc_deadline_drop", now, -1,
+                   1, static_cast<int>(tshmem::Errc::kDeadlineExceeded));
+    obs::ts_add(ts, "svc.deadline_drop", now);
+    reply(now);
+  };
+
+  // Forward declarations for the mutually recursive dispatch helpers: a
+  // crash inside try_start requeues onto peers, whose own try_start runs.
+  std::function<void(int, ps_t)> try_start;
+  std::function<void(int, ps_t)> crash_replica;
+
+  auto close_batch = [&](int rid, ps_t now) {
+    ReplicaState& s = st[static_cast<std::size_t>(rid)];
+    std::vector<PendingQuery> batch = s.batcher.close();
+    s.queued_est_ps += est_ps(rid, batch.size());
+    s.queue.push_back(std::move(batch));
+    update_health(rid, now);
+    try_start(rid, now);
+  };
+
+  /// Admission + enqueue of one query onto `rid`. Returns false when the
+  /// query was dropped by deadline / CoDel admission control.
+  auto enqueue = [&](int rid, const PendingQuery& q, ps_t now) {
+    const ps_t backlog = backlog_ps(rid, now);
+    if (q.deadline_ps > 0 && now + backlog > q.deadline_ps) {
+      drop_deadline(q, now, rid, false);
+      return false;
+    }
+    ReplicaState& s = st[static_cast<std::size_t>(rid)];
+    if (!s.codel.admit(backlog, now)) {
+      drop_deadline(q, now, rid, true);
+      return false;
+    }
+    const Batcher::AddResult added = s.batcher.add(q, now);
+    if (added.full) {
+      close_batch(rid, now);
+    } else if (added.arm_timer) {
+      push(Event{added.deadline_ps, 0, Event::Kind::kBatchTimeout, rid,
+                 added.generation, {}});
+    }
+    return true;
+  };
+
+  /// Failover path: re-dispatch one query stranded on a dead replica.
+  auto requeue = [&](const PendingQuery& q, ps_t now, int from_rid) {
+    const Router::Route route = router.route(q.key);
+    if (route.shard < 0) {
+      record_shed(q.id, q.key, now, from_rid, tshmem::Errc::kReplicaLost,
+                  "its replica crashed and no surviving replica accepts "
+                  "failover traffic");
+      return;
+    }
+    const int to_rid = route.replica * shards_ + route.shard;
+    ++rep.requeued;
+    ++rep.shard_stats[static_cast<std::size_t>(from_rid)].requeued;
+    obs::add_count(metrics_, "svc.failover.requeued", from_rid, 1);
+    obs::fr_record(fr, from_rid, tilesim::FlightKind::kSvcFailover,
+                   "svc_requeue", now, to_rid, 1);
+    obs::ts_add(ts, "svc.failover", now);
+    enqueue(to_rid, q, now);
+  };
+
+  crash_replica = [&](int rid, ps_t now) {
+    // Shared by kShardCrash (permanent: no recovery is ever scheduled)
+    // and kReplicaFlap (the caller schedules the revival).
+    ReplicaState& s = st[static_cast<std::size_t>(rid)];
+    ShardStats& stats = rep.shard_stats[static_cast<std::size_t>(rid)];
+    s.crashed = true;
+    s.degraded = false;
+    router.set_replica_health(shard_of(rid), replica_of(rid),
+                              ReplicaHealth::kCrashed);
+    ++stats.crashes;
+    ++rep.replica_crashes;
+    obs::add_count(metrics_, "svc.replica.crashed", rid, 1);
+    obs::fr_record(fr, rid, tilesim::FlightKind::kSvcCrash, "svc_crash",
+                   now, -1, 0,
+                   static_cast<int>(tshmem::Errc::kReplicaLost));
+    obs::ts_add(ts, "svc.crash", now);
+    dump_blackbox("shard " + std::to_string(shard_of(rid)) + " replica " +
+                      std::to_string(replica_of(rid)) +
+                      " crashed (seeded fault site)",
+                  static_cast<int>(tshmem::Errc::kReplicaLost));
+    // Strand nothing: every query this replica still held fails over,
+    // oldest first (queued closed batches, then the open batch).
+    std::vector<PendingQuery> strays;
+    for (const auto& b : s.queue) {
+      strays.insert(strays.end(), b.begin(), b.end());
+    }
+    s.queue.clear();
+    s.queued_est_ps = 0;
+    if (s.batcher.open_size() > 0) {
+      std::vector<PendingQuery> open = s.batcher.close();
+      strays.insert(strays.end(), open.begin(), open.end());
+    }
+    obs::set_level(metrics_, "svc.shard.backlog.ps", rid, 0);
+    for (const PendingQuery& q : strays) requeue(q, now, rid);
+  };
+
+  try_start = [&](int rid, ps_t now) {
+    ReplicaState& s = st[static_cast<std::size_t>(rid)];
+    if (s.busy || s.crashed || s.queue.empty()) return;
+    // Each dispatch is one crash/flap opportunity — consumed on every
+    // attempt so the ordinal streams stay aligned across plans.
+    ShardStats& stats = rep.shard_stats[static_cast<std::size_t>(rid)];
+    if (faults.shard_crash(rid, now)) {
+      crash_replica(rid, now);
+      return;
+    }
+    if (const ps_t down = faults.replica_flap(rid, now); down > 0) {
+      ++stats.flaps;
+      obs::add_count(metrics_, "svc.replica.flaps", rid, 1);
+      crash_replica(rid, now);
+      push(Event{now + down, 0, Event::Kind::kReplicaRecover, rid, 0, {}});
+      return;
+    }
     s.running = std::move(s.queue.front());
     s.queue.pop_front();
-    ShardStats& stats = rep.shard_stats[static_cast<std::size_t>(shard)];
-    const ps_t est = est_ps(shard, s.running.size());
+    const ps_t est = est_ps(rid, s.running.size());
     s.queued_est_ps -= est;
-    const ps_t stall = faults.shard_stall(shard, now);
+    const ps_t stall = faults.shard_stall(rid, now);
     if (stall > 0) {
       ++stats.stall_events;
       stats.stall_ps += stall;
-      obs::add_count(metrics_, "svc.shard.stall.events", shard, 1);
-      obs::add_count(metrics_, "svc.shard.stall.ps", shard,
+      obs::add_count(metrics_, "svc.shard.stall.events", rid, 1);
+      obs::add_count(metrics_, "svc.shard.stall.ps", rid,
                      static_cast<std::uint64_t>(stall));
     }
     const ps_t service = est + stall;
@@ -318,22 +505,12 @@ ServiceReport Service::run() {
     stats.busy_ps += service;
     ++stats.batches;
     stats.queries += s.running.size();
-    obs::add_count(metrics_, "svc.shard.batches", shard, 1);
-    obs::add_count(metrics_, "svc.shard.queries", shard,
-                   s.running.size());
+    obs::add_count(metrics_, "svc.shard.batches", rid, 1);
+    obs::add_count(metrics_, "svc.shard.queries", rid, s.running.size());
     m_fill->record(s.running.size());
-    obs::fr_record(fr, shard, tilesim::FlightKind::kSvcBatch, "svc_batch",
+    obs::fr_record(fr, rid, tilesim::FlightKind::kSvcBatch, "svc_batch",
                    now, -1, s.running.size());
-    push(Event{s.busy_until, 0, Event::Kind::kBatchDone, shard, 0, {}});
-  };
-
-  auto close_batch = [&](int shard, ps_t now) {
-    ShardState& s = st[static_cast<std::size_t>(shard)];
-    std::vector<PendingQuery> batch = s.batcher.close();
-    s.queued_est_ps += est_ps(shard, batch.size());
-    s.queue.push_back(std::move(batch));
-    update_health(shard, now);
-    try_start(shard, now);
+    push(Event{s.busy_until, 0, Event::Kind::kBatchDone, rid, 0, {}});
   };
 
   // Seed the arrival stream.
@@ -388,41 +565,67 @@ ServiceReport Service::run() {
         }
         const Router::Route route = router.route(a.key);
         if (route.shard < 0) {
-          shed(a, now);
+          shed_arrival(a, now);
           break;
         }
+        const int rid = route.replica * shards_ + route.shard;
         if (route.rerouted) {
           ++rep.rerouted;
           m_rerouted->add(1);
         }
-        ShardState& s = st[static_cast<std::size_t>(route.shard)];
-        const Batcher::AddResult added =
-            s.batcher.add(PendingQuery{a.id, a.key, now}, now);
-        if (added.full) {
-          close_batch(route.shard, now);
-        } else if (added.arm_timer) {
-          push(Event{added.deadline_ps, 0, Event::Kind::kBatchTimeout,
-                     route.shard, added.generation, {}});
+        if (route.failover) {
+          ++rep.failover_routed;
+          obs::add_count(metrics_, "svc.failover.routed", rid, 1);
+          obs::fr_record(fr, rid, tilesim::FlightKind::kSvcFailover,
+                         "svc_failover_route", now, route.shard, 1);
+          obs::ts_add(ts, "svc.failover", now);
         }
+        const PendingQuery q{
+            a.id, a.key, now,
+            cfg_.deadline_ps > 0 ? now + cfg_.deadline_ps : 0};
+        enqueue(rid, q, now);
         break;
       }
       case Event::Kind::kBatchTimeout: {
-        ShardState& s = st[static_cast<std::size_t>(e.shard)];
-        if (s.batcher.generation() != e.generation ||
+        ReplicaState& s = st[static_cast<std::size_t>(e.rid)];
+        if (s.crashed || s.batcher.generation() != e.generation ||
             s.batcher.open_size() == 0) {
-          break;  // stale: the batch already closed full
+          break;  // stale: the batch already closed full (or died)
         }
-        close_batch(e.shard, now);
+        close_batch(e.rid, now);
         break;
       }
       case Event::Kind::kBatchDone: {
-        ShardState& s = st[static_cast<std::size_t>(e.shard)];
+        ReplicaState& s = st[static_cast<std::size_t>(e.rid)];
         std::vector<PendingQuery> batch = std::move(s.running);
         s.running.clear();
         s.busy = false;
-        for (const PendingQuery& q : batch) complete(q, now, e.shard);
-        update_health(e.shard, now);
-        try_start(e.shard, now);
+        for (const PendingQuery& q : batch) complete(q, now, e.rid);
+        update_health(e.rid, now);
+        try_start(e.rid, now);
+        break;
+      }
+      case Event::Kind::kReplicaRecover: {
+        ReplicaState& s = st[static_cast<std::size_t>(e.rid)];
+        if (!s.crashed) break;
+        s.crashed = false;
+        s.degraded = false;  // its queue failed over at the crash
+        router.set_replica_health(shard_of(e.rid), replica_of(e.rid),
+                                  ReplicaHealth::kHealthy);
+        ShardStats& stats = rep.shard_stats[static_cast<std::size_t>(e.rid)];
+        ++stats.recoveries;
+        stats.last_recovery_ps = now;
+        obs::add_count(metrics_, "svc.replica.recovered", e.rid, 1);
+        obs::fr_record(fr, e.rid, tilesim::FlightKind::kSvcRecovered,
+                       "svc_flap_recover", now);
+        obs::ts_add(ts, "svc.recovered", now);
+        if (replica_of(e.rid) == 0 && replicas > 1) {
+          ++rep.failbacks;
+          obs::add_count(metrics_, "svc.failover.failbacks", e.rid, 1);
+          obs::fr_record(fr, e.rid, tilesim::FlightKind::kSvcFailback,
+                         "svc_failback", now);
+          obs::ts_add(ts, "svc.failback", now);
+        }
         break;
       }
     }
@@ -431,11 +634,23 @@ ServiceReport Service::run() {
   // Every accepted query must have drained: stranded open batches or
   // queued work would be a shed-not-hang violation.
   std::uint64_t stranded = 0;
-  for (const ShardState& s : st) {
+  for (const ReplicaState& s : st) {
     stranded += s.batcher.open_size() + s.running.size();
     for (const auto& b : s.queue) stranded += b.size();
   }
-  rep.hung = rep.offered - rep.completed - rep.shed;
+  // Guard the unsigned subtraction: a double-counted completion would
+  // otherwise wrap into a near-2^64 "hung" figure that reads like noise
+  // instead of the accounting bug it is.
+  const std::uint64_t answered =
+      rep.completed + rep.shed + rep.deadline_dropped;
+  if (answered > rep.offered) {
+    std::ostringstream msg;
+    msg << "service: completion accounting wrapped: offered " << rep.offered
+        << " < completed " << rep.completed << " + shed " << rep.shed
+        << " + deadline_dropped " << rep.deadline_dropped;
+    throw std::logic_error(msg.str());
+  }
+  rep.hung = rep.offered - answered;
   if (stranded != rep.hung) {
     throw std::logic_error("service: completion accounting diverged");
   }

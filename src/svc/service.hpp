@@ -15,14 +15,35 @@
 //      histograms. Events are ordered by (virtual time, sequence), so a
 //      (seed, fault plan) pair replays bit-identically.
 //
+// Replication (docs/SERVING.md failover): each shard slice owns
+// `replicas` devices — replica r of shard s is cluster device
+// r * shards + s, so replicas = 1 reproduces the PR-6 layout exactly and
+// device s is always shard s's primary. Every replica is calibrated
+// independently and carries its own batcher, queue, backlog watchdog and
+// health state; the Router's per-shard ReplicaSet prefers the primary,
+// fails over to a healthy backup when the primary degrades or crashes,
+// and fails back once it recovers.
+//
 // Degradation (PR-3 fault engine, FaultSite::kShardStall): a stalling
-// shard's virtual-time backlog crosses unhealthy_backlog_ps and the
-// router stops feeding it — queries are refused with a structured
-// tshmem::Error(kShardDegraded) or rerouted per ShedPolicy — until the
-// backlog drains below recover_backlog_ps, which is recorded as a
-// recovery. Accepted batches always run to completion, so a degraded
-// shard sheds load rather than hanging: zero hung queries, bounded tail
-// latency.
+// replica's virtual-time backlog crosses unhealthy_backlog_ps and the
+// router stops feeding it — with a healthy peer replica the slice keeps
+// completing queries; only a slice with no healthy replica sheds, with a
+// structured tshmem::Error (kShardDegraded, or kReplicaLost when every
+// replica crashed) or a reroute per ShedPolicy — until the backlog drains
+// below recover_backlog_ps, which is recorded as a recovery. Crashes
+// (FaultSite::kShardCrash / kReplicaFlap) kill a replica at a seeded
+// point; its queued queries are re-dispatched to surviving replicas
+// (requeues) and flap victims revive after their down time. Accepted
+// batches always run to completion, so a degraded shard sheds load rather
+// than hanging: zero hung queries, bounded tail latency.
+//
+// Admission control (CoDel-style, svc::CodelAdmission): with a nonzero
+// deadline_ps every query carries a virtual-time completion deadline and
+// is dropped at admission (kDeadlineExceeded) when the chosen replica's
+// backlog already exceeds it; with a nonzero codel.target_ps the newest
+// arrival is dropped once the queue's sojourn estimate has exceeded the
+// target for a full interval. Both default off, keeping stock runs
+// bit-identical.
 #pragma once
 
 #include <cstdint>
@@ -46,9 +67,22 @@ namespace svc {
 
 struct ServiceConfig {
   int pes_per_shard = 4;
+  /// Replicas per shard slice: the cluster must hold shards * replicas
+  /// devices; replica r of shard s is device r * shards + s. 1 = the
+  /// unreplicated PR-6 deployment (bit-identical); 2 is the deployment
+  /// the failover CI stage and docs exercise.
+  int replicas = 1;
   apps::cbir::Params db;  ///< db.images = total database, blocked by shard
   LoadGenConfig load;
   BatcherConfig batch;
+  /// Deadline-aware admission: a query arriving at virtual time t carries
+  /// deadline t + deadline_ps and is refused (kDeadlineExceeded) whenever
+  /// the serving replica's backlog estimate already overruns it — also
+  /// re-checked when a crash requeues the query. 0 = no deadlines.
+  ps_t deadline_ps = 0;
+  /// CoDel-style sojourn control on each replica's batcher queue
+  /// (svc::CodelAdmission). codel.target_ps = 0 disables it.
+  CodelConfig codel;
   std::size_t cache_capacity = 4096;
   ShedPolicy policy = ShedPolicy::kReject;
   bool closed_loop = false;
@@ -69,8 +103,11 @@ struct ServiceConfig {
                                   ///< shard degradation (implies flightrec)
 };
 
-/// Batch cost model measured on the real shard (virtual time).
+/// Batch cost model measured on the real replica device (virtual time).
+/// Indexed by global replica slot (replica * shards + shard).
 struct ShardCalibration {
+  int shard = 0;          ///< shard slice this replica serves
+  int replica = 0;        ///< 0 = primary
   ps_t build_ps = 0;      ///< ShardIndex construction
   ps_t setup_ps = 0;      ///< fixed per-batch cost (collectives, dispatch)
   ps_t per_query_ps = 0;  ///< marginal cost per query in a batch
@@ -78,28 +115,44 @@ struct ShardCalibration {
   int count = 0;
 };
 
+/// Per-replica serving stats, indexed by global replica slot.
 struct ShardStats {
+  int shard = 0;
+  int replica = 0;
   std::uint64_t batches = 0;
   std::uint64_t queries = 0;
   std::uint64_t stall_events = 0;  ///< injected kShardStall hits
   ps_t stall_ps = 0;               ///< total injected stall
   std::uint64_t degraded_episodes = 0;
   std::uint64_t recoveries = 0;
+  std::uint64_t crashes = 0;       ///< kShardCrash + kReplicaFlap deaths
+  std::uint64_t flaps = 0;         ///< kReplicaFlap deaths (recoverable)
+  std::uint64_t requeued = 0;      ///< queries moved off this replica after
+                                   ///< it crashed
   ps_t busy_ps = 0;                ///< total batch service time
   ps_t last_recovery_ps = 0;       ///< virtual time of the last recovery
 };
 
 struct ServiceReport {
   int shards = 0;
-  std::vector<ShardCalibration> calibration;
-  std::vector<ShardStats> shard_stats;
+  int replicas = 1;
+  std::vector<ShardCalibration> calibration;  ///< one per replica slot
+  std::vector<ShardStats> shard_stats;        ///< one per replica slot
   ps_t duration_ps = 0;       ///< first arrival to last reply
   std::uint64_t offered = 0;
   std::uint64_t completed = 0;  ///< answered (cache hits included)
   std::uint64_t cache_hits = 0;
-  std::uint64_t shed = 0;       ///< refused with kShardDegraded
+  std::uint64_t shed = 0;       ///< refused (kShardDegraded / kReplicaLost)
   std::uint64_t rerouted = 0;
-  std::uint64_t hung = 0;       ///< offered - completed - shed (must be 0)
+  std::uint64_t failover_routed = 0;  ///< queries served by a backup replica
+  std::uint64_t requeued = 0;    ///< queries re-dispatched after a crash
+  std::uint64_t failbacks = 0;   ///< a primary resumed after backups served
+  std::uint64_t replica_crashes = 0;  ///< crash events (incl. flaps)
+  std::uint64_t replica_lost = 0;     ///< shed with kReplicaLost
+  std::uint64_t deadline_dropped = 0;  ///< admission drops (deadline+CoDel)
+  std::uint64_t codel_dropped = 0;     ///< subset dropped by the CoDel law
+  std::uint64_t hung = 0;  ///< offered - completed - shed - deadline_dropped
+                           ///< (must be 0; run() throws on wrap-around)
   double qps = 0.0;             ///< completed per virtual second
   obs::LatencyQuantiles latency{};  ///< p50/p99/p999 over completed (ps)
   std::uint64_t max_latency_ps = 0;
@@ -113,8 +166,17 @@ class Service {
  public:
   Service(tshmem::Cluster& cluster, ServiceConfig cfg);
 
-  /// Phase 1 for one shard: real cluster job, returns the cost model.
-  ShardCalibration calibrate_shard(int shard);
+  /// Shard slices (cluster devices / replicas).
+  [[nodiscard]] int num_shards() const noexcept { return shards_; }
+
+  /// Phase 1 for one replica: a real cluster job on its own device,
+  /// returning that replica's independent cost model.
+  ShardCalibration calibrate_replica(int shard, int replica);
+
+  /// Primary-replica convenience (the PR-6 surface).
+  ShardCalibration calibrate_shard(int shard) {
+    return calibrate_replica(shard, 0);
+  }
 
   /// Calibrates every shard, then runs the serve loop to completion.
   ServiceReport run();
@@ -142,6 +204,7 @@ class Service {
 
   tshmem::Cluster& cluster_;
   ServiceConfig cfg_;
+  int shards_ = 0;  ///< cluster devices / replicas
   obs::MetricsRegistry metrics_;
   std::unique_ptr<obs::FlightRecorder> flightrec_;
   std::unique_ptr<obs::TimeSeries> timeseries_;

@@ -27,6 +27,10 @@ enum class Errc : int {
   kFinalizePending = 10,  ///< finalize with outstanding non-blocking work
   kRaceDetected = 11,   ///< tshmem-check found a data race (kFail mode)
   kShardDegraded = 12,  ///< serving router shed a query from a degraded shard
+  kReplicaLost = 13,    ///< a shard replica crashed and no peer could absorb
+                        ///< its queries (docs/SERVING.md failover)
+  kDeadlineExceeded = 14,  ///< admission control dropped a query whose
+                           ///< virtual-time deadline cannot be met
 };
 
 [[nodiscard]] constexpr const char* errc_name(Errc c) noexcept {
@@ -43,6 +47,8 @@ enum class Errc : int {
     case Errc::kFinalizePending: return "finalize_pending";
     case Errc::kRaceDetected: return "race_detected";
     case Errc::kShardDegraded: return "shard_degraded";
+    case Errc::kReplicaLost: return "replica_lost";
+    case Errc::kDeadlineExceeded: return "deadline_exceeded";
   }
   return "unknown";
 }

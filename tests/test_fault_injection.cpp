@@ -19,6 +19,7 @@ namespace {
 
 using tilesim::FaultEvent;
 using tilesim::FaultPlan;
+using tilesim::ps_t;
 using tshmem::Context;
 using tshmem::Errc;
 using tshmem::Error;
@@ -59,6 +60,104 @@ TEST(FaultPlan, EmptyAndMalformedSpecs) {
   EXPECT_THROW(FaultPlan::parse("udn_drop=notanumber"),
                std::invalid_argument);
   EXPECT_THROW(FaultPlan::parse("udn_drop"), std::invalid_argument);
+}
+
+TEST(FaultPlan, RejectsOutOfRangeAndNaNRates) {
+  // Rates above 1 or below 0 are spec errors, not clamped probabilities.
+  EXPECT_THROW(FaultPlan::parse("udn_drop=1.5"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("udn_drop=-0.1"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("shard_stall=2.0:1000"),
+               std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("shard_crash=1.0001"),
+               std::invalid_argument);
+  // "nan" parses via std::stod and compares false against both bounds; a
+  // naively written range check would let it poison every verdict hash.
+  EXPECT_THROW(FaultPlan::parse("udn_drop=nan"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("replica_flap=nan:1000"),
+               std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("udn_drop=inf"), std::invalid_argument);
+  // The boundary values themselves are legal.
+  EXPECT_DOUBLE_EQ(FaultPlan::parse("udn_drop=0.0").udn_drop_rate, 0.0);
+  EXPECT_DOUBLE_EQ(FaultPlan::parse("udn_drop=1.0").udn_drop_rate, 1.0);
+  // The thrown message names the offending entry.
+  try {
+    FaultPlan::parse("seed=3,udn_drop=1.5");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("udn_drop=1.5"),
+              std::string::npos);
+  }
+}
+
+TEST(FaultPlan, RejectsNegativeMagnitudes) {
+  // std::stoull silently wraps "-50" to a huge unsigned value: a negative
+  // magnitude must be a parse error, not a ~2^64 ps stall.
+  EXPECT_THROW(FaultPlan::parse("udn_delay=0.1:-50000"),
+               std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("tile_stall=0.1:-1"),
+               std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("replica_flap=0.1:-2000"),
+               std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("heap_cap=-1048576"),
+               std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("seed=-7"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("shard_crash_shard=-2"),
+               std::invalid_argument);
+  try {
+    FaultPlan::parse("udn_delay=0.1:-50000");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("udn_delay=0.1:-50000"),
+              std::string::npos);
+  }
+}
+
+TEST(FaultPlan, ParsesCrashAndFlapSites) {
+  const FaultPlan p = FaultPlan::parse(
+      "seed=9,shard_crash=0.5,shard_crash_shard=1,"
+      "replica_flap=0.25:40000000000,replica_flap_shard=3");
+  EXPECT_EQ(p.seed, 9u);
+  EXPECT_DOUBLE_EQ(p.shard_crash_rate, 0.5);
+  EXPECT_EQ(p.shard_crash_shard, 1);
+  EXPECT_DOUBLE_EQ(p.replica_flap_rate, 0.25);
+  EXPECT_EQ(p.replica_flap_down_ps, 40'000'000'000);
+  EXPECT_EQ(p.replica_flap_shard, 3);
+  EXPECT_FALSE(p.empty());
+  // describe() round-trips through parse() for the new keys.
+  const FaultPlan q = FaultPlan::parse(p.describe());
+  EXPECT_EQ(p, q);
+}
+
+TEST(FaultPlan, CrashAndFlapVerdictsAreDeterministicAndTargeted) {
+  FaultPlan plan = FaultPlan::parse(
+      "seed=11,shard_crash=0.3,shard_crash_shard=2,replica_flap=0.4:5000");
+  tilesim::FaultEngine a(plan);
+  tilesim::FaultEngine b(plan);
+  for (int replica = 0; replica < 4; ++replica) {
+    for (int i = 0; i < 64; ++i) {
+      const ps_t now = static_cast<ps_t>(i) * 100;
+      const bool crash = a.shard_crash(replica, now);
+      EXPECT_EQ(crash, b.shard_crash(replica, now));
+      // The targeted crash site never fires off-target, but still
+      // consumes its ordinal there (stream alignment).
+      if (replica != 2) EXPECT_FALSE(crash);
+      EXPECT_EQ(a.replica_flap(replica, now), b.replica_flap(replica, now));
+    }
+  }
+  EXPECT_GT(a.event_count(), 0u);
+  EXPECT_EQ(a.event_count(), b.event_count());
+  EXPECT_EQ(a.events(), b.events());
+  // A fired flap reports the plan's down time.
+  bool fired = false;
+  tilesim::FaultEngine c(plan);
+  for (int i = 0; i < 256 && !fired; ++i) {
+    const ps_t down = c.replica_flap(0, 0);
+    if (down > 0) {
+      EXPECT_EQ(down, 5000);
+      fired = true;
+    }
+  }
+  EXPECT_TRUE(fired);
 }
 
 // ===========================================================================

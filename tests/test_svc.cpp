@@ -1,14 +1,17 @@
 // Tests for the serving subsystem (src/svc, docs/SERVING.md): load
-// generator determinism, batcher coalescing and timeout arming, LRU
-// hit/eviction behavior, router shed/reroute policy, ShardIndex
-// correctness on a real runtime, and end-to-end serve runs over a real
-// 2-device cluster — including bit-identical replay per (seed, fault
-// plan) and shed-not-hang under an injected shard stall.
+// generator determinism, batcher coalescing and timeout arming, CoDel
+// admission control, LRU hit/eviction behavior, router shed/reroute
+// policy and per-shard ReplicaSet failover, ShardIndex correctness on a
+// real runtime, and end-to-end serve runs over real 2- and 4-device
+// clusters — including bit-identical replay per (seed, fault plan),
+// shed-not-hang under an injected shard stall, replica failover under
+// primary stalls and crashes, and deadline-aware admission.
 #include <gtest/gtest.h>
 
 #include <cstdint>
 #include <set>
 #include <sstream>
+#include <stdexcept>
 #include <vector>
 
 #include "apps/cbir.hpp"
@@ -34,7 +37,11 @@ using svc::BatcherConfig;
 using svc::LoadGen;
 using svc::LoadGenConfig;
 using svc::LruCache;
+using svc::CodelAdmission;
+using svc::CodelConfig;
 using svc::PendingQuery;
+using svc::ReplicaHealth;
+using svc::ReplicaSet;
 using svc::Router;
 using svc::ServiceConfig;
 using svc::ServiceReport;
@@ -236,6 +243,149 @@ TEST(Router, RerouteFindsNextHealthyShardOrSheds) {
   EXPECT_EQ(r.route(key).shard, -1);  // whole fleet degraded
 }
 
+TEST(Router, RerouteWrapsPastShardZero) {
+  // A degraded *last* shard must wrap the ring scan through shard 0, not
+  // run off the end of the fleet.
+  Router r(3, ShedPolicy::kReroute);
+  int key = 0;
+  while (r.home_shard(key) != 2) ++key;
+  r.set_health(2, false);
+  const auto route = r.route(key);
+  EXPECT_EQ(route.shard, 0);  // (2 + 1) % 3
+  EXPECT_TRUE(route.rerouted);
+  // Wrap again: shard 0 also degraded, the scan continues to shard 1.
+  r.set_health(0, false);
+  EXPECT_EQ(r.route(key).shard, 1);
+}
+
+TEST(Router, AllShardsDegradedShedsInsteadOfLooping) {
+  // The ring scan is bounded at one lap: a fully degraded fleet returns a
+  // shed verdict instead of scanning forever.
+  Router r(4, ShedPolicy::kReroute);
+  for (int s = 0; s < 4; ++s) r.set_health(s, false);
+  for (int key = 0; key < 64; ++key) {
+    const auto route = r.route(key);
+    EXPECT_EQ(route.shard, -1);
+    EXPECT_EQ(route.replica, -1);
+    EXPECT_FALSE(route.rerouted);
+  }
+}
+
+TEST(Router, SingleShardFleetRoutesOrSheds) {
+  // With one shard there is nowhere to reroute: healthy routes home,
+  // degraded sheds immediately under either policy.
+  for (const ShedPolicy policy :
+       {ShedPolicy::kReject, ShedPolicy::kReroute}) {
+    Router r(1, policy);
+    EXPECT_EQ(r.route(17).shard, 0);
+    r.set_health(0, false);
+    EXPECT_EQ(r.route(17).shard, -1);
+    r.set_health(0, true);
+    EXPECT_EQ(r.route(17).shard, 0);
+  }
+}
+
+// ===========================================================================
+// ReplicaSet failover / failback
+// ===========================================================================
+
+TEST(ReplicaSet, PrefersPrimaryAndFailsOverInIndexOrder) {
+  ReplicaSet set(3);
+  EXPECT_EQ(set.pick(), 0);  // healthy primary wins
+  set.set_state(0, ReplicaHealth::kDegraded);
+  EXPECT_EQ(set.pick(), 1);  // lowest-index healthy backup
+  set.set_state(1, ReplicaHealth::kCrashed);
+  EXPECT_EQ(set.pick(), 2);
+  set.set_state(0, ReplicaHealth::kHealthy);
+  EXPECT_EQ(set.pick(), 0);  // automatic failback
+}
+
+TEST(ReplicaSet, CrashedReplicasAreNeverPicked) {
+  ReplicaSet set(2);
+  set.set_state(0, ReplicaHealth::kCrashed);
+  EXPECT_EQ(set.pick(), 1);
+  set.set_state(1, ReplicaHealth::kCrashed);
+  EXPECT_EQ(set.pick(), -1);
+  EXPECT_FALSE(set.available());
+  EXPECT_THROW(set.set_state(2, ReplicaHealth::kHealthy),
+               std::out_of_range);
+}
+
+TEST(Router, ReplicaFailoverStaysOnHomeShard) {
+  Router r(2, ShedPolicy::kReject, 2);
+  int key = 0;
+  while (r.home_shard(key) != 1) ++key;
+  // Healthy primary: no failover flag.
+  auto route = r.route(key);
+  EXPECT_EQ(route.shard, 1);
+  EXPECT_EQ(route.replica, 0);
+  EXPECT_FALSE(route.failover);
+  // Degraded primary: the backup serves the same shard slice.
+  r.set_replica_health(1, 0, ReplicaHealth::kDegraded);
+  route = r.route(key);
+  EXPECT_EQ(route.shard, 1);
+  EXPECT_EQ(route.replica, 1);
+  EXPECT_TRUE(route.failover);
+  EXPECT_FALSE(route.rerouted);
+  // Both replicas gone: kReject sheds.
+  r.set_replica_health(1, 1, ReplicaHealth::kCrashed);
+  EXPECT_EQ(r.route(key).shard, -1);
+  // Primary recovers: traffic fails back to it.
+  r.set_replica_health(1, 0, ReplicaHealth::kHealthy);
+  route = r.route(key);
+  EXPECT_EQ(route.replica, 0);
+  EXPECT_FALSE(route.failover);
+}
+
+TEST(Router, RerouteScansReplicasOfOtherShards) {
+  Router r(2, ShedPolicy::kReroute, 2);
+  int key = 0;
+  while (r.home_shard(key) != 0) ++key;
+  r.set_replica_health(0, 0, ReplicaHealth::kCrashed);
+  r.set_replica_health(0, 1, ReplicaHealth::kCrashed);
+  r.set_replica_health(1, 0, ReplicaHealth::kDegraded);
+  // Home slice lost both replicas; the ring scan lands on shard 1's
+  // backup — rerouted *and* failover.
+  const auto route = r.route(key);
+  EXPECT_EQ(route.shard, 1);
+  EXPECT_EQ(route.replica, 1);
+  EXPECT_TRUE(route.rerouted);
+  EXPECT_TRUE(route.failover);
+}
+
+// ===========================================================================
+// CoDel admission control
+// ===========================================================================
+
+TEST(CodelAdmission, DropsOnlyAfterFullIntervalAboveTarget) {
+  CodelConfig cfg;
+  cfg.target_ps = 100;
+  cfg.interval_ps = 1000;
+  CodelAdmission codel(cfg);
+  EXPECT_TRUE(codel.admit(50, 0));     // below target
+  EXPECT_TRUE(codel.admit(200, 0));    // first sighting: interval starts
+  EXPECT_TRUE(codel.admit(200, 999));  // still inside the interval
+  EXPECT_FALSE(codel.admit(200, 1000));  // full interval above: drop
+  EXPECT_EQ(codel.drops(), 1u);
+  // The control law shortens the next interval (1000 / sqrt(2) ~ 707).
+  EXPECT_TRUE(codel.admit(200, 1100));
+  EXPECT_FALSE(codel.admit(200, 1000 + 707));
+  EXPECT_EQ(codel.drops(), 2u);
+  // Dropping state resets as soon as the sojourn recovers.
+  EXPECT_TRUE(codel.admit(50, 2000));
+  EXPECT_TRUE(codel.admit(200, 2000));  // fresh interval, no drop
+  EXPECT_EQ(codel.drops(), 2u);
+}
+
+TEST(CodelAdmission, DisabledTargetAdmitsEverything) {
+  CodelAdmission codel(CodelConfig{});
+  EXPECT_FALSE(codel.enabled());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(codel.admit(1'000'000'000, i));
+  }
+  EXPECT_EQ(codel.drops(), 0u);
+}
+
 // ===========================================================================
 // ShardIndex on a real runtime
 // ===========================================================================
@@ -398,6 +548,172 @@ TEST(Service, ClosedLoopKeepsWindowAndCompletes) {
   EXPECT_EQ(rep.offered, 2000u);
   EXPECT_EQ(rep.completed + rep.shed, rep.offered);
   EXPECT_EQ(rep.hung, 0u);
+}
+
+// ===========================================================================
+// Replicated serving over a real 4-device cluster (2 shards x 2 replicas)
+// ===========================================================================
+
+TEST(Service, FailoverAbsorbsPrimaryStallWithoutShedding) {
+  tshmem::ClusterOptions opts;
+  opts.runtime.heap_per_pe = 8 << 20;
+  tshmem::Cluster cluster(tilesim::tile_gx36(), opts, 4);
+  ServiceConfig cfg = small_service_config();
+  cfg.replicas = 2;
+  // Replica slot 1 is shard 1's *primary* (replica-major layout), so the
+  // stock stall plan hits exactly the device the unreplicated run loses.
+  cfg.fault_plan = tilesim::FaultPlan::parse(
+      "seed=3,shard_stall=1.0:30000000000,shard_stall_shard=1");
+  svc::Service service(cluster, cfg);
+  EXPECT_EQ(service.num_shards(), 2);
+  const ServiceReport rep = service.run();
+  EXPECT_EQ(rep.hung, 0u);
+  EXPECT_EQ(rep.completed + rep.shed, rep.offered);
+  // The backup replica serves shard 1 while its primary is degraded:
+  // nothing sheds, unlike the unreplicated StalledShard run.
+  EXPECT_EQ(rep.shed, 0u);
+  EXPECT_GT(rep.failover_routed, 0u);
+  EXPECT_GT(rep.failbacks, 0u);
+  ASSERT_EQ(rep.shard_stats.size(), 4u);
+  // The backup (slot 3 = shard 1, replica 1) did real work.
+  EXPECT_GT(rep.shard_stats[3].queries, 0u);
+  EXPECT_GT(rep.shard_stats[1].degraded_episodes, 0u);
+  ASSERT_EQ(rep.calibration.size(), 4u);
+  // Replicas of one shard cover the same database slice.
+  EXPECT_EQ(rep.calibration[1].first, rep.calibration[3].first);
+  EXPECT_EQ(rep.calibration[1].count, rep.calibration[3].count);
+  EXPECT_EQ(rep.calibration[3].replica, 1);
+}
+
+TEST(Service, CrashFailsOverAndReplaysBitIdentically) {
+  tshmem::ClusterOptions opts;
+  opts.runtime.heap_per_pe = 8 << 20;
+  tshmem::Cluster cluster(tilesim::tile_gx36(), opts, 4);
+  ServiceConfig cfg = small_service_config();
+  cfg.replicas = 2;
+  // Shard 1's primary dies at its first batch dispatch and never
+  // returns; its queued queries requeue onto the surviving backup.
+  cfg.fault_plan = tilesim::FaultPlan::parse(
+      "seed=3,shard_crash=1.0,shard_crash_shard=1");
+  svc::Service s1(cluster, cfg);
+  const ServiceReport rep = s1.run();
+  EXPECT_EQ(rep.hung, 0u);
+  EXPECT_EQ(rep.shed, 0u);
+  EXPECT_EQ(rep.replica_crashes, 1u);
+  EXPECT_EQ(rep.shard_stats[1].crashes, 1u);
+  EXPECT_EQ(rep.shard_stats[1].flaps, 0u);
+  EXPECT_GT(rep.failover_routed, 0u);
+  EXPECT_EQ(rep.completed, rep.offered);
+  // The crash campaign replays bit-identically (same full report JSON).
+  svc::Service s2(cluster, cfg);
+  EXPECT_EQ(report_fingerprint(rep, cfg),
+            report_fingerprint(s2.run(), cfg));
+}
+
+TEST(Service, LosingEveryReplicaShedsWithReplicaLost) {
+  tshmem::ClusterOptions opts;
+  opts.runtime.heap_per_pe = 8 << 20;
+  tshmem::Cluster cluster(tilesim::tile_gx36(), opts, 2);
+  ServiceConfig cfg = small_service_config();
+  // Unreplicated: when shard 1's only replica crashes, its slice is gone
+  // for good — every later query for it sheds with kReplicaLost.
+  cfg.fault_plan = tilesim::FaultPlan::parse(
+      "seed=3,shard_crash=1.0,shard_crash_shard=1");
+  svc::Service service(cluster, cfg);
+  const ServiceReport rep = service.run();
+  EXPECT_EQ(rep.hung, 0u);
+  EXPECT_GT(rep.shed, 0u);
+  EXPECT_GT(rep.replica_lost, 0u);
+  EXPECT_EQ(rep.completed + rep.shed, rep.offered);
+  EXPECT_EQ(rep.shard_stats[1].crashes, 1u);
+  EXPECT_NE(rep.shed_error.find("replica_lost"), std::string::npos);
+  // The crashed shard never recovers: no recoveries after the crash.
+  EXPECT_EQ(rep.shard_stats[1].recoveries, 0u);
+}
+
+TEST(Service, ReplicaFlapCrashesAndRecovers) {
+  tshmem::ClusterOptions opts;
+  opts.runtime.heap_per_pe = 8 << 20;
+  tshmem::Cluster cluster(tilesim::tile_gx36(), opts, 4);
+  ServiceConfig cfg = small_service_config();
+  cfg.replicas = 2;
+  // Shard 1's primary flaps: dies for 40 ms at seeded dispatches, then
+  // revives. Every death requeues onto the backup; every revival is a
+  // failback.
+  cfg.fault_plan = tilesim::FaultPlan::parse(
+      "seed=3,replica_flap=0.2:40000000000,replica_flap_shard=1");
+  svc::Service service(cluster, cfg);
+  const ServiceReport rep = service.run();
+  EXPECT_EQ(rep.hung, 0u);
+  EXPECT_EQ(rep.shed, 0u);
+  EXPECT_GT(rep.replica_crashes, 0u);
+  EXPECT_EQ(rep.shard_stats[1].flaps, rep.shard_stats[1].crashes);
+  EXPECT_GT(rep.shard_stats[1].recoveries, 0u);
+  EXPECT_GT(rep.failbacks, 0u);
+  EXPECT_EQ(rep.completed, rep.offered);
+}
+
+TEST(Service, DeadlineAdmissionDropsInsteadOfQueueing) {
+  tshmem::ClusterOptions opts;
+  opts.runtime.heap_per_pe = 8 << 20;
+  tshmem::Cluster cluster(tilesim::tile_gx36(), opts, 2);
+  ServiceConfig cfg = small_service_config();
+  cfg.deadline_ps = 2'000'000'000;  // 2 ms, well under the 30 ms stall
+  cfg.fault_plan = tilesim::FaultPlan::parse(
+      "seed=3,shard_stall=1.0:30000000000,shard_stall_shard=1");
+  svc::Service service(cluster, cfg);
+  const ServiceReport rep = service.run();
+  EXPECT_EQ(rep.hung, 0u);
+  EXPECT_GT(rep.deadline_dropped, 0u);
+  // The full accounting invariant now includes admission drops.
+  EXPECT_EQ(rep.completed + rep.shed + rep.deadline_dropped, rep.offered);
+}
+
+TEST(Service, CodelAdmissionShedsStandingQueue) {
+  tshmem::ClusterOptions opts;
+  opts.runtime.heap_per_pe = 8 << 20;
+  tshmem::Cluster cluster(tilesim::tile_gx36(), opts, 2);
+  ServiceConfig cfg = small_service_config();
+  cfg.codel.target_ps = 1'000'000'000;   // 1 ms sojourn target
+  cfg.codel.interval_ps = 5'000'000'000;  // 5 ms interval
+  cfg.fault_plan = tilesim::FaultPlan::parse(
+      "seed=3,shard_stall=1.0:30000000000,shard_stall_shard=1");
+  svc::Service service(cluster, cfg);
+  const ServiceReport rep = service.run();
+  EXPECT_EQ(rep.hung, 0u);
+  EXPECT_GT(rep.codel_dropped, 0u);
+  EXPECT_EQ(rep.codel_dropped, rep.deadline_dropped);  // only CoDel ran
+  EXPECT_EQ(rep.completed + rep.shed + rep.deadline_dropped, rep.offered);
+}
+
+TEST(Service, ReplicatedHealthyRunMatchesUnreplicatedTotals) {
+  // With no faults, replication must be invisible in the aggregate
+  // accounting: the primary serves everything, the backups stay idle.
+  tshmem::ClusterOptions opts;
+  opts.runtime.heap_per_pe = 8 << 20;
+  tshmem::Cluster cluster(tilesim::tile_gx36(), opts, 4);
+  ServiceConfig cfg = small_service_config();
+  cfg.replicas = 2;
+  svc::Service service(cluster, cfg);
+  const ServiceReport rep = service.run();
+  EXPECT_EQ(rep.offered, 4000u);
+  EXPECT_EQ(rep.completed, rep.offered);
+  EXPECT_EQ(rep.hung, 0u);
+  EXPECT_EQ(rep.failover_routed, 0u);
+  EXPECT_EQ(rep.replica_crashes, 0u);
+  EXPECT_EQ(rep.shard_stats[2].queries, 0u);  // idle backups
+  EXPECT_EQ(rep.shard_stats[3].queries, 0u);
+}
+
+TEST(Service, MismatchedReplicaLayoutThrows) {
+  tshmem::ClusterOptions opts;
+  opts.runtime.heap_per_pe = 8 << 20;
+  tshmem::Cluster cluster(tilesim::tile_gx36(), opts, 3);
+  ServiceConfig cfg = small_service_config();
+  cfg.replicas = 2;  // 3 devices cannot hold shards * 2
+  EXPECT_THROW(svc::Service(cluster, cfg), std::invalid_argument);
+  cfg.replicas = 0;
+  EXPECT_THROW(svc::Service(cluster, cfg), std::invalid_argument);
 }
 
 }  // namespace

@@ -308,6 +308,65 @@ print(f"serving OK: healthy qps={ok.group('qps')}, degraded "
       f"shed={fault.group('shed')} hung=0, replay bit-identical")
 EOF
 
+echo "== failover smoke (replicas=2: stall absorption, crash replay)"
+# Same stall plan as above, but every shard slice now has a backup
+# replica: the router fails over instead of shedding, so the shed count
+# must drop at least 10x (in practice to zero), still with zero hung.
+"$BUILD_DIR"/bench/ext_serve $serve_args --replicas 2 \
+  --fault-plan "$serve_plan" > "$tmp_dir/serve_repl.txt"
+# Permanent-crash campaign: shard 1's primary dies at a seeded dispatch
+# and never returns. The backup absorbs its queue (failover > 0, nothing
+# shed or hung) and each (seed, plan) pair must replay bit-identically
+# across processes.
+crash_ok=1
+for seed in 1 7 42; do
+  crash_plan="seed=$seed,shard_crash=1.0,shard_crash_shard=1"
+  "$BUILD_DIR"/bench/ext_serve $serve_args --replicas 2 \
+    --fault-plan "$crash_plan" > "$tmp_dir/crash_a_$seed.txt"
+  "$BUILD_DIR"/bench/ext_serve $serve_args --replicas 2 \
+    --fault-plan "$crash_plan" > "$tmp_dir/crash_b_$seed.txt"
+  if diff -u "$tmp_dir/crash_a_$seed.txt" "$tmp_dir/crash_b_$seed.txt"; then
+    echo "   crash seed $seed: bit-identical"
+  else
+    echo "   crash seed $seed: REPLAY DIVERGED"
+    crash_ok=0
+  fi
+done
+[ "$crash_ok" = 1 ]
+python3 - "$tmp_dir/serve_fault_a.txt" "$tmp_dir/serve_repl.txt" \
+  "$tmp_dir/crash_a_7.txt" <<'EOF'
+import re
+import sys
+
+line = re.compile(r"^serve: qps=[0-9.]+ p50_ps=\d+ p99_ps=\d+ "
+                  r"p999_ps=\d+ completed=\d+ "
+                  r"shed=(?P<shed>\d+) hung=(?P<hung>\d+) "
+                  r"fault_events=\d+ deadline_drop=\d+ "
+                  r"failover=(?P<failover>\d+) requeued=(?P<requeued>\d+)",
+                  re.MULTILINE)
+
+def parse(path):
+    with open(path) as f:
+        m = line.search(f.read())
+    assert m, f"{path}: no serve summary line"
+    return m
+
+unrepl, repl, crash = (parse(p) for p in sys.argv[1:4])
+shed1, shed2 = int(unrepl.group("shed")), int(repl.group("shed"))
+assert shed1 > 0, "unreplicated stall run shed nothing to compare against"
+assert shed2 * 10 <= shed1, \
+    f"replicas=2 shed {shed2}, not >=10x below replicas=1 shed {shed1}"
+assert repl.group("hung") == "0", "replicated run: hung queries"
+assert int(repl.group("failover")) > 0, "replicated run: no failovers"
+assert crash.group("hung") == "0", "crash run: hung queries"
+assert int(crash.group("shed")) == 0, "crash run: backup did not absorb"
+assert int(crash.group("failover")) > 0, "crash run: no failover routing"
+assert int(crash.group("requeued")) > 0, "crash run: no crash requeues"
+print(f"failover OK: shed {shed1} -> {shed2} with replicas=2, crash "
+      f"failover={crash.group('failover')} "
+      f"requeued={crash.group('requeued')} hung=0")
+EOF
+
 echo "== triage smoke (hang-demo -> blackbox -> tools/triage.py)"
 bb_json="$tmp_dir/blackbox.json"
 # A short watchdog keeps the stage fast; the demo exits 0 when (and only

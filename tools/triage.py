@@ -39,10 +39,17 @@ SCHEMA = "tshmem.blackbox.v1"
 # made it through a cross-PE ordering point.
 SYNC_KINDS = ("barrier", "ctrl_recv", "udn_recv", "wait_end")
 
-# Kinds whose `peer` field names a communication partner.
+# Kinds whose `peer` field names a communication partner. For the serving
+# kinds the "PE" is a replica slot and the peer is the slot (svc_failover)
+# or shard (failover routing) the traffic moved to.
 PEER_KINDS = ("put", "get", "put_nbi", "get_nbi", "ctrl_send", "ctrl_recv",
               "udn_send", "udn_recv", "atomic", "broadcast", "collect",
-              "svc_shed")
+              "svc_shed", "svc_failover")
+
+# Serving-layer lifecycle kinds (svc::Service rings): counted into the
+# failover-activity block of the report.
+SVC_KINDS = ("svc_crash", "svc_failover", "svc_failback",
+             "svc_deadline_drop")
 
 
 def fmt_event(e: dict) -> str:
@@ -62,6 +69,11 @@ def find_incident(merged: list[dict]) -> tuple[dict | None, str]:
     for e in reversed(merged):
         if e["kind"] == "error":
             return e, "error event recorded at the throw site"
+    # Serving dumps: a replica crash is the incident even though the
+    # serve loop itself carries on (failover, not failure).
+    for e in reversed(merged):
+        if e["kind"] == "svc_crash":
+            return e, "replica crash recorded by the serving layer"
     # Unclosed wait: last wait_begin per PE with no later wait_end.
     open_waits: dict[int, dict] = {}
     for e in merged:
@@ -164,6 +176,25 @@ def main(argv: list[str]) -> int:
             print(f"  no completed sync edge on PE {pe} inside the ring "
                   f"window")
     print()
+
+    # Serving-layer failover activity (replica crashes, failover routing,
+    # failbacks, admission drops) — only for dumps whose rings carry the
+    # svc_* lifecycle kinds.
+    svc_counts = {k: 0 for k in SVC_KINDS}
+    for e in merged:
+        if e["kind"] in svc_counts:
+            svc_counts[e["kind"]] += 1
+    if any(svc_counts.values()):
+        print("serving failover activity in the ring window:")
+        crashed = sorted({e["pe"] for e in merged
+                          if e["kind"] == "svc_crash"})
+        for kind in SVC_KINDS:
+            if svc_counts[kind]:
+                print(f"  {kind:<18} {svc_counts[kind]}")
+        if crashed:
+            print(f"  crashed replica slot(s): "
+                  f"{', '.join(str(p) for p in crashed)}")
+        print()
 
     # What everyone else was doing when the recorder stopped.
     print("last event per PE:")
